@@ -1,0 +1,50 @@
+//! Ablation benches for the design choices DESIGN.md §5 calls out:
+//! alarm fusion, mitigation policy, and the hardened-board counterfactual.
+//!
+//! ```sh
+//! cargo bench -p bench --bench ablation_suite
+//! ```
+
+use raven_core::experiments::{
+    run_bitw_study, run_fusion_ablation, run_hardened_board, run_lookahead_ablation,
+    run_mitigation_ablation, run_network_study,
+};
+
+fn main() {
+    let (fusion_runs, mitigation_runs) = if bench::quick_mode() { (12, 6) } else { (80, 20) };
+
+    let fusion = run_fusion_ablation(41, fusion_runs);
+    print!("{}", fusion.render());
+    bench::save_json("ablation_fusion", &fusion);
+
+    let mitigation = run_mitigation_ablation(43, mitigation_runs);
+    print!("\n{}", mitigation.render());
+    bench::save_json("ablation_mitigation", &mitigation);
+
+    let hardened = run_hardened_board(45);
+    print!("\n{}", hardened.render());
+    bench::save_json("ablation_hardened_board", &hardened);
+
+    let bitw = run_bitw_study(47);
+    print!("\n{}", bitw.render());
+    bench::save_json("ablation_bitw", &bitw);
+
+    let lookahead = run_lookahead_ablation(49, if bench::quick_mode() { 9 } else { 30 });
+    print!("\n{}", lookahead.render());
+    bench::save_json("ablation_lookahead", &lookahead);
+
+    let network = run_network_study(53);
+    print!("\n{}", network.render());
+    bench::save_json("study_network", &network);
+
+    assert!(fusion.rows[0].fpr <= fusion.rows[1].fpr, "fusion reduces false alarms");
+    assert!(
+        mitigation.rows[1].survived_rate >= mitigation.rows[2].survived_rate,
+        "hold preserves availability at least as well as E-STOP"
+    );
+    assert!(!hardened.b_adverse && hardened.a_still_effective);
+    assert!(
+        bitw.rows[1].adverse && !bitw.rows[2].adverse,
+        "wire placement useless, host placement degrades the attack to DoS"
+    );
+}

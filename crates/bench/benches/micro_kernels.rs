@@ -1,0 +1,131 @@
+//! Criterion micro-benchmarks of the real-time kernels whose cost the paper
+//! reports or depends on:
+//!
+//! * one dynamic-model step, Euler and RK4 (Fig. 8: 0.011 / 0.032 ms on the
+//!   authors' testbed);
+//! * one bare/logged/injected channel write (Table II);
+//! * FK + IK round (the kinematic chain of Fig. 2);
+//! * one full plant control-period step (the simulation's hot loop).
+//!
+//! ```sh
+//! cargo bench -p bench --bench micro_kernels
+//! ```
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use raven_attack::{
+    capture_log, ActivationWindow, Corruption, InjectionWrapper, LoggingWrapper,
+};
+use raven_detect::{DetectorConfig, DynamicDetector, Mitigation};
+use raven_dynamics::estimator::RtModelConfig;
+use raven_dynamics::{PlantParams, RavenPlant, RtModel};
+use raven_hw::{RobotState, UsbChannel, UsbCommandPacket};
+use raven_kinematics::{ArmConfig, JointState};
+use raven_math::ode::Method;
+use simbus::SimTime;
+use std::hint::black_box;
+
+fn bench_model_step(c: &mut Criterion) {
+    let params = PlantParams::raven_ii();
+    let state = params.rest_state(JointState::new(0.2, 1.3, 0.3));
+    let mut group = c.benchmark_group("model_step");
+    for (name, method) in [("euler", Method::Euler), ("rk4", Method::Rk4)] {
+        let model = RtModel::with_config(params, RtModelConfig { method, step_size: 1e-3 });
+        group.bench_function(name, |b| {
+            b.iter(|| black_box(model.predict(black_box(&state), &[1200, -800, 400])))
+        });
+    }
+    group.finish();
+}
+
+fn bench_channel_write(c: &mut Criterion) {
+    let pkt = UsbCommandPacket {
+        state: RobotState::PedalDown,
+        watchdog: true,
+        dac: [1200, -800, 400, 0, 0, 0, 0, 0],
+    };
+    let bytes = pkt.encode().to_vec();
+    let mut group = c.benchmark_group("channel_write");
+
+    let mut bare = UsbChannel::new();
+    group.bench_function("baseline", |b| {
+        b.iter(|| black_box(bare.write(bytes.clone(), SimTime::ZERO)))
+    });
+
+    let mut logged = UsbChannel::new();
+    logged.install(Box::new(LoggingWrapper::new(capture_log())));
+    group.bench_function("logging_wrapper", |b| {
+        b.iter(|| black_box(logged.write(bytes.clone(), SimTime::ZERO)))
+    });
+
+    let mut injected = UsbChannel::new();
+    injected.install(Box::new(InjectionWrapper::pedal_down_trigger(
+        Corruption::AddDacWord { channel: 0, delta: 50 },
+        ActivationWindow::immediate_persistent(),
+    )));
+    group.bench_function("injection_wrapper", |b| {
+        b.iter(|| black_box(injected.write(bytes.clone(), SimTime::ZERO)))
+    });
+    group.finish();
+}
+
+fn bench_kinematics(c: &mut Criterion) {
+    let arm = ArmConfig::raven_ii_left();
+    let joints = JointState::new(0.3, 1.4, 0.28);
+    let pos = arm.forward(&joints).position;
+    c.bench_function("fk_ik_round", |b| {
+        b.iter(|| {
+            let fk = arm.forward(black_box(&joints));
+            let ik = arm.inverse(black_box(pos)).expect("reachable");
+            black_box((fk, ik))
+        })
+    });
+}
+
+fn bench_guard_assess(c: &mut Criterion) {
+    // The full guard decision — measurement sync + one-step prediction +
+    // feature extraction + threshold fusion — must fit far inside the 1 ms
+    // control budget (the paper's §IV real-time requirement).
+    let params = PlantParams::raven_ii();
+    let arm = ArmConfig::builder().coupling(params.coupling()).build();
+    let model = RtModel::new(params.perturbed(1, 0.02));
+    let mut det = DynamicDetector::new(
+        arm,
+        model,
+        DetectorConfig { mitigation: Mitigation::Observe, ..DetectorConfig::default() },
+    );
+    // Train on synthetic gentle motion, then arm.
+    let coupling = params.coupling();
+    for k in 0..2_000u64 {
+        let t = k as f64 * 1e-3;
+        let j = JointState::new(0.1 * (2.0 * t).sin(), 1.4 + 0.08 * t.cos(), 0.25);
+        det.sync_measurement(coupling.joints_to_motors(&j));
+        det.assess(&[200, 150, -100]);
+    }
+    det.arm();
+    let mpos = coupling.joints_to_motors(&JointState::new(0.05, 1.38, 0.26));
+    c.bench_function("guard_sync_and_assess", |b| {
+        b.iter(|| {
+            det.sync_measurement(black_box(mpos));
+            black_box(det.assess(black_box(&[1200, -800, 400])))
+        })
+    });
+}
+
+fn bench_plant_step(c: &mut Criterion) {
+    let params = PlantParams::raven_ii();
+    let mut plant = RavenPlant::new(params);
+    plant.release_brakes();
+    c.bench_function("plant_control_period", |b| {
+        b.iter(|| {
+            plant.step_control_period(black_box(&[0.02, -0.01, 0.005]));
+            black_box(plant.state().joint_pos())
+        })
+    });
+}
+
+criterion_group!(
+    name = kernels;
+    config = Criterion::default().sample_size(30);
+    targets = bench_model_step, bench_channel_write, bench_kinematics, bench_guard_assess, bench_plant_step
+);
+criterion_main!(kernels);

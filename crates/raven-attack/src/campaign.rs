@@ -1,0 +1,127 @@
+//! Fault-injection campaign configuration — "an attack injection engine
+//! which can create attack scenarios targeting different layers of robot
+//! control structure" (paper §IV.A), "programmed to … inject malicious
+//! inputs/commands with different values and activation periods … at
+//! different times during a running trajectory" (§IV.A.2).
+//!
+//! These are pure configuration types; `raven-core::experiments` executes
+//! them against the full simulation.
+
+use serde::{Deserialize, Serialize};
+
+/// Which paper scenario a campaign runs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Scenario {
+    /// Scenario A: injection of unintended *user inputs* (ITP MITM) —
+    /// `magnitude` meters of extra displacement per 1 ms packet.
+    UserInput {
+        /// Extra displacement per packet (meters).
+        magnitude: f64,
+    },
+    /// Scenario B: injection of unintended *motor torque commands* (USB
+    /// write corruption after the safety checks) — `dac_delta` counts added
+    /// to one positioning DAC word.
+    TorqueCommand {
+        /// DAC counts added per packet.
+        dac_delta: i16,
+        /// Target positioning channel (0–2).
+        channel: usize,
+    },
+}
+
+/// One injection experiment: a scenario, an activation period, and timing.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct InjectionSpec {
+    /// What to inject.
+    pub scenario: Scenario,
+    /// Pedal-down packets to let pass before the first corruption.
+    pub delay_packets: u64,
+    /// Consecutive packets to corrupt (≈ milliseconds) — the paper's
+    /// activation-period axis (2–512 ms in Fig. 9).
+    pub duration_packets: u64,
+}
+
+impl InjectionSpec {
+    /// Scenario-B spec with the Fig. 9 axes: injected error value (DAC
+    /// counts) and activation period (ms).
+    pub fn torque(dac_delta: i16, duration_ms: u64) -> Self {
+        InjectionSpec {
+            scenario: Scenario::TorqueCommand { dac_delta, channel: 0 },
+            delay_packets: 250,
+            duration_packets: duration_ms,
+        }
+    }
+
+    /// Scenario-A spec: injected displacement per packet and activation
+    /// period (ms).
+    pub fn user_input(magnitude: f64, duration_ms: u64) -> Self {
+        InjectionSpec {
+            scenario: Scenario::UserInput { magnitude },
+            delay_packets: 250,
+            duration_packets: duration_ms,
+        }
+    }
+}
+
+/// A full campaign: the cross-product of values × durations × repetitions,
+/// as in Fig. 9 ("Each attack scenario with specific distance error and
+/// activation period was repeated for at least 20 times").
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignConfig {
+    /// The specs to run.
+    pub specs: Vec<InjectionSpec>,
+    /// Repetitions per spec (different seeds).
+    pub repetitions: u32,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl CampaignConfig {
+    /// The Fig. 9 scenario-B grid: DAC error values × activation periods.
+    pub fn fig9_grid(values: &[i16], durations_ms: &[u64], repetitions: u32, seed: u64) -> Self {
+        let mut specs = Vec::new();
+        for &v in values {
+            for &d in durations_ms {
+                specs.push(InjectionSpec::torque(v, d));
+            }
+        }
+        CampaignConfig { specs, repetitions, seed }
+    }
+
+    /// Total runs in the campaign.
+    pub fn total_runs(&self) -> usize {
+        self.specs.len() * self.repetitions as usize
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fig9_grid_is_cross_product() {
+        let c = CampaignConfig::fig9_grid(&[100, 1000, 10000], &[2, 16, 64, 256], 20, 1);
+        assert_eq!(c.specs.len(), 12);
+        assert_eq!(c.total_runs(), 240);
+    }
+
+    #[test]
+    fn spec_constructors() {
+        let s = InjectionSpec::torque(5000, 64);
+        assert!(matches!(
+            s.scenario,
+            Scenario::TorqueCommand { dac_delta: 5000, channel: 0 }
+        ));
+        assert_eq!(s.duration_packets, 64);
+        let s = InjectionSpec::user_input(2e-3, 16);
+        assert!(matches!(s.scenario, Scenario::UserInput { .. }));
+    }
+
+    #[test]
+    fn serde_roundtrip() {
+        let c = CampaignConfig::fig9_grid(&[100], &[2], 5, 42);
+        let json = serde_json::to_string(&c).unwrap();
+        let back: CampaignConfig = serde_json::from_str(&json).unwrap();
+        assert_eq!(back, c);
+    }
+}

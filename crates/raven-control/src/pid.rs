@@ -1,0 +1,204 @@
+//! PID motor controllers.
+//!
+//! "The amount of torque needed for each motor to reach its new position is
+//! obtained from a Proportional-Integral-Derivative (PID) controller"
+//! (paper §II.B, Fig. 2). One PID runs per positioning motor, on motor-shaft
+//! position error, producing a torque command that the DAC stage converts to
+//! counts.
+
+use serde::{Deserialize, Serialize};
+
+/// Gains and limits of one PID loop.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct PidGains {
+    /// Proportional gain (N·m per rad of motor error).
+    pub kp: f64,
+    /// Integral gain (N·m per rad·s).
+    pub ki: f64,
+    /// Derivative gain (N·m per rad/s).
+    pub kd: f64,
+    /// Absolute bound on the integral term's torque contribution (N·m).
+    pub integral_limit: f64,
+    /// Absolute bound on the total output torque (N·m).
+    pub output_limit: f64,
+}
+
+impl PidGains {
+    /// Gains for the RE40-driven shoulder/elbow axes.
+    ///
+    /// The output limit (0.11 N·m ≈ 19,900 DAC counts) sits just *below*
+    /// the software DAC safety threshold (20,000 counts): the RAVEN control
+    /// software never emits commands that would trip its own check, which
+    /// is precisely why the stock checks cannot catch post-check injections
+    /// (paper §IV.B).
+    pub fn raven_positioning() -> Self {
+        PidGains { kp: 0.20, ki: 1.2, kd: 2.2e-3, integral_limit: 0.05, output_limit: 0.11 }
+    }
+
+    /// Gains for the RE30-driven insertion axis (limit ≈ 18,970 counts,
+    /// below the 20,000-count threshold).
+    pub fn raven_insertion() -> Self {
+        PidGains { kp: 0.12, ki: 0.8, kd: 1.4e-3, integral_limit: 0.03, output_limit: 0.045 }
+    }
+}
+
+/// One PID loop with anti-windup and output saturation.
+///
+/// # Example
+///
+/// ```
+/// use raven_control::pid::{Pid, PidGains};
+///
+/// let mut pid = Pid::new(PidGains::raven_positioning());
+/// // Positive position error produces positive (corrective) torque.
+/// let tau = pid.update(0.01, 0.0, 1e-3);
+/// assert!(tau > 0.0);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Pid {
+    gains: PidGains,
+    integral: f64,
+    last_error: Option<f64>,
+}
+
+impl Pid {
+    /// Creates a PID at rest.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any gain or limit is negative or non-finite.
+    pub fn new(gains: PidGains) -> Self {
+        for v in [gains.kp, gains.ki, gains.kd, gains.integral_limit, gains.output_limit] {
+            assert!(v.is_finite() && v >= 0.0, "PID gains must be nonnegative, got {v}");
+        }
+        Pid { gains, integral: 0.0, last_error: None }
+    }
+
+    /// The configured gains.
+    pub fn gains(&self) -> PidGains {
+        self.gains
+    }
+
+    /// One control update.
+    ///
+    /// `error` is desired minus measured motor position (rad);
+    /// `measured_vel` is the measured motor velocity (rad/s), used for the
+    /// derivative term (derivative-on-measurement avoids set-point kick);
+    /// `dt` is the cycle time (s). Returns the commanded torque (N·m).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not positive and finite.
+    pub fn update(&mut self, error: f64, measured_vel: f64, dt: f64) -> f64 {
+        assert!(dt.is_finite() && dt > 0.0, "invalid PID dt {dt}");
+        self.integral = (self.integral + self.gains.ki * error * dt)
+            .clamp(-self.gains.integral_limit, self.gains.integral_limit);
+        self.last_error = Some(error);
+        let raw = self.gains.kp * error + self.integral - self.gains.kd * measured_vel;
+        raw.clamp(-self.gains.output_limit, self.gains.output_limit)
+    }
+
+    /// Clears the integral state and error history (on state transitions —
+    /// the controller must not carry windup from Pedal Up into Pedal Down).
+    pub fn reset(&mut self) {
+        self.integral = 0.0;
+        self.last_error = None;
+    }
+
+    /// Current integral contribution (N·m), for diagnostics.
+    pub fn integral(&self) -> f64 {
+        self.integral
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pid() -> Pid {
+        Pid::new(PidGains::raven_positioning())
+    }
+
+    #[test]
+    fn proportional_response_sign() {
+        let mut p = pid();
+        assert!(p.update(0.01, 0.0, 1e-3) > 0.0);
+        let mut p = pid();
+        assert!(p.update(-0.01, 0.0, 1e-3) < 0.0);
+        let mut p = pid();
+        assert_eq!(p.update(0.0, 0.0, 1e-3), 0.0);
+    }
+
+    #[test]
+    fn derivative_damps_motion_toward_target() {
+        let mut with_vel = pid();
+        let mut without = pid();
+        let fast = with_vel.update(0.01, 10.0, 1e-3);
+        let still = without.update(0.01, 0.0, 1e-3);
+        assert!(fast < still, "closing velocity must reduce commanded torque");
+    }
+
+    #[test]
+    fn integral_accumulates_and_clamps() {
+        let mut p = pid();
+        for _ in 0..100_000 {
+            p.update(0.05, 0.0, 1e-3);
+        }
+        assert!((p.integral() - p.gains().integral_limit).abs() < 1e-12);
+        // And in the negative direction.
+        let mut p = pid();
+        for _ in 0..100_000 {
+            p.update(-0.05, 0.0, 1e-3);
+        }
+        assert!((p.integral() + p.gains().integral_limit).abs() < 1e-12);
+    }
+
+    #[test]
+    fn output_saturates() {
+        let mut p = pid();
+        let tau = p.update(100.0, 0.0, 1e-3);
+        assert_eq!(tau, p.gains().output_limit);
+        let tau = p.update(-100.0, 0.0, 1e-3);
+        assert_eq!(tau, -p.gains().output_limit);
+    }
+
+    #[test]
+    fn reset_clears_state() {
+        let mut p = pid();
+        p.update(0.05, 0.0, 1e-3);
+        assert!(p.integral() != 0.0);
+        p.reset();
+        assert_eq!(p.integral(), 0.0);
+    }
+
+    #[test]
+    fn closes_loop_on_double_integrator() {
+        // Simple plant: J θ̈ = τ. The PID must drive θ to the set-point
+        // without instability at the 1 ms cycle.
+        let gains = PidGains::raven_positioning();
+        let mut p = Pid::new(gains);
+        let j = 2.6e-5; // motor-side inertia scale
+        let (mut theta, mut omega) = (0.0, 0.0);
+        let target = 0.5;
+        for _ in 0..4000 {
+            let tau = p.update(target - theta, omega, 1e-3);
+            let acc = tau / j;
+            omega += acc * 1e-3;
+            omega *= 0.98; // plant-side damping
+            theta += omega * 1e-3;
+        }
+        assert!((theta - target).abs() < 0.02, "PID failed to converge: {theta}");
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid PID dt")]
+    fn zero_dt_panics() {
+        pid().update(0.0, 0.0, 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn negative_gain_panics() {
+        let _ = Pid::new(PidGains { kp: -1.0, ..PidGains::raven_positioning() });
+    }
+}

@@ -1,0 +1,244 @@
+//! The RAVEN software safety checks — the baseline the paper's detector is
+//! compared against in Table IV.
+//!
+//! "These safety checks compare the electrical current commands sent to the
+//! digital to analog converters (DACs) with a set of pre-defined thresholds"
+//! (§II.B), and the control software verifies that "the desired joint
+//! positions are not outside of the robot workspace" (§III.B.3). The paper's
+//! key criticism (§IV.B): these checks run at the *latest computation step
+//! in software*, so commands mutated after the check — the TOCTOU window —
+//! reach the motors unchecked, and the checks "do not take into account the
+//! semantics of the control commands and their consequences in the physical
+//! system".
+
+use raven_kinematics::{JointLimits, JointState, MotorState, NUM_AXES};
+use serde::{Deserialize, Serialize};
+
+use crate::state_machine::FaultReason;
+
+/// What the software safety layer found wrong with a cycle's outputs.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum SafetyViolation {
+    /// A DAC word exceeded the fixed threshold.
+    DacThreshold {
+        /// Offending channel.
+        channel: usize,
+        /// The DAC value.
+        value: i16,
+    },
+    /// The desired joint position left the joint/workspace limits.
+    JointLimit,
+    /// The commanded per-cycle motor increment was implausibly large.
+    MotorIncrement {
+        /// Offending axis.
+        axis: usize,
+        /// The increment (rad).
+        delta: f64,
+    },
+}
+
+impl SafetyViolation {
+    /// The fault the state machine should latch for this violation.
+    pub fn fault_reason(&self) -> FaultReason {
+        match self {
+            SafetyViolation::DacThreshold { .. } => FaultReason::DacLimit,
+            SafetyViolation::JointLimit => FaultReason::JointLimit,
+            SafetyViolation::MotorIncrement { .. } => FaultReason::JointLimit,
+        }
+    }
+}
+
+impl std::fmt::Display for SafetyViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SafetyViolation::DacThreshold { channel, value } => {
+                write!(f, "DAC threshold exceeded on channel {channel}: {value}")
+            }
+            SafetyViolation::JointLimit => f.write_str("desired joints outside limits"),
+            SafetyViolation::MotorIncrement { axis, delta } => {
+                write!(f, "motor increment too large on axis {axis}: {delta:.4} rad")
+            }
+        }
+    }
+}
+
+/// Configuration of the software safety checks.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct SafetyConfig {
+    /// Fixed DAC magnitude threshold (counts). RAVEN uses a constant
+    /// compare against the computed commands.
+    pub dac_threshold: i16,
+    /// Maximum per-cycle desired motor increment (rad).
+    pub max_motor_increment: f64,
+    /// Joint limits applied to desired joint positions.
+    pub limits: JointLimits,
+}
+
+impl SafetyConfig {
+    /// RAVEN II-like thresholds.
+    pub fn raven_ii() -> Self {
+        SafetyConfig {
+            dac_threshold: 20_000,
+            // Following-error trip point: deliberately coarse — RAVEN's
+            // software only notices a runaway once "the physical system
+            // state is corrupted to a point where the PID control cannot
+            // fix the errors anymore" (paper §IV.B). Post-impact detection
+            // of abrupt jumps is instead the hardware over-speed trip in
+            // `raven-hw::rig` (the paper's hardware-side E-STOP).
+            max_motor_increment: 10.0,
+            limits: JointLimits::raven_ii(),
+        }
+    }
+}
+
+impl Default for SafetyConfig {
+    fn default() -> Self {
+        SafetyConfig::raven_ii()
+    }
+}
+
+/// The software safety checker. Stateless aside from configuration; counts
+/// what it caught for the Table IV comparison.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct SafetyChecker {
+    config: SafetyConfig,
+    violations: u64,
+}
+
+impl SafetyChecker {
+    /// Creates a checker.
+    pub fn new(config: SafetyConfig) -> Self {
+        SafetyChecker { config, violations: 0 }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &SafetyConfig {
+        &self.config
+    }
+
+    /// Checks one cycle's computed outputs *before* they are written to the
+    /// USB board — the check whose timing creates the TOCTOU window.
+    ///
+    /// # Errors
+    ///
+    /// The first violation found, in RAVEN's check order: desired joints,
+    /// motor increment, DAC thresholds.
+    pub fn check_cycle(
+        &mut self,
+        desired_joints: &JointState,
+        desired_motors: &MotorState,
+        current_motors: &MotorState,
+        dac: &[i16],
+    ) -> Result<(), SafetyViolation> {
+        if self.config.limits.check(desired_joints).is_err() {
+            self.violations += 1;
+            return Err(SafetyViolation::JointLimit);
+        }
+        for axis in 0..NUM_AXES {
+            let delta = desired_motors.angles[axis] - current_motors.angles[axis];
+            if !delta.is_finite() || delta.abs() > self.config.max_motor_increment {
+                self.violations += 1;
+                return Err(SafetyViolation::MotorIncrement { axis, delta });
+            }
+        }
+        for (channel, &value) in dac.iter().enumerate() {
+            if value == i16::MIN || value.abs() > self.config.dac_threshold {
+                self.violations += 1;
+                return Err(SafetyViolation::DacThreshold { channel, value });
+            }
+        }
+        Ok(())
+    }
+
+    /// Violations recorded so far.
+    pub fn violations(&self) -> u64 {
+        self.violations
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checker() -> SafetyChecker {
+        SafetyChecker::new(SafetyConfig::raven_ii())
+    }
+
+    fn mid() -> JointState {
+        JointLimits::raven_ii().center()
+    }
+
+    #[test]
+    fn clean_cycle_passes() {
+        let mut c = checker();
+        let m = MotorState::new([1.0, 2.0, 3.0]);
+        assert!(c.check_cycle(&mid(), &m, &m, &[100, -100, 0, 0, 0, 0, 0, 0]).is_ok());
+        assert_eq!(c.violations(), 0);
+    }
+
+    #[test]
+    fn dac_over_threshold_caught() {
+        let mut c = checker();
+        let m = MotorState::default();
+        let err = c
+            .check_cycle(&mid(), &m, &m, &[0, 0, 25_000, 0, 0, 0, 0, 0])
+            .unwrap_err();
+        assert!(matches!(err, SafetyViolation::DacThreshold { channel: 2, value: 25_000 }));
+        assert_eq!(err.fault_reason(), FaultReason::DacLimit);
+        assert_eq!(c.violations(), 1);
+    }
+
+    #[test]
+    fn i16_min_is_rejected() {
+        // abs() of i16::MIN would overflow; the checker must treat it as
+        // over-threshold, not panic.
+        let mut c = checker();
+        let m = MotorState::default();
+        assert!(c.check_cycle(&mid(), &m, &m, &[i16::MIN]).is_err());
+    }
+
+    #[test]
+    fn joint_limit_caught_first() {
+        let mut c = checker();
+        let bad = JointState::new(5.0, 1.0, 0.2);
+        let m = MotorState::default();
+        let err = c.check_cycle(&bad, &m, &m, &[30_000]).unwrap_err();
+        assert!(matches!(err, SafetyViolation::JointLimit));
+        assert_eq!(err.fault_reason(), FaultReason::JointLimit);
+    }
+
+    #[test]
+    fn motor_increment_caught() {
+        let mut c = checker();
+        let cur = MotorState::new([0.0, 0.0, 0.0]);
+        let want = MotorState::new([11.0, 0.0, 0.0]); // beyond the coarse trip point
+        let err = c.check_cycle(&mid(), &want, &cur, &[0; 8]).unwrap_err();
+        assert!(matches!(err, SafetyViolation::MotorIncrement { axis: 0, .. }));
+    }
+
+    #[test]
+    fn non_finite_increment_caught() {
+        let mut c = checker();
+        let cur = MotorState::new([0.0; 3]);
+        let want = MotorState::new([f64::NAN, 0.0, 0.0]);
+        assert!(c.check_cycle(&mid(), &want, &cur, &[0; 8]).is_err());
+    }
+
+    #[test]
+    fn threshold_boundary_is_inclusive() {
+        let mut c = checker();
+        let m = MotorState::default();
+        assert!(c.check_cycle(&mid(), &m, &m, &[20_000]).is_ok());
+        assert!(c.check_cycle(&mid(), &m, &m, &[20_001]).is_err());
+        assert!(c.check_cycle(&mid(), &m, &m, &[-20_001]).is_err());
+    }
+
+    #[test]
+    fn violation_display() {
+        let v = SafetyViolation::DacThreshold { channel: 1, value: 30000 };
+        assert!(format!("{v}").contains("30000"));
+        assert!(format!("{}", SafetyViolation::JointLimit).contains("limits"));
+        let v = SafetyViolation::MotorIncrement { axis: 0, delta: 1.0 };
+        assert!(format!("{v}").contains("increment"));
+    }
+}

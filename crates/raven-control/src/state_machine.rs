@@ -1,0 +1,184 @@
+//! The operational state machine of the RAVEN control software.
+//!
+//! Fig. 1(c) of the paper: `E-STOP → Init → Pedal Up ⇄ Pedal Down`, with
+//! every state able to fall back to E-STOP. The software side mirrors the
+//! PLC's view; the state nibble it advertises in Byte 0 of every USB packet
+//! is what the paper's malware reverse-engineers (Figs. 5–6).
+
+use raven_hw::RobotState;
+use serde::{Deserialize, Serialize};
+
+/// Why the software halted (entered E-STOP).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum FaultReason {
+    /// A DAC command exceeded the safety threshold.
+    DacLimit,
+    /// A desired joint position left the workspace/joint limits.
+    JointLimit,
+    /// Inverse kinematics failed on the desired position ("IK-fail" in
+    /// Table I of the paper).
+    IkFailure,
+    /// Homing did not converge in time ("Homing Failure" in Table I).
+    HomingFailure,
+    /// The operator pressed the E-STOP button.
+    OperatorStop,
+    /// An external guard (the dynamic-model detector) demanded a stop.
+    GuardStop,
+    /// The PLC reported its E-STOP latch through the feedback path.
+    PlcStop,
+}
+
+impl std::fmt::Display for FaultReason {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            FaultReason::DacLimit => "DAC safety threshold exceeded",
+            FaultReason::JointLimit => "joint/workspace limit exceeded",
+            FaultReason::IkFailure => "inverse kinematics failure",
+            FaultReason::HomingFailure => "homing failure",
+            FaultReason::OperatorStop => "operator emergency stop",
+            FaultReason::GuardStop => "dynamic-model guard stop",
+            FaultReason::PlcStop => "PLC emergency stop reported",
+        };
+        f.write_str(s)
+    }
+}
+
+/// Events driving the state machine.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ControlEvent {
+    /// Physical start button pressed (leaves E-STOP).
+    StartPressed,
+    /// Initialization/homing completed successfully.
+    HomingComplete,
+    /// Foot pedal pressed.
+    PedalPressed,
+    /// Foot pedal released.
+    PedalReleased,
+    /// A fault was detected.
+    Fault(FaultReason),
+}
+
+/// The software state machine, with fault cause tracking.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub struct StateMachine {
+    state: RobotState,
+    fault: Option<FaultReason>,
+}
+
+impl StateMachine {
+    /// Starts in E-STOP, as the robot powers up (paper Fig. 1(c)).
+    pub fn new() -> Self {
+        StateMachine { state: RobotState::EStop, fault: None }
+    }
+
+    /// Current state.
+    pub fn state(&self) -> RobotState {
+        self.state
+    }
+
+    /// The fault that caused the last transition to E-STOP, if any.
+    pub fn fault(&self) -> Option<FaultReason> {
+        self.fault
+    }
+
+    /// Applies an event; returns the new state. Illegal events in a state
+    /// are ignored (the RAVEN software discards, e.g., pedal presses during
+    /// homing).
+    pub fn apply(&mut self, event: ControlEvent) -> RobotState {
+        use ControlEvent::*;
+        use RobotState::*;
+        self.state = match (self.state, event) {
+            (_, Fault(reason)) => {
+                self.fault = Some(reason);
+                EStop
+            }
+            (EStop, StartPressed) => {
+                self.fault = None;
+                Init
+            }
+            (Init, HomingComplete) => PedalUp,
+            (PedalUp, PedalPressed) => PedalDown,
+            (PedalDown, PedalReleased) => PedalUp,
+            (s, _) => s, // ignored event
+        };
+        self.state
+    }
+
+    /// `true` when the robot is engaged and operating (the state the
+    /// paper's malware waits for).
+    pub fn is_pedal_down(&self) -> bool {
+        self.state == RobotState::PedalDown
+    }
+
+    /// `true` when halted.
+    pub fn is_estop(&self) -> bool {
+        self.state == RobotState::EStop
+    }
+}
+
+impl Default for StateMachine {
+    fn default() -> Self {
+        StateMachine::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use ControlEvent::*;
+
+    #[test]
+    fn nominal_session_path() {
+        let mut sm = StateMachine::new();
+        assert!(sm.is_estop());
+        assert_eq!(sm.apply(StartPressed), RobotState::Init);
+        assert_eq!(sm.apply(HomingComplete), RobotState::PedalUp);
+        assert_eq!(sm.apply(PedalPressed), RobotState::PedalDown);
+        assert!(sm.is_pedal_down());
+        assert_eq!(sm.apply(PedalReleased), RobotState::PedalUp);
+        assert_eq!(sm.apply(PedalPressed), RobotState::PedalDown);
+    }
+
+    #[test]
+    fn fault_from_any_state_goes_to_estop() {
+        for setup in 0..4usize {
+            let mut sm = StateMachine::new();
+            let events = [StartPressed, HomingComplete, PedalPressed];
+            for e in events.iter().take(setup) {
+                sm.apply(*e);
+            }
+            sm.apply(Fault(FaultReason::DacLimit));
+            assert!(sm.is_estop());
+            assert_eq!(sm.fault(), Some(FaultReason::DacLimit));
+        }
+    }
+
+    #[test]
+    fn start_clears_fault() {
+        let mut sm = StateMachine::new();
+        sm.apply(Fault(FaultReason::IkFailure));
+        assert!(sm.fault().is_some());
+        sm.apply(StartPressed);
+        assert_eq!(sm.fault(), None);
+        assert_eq!(sm.state(), RobotState::Init);
+    }
+
+    #[test]
+    fn illegal_events_are_ignored() {
+        let mut sm = StateMachine::new();
+        // Pedal press in E-STOP does nothing.
+        assert_eq!(sm.apply(PedalPressed), RobotState::EStop);
+        sm.apply(StartPressed);
+        // Pedal press during homing does nothing.
+        assert_eq!(sm.apply(PedalPressed), RobotState::Init);
+        // Homing-complete in Pedal Up does nothing.
+        sm.apply(HomingComplete);
+        assert_eq!(sm.apply(HomingComplete), RobotState::PedalUp);
+    }
+
+    #[test]
+    fn fault_reason_display() {
+        assert!(format!("{}", FaultReason::IkFailure).contains("kinematics"));
+        assert!(format!("{}", FaultReason::GuardStop).contains("guard"));
+    }
+}

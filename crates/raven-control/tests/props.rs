@@ -1,0 +1,105 @@
+//! Property-based tests on the state machine and safety checker.
+
+use proptest::prelude::*;
+use raven_control::{ControlEvent, FaultReason, SafetyChecker, SafetyConfig, StateMachine};
+use raven_hw::RobotState;
+use raven_kinematics::{JointLimits, MotorState};
+
+fn any_event() -> impl Strategy<Value = ControlEvent> {
+    prop_oneof![
+        Just(ControlEvent::StartPressed),
+        Just(ControlEvent::HomingComplete),
+        Just(ControlEvent::PedalPressed),
+        Just(ControlEvent::PedalReleased),
+        Just(ControlEvent::Fault(FaultReason::DacLimit)),
+        Just(ControlEvent::Fault(FaultReason::IkFailure)),
+        Just(ControlEvent::Fault(FaultReason::GuardStop)),
+    ]
+}
+
+proptest! {
+    #[test]
+    fn fault_always_reaches_estop_and_is_recorded(events in prop::collection::vec(any_event(), 0..50)) {
+        let mut sm = StateMachine::new();
+        for e in &events {
+            sm.apply(*e);
+            if let ControlEvent::Fault(reason) = e {
+                prop_assert!(sm.is_estop());
+                prop_assert_eq!(sm.fault(), Some(*reason));
+            }
+        }
+    }
+
+    #[test]
+    fn pedal_down_requires_the_full_path(events in prop::collection::vec(any_event(), 0..60)) {
+        // Invariant: PedalDown can only be reached through Init and PedalUp
+        // since the last E-STOP — verified by replaying the event trace.
+        let mut sm = StateMachine::new();
+        let mut seen_up_since_estop = false;
+        for e in &events {
+            let before = sm.state();
+            let after = sm.apply(*e);
+            if after == RobotState::PedalUp {
+                seen_up_since_estop = true;
+            }
+            if after == RobotState::EStop {
+                seen_up_since_estop = false;
+            }
+            if after == RobotState::PedalDown && before != RobotState::PedalDown {
+                prop_assert!(
+                    seen_up_since_estop,
+                    "reached PedalDown without passing PedalUp"
+                );
+                prop_assert_eq!(before, RobotState::PedalUp);
+            }
+        }
+    }
+
+    #[test]
+    fn estop_is_only_left_via_start(events in prop::collection::vec(any_event(), 0..60)) {
+        let mut sm = StateMachine::new();
+        for e in &events {
+            let before = sm.state();
+            let after = sm.apply(*e);
+            if before == RobotState::EStop && after != RobotState::EStop {
+                prop_assert_eq!(*e, ControlEvent::StartPressed);
+                prop_assert_eq!(after, RobotState::Init);
+            }
+        }
+    }
+
+    #[test]
+    fn safety_checker_accepts_everything_within_bounds(
+        dac in prop::array::uniform8(-20_000i16..=20_000),
+        jpos_frac in prop::array::uniform3(0.01f64..0.99),
+        delta in prop::array::uniform3(-9.9f64..9.9),
+    ) {
+        let limits = JointLimits::raven_ii();
+        let joints = raven_kinematics::JointState::new(
+            limits.shoulder.0 + jpos_frac[0] * (limits.shoulder.1 - limits.shoulder.0),
+            limits.elbow.0 + jpos_frac[1] * (limits.elbow.1 - limits.elbow.0),
+            limits.insertion.0 + jpos_frac[2] * (limits.insertion.1 - limits.insertion.0),
+        );
+        let cur = MotorState::new([0.0; 3]);
+        let want = MotorState::new(delta);
+        let mut checker = SafetyChecker::new(SafetyConfig::raven_ii());
+        prop_assert!(checker.check_cycle(&joints, &want, &cur, &dac).is_ok());
+    }
+
+    #[test]
+    fn safety_checker_rejects_everything_out_of_bounds(
+        dac_over in 20_001i16..=i16::MAX,
+        channel in 0usize..8,
+    ) {
+        let limits = JointLimits::raven_ii();
+        let joints = limits.center();
+        let m = MotorState::new([0.0; 3]);
+        let mut dac = [0i16; 8];
+        dac[channel] = dac_over;
+        let mut checker = SafetyChecker::new(SafetyConfig::raven_ii());
+        prop_assert!(checker.check_cycle(&joints, &m, &m, &dac).is_err());
+        // Negative direction too.
+        dac[channel] = -dac_over;
+        prop_assert!(checker.check_cycle(&joints, &m, &m, &dac).is_err());
+    }
+}

@@ -1,0 +1,88 @@
+//! `raven-sim` — command-line front end for the reproduction.
+//!
+//! ```text
+//! raven-sim session [seed]         run a clean teleoperation session
+//! raven-sim attack [seed]          run the scenario-B attack, undefended
+//! raven-sim defend [seed]          train the guard and run the same attack
+//! raven-sim table1|table2|fig5|fig6|fig8   regenerate an artifact (quick sizes)
+//! ```
+
+use raven_core::experiments::{run_fig5, run_fig6, run_fig8, run_table1, run_table2};
+use raven_core::training::{train_thresholds, TrainingConfig};
+use raven_core::{AttackSetup, DetectorSetup, SimConfig, Simulation};
+use raven_detect::{DetectorConfig, Mitigation};
+
+fn seed_arg(args: &[String]) -> u64 {
+    args.get(2).and_then(|s| s.parse().ok()).unwrap_or(42)
+}
+
+fn attack() -> AttackSetup {
+    AttackSetup::ScenarioB {
+        dac_delta: 30_000,
+        channel: 0,
+        delay_packets: 400,
+        duration_packets: 256,
+    }
+}
+
+fn print_outcome(label: &str, out: &raven_core::SessionOutcome) {
+    println!("{label}:");
+    println!("  final state      : {}", out.final_state);
+    println!("  max 2 ms EE step : {:.3} mm", out.max_ee_step_2ms * 1e3);
+    println!("  adverse impact   : {}", out.adverse);
+    println!("  model detected   : {}", out.model_detected);
+    println!("  RAVEN detected   : {}", out.raven_detected);
+    println!("  E-STOP           : {:?}", out.estop);
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().collect();
+    let command = args.get(1).map(String::as_str).unwrap_or("help");
+    match command {
+        "session" => {
+            let mut sim = Simulation::new(SimConfig::standard(seed_arg(&args)));
+            sim.boot();
+            print_outcome("clean session", &sim.run_session());
+        }
+        "attack" => {
+            let mut sim = Simulation::new(SimConfig {
+                session_ms: 4_000,
+                ..SimConfig::standard(seed_arg(&args))
+            });
+            sim.install_attack(&attack());
+            sim.boot();
+            print_outcome("undefended under scenario-B injection", &sim.run_session());
+        }
+        "defend" => {
+            eprintln!("training thresholds (reduced 20-run protocol) …");
+            let report =
+                train_thresholds(&TrainingConfig { runs: 20, ..TrainingConfig::quick(3) });
+            let mut sim = Simulation::new(SimConfig {
+                session_ms: 4_000,
+                detector: Some(DetectorSetup {
+                    config: DetectorConfig {
+                        mitigation: Mitigation::EStop,
+                        ..DetectorConfig::default()
+                    },
+                    model_perturbation: 0.02,
+                    thresholds: Some(report.thresholds),
+                }),
+                ..SimConfig::standard(seed_arg(&args))
+            });
+            sim.install_attack(&attack());
+            sim.boot();
+            print_outcome("guarded under scenario-B injection", &sim.run_session());
+        }
+        "table1" => print!("{}", run_table1(31).render()),
+        "table2" => print!("{}", run_table2(10_000).render()),
+        "fig5" => print!("{}", run_fig5(3, 4_000).render()),
+        "fig6" => print!("{}", run_fig6(5).render()),
+        "fig8" => print!("{}", run_fig8(42, 3, 2_500, 0.02).render()),
+        _ => {
+            eprintln!(
+                "usage: raven-sim <session|attack|defend|table1|table2|fig5|fig6|fig8> [seed]"
+            );
+            std::process::exit(2);
+        }
+    }
+}

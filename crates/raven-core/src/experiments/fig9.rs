@@ -1,0 +1,219 @@
+//! Figure 9 — attack detection probability vs injected error value and
+//! activation period (scenario B).
+//!
+//! For each (DAC error value, activation period) cell the paper runs ≥20
+//! repetitions and estimates three probabilities: adverse impact on the
+//! physical system, detection by the dynamic-model detector, and detection
+//! by the stock RAVEN safety mechanisms. The reproduced claims: all three
+//! probabilities grow with value and duration; short/small injections are
+//! absorbed by the PID loop (§IV.B observation 1: no impact below ~64 ms
+//! unless values are large); the model detector's curve sits above RAVEN's;
+//! and RAVEN's detection probability sits below the adverse-impact
+//! probability (it cannot catch everything that hurts).
+
+use raven_detect::{DetectionThresholds, DetectorConfig, Mitigation};
+use serde::{Deserialize, Serialize};
+use simbus::rng::derive_seed;
+
+use crate::scenario::AttackSetup;
+use crate::sim::{DetectorSetup, SimConfig, Simulation, Workload};
+use crate::training::{train_thresholds, TrainingConfig};
+
+/// One grid cell's estimated probabilities.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Fig9Cell {
+    /// Injected DAC error value (counts).
+    pub value: i16,
+    /// Activation period (ms).
+    pub duration_ms: u64,
+    /// P(adverse impact on the physical system).
+    pub p_adverse: f64,
+    /// P(detected by the dynamic-model detector).
+    pub p_model: f64,
+    /// P(detected by RAVEN's stock mechanisms).
+    pub p_raven: f64,
+    /// Repetitions behind the estimates.
+    pub repetitions: u32,
+}
+
+/// Fig. 9 sweep configuration.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig9Config {
+    /// Injected DAC error values (counts).
+    pub values: Vec<i16>,
+    /// Activation periods (ms); the paper sweeps 2–512 ms in powers of two.
+    pub durations_ms: Vec<u64>,
+    /// Repetitions per cell (paper: ≥20).
+    pub repetitions: u32,
+    /// Session length per run (ms).
+    pub session_ms: u64,
+    /// Training protocol for the thresholds.
+    pub training: TrainingConfig,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Fig9Config {
+    /// Paper-scale sweep.
+    pub fn paper_scale(seed: u64) -> Self {
+        Fig9Config {
+            values: vec![2_000, 8_000, 16_000, 24_000, 28_000, 32_000],
+            durations_ms: vec![2, 4, 8, 16, 32, 64, 128, 256, 512],
+            repetitions: 20,
+            session_ms: 2_800,
+            training: TrainingConfig { runs: 600, ..TrainingConfig::paper_scale(seed) },
+            seed,
+        }
+    }
+
+    /// Reduced sweep for tests.
+    pub fn quick(seed: u64) -> Self {
+        Fig9Config {
+            values: vec![2_000, 30_000],
+            durations_ms: vec![4, 256],
+            repetitions: 4,
+            session_ms: 2_200,
+            training: TrainingConfig { runs: 6, ..TrainingConfig::quick(seed) },
+            seed,
+        }
+    }
+}
+
+/// The Fig. 9 reproduction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Fig9Result {
+    /// All grid cells.
+    pub cells: Vec<Fig9Cell>,
+}
+
+impl Fig9Result {
+    /// Finds a cell.
+    pub fn cell(&self, value: i16, duration_ms: u64) -> Option<&Fig9Cell> {
+        self.cells.iter().find(|c| c.value == value && c.duration_ms == duration_ms)
+    }
+
+    /// Renders the two panels of Fig. 9 as probability tables.
+    pub fn render(&self) -> String {
+        let mut values: Vec<i16> = self.cells.iter().map(|c| c.value).collect();
+        values.sort_unstable();
+        values.dedup();
+        let mut durations: Vec<u64> = self.cells.iter().map(|c| c.duration_ms).collect();
+        durations.sort_unstable();
+        durations.dedup();
+
+        let mut out = String::from(
+            "FIGURE 9 (reproduced): probabilities vs injected value × activation period\n",
+        );
+        for (label, pick) in [
+            ("P(adverse impact)", 0usize),
+            ("P(detect | dynamic model)", 1),
+            ("P(detect | RAVEN)", 2),
+        ] {
+            out.push_str(&format!("\n{label}\n{:>10}", "value\\ms"));
+            for d in &durations {
+                out.push_str(&format!(" {d:>6}"));
+            }
+            out.push('\n');
+            for v in &values {
+                out.push_str(&format!("{v:>10}"));
+                for d in &durations {
+                    let c = self.cell(*v, *d).expect("complete grid");
+                    let p = [c.p_adverse, c.p_model, c.p_raven][pick];
+                    out.push_str(&format!(" {p:>6.2}"));
+                }
+                out.push('\n');
+            }
+        }
+        out
+    }
+}
+
+/// Runs the Fig. 9 sweep.
+pub fn run_fig9(config: &Fig9Config) -> Fig9Result {
+    let thresholds = train_thresholds(&config.training).thresholds;
+    let mut cells = Vec::new();
+    for &value in &config.values {
+        for &duration_ms in &config.durations_ms {
+            cells.push(run_cell(config, value, duration_ms, thresholds));
+        }
+    }
+    Fig9Result { cells }
+}
+
+fn run_cell(
+    config: &Fig9Config,
+    value: i16,
+    duration_ms: u64,
+    thresholds: DetectionThresholds,
+) -> Fig9Cell {
+    let mut adverse = 0u32;
+    let mut model = 0u32;
+    let mut raven = 0u32;
+    for rep in 0..config.repetitions {
+        let seed = derive_seed(config.seed, &format!("fig9-{value}-{duration_ms}-{rep}"));
+        let mut sim = Simulation::new(SimConfig {
+            workload: Workload::training_pair()[(rep % 2) as usize],
+            session_ms: config.session_ms,
+            detector: Some(DetectorSetup {
+                config: DetectorConfig {
+                    mitigation: Mitigation::Observe,
+                    ..DetectorConfig::default()
+                },
+                model_perturbation: 0.02,
+                thresholds: Some(thresholds),
+            }),
+            ..SimConfig::standard(seed)
+        });
+        sim.install_attack(&AttackSetup::ScenarioB {
+            dac_delta: value,
+            channel: (rep % 3) as usize,
+            delay_packets: 250 + u64::from(rep) * 37,
+            duration_packets: duration_ms,
+        });
+        sim.boot();
+        let out = sim.run_session();
+        if out.adverse {
+            adverse += 1;
+        }
+        if out.model_detected {
+            model += 1;
+        }
+        if out.raven_detected {
+            raven += 1;
+        }
+    }
+    let n = f64::from(config.repetitions.max(1));
+    Fig9Cell {
+        value,
+        duration_ms,
+        p_adverse: f64::from(adverse) / n,
+        p_model: f64::from(model) / n,
+        p_raven: f64::from(raven) / n,
+        repetitions: config.repetitions,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn corner_cells_show_the_paper_shape() {
+        let r = run_fig9(&Fig9Config::quick(21));
+        assert_eq!(r.cells.len(), 4);
+        let small_short = r.cell(2_000, 4).unwrap();
+        let big_long = r.cell(30_000, 256).unwrap();
+        // Small, short injections are absorbed by the PID loop (§IV.B
+        // observation 1): no adverse impact.
+        assert_eq!(
+            small_short.p_adverse, 0.0,
+            "2000 counts for 4 ms must be harmless: {small_short:?}"
+        );
+        // Large, long injections hurt and are detected by the model.
+        assert!(big_long.p_adverse > 0.5, "{big_long:?}");
+        assert!(big_long.p_model >= big_long.p_raven, "{big_long:?}");
+        assert!(big_long.p_model > 0.5, "{big_long:?}");
+        let render = r.render();
+        assert!(render.contains("P(adverse impact)"));
+    }
+}

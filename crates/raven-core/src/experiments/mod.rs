@@ -1,0 +1,32 @@
+//! Experiment runners — one module per table/figure of the paper's
+//! evaluation (see DESIGN.md §4 for the index).
+//!
+//! Each runner takes a size/seed configuration, executes full-system
+//! simulations, and returns a serde-serializable result struct with a
+//! `render()` method that prints the same rows/series the paper reports.
+//! The `bench` crate's harnesses call these at paper scale; unit tests run
+//! reduced sizes.
+
+pub mod ablations;
+pub mod fig5;
+pub mod fig6;
+pub mod fig8;
+pub mod fig9;
+pub mod network;
+pub mod table1;
+pub mod table2;
+pub mod table4;
+
+pub use ablations::{
+    run_bitw_study, run_fusion_ablation, run_hardened_board, run_lookahead_ablation,
+    run_mitigation_ablation, BitwStudy, FusionAblation, HardenedBoardResult, LookaheadAblation,
+    MitigationAblation,
+};
+pub use fig5::{run_fig5, Fig5Result};
+pub use fig6::{run_fig6, Fig6Result};
+pub use fig8::{run_fig8, Fig8Result};
+pub use fig9::{run_fig9, Fig9Config, Fig9Result};
+pub use network::{run_network_study, NetworkRow, NetworkStudy};
+pub use table1::{run_table1, Table1Result};
+pub use table2::{run_table2, Table2Result};
+pub use table4::{run_table4, Table4Config, Table4Result};

@@ -1,0 +1,298 @@
+//! Table IV — detection performance of the dynamic-model detector vs the
+//! stock RAVEN mechanisms, for attack scenarios A (user inputs) and B
+//! (torque commands).
+//!
+//! The paper runs 1,925 scenario-A and 1,361 scenario-B experiments (a mix
+//! of injections across values/activation periods, plus fault-free runs for
+//! the negative class) and reports ACC/TPR/FPR/F1 for both detectors. The
+//! runner mirrors that protocol: thresholds come from a fault-free training
+//! campaign (§IV.C), then every evaluation run executes with the detector
+//! in shadow (Observe) mode so detection is measured without altering the
+//! physical outcome.
+
+use raven_detect::{DetectionThresholds, DetectorConfig, Mitigation};
+use raven_math::stats::ConfusionMatrix;
+use serde::{Deserialize, Serialize};
+use simbus::rng::derive_seed;
+
+use crate::scenario::AttackSetup;
+use crate::sim::{DetectorSetup, SimConfig, Simulation, Workload};
+use crate::training::{train_thresholds, TrainingConfig};
+
+/// One detector's scored row.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct DetectorScore {
+    /// Accuracy (%).
+    pub acc: f64,
+    /// True-positive rate (%).
+    pub tpr: f64,
+    /// False-positive rate (%).
+    pub fpr: f64,
+    /// F1 score (%).
+    pub f1: f64,
+    /// Raw confusion counts.
+    pub confusion: ConfusionMatrix,
+}
+
+impl DetectorScore {
+    fn from_matrix(cm: ConfusionMatrix) -> Self {
+        DetectorScore {
+            acc: cm.accuracy() * 100.0,
+            tpr: cm.tpr() * 100.0,
+            fpr: cm.fpr() * 100.0,
+            f1: cm.f1() * 100.0,
+            confusion: cm,
+        }
+    }
+}
+
+/// One scenario's comparison.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct ScenarioComparison {
+    /// Scenario label ("A (User inputs)" / "B (Torque commands)").
+    pub scenario: String,
+    /// Total runs.
+    pub runs: u32,
+    /// The dynamic-model detector's score.
+    pub dynamic_model: DetectorScore,
+    /// The stock RAVEN mechanisms' score.
+    pub raven: DetectorScore,
+    /// Attacks caught by the model but missed by RAVEN (the paper reports
+    /// 152 for A, 84 for B).
+    pub model_only_detections: u32,
+    /// Attacks caught by RAVEN but missed by the model (paper: 13, all A).
+    pub raven_only_detections: u32,
+}
+
+/// Table IV configuration.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct Table4Config {
+    /// Scenario-A runs (paper: 1,925).
+    pub scenario_a_runs: u32,
+    /// Scenario-B runs (paper: 1,361).
+    pub scenario_b_runs: u32,
+    /// Fraction of runs that are fault-free (the negative class).
+    pub clean_fraction: f64,
+    /// Session length per run (ms).
+    pub session_ms: u64,
+    /// Training protocol for the thresholds.
+    pub training: TrainingConfig,
+    /// Root seed.
+    pub seed: u64,
+}
+
+impl Table4Config {
+    /// Paper-scale protocol (minutes of compute).
+    pub fn paper_scale(seed: u64) -> Self {
+        Table4Config {
+            scenario_a_runs: 1_925,
+            scenario_b_runs: 1_361,
+            clean_fraction: 0.30,
+            session_ms: 2_500,
+            training: TrainingConfig { runs: 600, ..TrainingConfig::paper_scale(seed) },
+            seed,
+        }
+    }
+
+    /// Reduced protocol for tests and quick runs.
+    pub fn quick(seed: u64) -> Self {
+        Table4Config {
+            scenario_a_runs: 40,
+            scenario_b_runs: 40,
+            clean_fraction: 0.30,
+            session_ms: 2_200,
+            training: TrainingConfig { runs: 8, ..TrainingConfig::quick(seed) },
+            seed,
+        }
+    }
+}
+
+/// The Table IV reproduction.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Table4Result {
+    /// Scenario A and B comparisons.
+    pub scenarios: Vec<ScenarioComparison>,
+    /// The thresholds used.
+    pub thresholds: DetectionThresholds,
+    /// Training samples behind the thresholds.
+    pub training_samples: u64,
+}
+
+impl Table4Result {
+    /// Renders the table in the paper's layout.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "TABLE IV (reproduced): detection performance, dynamic model vs RAVEN\n",
+        );
+        out.push_str(&format!(
+            "{:<24} {:<14} {:>7} {:>7} {:>7} {:>7}\n",
+            "Attack Scenario", "Technique", "ACC", "TPR", "FPR", "F1"
+        ));
+        for s in &self.scenarios {
+            out.push_str(&format!(
+                "{:<24} {:<14} {:>7.1} {:>7.1} {:>7.1} {:>7.1}\n",
+                s.scenario, "Dynamic Model", s.dynamic_model.acc, s.dynamic_model.tpr,
+                s.dynamic_model.fpr, s.dynamic_model.f1
+            ));
+            out.push_str(&format!(
+                "{:<24} {:<14} {:>7.1} {:>7.1} {:>7.1} {:>7.1}\n",
+                "", "RAVEN", s.raven.acc, s.raven.tpr, s.raven.fpr, s.raven.f1
+            ));
+            out.push_str(&format!(
+                "{:<24} model-only detections: {}, raven-only: {}\n",
+                "", s.model_only_detections, s.raven_only_detections
+            ));
+        }
+        let avg_acc: f64 = self
+            .scenarios
+            .iter()
+            .map(|s| s.dynamic_model.acc)
+            .sum::<f64>()
+            / self.scenarios.len().max(1) as f64;
+        let avg_f1: f64 = self.scenarios.iter().map(|s| s.dynamic_model.f1).sum::<f64>()
+            / self.scenarios.len().max(1) as f64;
+        out.push_str(&format!(
+            "dynamic model average: ACC {avg_acc:.1}%  F1 {avg_f1:.1}% (paper: 90% / 82%)\n"
+        ));
+        out
+    }
+}
+
+/// Attack-parameter grid for one scenario run: values and activation
+/// periods drawn deterministically per run index, covering the Fig. 9
+/// ranges.
+fn scenario_attack(scenario: char, run: u32, seed: u64) -> AttackSetup {
+    let pick = derive_seed(seed, &format!("t4-{scenario}-{run}"));
+    // Skewed toward sustained activations, as effective campaigns are
+    // (short injections are absorbed by the PID; paper §IV.B).
+    let durations = [8u64, 16, 32, 64, 128, 128, 256, 256, 512];
+    let duration_packets = durations[(pick % durations.len() as u64) as usize];
+    let delay_packets = 200 + (pick >> 8) % 400;
+    match scenario {
+        'A' => {
+            let magnitudes = [2.0e-4, 5.0e-4, 1.0e-3, 2.0e-3, 4.0e-3];
+            let magnitude = magnitudes[((pick >> 16) % magnitudes.len() as u64) as usize];
+            AttackSetup::ScenarioA { magnitude, delay_packets, duration_packets }
+        }
+        _ => {
+            let deltas = [14_000i16, 20_000, 24_000, 26_000, 28_000, 32_000];
+            let dac_delta = deltas[((pick >> 16) % deltas.len() as u64) as usize];
+            let channel = ((pick >> 24) % 3) as usize;
+            AttackSetup::ScenarioB { dac_delta, channel, delay_packets, duration_packets }
+        }
+    }
+}
+
+/// Runs one scored evaluation run; returns (attack_present, model, raven).
+fn evaluate_run(
+    seed: u64,
+    session_ms: u64,
+    workload: Workload,
+    attack: AttackSetup,
+    thresholds: DetectionThresholds,
+) -> (bool, bool, bool) {
+    let mut sim = Simulation::new(SimConfig {
+        workload,
+        session_ms,
+        detector: Some(DetectorSetup {
+            config: DetectorConfig { mitigation: Mitigation::Observe, ..DetectorConfig::default() },
+            model_perturbation: 0.02,
+            thresholds: Some(thresholds),
+        }),
+        ..SimConfig::standard(seed)
+    });
+    sim.install_attack(&attack);
+    sim.boot();
+    let out = sim.run_session();
+    (attack.is_attack(), out.model_detected, out.raven_detected)
+}
+
+fn run_scenario(
+    scenario: char,
+    runs: u32,
+    config: &Table4Config,
+    thresholds: DetectionThresholds,
+) -> ScenarioComparison {
+    let mut model_cm = ConfusionMatrix::new();
+    let mut raven_cm = ConfusionMatrix::new();
+    let mut model_only = 0;
+    let mut raven_only = 0;
+    for run in 0..runs {
+        let run_seed = derive_seed(config.seed, &format!("t4-run-{scenario}-{run}"));
+        let clean = (run as f64 / runs.max(1) as f64) < config.clean_fraction;
+        let attack = if clean {
+            AttackSetup::None
+        } else {
+            scenario_attack(scenario, run, config.seed)
+        };
+        let workload = Workload::training_pair()[(run % 2) as usize];
+        let (attacked, model, raven) =
+            evaluate_run(run_seed, config.session_ms, workload, attack, thresholds);
+        model_cm.record(attacked, model);
+        raven_cm.record(attacked, raven);
+        if attacked {
+            match (model, raven) {
+                (true, false) => model_only += 1,
+                (false, true) => raven_only += 1,
+                _ => {}
+            }
+        }
+    }
+    ScenarioComparison {
+        scenario: match scenario {
+            'A' => "A (User inputs)".to_string(),
+            _ => "B (Torque commands)".to_string(),
+        },
+        runs,
+        dynamic_model: DetectorScore::from_matrix(model_cm),
+        raven: DetectorScore::from_matrix(raven_cm),
+        model_only_detections: model_only,
+        raven_only_detections: raven_only,
+    }
+}
+
+/// Runs the full Table IV protocol.
+pub fn run_table4(config: &Table4Config) -> Table4Result {
+    let training = train_thresholds(&config.training);
+    let scenarios = vec![
+        run_scenario('A', config.scenario_a_runs, config, training.thresholds),
+        run_scenario('B', config.scenario_b_runs, config, training.thresholds),
+    ];
+    Table4Result {
+        scenarios,
+        thresholds: training.thresholds,
+        training_samples: training.samples,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn quick_table4_shows_model_dominating_raven_on_tpr() {
+        let mut cfg = Table4Config::quick(9);
+        cfg.scenario_a_runs = 16;
+        cfg.scenario_b_runs = 16;
+        cfg.training.runs = 6;
+        let r = run_table4(&cfg);
+        assert_eq!(r.scenarios.len(), 2);
+        for s in &r.scenarios {
+            // The headline shape of Table IV: the dynamic model detects at
+            // least as many attacks as RAVEN's stock mechanisms.
+            assert!(
+                s.dynamic_model.tpr >= s.raven.tpr,
+                "{}: model TPR {:.1} < RAVEN TPR {:.1}\n{}",
+                s.scenario,
+                s.dynamic_model.tpr,
+                s.raven.tpr,
+                r.render()
+            );
+            // And detection is meaningfully better than chance.
+            assert!(s.dynamic_model.acc > 50.0, "{}", r.render());
+        }
+        // Sanity on the render.
+        let text = r.render();
+        assert!(text.contains("Dynamic Model") && text.contains("RAVEN"));
+    }
+}

@@ -1,0 +1,24 @@
+//! Facade of the raven-guard reproduction: the assembled full-system
+//! simulation (paper Fig. 7(a)) and the experiment runners that regenerate
+//! every table and figure of the DSN 2016 paper's evaluation.
+//!
+//! * [`sim`] — [`Simulation`]: console → ITP/UDP → control software →
+//!   interceptor chain (malware + dynamic-model guard) → USB board →
+//!   PLC/motors → plant → encoders, on a deterministic 1 ms virtual clock;
+//! * [`scenario`] — [`AttackSetup`]: the attacks a run can install;
+//! * [`training`] — the fault-free threshold-learning protocol (§IV.C);
+//! * [`experiments`] — one module per paper artifact: Table I, Table II,
+//!   Table IV, Figures 5, 6, 8, 9.
+
+pub mod campaign;
+pub mod dual;
+pub mod experiments;
+pub mod scenario;
+pub mod sim;
+pub mod training;
+pub mod viz;
+
+pub use campaign::{run_campaign, CampaignResult, CampaignRun, CampaignSummary};
+pub use dual::{Arm, DualArmSession, DualOutcome};
+pub use scenario::AttackSetup;
+pub use sim::{DetectorSetup, SessionOutcome, SimConfig, Simulation, Workload};

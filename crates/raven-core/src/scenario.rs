@@ -1,0 +1,92 @@
+//! Attack setups the simulation can install — the bridge between
+//! `raven-attack`'s mechanisms and the full-system loop.
+
+use raven_attack::{InjectionSpec, Scenario};
+use serde::{Deserialize, Serialize};
+
+/// An attack to install before a session.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum AttackSetup {
+    /// No attack (clean run).
+    None,
+    /// Scenario A: unintended user inputs — extra displacement injected
+    /// into the ITP stream per packet (meters), for a bounded window.
+    ScenarioA {
+        /// Extra displacement per packet (meters).
+        magnitude: f64,
+        /// Pedal-down packets to skip first.
+        delay_packets: u64,
+        /// Packets to corrupt (≈ ms).
+        duration_packets: u64,
+    },
+    /// Scenario B: unintended motor torque commands — DAC counts added to
+    /// one positioning channel after the software safety checks.
+    ScenarioB {
+        /// DAC counts added per packet.
+        dac_delta: i16,
+        /// Positioning channel 0–2.
+        channel: usize,
+        /// Triggered packets to skip first.
+        delay_packets: u64,
+        /// Packets to corrupt (≈ ms).
+        duration_packets: u64,
+    },
+    /// Table I `plc-state`: force the state nibble the PLC sees.
+    PlcStateRewrite {
+        /// The nibble to force.
+        forced_nibble: u8,
+    },
+    /// Table I `encoder-fb`: offset one encoder channel on the read path.
+    EncoderCorruption {
+        /// Encoder channel 0–7.
+        channel: usize,
+        /// Counts added to every reading.
+        offset_counts: i32,
+        /// Reads to pass before the corruption engages.
+        delay_reads: u64,
+    },
+    /// Table I `net-port`: the ITP stream never reaches the robot.
+    DropItp,
+}
+
+impl AttackSetup {
+    /// Converts a campaign [`InjectionSpec`] into a setup.
+    pub fn from_spec(spec: &InjectionSpec) -> Self {
+        match spec.scenario {
+            Scenario::UserInput { magnitude } => AttackSetup::ScenarioA {
+                magnitude,
+                delay_packets: spec.delay_packets,
+                duration_packets: spec.duration_packets,
+            },
+            Scenario::TorqueCommand { dac_delta, channel } => AttackSetup::ScenarioB {
+                dac_delta,
+                channel,
+                delay_packets: spec.delay_packets,
+                duration_packets: spec.duration_packets,
+            },
+        }
+    }
+
+    /// `true` when this setup is an actual attack.
+    pub fn is_attack(&self) -> bool {
+        !matches!(self, AttackSetup::None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn from_spec_maps_scenarios() {
+        let a = AttackSetup::from_spec(&InjectionSpec::user_input(1e-3, 16));
+        assert!(matches!(a, AttackSetup::ScenarioA { duration_packets: 16, .. }));
+        assert!(a.is_attack());
+        let b = AttackSetup::from_spec(&InjectionSpec::torque(5000, 64));
+        assert!(matches!(
+            b,
+            AttackSetup::ScenarioB { dac_delta: 5000, channel: 0, duration_packets: 64, .. }
+        ));
+        assert!(!AttackSetup::None.is_attack());
+    }
+}

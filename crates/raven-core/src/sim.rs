@@ -1,0 +1,701 @@
+//! The full-system simulation: console → network → control software →
+//! interceptor chain → USB board → PLC/motors → plant → encoders → back.
+//!
+//! [`Simulation`] is the paper's Fig. 7(a) framework: master console
+//! emulator, control software, dynamic model, attack injection hooks, and
+//! the physical system, advanced together on a 1 ms virtual clock. Every
+//! experiment in this reproduction is a configuration of this one loop.
+
+use raven_attack::{ActivationWindow, Corruption, InjectionWrapper, ItpMitm};
+use raven_control::{ControllerConfig, CycleTelemetry, FaultReason, OperatorInput, RavenController};
+use raven_detect::{DetectorConfig, DynamicDetector, GuardInterceptor, SharedDetector};
+use raven_dynamics::{PlantParams, RtModel};
+use raven_hw::{EStopCause, HardwareRig, RobotState};
+use raven_kinematics::ArmConfig;
+use raven_math::Vec3;
+use raven_teleop::{
+    Circle, ItpPacket, Lissajous, MasterConsole, MinimumJerk, PedalSchedule, Suturing,
+    Trajectory, WithTremor,
+};
+use serde::{Deserialize, Serialize};
+use simbus::rng::derive_seed;
+use simbus::{LinkConfig, SimClock, SimDuration, SimLink, SimTime};
+
+use crate::scenario::AttackSetup;
+
+/// Which synthetic surgical workload the console plays.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum Workload {
+    /// Circular scan (12 mm radius, 0.25 Hz).
+    Circle,
+    /// Suturing loops (6 mm stitches, 4 mm loops, 2 s period).
+    Suturing,
+    /// Lissajous sweep.
+    Lissajous,
+    /// A single minimum-jerk reach.
+    Reach,
+}
+
+impl Workload {
+    /// Builds the trajectory generator, with tremor when `tremor > 0`.
+    pub fn build(self, tremor: f64, seed: u64) -> Box<dyn Trajectory> {
+        let seed = derive_seed(seed, "workload");
+        match (self, tremor > 0.0) {
+            (Workload::Circle, true) => {
+                Box::new(WithTremor::new(Circle::new(0.012, 0.25), tremor, seed))
+            }
+            (Workload::Circle, false) => Box::new(Circle::new(0.012, 0.25)),
+            (Workload::Suturing, true) => {
+                Box::new(WithTremor::new(Suturing::new(0.006, 0.004, 2.0), tremor, seed))
+            }
+            (Workload::Suturing, false) => Box::new(Suturing::new(0.006, 0.004, 2.0)),
+            (Workload::Lissajous, true) => Box::new(WithTremor::new(
+                Lissajous::new(Vec3::new(0.010, 0.012, 0.006), Vec3::new(0.23, 0.31, 0.17)),
+                tremor,
+                seed,
+            )),
+            (Workload::Lissajous, false) => Box::new(Lissajous::new(
+                Vec3::new(0.010, 0.012, 0.006),
+                Vec3::new(0.23, 0.31, 0.17),
+            )),
+            (Workload::Reach, true) => Box::new(WithTremor::new(
+                MinimumJerk::new(Vec3::new(0.02, -0.015, 0.01), 3.0),
+                tremor,
+                seed,
+            )),
+            (Workload::Reach, false) => {
+                Box::new(MinimumJerk::new(Vec3::new(0.02, -0.015, 0.01), 3.0))
+            }
+        }
+    }
+
+    /// The two trajectories of the paper's threshold-learning protocol.
+    pub fn training_pair() -> [Workload; 2] {
+        [Workload::Circle, Workload::Suturing]
+    }
+}
+
+/// Detector wiring for a run.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectorSetup {
+    /// Detector configuration (mitigation, percentile band, limits).
+    pub config: DetectorConfig,
+    /// Relative perturbation of the model's physical parameters vs the
+    /// plant (the Fig. 8 model/robot mismatch). `0.0` = perfect model.
+    pub model_perturbation: f64,
+    /// Pre-learned thresholds; `None` leaves the detector in learning mode.
+    pub thresholds: Option<raven_detect::DetectionThresholds>,
+}
+
+impl Default for DetectorSetup {
+    fn default() -> Self {
+        DetectorSetup {
+            config: DetectorConfig::default(),
+            model_perturbation: 0.02,
+            thresholds: None,
+        }
+    }
+}
+
+/// When the operator presses the foot pedal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum PedalPattern {
+    /// Pedal down for the whole session (after boot).
+    DownAfterBoot,
+    /// Alternating pedal-down/pedal-up intervals — producing the Pedal Up ⇄
+    /// Pedal Down staircase of the paper's Fig. 6.
+    DutyCycle {
+        /// Pedal-down span (ms).
+        work_ms: u64,
+        /// Pedal-up span (ms).
+        rest_ms: u64,
+        /// Repetitions.
+        cycles: u32,
+    },
+}
+
+/// One recorded cycle for offline analysis (Fig. 8 model validation).
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CycleRecord {
+    /// DAC words latched on the board this cycle (what executed).
+    pub dac: [i16; 3],
+    /// Ground-truth motor positions after the cycle.
+    pub mpos: [f64; 3],
+    /// Ground-truth joint positions after the cycle.
+    pub jpos: [f64; 3],
+    /// Full ground-truth plant state after the cycle.
+    pub state: raven_dynamics::PlantState,
+    /// Whether the brakes were released (Pedal Down physics).
+    pub engaged: bool,
+}
+
+/// Full configuration of one simulated session.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SimConfig {
+    /// Root seed; every stochastic component derives from it.
+    pub seed: u64,
+    /// Console workload.
+    pub workload: Workload,
+    /// Operator tremor RMS (meters); `3e-5` is the standard value.
+    pub tremor: f64,
+    /// Teleoperation duration after boot (milliseconds of Pedal Down).
+    pub session_ms: u64,
+    /// Foot-pedal pattern.
+    pub pedal: PedalPattern,
+    /// Console→robot network conditions.
+    pub link: LinkConfig,
+    /// Detector wiring; `None` runs the stock (undefended) robot.
+    pub detector: Option<DetectorSetup>,
+    /// Plant parameters.
+    pub plant: PlantParams,
+    /// Control-software configuration.
+    pub controller: ControllerConfig,
+    /// Record per-cycle DAC/state for offline analysis.
+    pub record_cycles: bool,
+    /// Optional link-encryption retrofit (paper §III.D's BITW discussion).
+    pub bitw: Option<raven_hw::BitwPlacement>,
+}
+
+impl SimConfig {
+    /// A standard clean session: circle workload, tremor, ideal LAN,
+    /// no detector.
+    pub fn standard(seed: u64) -> Self {
+        SimConfig {
+            seed,
+            workload: Workload::Circle,
+            tremor: 3.0e-5,
+            session_ms: 5_000,
+            pedal: PedalPattern::DownAfterBoot,
+            link: LinkConfig::lan(),
+            detector: None,
+            plant: PlantParams::raven_ii(),
+            controller: ControllerConfig::raven_ii(),
+            record_cycles: false,
+            bitw: None,
+        }
+    }
+}
+
+/// Everything a session run reports — the ground truth for Table IV and
+/// Fig. 9 labeling.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct SessionOutcome {
+    /// Largest physical end-effector displacement within any 1 ms window.
+    pub max_ee_step_1ms: f64,
+    /// Largest physical end-effector displacement within any 2 ms window.
+    pub max_ee_step_2ms: f64,
+    /// Adverse impact per the paper's criterion: >1 mm within 1–2 ms.
+    pub adverse: bool,
+    /// The PLC E-STOP latch at session end, if any.
+    pub estop: Option<String>,
+    /// The control-software fault latch, if any.
+    pub controller_fault: Option<String>,
+    /// Did the stock RAVEN mechanisms detect anything (software safety
+    /// fault — excluding guard-initiated stops — or PLC watchdog E-STOP)?
+    pub raven_detected: bool,
+    /// Did the dynamic-model detector raise an alarm?
+    pub model_detected: bool,
+    /// Ticks executed after boot.
+    pub ticks: u64,
+    /// Final software state.
+    pub final_state: String,
+    /// Injections actually performed by the attack (0 for clean runs).
+    pub injections: u64,
+}
+
+/// The assembled simulation.
+pub struct Simulation {
+    config: SimConfig,
+    clock: SimClock,
+    console: MasterConsole,
+    itp_link: SimLink<Vec<u8>>,
+    controller: RavenController,
+    rig: HardwareRig,
+    detector: Option<SharedDetector>,
+    mitm: Option<ItpMitm>,
+    last_input: Option<OperatorInput>,
+    last_packet_at: SimTime,
+    ee_history: Vec<Vec3>,
+    max_ee_step_1ms: f64,
+    max_ee_step_2ms: f64,
+    cycle_log: Vec<CycleRecord>,
+    trace: simbus::TraceRecorder,
+    telemetry_bus: simbus::Bus<CycleTelemetry>,
+}
+
+impl Simulation {
+    /// Console-silence timeout before the pedal is treated as released.
+    const INPUT_TIMEOUT_MS: u64 = 100;
+
+    /// Builds the clean system for a configuration (no attack installed).
+    pub fn new(config: SimConfig) -> Self {
+        let arm = ArmConfig::builder().coupling(config.plant.coupling()).build();
+        let controller = RavenController::new(arm.clone(), config.controller);
+        let mut rig = HardwareRig::new(config.plant);
+        // The robot powers up in a stowed pose, not at the homing target —
+        // initialization must physically move the arm (otherwise the
+        // homing-failure attacks of Table I would be unobservable).
+        let stowed = {
+            let home = arm.home_joints();
+            raven_kinematics::JointState::new(
+                home.shoulder - 0.25,
+                home.elbow + 0.30,
+                (home.insertion - 0.10).max(arm.limits.insertion.0 + 0.01),
+            )
+        };
+        rig.plant = raven_dynamics::RavenPlant::with_state(
+            config.plant,
+            config.plant.rest_state(stowed),
+        );
+        if let Some(placement) = config.bitw {
+            rig.enable_bitw(placement, derive_seed(config.seed, "bitw-key"));
+        }
+
+        let detector = config.detector.as_ref().map(|setup| {
+            let model_params = if setup.model_perturbation > 0.0 {
+                config.plant.perturbed(derive_seed(config.seed, "model"), setup.model_perturbation)
+            } else {
+                config.plant
+            };
+            let model = RtModel::new(model_params);
+            let mut det = DynamicDetector::new(arm.clone(), model, setup.config);
+            if let Some(thresholds) = setup.thresholds {
+                det.arm_with(thresholds);
+            }
+            raven_detect::shared(det)
+        });
+        // The guard is the LAST write interceptor: closest to the hardware,
+        // downstream of any malware installed later (paper §IV.C).
+        if let Some(det) = &detector {
+            rig.channel.install(Box::new(GuardInterceptor::new(std::sync::Arc::clone(det))));
+        }
+
+        // Boot (pre-start idle + homing from the stowed pose) takes < 2 s;
+        // the pedal pattern starts shortly after.
+        let pedal_start = SimTime::ZERO + SimDuration::from_millis(2_500);
+        let schedule = match config.pedal {
+            PedalPattern::DownAfterBoot => PedalSchedule::down_after(pedal_start),
+            PedalPattern::DutyCycle { work_ms, rest_ms, cycles } => PedalSchedule::duty_cycle(
+                pedal_start,
+                SimDuration::from_millis(work_ms),
+                SimDuration::from_millis(rest_ms),
+                cycles as usize,
+            ),
+        };
+        let console =
+            MasterConsole::new(config.workload.build(config.tremor, config.seed), schedule);
+        let itp_link = SimLink::new(config.link, derive_seed(config.seed, "itp-link"));
+
+        Simulation {
+            config,
+            clock: SimClock::new(),
+            console,
+            itp_link,
+            controller,
+            rig,
+            detector,
+            mitm: None,
+            last_input: None,
+            last_packet_at: SimTime::ZERO,
+            ee_history: Vec::new(),
+            max_ee_step_1ms: 0.0,
+            max_ee_step_2ms: 0.0,
+            cycle_log: Vec::new(),
+            trace: simbus::TraceRecorder::new(),
+            telemetry_bus: simbus::Bus::new("raven/telemetry"),
+        }
+    }
+
+    /// The ROS-style telemetry topic: the control software publishes its
+    /// [`CycleTelemetry`] every cycle, and any number of subscribers (the
+    /// paper's graphic simulator and dynamic model both "listen to the ROS
+    /// topic generating the robot state", §IV.A) can consume it.
+    pub fn telemetry_bus(&self) -> &simbus::Bus<CycleTelemetry> {
+        &self.telemetry_bus
+    }
+
+    /// Recorded time-series trace (populated when `record_cycles` is set):
+    /// ground-truth end-effector coordinates (`ee_{x,y,z}_mm`) and joint
+    /// positions (`jpos{1,2,3}`).
+    pub fn trace(&self) -> &simbus::TraceRecorder {
+        &self.trace
+    }
+
+    /// Recorded cycles (empty unless `record_cycles` was set).
+    pub fn cycle_log(&self) -> &[CycleRecord] {
+        &self.cycle_log
+    }
+
+    /// Installs an attack before the session starts.
+    pub fn install_attack(&mut self, attack: &AttackSetup) {
+        match attack {
+            AttackSetup::None => {}
+            AttackSetup::ScenarioA { magnitude, delay_packets, duration_packets } => {
+                self.mitm = Some(ItpMitm::new(
+                    Vec3::new(*magnitude, 0.0, 0.0),
+                    *delay_packets,
+                    *duration_packets,
+                ));
+            }
+            AttackSetup::ScenarioB { dac_delta, channel, delay_packets, duration_packets } => {
+                let wrapper = InjectionWrapper::pedal_down_trigger(
+                    Corruption::AddDacWord { channel: *channel, delta: *dac_delta },
+                    ActivationWindow::delayed(*delay_packets, *duration_packets),
+                );
+                // The malware runs in the compromised control process —
+                // upstream of the hardware-side guard.
+                self.rig.channel.install_first(Box::new(wrapper));
+            }
+            AttackSetup::PlcStateRewrite { forced_nibble } => {
+                self.rig
+                    .channel
+                    .install_first(Box::new(raven_attack::StateNibbleRewrite::new(*forced_nibble)));
+            }
+            AttackSetup::EncoderCorruption { channel, offset_counts, delay_reads } => {
+                self.rig.channel.install_read(Box::new(raven_attack::EncoderCorruption::delayed(
+                    *channel,
+                    *offset_counts,
+                    *delay_reads,
+                )));
+            }
+            AttackSetup::DropItp => {
+                // Port change: the control software never receives console
+                // packets (implemented as 100% loss on the ITP link).
+                self.itp_link =
+                    SimLink::new(LinkConfig { loss_probability: 1.0, ..self.config.link }, 0);
+            }
+        }
+    }
+
+    /// Read access to the shared detector (training protocols, metrics).
+    pub fn detector(&self) -> Option<&SharedDetector> {
+        self.detector.as_ref()
+    }
+
+    /// Mutable access to the hardware rig (installing bespoke interceptors
+    /// in advanced experiments).
+    pub fn rig_mut(&mut self) -> &mut HardwareRig {
+        &mut self.rig
+    }
+
+    /// The controller (telemetry inspection).
+    pub fn controller(&self) -> &RavenController {
+        &self.controller
+    }
+
+    /// The plant parameter set in use.
+    pub fn rig_params(&self) -> &PlantParams {
+        self.rig.plant.params()
+    }
+
+    /// Current virtual time.
+    pub fn now(&self) -> SimTime {
+        self.clock.now()
+    }
+
+    /// Boots the robot: start button, homing, until Pedal Up (or panics
+    /// after 5 s — a clean system must boot).
+    ///
+    /// # Panics
+    ///
+    /// Panics if homing does not complete within 5 simulated seconds (only
+    /// possible when an attack or misconfiguration breaks initialization —
+    /// use [`Simulation::boot_expecting_failure`] for those experiments).
+    pub fn boot(&mut self) {
+        assert!(
+            self.boot_expecting_failure(),
+            "clean boot failed: state {} fault {:?} estop {:?}",
+            self.controller.state_machine().state(),
+            self.controller.state_machine().fault(),
+            self.rig.estop()
+        );
+    }
+
+    /// Boots and reports whether Pedal Up was reached (homing-failure
+    /// experiments expect `false`).
+    pub fn boot_expecting_failure(&mut self) -> bool {
+        // The control software runs (and writes idle USB packets) before the
+        // operator presses the start button — the E-STOP phase visible at
+        // the left edge of the paper's Figs. 5–6.
+        for _ in 0..60 {
+            self.step();
+        }
+        self.rig.press_start(self.clock.now());
+        self.controller.press_start();
+        for _ in 0..5_000 {
+            self.step();
+            if self.controller.state_machine().state() == RobotState::PedalUp {
+                return true;
+            }
+            if self.controller.state_machine().is_estop() {
+                return false;
+            }
+        }
+        false
+    }
+
+    /// Summarizes the session so far without advancing it (used by callers
+    /// that drive [`Simulation::step`] themselves, e.g. dual-arm sessions).
+    pub fn run_session_outcome_only(&self) -> SessionOutcome {
+        self.outcome(self.clock.ticks())
+    }
+
+    /// Runs the teleoperation session and returns the outcome.
+    pub fn run_session(&mut self) -> SessionOutcome {
+        let target_ticks = self.config.session_ms;
+        let mut ran = 0;
+        for _ in 0..target_ticks {
+            self.step();
+            ran += 1;
+            // Stop early once halted: nothing further can happen.
+            if self.controller.state_machine().is_estop() && self.rig.estop().is_some() {
+                break;
+            }
+        }
+        self.outcome(ran)
+    }
+
+    /// One full 1 ms cycle of the whole system.
+    pub fn step(&mut self) {
+        let now = self.clock.now();
+
+        // 1. Console emits; scenario-A malware mutates; network carries.
+        let pkt = self.console.emit(now);
+        let mut bytes = pkt.encode().to_vec();
+        if let Some(mitm) = &mut self.mitm {
+            mitm.process(&mut bytes);
+        }
+        self.itp_link.send(now, bytes);
+
+        // 2. Control software ingests delivered packets. Position increments
+        //    are accumulated and applied exactly once (they are *deltas*);
+        //    the pedal is a level and holds between packets, but falls back
+        //    to "up" if the console goes silent too long — losing the
+        //    operator must stop the robot, not freeze it mid-command.
+        let mut accumulated = Vec3::ZERO;
+        let mut got_packet = false;
+        for raw in self.itp_link.poll(now) {
+            if let Ok(decoded) = ItpPacket::decode(&raw) {
+                accumulated += decoded.delta_pos;
+                got_packet = true;
+                self.last_input = Some(OperatorInput {
+                    pedal: decoded.pedal,
+                    delta_pos: Vec3::ZERO,
+                    wrist: decoded.wrist,
+                });
+                self.last_packet_at = now;
+            }
+        }
+        if let Some(input) = &mut self.last_input {
+            input.delta_pos = accumulated;
+            if !got_packet
+                && now.saturating_since(self.last_packet_at)
+                    > SimDuration::from_millis(Self::INPUT_TIMEOUT_MS)
+            {
+                input.pedal = false;
+            }
+        }
+
+        // 3. Feedback read; detector measurement sync.
+        let feedback = self.rig.read_feedback(now);
+        if let Some(det) = &self.detector {
+            let mpos = self.rig.decode_motor_positions(&feedback);
+            det.lock().sync_measurement(mpos);
+        }
+
+        // 4. Control cycle; command write through the interceptor chain.
+        let input = self.last_input;
+        let cmd = self.controller.cycle(input.as_ref(), &feedback);
+        if self.telemetry_bus.subscriber_count() > 0 {
+            if let Some(t) = self.controller.telemetry() {
+                self.telemetry_bus.publish(*t);
+            }
+        }
+        self.rig.deliver_command(&cmd, now);
+
+        // 5. Guard-driven E-STOP (the trusted hardware module acts on both
+        //    the software and the PLC).
+        if let Some(det) = &self.detector {
+            if det.lock().estop_requested()
+                && self.controller.state_machine().fault() != Some(FaultReason::GuardStop)
+                && !self.controller.state_machine().is_estop()
+            {
+                self.controller.guard_stop();
+                self.rig.press_estop();
+            }
+        }
+
+        // 6. Physics.
+        self.rig.step(now);
+        self.record_ee();
+        if self.config.record_cycles {
+            let state = *self.rig.plant.state();
+            self.cycle_log.push(CycleRecord {
+                dac: self.rig.board.positioning_dac(),
+                mpos: state.motor_pos().to_array(),
+                jpos: state.joint_pos().to_array(),
+                state,
+                engaged: !self.rig.plant.brakes_engaged(),
+            });
+            let arm = self.controller.chain().arm();
+            let ee = arm.forward(&state.joint_pos()).position;
+            let j = state.joint_pos().to_array();
+            self.trace.record("ee_x_mm", now, ee.x * 1e3);
+            self.trace.record("ee_y_mm", now, ee.y * 1e3);
+            self.trace.record("ee_z_mm", now, ee.z * 1e3);
+            self.trace.record("jpos1", now, j[0]);
+            self.trace.record("jpos2", now, j[1]);
+            self.trace.record("jpos3", now, j[2]);
+        }
+        self.clock.tick();
+    }
+
+    fn record_ee(&mut self) {
+        let arm = self.controller.chain().arm();
+        let pos = arm.forward(&self.rig.plant.true_joints()).position;
+        self.ee_history.push(pos);
+        let n = self.ee_history.len();
+        if n >= 2 {
+            let step1 = pos.distance(self.ee_history[n - 2]);
+            self.max_ee_step_1ms = self.max_ee_step_1ms.max(step1);
+        }
+        if n >= 3 {
+            let step2 = pos.distance(self.ee_history[n - 3]);
+            self.max_ee_step_2ms = self.max_ee_step_2ms.max(step2);
+        }
+        // Bound memory for long campaigns: only a short window is needed.
+        if n > 8 {
+            self.ee_history.drain(..n - 4);
+        }
+    }
+
+    fn outcome(&self, ticks: u64) -> SessionOutcome {
+        let adverse =
+            self.max_ee_step_1ms > 1.0e-3 || self.max_ee_step_2ms > 1.0e-3;
+        let fault = self.controller.state_machine().fault();
+        let raven_detected = matches!(
+            fault,
+            Some(
+                FaultReason::DacLimit
+                    | FaultReason::JointLimit
+                    | FaultReason::IkFailure
+                    | FaultReason::HomingFailure
+            )
+        ) || matches!(
+            self.rig.estop(),
+            Some(EStopCause::WatchdogTimeout) | Some(EStopCause::HardwareFault)
+        );
+        let model_detected =
+            self.detector.as_ref().map(|d| d.lock().alarmed()).unwrap_or(false);
+        SessionOutcome {
+            max_ee_step_1ms: self.max_ee_step_1ms,
+            max_ee_step_2ms: self.max_ee_step_2ms,
+            adverse,
+            estop: self.rig.estop().map(|c| c.to_string()),
+            controller_fault: fault.map(|f| f.to_string()),
+            raven_detected,
+            model_detected,
+            ticks,
+            final_state: self.controller.state_machine().state().to_string(),
+            injections: self.rig.channel.mutations(),
+        }
+    }
+}
+
+impl std::fmt::Debug for Simulation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Simulation")
+            .field("seed", &self.config.seed)
+            .field("workload", &self.config.workload)
+            .field("now", &self.clock.now())
+            .field("state", &self.controller.state_machine().state())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clean_session_has_no_adverse_impact() {
+        let mut sim = Simulation::new(SimConfig {
+            session_ms: 2_000,
+            ..SimConfig::standard(11)
+        });
+        sim.boot();
+        let out = sim.run_session();
+        assert!(!out.adverse, "clean run flagged adverse: {out:?}");
+        assert!(!out.raven_detected);
+        assert!(out.estop.is_none());
+        assert_eq!(out.final_state, "Pedal Down");
+        assert!(out.max_ee_step_1ms < 5e-4);
+    }
+
+    #[test]
+    fn scenario_b_injection_causes_adverse_impact_on_undefended_robot() {
+        let mut sim = Simulation::new(SimConfig {
+            session_ms: 3_000,
+            ..SimConfig::standard(13)
+        });
+        sim.install_attack(&AttackSetup::ScenarioB {
+            dac_delta: 30_000,
+            channel: 0,
+            delay_packets: 400,
+            duration_packets: 256,
+        });
+        sim.boot();
+        let out = sim.run_session();
+        assert!(out.injections > 0, "attack never fired: {out:?}");
+        assert!(
+            out.adverse,
+            "a long, large torque injection must jump the arm: {out:?}"
+        );
+    }
+
+    #[test]
+    fn scenario_a_mitm_hijacks_trajectory() {
+        let mut sim = Simulation::new(SimConfig {
+            session_ms: 3_000,
+            ..SimConfig::standard(17)
+        });
+        sim.install_attack(&AttackSetup::ScenarioA {
+            magnitude: 4.0e-4,
+            delay_packets: 400,
+            duration_packets: 512,
+        });
+        sim.boot();
+        let out = sim.run_session();
+        // The arm follows motion the operator never commanded; with a large
+        // sustained injection the robot either jumps or faults.
+        assert!(
+            out.adverse || out.controller_fault.is_some() || out.max_ee_step_2ms > 2e-4,
+            "MITM had no effect: {out:?}"
+        );
+    }
+
+    #[test]
+    fn deterministic_given_seed() {
+        let run = |seed: u64| {
+            let mut sim = Simulation::new(SimConfig {
+                session_ms: 1_000,
+                ..SimConfig::standard(seed)
+            });
+            sim.boot();
+            let out = sim.run_session();
+            (out.max_ee_step_1ms, out.ticks)
+        };
+        assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn plc_state_rewrite_breaks_boot() {
+        let mut sim = Simulation::new(SimConfig::standard(19));
+        sim.install_attack(&AttackSetup::PlcStateRewrite {
+            forced_nibble: RobotState::PedalUp.nibble(),
+        });
+        // The PLC believes the robot is in Pedal Up during homing, so the
+        // brakes never release and homing cannot move the arm.
+        assert!(!sim.boot_expecting_failure(), "boot should fail under PLC state rewrite");
+    }
+}

@@ -1,0 +1,641 @@
+//! The dynamic model-based anomaly detector and its mitigation policies —
+//! the paper's §IV.C, implemented as a guard on the USB write path.
+//!
+//! Placement matters: the paper argues the detector belongs "at lower layers
+//! of control structure and just before the commands are going to be
+//! executed on the physical robot" (§IV.C), downstream of any compromised
+//! software. [`GuardInterceptor`] therefore installs as the *last* write
+//! interceptor: it sees exactly the bytes the board would execute —
+//! including any malware mutations — and vets them against the model's
+//! one-step prediction *before* they reach the motors.
+
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+use raven_dynamics::{PlantState, RtModel};
+use raven_hw::channel::{WriteAction, WriteContext, WriteInterceptor};
+use raven_hw::{RobotState, UsbCommandPacket};
+use raven_kinematics::{ArmConfig, MotorState, NUM_AXES};
+use serde::{Deserialize, Serialize};
+
+use crate::features::InstantFeatures;
+use crate::thresholds::{DetectionThresholds, ThresholdLearner};
+
+/// What to do when a command is judged unsafe (paper §IV.C: "either
+/// correcting the malicious control command by forcing the robot to stay in
+/// a previously safe state or stopping the commands from execution and put
+/// the control software into a safe state (E-STOP)").
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum Mitigation {
+    /// Record alarms but forward every command unchanged (shadow mode) —
+    /// used by the evaluation campaigns to measure detection probability
+    /// without altering the physical outcome (Table IV, Fig. 9).
+    Observe,
+    /// Replace the command with a zero-torque hold and keep holding for a
+    /// cooldown window (availability-preserving: the brakes stay off and
+    /// teleoperation resumes once commands look safe again).
+    BlockAndHold,
+    /// Suppress the command and demand an emergency stop
+    /// (safety-maximizing).
+    #[default]
+    EStop,
+}
+
+/// How per-variable threshold exceedances combine into an alarm.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default, Serialize, Deserialize)]
+pub enum FusionRule {
+    /// The paper's rule: alarm only when motor acceleration, motor velocity
+    /// AND joint velocity all exceed on some axis ("raises an alert only
+    /// when all three variables indicate an abnormality", §IV.C).
+    #[default]
+    AllThree,
+    /// Ablation: any single exceedance alarms (more sensitive, more false
+    /// alarms — the case the paper's fusion is designed to avoid).
+    AnyOne,
+}
+
+/// Detector configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct DetectorConfig {
+    /// Percentile band for threshold learning (paper: 99.8–99.9).
+    pub percentile_band: (f64, f64),
+    /// Alarm fusion rule.
+    pub fusion: FusionRule,
+    /// Prediction horizon in control steps. 1 reproduces the paper's
+    /// detector; 2 matches its "1 mm jump within 1–2 milliseconds" phrasing
+    /// exactly; larger horizons model the §IV.C future-work "custom trusted
+    /// hardware module" with budget for deeper rollouts: the candidate
+    /// command is *held* for `lookahead_steps` model steps and the
+    /// cumulative end-effector displacement is checked against the limit.
+    pub lookahead_steps: u32,
+    /// Hard cap on the predicted end-effector step per control period
+    /// (paper: 1 mm per 1–2 ms, from expert surgeons).
+    pub ee_step_limit: f64,
+    /// Mitigation policy on alarm.
+    pub mitigation: Mitigation,
+    /// Cycles to keep substituting after an alarm in
+    /// [`Mitigation::BlockAndHold`] — prevents an attacker from ratcheting
+    /// velocity up between isolated alarms.
+    pub hold_cooldown_cycles: u32,
+    /// Control period (seconds).
+    pub dt: f64,
+}
+
+impl Default for DetectorConfig {
+    fn default() -> Self {
+        DetectorConfig {
+            percentile_band: (99.8, 99.9),
+            fusion: FusionRule::AllThree,
+            lookahead_steps: 2,
+            ee_step_limit: 1.0e-3,
+            mitigation: Mitigation::EStop,
+            hold_cooldown_cycles: 50,
+            dt: 1e-3,
+        }
+    }
+}
+
+/// One command assessment.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Assessment {
+    /// The computed instant features.
+    pub features: InstantFeatures,
+    /// Fused threshold exceedance (motor accel ∧ motor vel ∧ joint vel on
+    /// some axis).
+    pub threshold_alarm: bool,
+    /// Predicted end-effector step above the hard 1 mm limit.
+    pub ee_alarm: bool,
+}
+
+impl Assessment {
+    /// Overall alarm decision.
+    pub fn alarm(&self) -> bool {
+        self.threshold_alarm || self.ee_alarm
+    }
+}
+
+/// Operating mode.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum DetectorMode {
+    /// Accumulating fault-free statistics; never alarms.
+    Learning,
+    /// Armed with thresholds; assessing every Pedal-Down command.
+    Armed,
+}
+
+/// The detector core: real-time model + measurement tracking + thresholds.
+///
+/// Share it between the harness (which feeds encoder measurements each
+/// cycle via [`DynamicDetector::sync_measurement`]) and the
+/// [`GuardInterceptor`] on the write path via [`shared`].
+#[derive(Debug)]
+pub struct DynamicDetector {
+    arm: ArmConfig,
+    model: RtModel,
+    config: DetectorConfig,
+    mode: DetectorMode,
+    thresholds: Option<DetectionThresholds>,
+    learner: ThresholdLearner,
+    tracked: Option<PlantState>,
+    last_mpos: Option<MotorState>,
+    last_jpos: Option<[f64; NUM_AXES]>,
+    /// Ring buffer of recent non-alarming commands; substitution uses the
+    /// *oldest* entry (~128 ms back), guaranteed to predate any attack the
+    /// detector catches within its latency.
+    safe_history: std::collections::VecDeque<[i16; raven_hw::DAC_CHANNELS]>,
+    hold_cooldown: u32,
+    assessments: u64,
+    alarms: u64,
+    first_alarm_assessment: Option<u64>,
+    estop_requested: bool,
+    last_assessment: Option<Assessment>,
+}
+
+impl DynamicDetector {
+    /// Creates a detector in learning mode.
+    ///
+    /// `model` is the real-time model — typically built from a *perturbed*
+    /// parameter set, reflecting that the paper's hand-tuned model does not
+    /// match the robot exactly (Fig. 8).
+    pub fn new(arm: ArmConfig, model: RtModel, config: DetectorConfig) -> Self {
+        DynamicDetector {
+            arm,
+            model,
+            config,
+            mode: DetectorMode::Learning,
+            thresholds: None,
+            learner: ThresholdLearner::new(),
+            tracked: None,
+            last_mpos: None,
+            last_jpos: None,
+            safe_history: std::collections::VecDeque::new(),
+            hold_cooldown: 0,
+            assessments: 0,
+            alarms: 0,
+            first_alarm_assessment: None,
+            estop_requested: false,
+            last_assessment: None,
+        }
+    }
+
+    /// Current mode.
+    pub fn mode(&self) -> DetectorMode {
+        self.mode
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> DetectorConfig {
+        self.config
+    }
+
+    /// Learned thresholds, once armed.
+    pub fn thresholds(&self) -> Option<&DetectionThresholds> {
+        self.thresholds.as_ref()
+    }
+
+    /// The threshold learner (for inspection and the 600-run protocol).
+    pub fn learner(&self) -> &ThresholdLearner {
+        &self.learner
+    }
+
+    /// Commands assessed while armed.
+    pub fn assessments(&self) -> u64 {
+        self.assessments
+    }
+
+    /// Alarms raised while armed.
+    pub fn alarms(&self) -> u64 {
+        self.alarms
+    }
+
+    /// `true` once any alarm has fired in this session.
+    pub fn alarmed(&self) -> bool {
+        self.alarms > 0
+    }
+
+    /// Assessment index (1-based) of the first alarm, if any — the basis of
+    /// detection-latency measurements.
+    pub fn first_alarm_assessment(&self) -> Option<u64> {
+        self.first_alarm_assessment
+    }
+
+    /// `true` when the E-STOP mitigation has been requested.
+    pub fn estop_requested(&self) -> bool {
+        self.estop_requested
+    }
+
+    /// The most recent assessment.
+    pub fn last_assessment(&self) -> Option<&Assessment> {
+        self.last_assessment.as_ref()
+    }
+
+    /// Feeds the measured motor positions for this cycle (from the encoder
+    /// feedback). The detector reconstructs velocities by differencing and
+    /// joint states through the coupling — the same information the real
+    /// detector extracts from the USB read path.
+    pub fn sync_measurement(&mut self, mpos: MotorState) {
+        let dt = self.config.dt;
+        let jpos = self.arm.motors_to_joints(&mpos);
+        let ja = jpos.to_array();
+        let mvel = match self.last_mpos {
+            Some(last) => {
+                let d = mpos.delta(last);
+                [d.angles[0] / dt, d.angles[1] / dt, d.angles[2] / dt]
+            }
+            None => [0.0; NUM_AXES],
+        };
+        let jvel = match self.last_jpos {
+            Some(last) => [
+                (ja[0] - last[0]) / dt,
+                (ja[1] - last[1]) / dt,
+                (ja[2] - last[2]) / dt,
+            ],
+            None => [0.0; NUM_AXES],
+        };
+        self.last_mpos = Some(mpos);
+        self.last_jpos = Some(ja);
+        let mut state = PlantState::default();
+        state.set_motor_pos(mpos);
+        state.set_joint_pos(jpos);
+        state.x[3] = mvel[0];
+        state.x[4] = mvel[1];
+        state.x[5] = mvel[2];
+        state.x[9] = jvel[0];
+        state.x[10] = jvel[1];
+        state.x[11] = jvel[2];
+        self.tracked = Some(state);
+    }
+
+    /// Assesses a candidate DAC command against the model's prediction.
+    /// Returns `None` when no measurement has been synced yet.
+    ///
+    /// The instant features come from the one-step prediction (the paper's
+    /// detector); with `lookahead_steps > 1` the command is additionally
+    /// rolled out over the horizon and the *cumulative* end-effector
+    /// displacement is checked against the limit.
+    pub fn assess(&mut self, dac: &[i16; NUM_AXES]) -> Option<Assessment> {
+        let current = self.tracked?;
+        let predicted = self.model.predict(&current, dac);
+        let mut features =
+            InstantFeatures::compute(&self.arm, &current, &predicted, self.config.dt);
+        if self.config.lookahead_steps > 1 {
+            let mut rolled = predicted;
+            for _ in 1..self.config.lookahead_steps {
+                rolled = self.model.predict(&rolled, dac);
+            }
+            let start = self.arm.forward(&current.joint_pos()).position;
+            let end = self.arm.forward(&rolled.joint_pos()).position;
+            features.ee_step = features.ee_step.max(start.distance(end));
+        }
+        match self.mode {
+            DetectorMode::Learning => {
+                self.learner.observe(&features);
+                Some(Assessment { features, threshold_alarm: false, ee_alarm: false })
+            }
+            DetectorMode::Armed => {
+                let thresholds =
+                    self.thresholds.as_ref().expect("armed detector must have thresholds");
+                let threshold_alarm = match self.config.fusion {
+                    FusionRule::AllThree => thresholds.fused_alarm(&features),
+                    FusionRule::AnyOne => thresholds.any_alarm(&features),
+                };
+                let ee_alarm = features.ee_step > self.config.ee_step_limit;
+                let assessment = Assessment { features, threshold_alarm, ee_alarm };
+                self.assessments += 1;
+                if assessment.alarm() {
+                    self.alarms += 1;
+                    self.first_alarm_assessment.get_or_insert(self.assessments);
+                    if self.config.mitigation == Mitigation::EStop {
+                        self.estop_requested = true;
+                    }
+                }
+                self.last_assessment = Some(assessment);
+                Some(assessment)
+            }
+        }
+    }
+
+    /// Marks the end of one fault-free learning run.
+    pub fn end_learning_run(&mut self) {
+        self.learner.end_run();
+    }
+
+    /// Finalizes learning: computes thresholds at the configured percentile
+    /// band and arms the detector.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no fault-free samples were observed.
+    pub fn arm(&mut self) {
+        let (lo, hi) = self.config.percentile_band;
+        let thresholds = self
+            .learner
+            .learn(lo, hi)
+            .expect("cannot arm: no fault-free samples observed");
+        self.arm_with(thresholds);
+    }
+
+    /// Arms with externally supplied thresholds (e.g. deserialized from a
+    /// previous training campaign).
+    pub fn arm_with(&mut self, thresholds: DetectionThresholds) {
+        self.thresholds = Some(thresholds);
+        self.mode = DetectorMode::Armed;
+    }
+
+    /// Clears per-session alarm state (between campaign runs).
+    pub fn reset_session(&mut self) {
+        self.alarms = 0;
+        self.assessments = 0;
+        self.first_alarm_assessment = None;
+        self.estop_requested = false;
+        self.last_assessment = None;
+        self.tracked = None;
+        self.last_mpos = None;
+        self.last_jpos = None;
+        self.safe_history.clear();
+        self.hold_cooldown = 0;
+    }
+
+    /// Depth of the safe-command history (cycles).
+    const SAFE_HISTORY_DEPTH: usize = 128;
+
+    fn remember_safe(&mut self, dac: [i16; raven_hw::DAC_CHANNELS]) {
+        if self.safe_history.len() == Self::SAFE_HISTORY_DEPTH {
+            self.safe_history.pop_front();
+        }
+        self.safe_history.push_back(dac);
+    }
+
+    /// The oldest remembered safe command, if any.
+    fn held_safe(&self) -> Option<[i16; raven_hw::DAC_CHANNELS]> {
+        self.safe_history.front().copied()
+    }
+}
+
+/// A shareable handle to a detector.
+pub type SharedDetector = Arc<Mutex<DynamicDetector>>;
+
+/// Wraps a detector for sharing between the guard and the harness.
+pub fn shared(detector: DynamicDetector) -> SharedDetector {
+    Arc::new(Mutex::new(detector))
+}
+
+/// The write-path guard: assesses every Pedal-Down command packet before it
+/// reaches the USB board, and mitigates on alarm.
+#[derive(Debug)]
+pub struct GuardInterceptor {
+    detector: SharedDetector,
+}
+
+impl GuardInterceptor {
+    /// Interceptor name.
+    pub const NAME: &'static str = "dynamic-model-guard";
+
+    /// Creates a guard over a shared detector.
+    pub fn new(detector: SharedDetector) -> Self {
+        GuardInterceptor { detector }
+    }
+}
+
+impl WriteInterceptor for GuardInterceptor {
+    fn on_write(&mut self, buf: &mut Vec<u8>, _ctx: &WriteContext) -> WriteAction {
+        let Ok(pkt) = UsbCommandPacket::decode_unchecked(buf) else {
+            // Undecodable buffers cannot be executed by the board anyway.
+            return WriteAction::Forward;
+        };
+        // Outside Pedal Down the brakes hold the robot; commands are inert.
+        if pkt.state != RobotState::PedalDown {
+            return WriteAction::Forward;
+        }
+        let mut det = self.detector.lock();
+        let dac3 = [pkt.dac[0], pkt.dac[1], pkt.dac[2]];
+        let Some(assessment) = det.assess(&dac3) else {
+            return WriteAction::Forward;
+        };
+        let holding = det.hold_cooldown > 0;
+        if !assessment.alarm() && !holding {
+            det.remember_safe(pkt.dac);
+            return WriteAction::Forward;
+        }
+        match det.config.mitigation {
+            Mitigation::Observe => WriteAction::Forward,
+            Mitigation::EStop => WriteAction::Drop,
+            Mitigation::BlockAndHold => {
+                // Substitute a zero-torque hold, keeping the incoming state
+                // byte (the watchdog must keep toggling or the PLC will
+                // independently E-STOP), and keep substituting through the
+                // cooldown window. Substituting the *last seen* command
+                // would be unsafe: the first packets of an injection pass
+                // before velocity builds and would be replayed forever.
+                if assessment.alarm() {
+                    det.hold_cooldown = det.config.hold_cooldown_cycles;
+                } else {
+                    det.hold_cooldown = det.hold_cooldown.saturating_sub(1);
+                }
+                let Some(mut dac) = det.held_safe() else {
+                    return WriteAction::Drop;
+                };
+                // Wrist channels are positional set-points, not torques —
+                // hold them at their freshly commanded values.
+                dac[3..].copy_from_slice(&pkt.dac[3..]);
+                let replacement =
+                    UsbCommandPacket { state: pkt.state, watchdog: pkt.watchdog, dac };
+                *buf = replacement.encode().to_vec();
+                WriteAction::Forward
+            }
+        }
+    }
+
+    fn name(&self) -> &str {
+        Self::NAME
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use raven_dynamics::PlantParams;
+    use raven_kinematics::JointState;
+    use simbus::SimTime;
+
+    fn setup(mitigation: Mitigation) -> (SharedDetector, PlantParams) {
+        let params = PlantParams::raven_ii();
+        let arm = ArmConfig::builder().coupling(params.coupling()).build();
+        let model = RtModel::new(params.perturbed(1, 0.02));
+        let config = DetectorConfig { mitigation, ..DetectorConfig::default() };
+        let det = DynamicDetector::new(arm, model, config);
+        (shared(det), params)
+    }
+
+    /// Trains on gentle synthetic motion and arms.
+    fn train_and_arm(det: &SharedDetector, params: &PlantParams) {
+        let mut d = det.lock();
+        let coupling = params.coupling();
+        for k in 0..2000u64 {
+            let t = k as f64 * 1e-3;
+            // Gentle sinusoidal joint motion, ~0.1 rad amplitude.
+            let j = JointState::new(
+                0.1 * (2.0 * t).sin(),
+                1.4 + 0.08 * (1.5 * t).cos(),
+                0.25 + 0.01 * (1.0 * t).sin(),
+            );
+            d.sync_measurement(coupling.joints_to_motors(&j));
+            d.assess(&[200, 150, -100]);
+        }
+        d.end_learning_run();
+        d.arm();
+    }
+
+    /// Feeds a measurement showing the shoulder motor running away
+    /// (~50 rad/s over one cycle), as seen mid-injection.
+    fn runaway_measurement(det: &SharedDetector, params: &PlantParams) {
+        let mut m = params.coupling().joints_to_motors(&JointState::new(0.0, 1.4, 0.25));
+        m.angles[0] += 0.05;
+        det.lock().sync_measurement(m);
+    }
+
+    fn pedal_down_packet(dac0: i16) -> Vec<u8> {
+        UsbCommandPacket {
+            state: RobotState::PedalDown,
+            watchdog: true,
+            dac: [dac0, 0, 0, 0, 0, 0, 0, 0],
+        }
+        .encode()
+        .to_vec()
+    }
+
+    fn ctx() -> WriteContext {
+        WriteContext {
+            time: SimTime::ZERO,
+            seq: 0,
+            process: raven_hw::UsbChannel::PROCESS,
+            fd: raven_hw::UsbChannel::BOARD_FD,
+        }
+    }
+
+    #[test]
+    fn learning_mode_never_alarms() {
+        let (det, params) = setup(Mitigation::EStop);
+        let mut d = det.lock();
+        d.sync_measurement(params.coupling().joints_to_motors(&JointState::new(0.0, 1.4, 0.25)));
+        let a = d.assess(&[30_000, 0, 0]).unwrap();
+        assert!(!a.alarm());
+        assert_eq!(d.alarms(), 0);
+        assert_eq!(d.mode(), DetectorMode::Learning);
+    }
+
+    #[test]
+    fn armed_detector_flags_violent_command_and_passes_gentle() {
+        let (det, params) = setup(Mitigation::EStop);
+        train_and_arm(&det, &params);
+        let mut d = det.lock();
+        d.reset_session(); // fresh session: no stale differenced velocity
+        d.sync_measurement(params.coupling().joints_to_motors(&JointState::new(0.0, 1.4, 0.25)));
+        let gentle = d.assess(&[150, 100, -50]).unwrap();
+        assert!(!gentle.alarm(), "gentle command must pass: {gentle:?}");
+        // Mid-attack: the measured motors are already running away (as they
+        // are a couple of milliseconds into a torque injection), and the
+        // malicious command would keep accelerating them.
+        let mut m = params.coupling().joints_to_motors(&JointState::new(0.0, 1.4, 0.25));
+        m.angles[0] += 0.05; // 50 rad/s measured over one cycle
+        d.sync_measurement(m);
+        let violent = d.assess(&[32_000, 0, 0]).unwrap();
+        assert!(violent.alarm(), "runaway + saturating command must alarm: {violent:?}");
+        assert!(d.alarmed());
+        assert!(d.estop_requested());
+    }
+
+    #[test]
+    fn guard_drops_alarming_packet_in_estop_mode() {
+        let (det, params) = setup(Mitigation::EStop);
+        train_and_arm(&det, &params);
+        {
+            let mut d = det.lock();
+            d.reset_session();
+            d.sync_measurement(
+                params.coupling().joints_to_motors(&JointState::new(0.0, 1.4, 0.25)),
+            );
+        }
+        let mut guard = GuardInterceptor::new(Arc::clone(&det));
+        let mut safe = pedal_down_packet(150);
+        assert_eq!(guard.on_write(&mut safe, &ctx()), WriteAction::Forward);
+        runaway_measurement(&det, &params);
+        let mut hot = pedal_down_packet(32_000);
+        assert_eq!(guard.on_write(&mut hot, &ctx()), WriteAction::Drop);
+        assert!(det.lock().estop_requested());
+    }
+
+    #[test]
+    fn guard_substitutes_last_safe_in_hold_mode() {
+        let (det, params) = setup(Mitigation::BlockAndHold);
+        train_and_arm(&det, &params);
+        {
+            let mut d = det.lock();
+            d.reset_session();
+            d.sync_measurement(
+                params.coupling().joints_to_motors(&JointState::new(0.0, 1.4, 0.25)),
+            );
+        }
+        let mut guard = GuardInterceptor::new(Arc::clone(&det));
+        let mut safe = pedal_down_packet(150);
+        guard.on_write(&mut safe, &ctx());
+        runaway_measurement(&det, &params);
+        let mut hot = pedal_down_packet(32_000);
+        assert_eq!(guard.on_write(&mut hot, &ctx()), WriteAction::Forward);
+        let substituted = UsbCommandPacket::decode_unchecked(&hot).unwrap();
+        assert_eq!(substituted.dac[0], 150, "last-safe DAC substituted");
+        assert!(!det.lock().estop_requested(), "hold mode must not demand E-STOP");
+    }
+
+    #[test]
+    fn guard_ignores_non_pedal_down_states() {
+        let (det, params) = setup(Mitigation::EStop);
+        train_and_arm(&det, &params);
+        det.lock().sync_measurement(
+            params.coupling().joints_to_motors(&JointState::new(0.0, 1.4, 0.25)),
+        );
+        let mut guard = GuardInterceptor::new(Arc::clone(&det));
+        let mut pkt = UsbCommandPacket {
+            state: RobotState::PedalUp,
+            watchdog: true,
+            dac: [32_000; 8],
+        }
+        .encode()
+        .to_vec();
+        assert_eq!(guard.on_write(&mut pkt, &ctx()), WriteAction::Forward);
+        assert_eq!(det.lock().assessments(), 0);
+    }
+
+    #[test]
+    fn guard_forwards_without_measurement() {
+        let (det, params) = setup(Mitigation::EStop);
+        train_and_arm(&det, &params);
+        det.lock().reset_session(); // clears the tracked state
+        let mut guard = GuardInterceptor::new(det);
+        let mut pkt = pedal_down_packet(32_000);
+        assert_eq!(guard.on_write(&mut pkt, &ctx()), WriteAction::Forward);
+        let _ = params;
+    }
+
+    #[test]
+    fn reset_session_clears_counters_but_keeps_thresholds() {
+        let (det, params) = setup(Mitigation::EStop);
+        train_and_arm(&det, &params);
+        let mut d = det.lock();
+        d.sync_measurement(params.coupling().joints_to_motors(&JointState::new(0.0, 1.4, 0.25)));
+        d.assess(&[32_000, 0, 0]);
+        assert!(d.alarmed());
+        d.reset_session();
+        assert!(!d.alarmed());
+        assert!(!d.estop_requested());
+        assert_eq!(d.mode(), DetectorMode::Armed);
+        assert!(d.thresholds().is_some());
+    }
+
+    #[test]
+    #[should_panic(expected = "no fault-free samples")]
+    fn arming_without_samples_panics() {
+        let (det, _) = setup(Mitigation::EStop);
+        det.lock().arm();
+    }
+}

@@ -1,0 +1,129 @@
+//! Property-based tests for the detection stack.
+
+use proptest::prelude::*;
+use raven_detect::{DetectionThresholds, InstantFeatures, ThresholdLearner};
+
+fn features() -> impl Strategy<Value = InstantFeatures> {
+    (
+        prop::array::uniform3(0.0f64..1e5),
+        prop::array::uniform3(0.0f64..1e3),
+        prop::array::uniform3(0.0f64..1e2),
+        0.0f64..0.01,
+    )
+        .prop_map(|(motor_accel, motor_vel, joint_vel, ee_step)| InstantFeatures {
+            motor_accel,
+            motor_vel,
+            joint_vel,
+            ee_step,
+        })
+}
+
+proptest! {
+    #[test]
+    fn fused_alarm_implies_any_alarm(f in features(), samples in prop::collection::vec(features(), 8..64)) {
+        let mut learner = ThresholdLearner::new();
+        for s in &samples {
+            learner.observe(s);
+        }
+        let t = learner.learn(90.0, 95.0).expect("samples present");
+        // Logical containment: the fused (AND) rule can never fire when the
+        // any (OR) rule would not.
+        if t.fused_alarm(&f) {
+            prop_assert!(t.any_alarm(&f));
+        }
+    }
+
+    #[test]
+    fn thresholds_bounded_by_training_extremes(samples in prop::collection::vec(features(), 4..64)) {
+        let mut learner = ThresholdLearner::new();
+        for s in &samples {
+            learner.observe(s);
+        }
+        let t = learner.learn_default().unwrap();
+        for axis in 0..3 {
+            let max_acc = samples.iter().map(|s| s.motor_accel[axis]).fold(0.0, f64::max);
+            let min_acc = samples.iter().map(|s| s.motor_accel[axis]).fold(f64::INFINITY, f64::min);
+            prop_assert!(t.motor_accel[axis] <= max_acc + 1e-9);
+            prop_assert!(t.motor_accel[axis] >= min_acc - 1e-9);
+        }
+    }
+
+    #[test]
+    fn training_features_rarely_alarm_against_own_thresholds(
+        samples in prop::collection::vec(features(), 32..128),
+    ) {
+        let mut learner = ThresholdLearner::new();
+        for s in &samples {
+            learner.observe(s);
+        }
+        let t = learner.learn_default().unwrap();
+        // At the 99.8th percentile, essentially no training sample can
+        // exceed all three variables on one axis simultaneously.
+        let alarms = samples.iter().filter(|s| t.fused_alarm(s)).count();
+        prop_assert!(
+            alarms <= 1 + samples.len() / 64,
+            "{alarms} alarms on {} training samples",
+            samples.len()
+        );
+    }
+
+    #[test]
+    fn scaling_thresholds_is_monotone_in_alarms(
+        f in features(),
+        samples in prop::collection::vec(features(), 8..64),
+        factor in 1.01f64..10.0,
+    ) {
+        let mut learner = ThresholdLearner::new();
+        for s in &samples {
+            learner.observe(s);
+        }
+        let t = learner.learn(50.0, 60.0).unwrap();
+        let loose = t.scaled(factor);
+        // Loosening thresholds can only remove alarms, never add them.
+        if loose.fused_alarm(&f) {
+            prop_assert!(t.fused_alarm(&f));
+        }
+        if loose.any_alarm(&f) {
+            prop_assert!(t.any_alarm(&f));
+        }
+    }
+
+    #[test]
+    fn json_roundtrip_preserves_decisions(f in features(), samples in prop::collection::vec(features(), 8..32)) {
+        let mut learner = ThresholdLearner::new();
+        for s in &samples {
+            learner.observe(s);
+        }
+        let t = learner.learn(80.0, 90.0).unwrap();
+        let back = DetectionThresholds::from_json(&t.to_json()).unwrap();
+        // Decisions survive serialization even if the last ULP does not.
+        prop_assert_eq!(t.fused_alarm(&f), back.fused_alarm(&f));
+    }
+
+    #[test]
+    fn merged_learner_equals_sequential(
+        a in prop::collection::vec(features(), 4..32),
+        b in prop::collection::vec(features(), 4..32),
+    ) {
+        let mut combined = ThresholdLearner::new();
+        for s in a.iter().chain(&b) {
+            combined.observe(s);
+        }
+        let mut la = ThresholdLearner::new();
+        for s in &a {
+            la.observe(s);
+        }
+        let mut lb = ThresholdLearner::new();
+        for s in &b {
+            lb.observe(s);
+        }
+        la.merge(&lb);
+        prop_assert_eq!(la.samples(), combined.samples());
+        let t1 = la.learn_default().unwrap();
+        let t2 = combined.learn_default().unwrap();
+        for i in 0..3 {
+            prop_assert!((t1.motor_accel[i] - t2.motor_accel[i]).abs() < 1e-9);
+            prop_assert!((t1.joint_vel[i] - t2.joint_vel[i]).abs() < 1e-9);
+        }
+    }
+}

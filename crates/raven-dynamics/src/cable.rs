@@ -1,0 +1,120 @@
+//! Elastic cable transmission between motor capstans and joints.
+//!
+//! RAVEN's joints are driven through long cable runs whose elasticity
+//! decouples motor and joint positions — the reason the paper's model (after
+//! Haghighipanah et al., IROS 2015, its ref. \[35\]) tracks motor and joint
+//! states separately, and the reason Fig. 8 reports `mpos` and `jpos` errors
+//! independently. The transmission is a parallel spring–damper acting on the
+//! stretch between the capstan-side and joint-side positions.
+
+use serde::{Deserialize, Serialize};
+
+/// One cable transmission: reduction ratio plus joint-side spring–damper.
+///
+/// `ratio` converts motor shaft radians to joint units (radians for the
+/// revolute axes, meters for insertion): the joint-side set-point of the
+/// cable is `mpos / ratio`.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct CableParams {
+    /// Transmission ratio (motor rad per joint unit).
+    pub ratio: f64,
+    /// Joint-side cable stiffness (N·m/rad for revolute, N/m for prismatic).
+    pub stiffness: f64,
+    /// Joint-side cable damping (N·m·s/rad or N·s/m).
+    pub damping: f64,
+}
+
+impl CableParams {
+    /// Creates a transmission.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `ratio` is zero/non-finite or stiffness/damping are
+    /// negative.
+    pub fn new(ratio: f64, stiffness: f64, damping: f64) -> Self {
+        assert!(ratio.is_finite() && ratio != 0.0, "cable ratio must be nonzero");
+        assert!(stiffness >= 0.0 && damping >= 0.0, "cable constants must be nonnegative");
+        CableParams { ratio, stiffness, damping }
+    }
+
+    /// Joint-side force/torque exerted by the cable for the given motor and
+    /// joint states. Positive when the motor leads the joint.
+    pub fn joint_torque(&self, mpos: f64, mvel: f64, jpos: f64, jvel: f64) -> f64 {
+        let stretch = mpos / self.ratio - jpos;
+        let stretch_rate = mvel / self.ratio - jvel;
+        self.stiffness * stretch + self.damping * stretch_rate
+    }
+
+    /// The reaction torque at the motor shaft for a joint-side cable torque.
+    pub fn motor_reaction(&self, joint_torque: f64) -> f64 {
+        joint_torque / self.ratio
+    }
+
+    /// Joint position that a motor position maps to at rest (no stretch).
+    pub fn joint_setpoint(&self, mpos: f64) -> f64 {
+        mpos / self.ratio
+    }
+
+    /// Motor position corresponding to a joint position at rest.
+    pub fn motor_setpoint(&self, jpos: f64) -> f64 {
+        jpos * self.ratio
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn no_stretch_no_torque() {
+        let c = CableParams::new(75.94, 300.0, 6.0);
+        let jpos = 0.4;
+        let t = c.joint_torque(c.motor_setpoint(jpos), 0.0, jpos, 0.0);
+        assert!(t.abs() < 1e-12);
+    }
+
+    #[test]
+    fn stretch_produces_restoring_torque() {
+        let c = CableParams::new(10.0, 100.0, 0.0);
+        // Motor 0.1 joint-units ahead of the joint.
+        let t = c.joint_torque(1.0 + 10.0 * 0.4, 0.0, 0.4, 0.0);
+        assert!((t - 10.0).abs() < 1e-12); // 100 N·m/rad * 0.1 rad
+        // Joint ahead of the motor: torque reverses.
+        let t = c.joint_torque(10.0 * 0.4, 0.0, 0.5, 0.0);
+        assert!((t + 10.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn damping_acts_on_rate_mismatch() {
+        let c = CableParams::new(10.0, 0.0, 5.0);
+        let t = c.joint_torque(0.0, 10.0, 0.0, 0.0); // motor spinning, joint still
+        assert!((t - 5.0).abs() < 1e-12);
+        let t = c.joint_torque(0.0, 0.0, 0.0, 1.0); // joint moving, motor still
+        assert!((t + 5.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn motor_reaction_scales_by_ratio() {
+        let c = CableParams::new(20.0, 100.0, 1.0);
+        assert!((c.motor_reaction(2.0) - 0.1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn setpoints_are_inverse() {
+        let c = CableParams::new(167.8, 2e4, 100.0);
+        let j = 0.25;
+        assert!((c.joint_setpoint(c.motor_setpoint(j)) - j).abs() < 1e-12);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonzero")]
+    fn zero_ratio_panics() {
+        let _ = CableParams::new(0.0, 1.0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "nonnegative")]
+    fn negative_stiffness_panics() {
+        let _ = CableParams::new(1.0, -1.0, 1.0);
+    }
+}

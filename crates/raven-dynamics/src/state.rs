@@ -1,0 +1,122 @@
+//! The plant state vector.
+//!
+//! Twelve first-order states — motor positions/velocities and joint
+//! positions/velocities for the three positioning axes — exactly the state
+//! the paper's model estimates each cycle ("estimates the next motor and
+//! joint positions", §IV.A.1), plus four kinematic wrist servo positions
+//! carried outside the ODE.
+
+use raven_kinematics::{JointState, MotorState, NUM_AXES, WRIST_AXES};
+use serde::{Deserialize, Serialize};
+
+/// Dimension of the ODE state: `[mpos×3, mvel×3, jpos×3, jvel×3]`.
+pub const ODE_DIM: usize = 4 * NUM_AXES;
+
+/// Full state of the physical plant.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct PlantState {
+    /// ODE state `[mpos×3, mvel×3, jpos×3, jvel×3]`.
+    pub x: [f64; ODE_DIM],
+    /// Wrist servo positions (kinematic pass-through channels, radians).
+    pub wrist: [f64; WRIST_AXES],
+}
+
+impl PlantState {
+    /// A plant at rest with the given joint configuration; motors are set to
+    /// the matching no-stretch positions through `ratios`.
+    pub fn at_rest(joints: JointState, ratios: [f64; NUM_AXES]) -> Self {
+        let j = joints.to_array();
+        let mut x = [0.0; ODE_DIM];
+        for i in 0..NUM_AXES {
+            x[i] = j[i] * ratios[i]; // mpos
+            x[6 + i] = j[i]; // jpos
+        }
+        PlantState { x, wrist: [0.0; WRIST_AXES] }
+    }
+
+    /// Motor shaft positions (radians).
+    pub fn motor_pos(&self) -> MotorState {
+        MotorState::new([self.x[0], self.x[1], self.x[2]])
+    }
+
+    /// Motor shaft velocities (rad/s).
+    pub fn motor_vel(&self) -> [f64; NUM_AXES] {
+        [self.x[3], self.x[4], self.x[5]]
+    }
+
+    /// Joint positions.
+    pub fn joint_pos(&self) -> JointState {
+        JointState::new(self.x[6], self.x[7], self.x[8])
+    }
+
+    /// Joint velocities (rad/s, rad/s, m/s).
+    pub fn joint_vel(&self) -> [f64; NUM_AXES] {
+        [self.x[9], self.x[10], self.x[11]]
+    }
+
+    /// Overwrites the motor positions.
+    pub fn set_motor_pos(&mut self, m: MotorState) {
+        self.x[0] = m.angles[0];
+        self.x[1] = m.angles[1];
+        self.x[2] = m.angles[2];
+    }
+
+    /// Overwrites the joint positions.
+    pub fn set_joint_pos(&mut self, j: JointState) {
+        let a = j.to_array();
+        self.x[6] = a[0];
+        self.x[7] = a[1];
+        self.x[8] = a[2];
+    }
+
+    /// `true` when every state component is finite.
+    pub fn is_finite(&self) -> bool {
+        self.x.iter().all(|v| v.is_finite()) && self.wrist.iter().all(|v| v.is_finite())
+    }
+}
+
+impl std::fmt::Display for PlantState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{} {}", self.motor_pos(), self.joint_pos())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn at_rest_is_consistent() {
+        let j = JointState::new(0.3, 1.2, 0.25);
+        let ratios = [75.94, 75.94, 167.8];
+        let s = PlantState::at_rest(j, ratios);
+        assert_eq!(s.joint_pos(), j);
+        assert_eq!(s.motor_vel(), [0.0; 3]);
+        assert_eq!(s.joint_vel(), [0.0; 3]);
+        // Motor positions map back onto the joints through the ratios.
+        let m = s.motor_pos();
+        for i in 0..3 {
+            assert!((m.angles[i] / ratios[i] - j.to_array()[i]).abs() < 1e-12);
+        }
+    }
+
+    #[test]
+    fn setters_update_views() {
+        let mut s = PlantState::default();
+        s.set_joint_pos(JointState::new(1.0, 2.0, 0.3));
+        assert_eq!(s.joint_pos().elbow, 2.0);
+        s.set_motor_pos(MotorState::new([5.0, 6.0, 7.0]));
+        assert_eq!(s.motor_pos().angles, [5.0, 6.0, 7.0]);
+    }
+
+    #[test]
+    fn finiteness() {
+        let mut s = PlantState::default();
+        assert!(s.is_finite());
+        s.x[4] = f64::NAN;
+        assert!(!s.is_finite());
+        let mut s = PlantState::default();
+        s.wrist[0] = f64::INFINITY;
+        assert!(!s.is_finite());
+    }
+}

@@ -1,0 +1,86 @@
+//! Property-based tests on the plant dynamics.
+
+use proptest::prelude::*;
+use raven_dynamics::{PlantParams, PlantState, RavenPlant, RtModel};
+use raven_kinematics::JointState;
+
+fn workspace_joints() -> impl Strategy<Value = JointState> {
+    (-1.2..1.2f64, 0.4..2.4f64, 0.10..0.42f64)
+        .prop_map(|(s, e, i)| JointState::new(s, e, i))
+}
+
+fn small_dac() -> impl Strategy<Value = [i16; 3]> {
+    prop::array::uniform3(-3000i16..3000)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn plant_state_stays_finite_under_bounded_torque(j in workspace_joints(), dac in small_dac()) {
+        let params = PlantParams::raven_ii();
+        let mut plant = RavenPlant::with_state(params, params.rest_state(j));
+        plant.release_brakes();
+        let tau = params.dac_to_torque(&dac);
+        for _ in 0..200 {
+            plant.step_control_period(&tau);
+        }
+        prop_assert!(plant.state().is_finite());
+        // Motor velocity stays physically plausible (below no-load-speed scale).
+        for v in plant.state().motor_vel() {
+            prop_assert!(v.abs() < 2000.0, "runaway motor velocity {v}");
+        }
+    }
+
+    #[test]
+    fn brakes_always_hold_regardless_of_torque(j in workspace_joints(), dac in small_dac()) {
+        let params = PlantParams::raven_ii();
+        let mut plant = RavenPlant::with_state(params, params.rest_state(j));
+        // Brakes engaged (default): motors must not move.
+        let m0 = plant.state().motor_pos();
+        let tau = params.dac_to_torque(&dac);
+        for _ in 0..50 {
+            plant.step_control_period(&tau);
+        }
+        prop_assert_eq!(plant.state().motor_pos(), m0);
+    }
+
+    #[test]
+    fn zero_torque_from_rest_moves_slowly(j in workspace_joints()) {
+        // Unpowered sag over 50 ms must be far below the 1 mm/ms attack scale.
+        let params = PlantParams::raven_ii();
+        let mut plant = RavenPlant::with_state(params, params.rest_state(j));
+        plant.release_brakes();
+        for _ in 0..50 {
+            plant.step_control_period(&[0.0; 3]);
+        }
+        let drift = plant.true_joints().delta(j).max_abs();
+        prop_assert!(drift < 0.05, "sagged {drift} in 50 ms");
+    }
+
+    #[test]
+    fn model_prediction_matches_plant_one_step(j in workspace_joints(), dac in small_dac()) {
+        // Same params, one 1 ms step: Euler prediction vs RK4-substepped
+        // plant should agree on positions to sub-encoder-tick level.
+        let params = PlantParams::raven_ii();
+        let s0 = params.rest_state(j);
+        let mut plant = RavenPlant::with_state(params, s0);
+        plant.release_brakes();
+        let model = RtModel::new(params);
+        let predicted = model.predict(&s0, &dac);
+        plant.step_control_period(&params.dac_to_torque(&dac));
+        let jp = predicted.joint_pos().delta(plant.true_joints()).max_abs();
+        prop_assert!(jp < 1e-4, "one-step joint error {jp}");
+        let mp = predicted.motor_pos().delta(plant.state().motor_pos()).max_abs();
+        prop_assert!(mp < 5e-3, "one-step motor error {mp}");
+    }
+
+    #[test]
+    fn encoder_decode_inverts_read(j in workspace_joints()) {
+        let params = PlantParams::raven_ii();
+        let plant = RavenPlant::with_state(params, params.rest_state(j));
+        let decoded = plant.decode_encoders(&plant.read_encoders());
+        let err = decoded.delta(plant.state().motor_pos()).max_abs();
+        prop_assert!(err <= 0.5 / params.encoder_counts_per_rad + 1e-12);
+    }
+}

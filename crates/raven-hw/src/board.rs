@@ -1,0 +1,177 @@
+//! The 8-channel USB interface board.
+//!
+//! "The interface boards include commodity programmable devices, digital to
+//! analog converters, and encoder readers" (paper §II.B). The board decodes
+//! command packets **without verifying their integrity** — the vulnerability
+//! of §III.B.3 — latches the DAC words for the motor controllers, and
+//! assembles encoder feedback packets for the read path.
+
+use serde::{Deserialize, Serialize};
+
+use crate::packet::{
+    PacketError, RobotState, UsbCommandPacket, UsbFeedbackPacket, DAC_CHANNELS,
+};
+
+/// One USB interface board.
+#[derive(Debug, Clone, Default, Serialize, Deserialize)]
+pub struct UsbBoard {
+    latched: UsbCommandPacket,
+    received: u64,
+    rejected: u64,
+    verify_integrity: bool,
+    integrity_rejects: u64,
+}
+
+impl UsbBoard {
+    /// A stock board (no integrity verification — as shipped).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// A hardened board that *does* verify packet checksums — the
+    /// counterfactual defense for the ablation experiments.
+    pub fn hardened() -> Self {
+        UsbBoard { verify_integrity: true, ..Self::default() }
+    }
+
+    /// Processes one raw command buffer from the write path.
+    ///
+    /// On success the DAC words and state byte are latched and the decoded
+    /// packet is returned (the PLC observes its Byte 0). Undecodable buffers
+    /// are dropped and counted, leaving the previous latch in place — real
+    /// DACs hold their last value between updates.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PacketError`] for malformed buffers (and, on a hardened
+    /// board, checksum mismatches).
+    pub fn receive(&mut self, buf: &[u8]) -> Result<UsbCommandPacket, PacketError> {
+        let decoded = if self.verify_integrity {
+            match UsbCommandPacket::decode_verified(buf) {
+                Err(e @ PacketError::BadChecksum { .. }) => {
+                    self.integrity_rejects += 1;
+                    self.rejected += 1;
+                    return Err(e);
+                }
+                other => other,
+            }
+        } else {
+            UsbCommandPacket::decode_unchecked(buf)
+        };
+        match decoded {
+            Ok(pkt) => {
+                self.latched = pkt;
+                self.received += 1;
+                Ok(pkt)
+            }
+            Err(e) => {
+                self.rejected += 1;
+                Err(e)
+            }
+        }
+    }
+
+    /// The DAC words currently latched on the outputs.
+    pub fn latched_dac(&self) -> [i16; DAC_CHANNELS] {
+        self.latched.dac
+    }
+
+    /// The positioning-axis DAC words (channels 0–2).
+    pub fn positioning_dac(&self) -> [i16; 3] {
+        [self.latched.dac[0], self.latched.dac[1], self.latched.dac[2]]
+    }
+
+    /// The last accepted state byte content.
+    pub fn latched_state(&self) -> (RobotState, bool) {
+        (self.latched.state, self.latched.watchdog)
+    }
+
+    /// Builds a feedback packet echoing the latched state byte.
+    pub fn make_feedback(&self, encoders: [i32; DAC_CHANNELS]) -> UsbFeedbackPacket {
+        UsbFeedbackPacket {
+            state: self.latched.state,
+            watchdog: self.latched.watchdog,
+            plc_fault: false, // the rig fills this in from the PLC latch
+            encoders,
+        }
+    }
+
+    /// Packets accepted since power-up.
+    pub fn received(&self) -> u64 {
+        self.received
+    }
+
+    /// Packets rejected as undecodable.
+    pub fn rejected(&self) -> u64 {
+        self.rejected
+    }
+
+    /// Packets rejected by the (optional) integrity check.
+    pub fn integrity_rejects(&self) -> u64 {
+        self.integrity_rejects
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pedal_down_pkt(dac0: i16) -> UsbCommandPacket {
+        let mut dac = [0i16; DAC_CHANNELS];
+        dac[0] = dac0;
+        UsbCommandPacket { state: RobotState::PedalDown, watchdog: true, dac }
+    }
+
+    #[test]
+    fn receive_latches_dac() {
+        let mut board = UsbBoard::new();
+        board.receive(&pedal_down_pkt(123).encode()).unwrap();
+        assert_eq!(board.latched_dac()[0], 123);
+        assert_eq!(board.positioning_dac(), [123, 0, 0]);
+        assert_eq!(board.latched_state(), (RobotState::PedalDown, true));
+        assert_eq!(board.received(), 1);
+    }
+
+    #[test]
+    fn stock_board_accepts_corrupted_packets() {
+        // The core vulnerability: flipping payload bytes post-checksum is
+        // accepted by the stock board.
+        let mut board = UsbBoard::new();
+        let mut buf = pedal_down_pkt(0).encode();
+        buf[2] = 0x40; // high byte of DAC channel 0 -> 0x4000 counts
+        board.receive(&buf).unwrap();
+        assert_eq!(board.latched_dac()[0], 0x4000);
+        assert_eq!(board.rejected(), 0);
+    }
+
+    #[test]
+    fn hardened_board_rejects_corruption_and_keeps_latch() {
+        let mut board = UsbBoard::hardened();
+        board.receive(&pedal_down_pkt(55).encode()).unwrap();
+        let mut buf = pedal_down_pkt(0).encode();
+        buf[2] = 0x40;
+        let err = board.receive(&buf).unwrap_err();
+        assert!(matches!(err, PacketError::BadChecksum { .. }));
+        assert_eq!(board.latched_dac()[0], 55, "latch must hold the last good value");
+        assert_eq!(board.integrity_rejects(), 1);
+    }
+
+    #[test]
+    fn malformed_length_rejected_latch_held() {
+        let mut board = UsbBoard::new();
+        board.receive(&pedal_down_pkt(9).encode()).unwrap();
+        assert!(board.receive(&[0u8; 4]).is_err());
+        assert_eq!(board.latched_dac()[0], 9);
+        assert_eq!(board.rejected(), 1);
+    }
+
+    #[test]
+    fn feedback_echoes_state() {
+        let mut board = UsbBoard::new();
+        board.receive(&pedal_down_pkt(0).encode()).unwrap();
+        let fb = board.make_feedback([1, 2, 3, 4, 5, 6, 7, 8]);
+        assert_eq!(fb.state, RobotState::PedalDown);
+        assert!(fb.watchdog);
+        assert_eq!(fb.encoders[2], 3);
+    }
+}

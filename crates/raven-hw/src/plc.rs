@@ -1,0 +1,261 @@
+//! The PLC safety processor.
+//!
+//! "The PLC controls the fail-safe brakes on the robotic joints and monitors
+//! the system state by communicating with the robotic software … The PLC
+//! safety processor monitors the watchdog signal and in absence of the
+//! watchdog signal puts the system in the Emergency-Stop ('E-STOP') state"
+//! (paper §II.B). The PLC sees only Byte 0 of the USB traffic: the state
+//! nibble and the watchdog bit.
+
+use serde::{Deserialize, Serialize};
+use simbus::{SimDuration, SimTime};
+
+use crate::packet::RobotState;
+
+/// Why the PLC latched E-STOP.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum EStopCause {
+    /// The watchdog square wave stopped toggling (software detected an
+    /// unsafe command, hung, or was killed).
+    WatchdogTimeout,
+    /// The software commanded E-STOP explicitly.
+    SoftwareCommand,
+    /// The physical emergency-stop button was pressed.
+    PhysicalButton,
+    /// The motor controllers tripped on over-speed — the hardware-side
+    /// reaction to an abrupt jump ("leading both the RAVEN II software and
+    /// hardware to go into the E-STOP state", paper §III.C.1).
+    HardwareFault,
+}
+
+impl std::fmt::Display for EStopCause {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let s = match self {
+            EStopCause::WatchdogTimeout => "watchdog timeout",
+            EStopCause::SoftwareCommand => "software E-STOP command",
+            EStopCause::PhysicalButton => "physical E-STOP button",
+            EStopCause::HardwareFault => "hardware over-speed trip",
+        };
+        f.write_str(s)
+    }
+}
+
+/// The PLC safety processor: watchdog monitor, brake control, E-STOP latch.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct Plc {
+    watchdog_timeout: SimDuration,
+    last_watchdog_phase: Option<bool>,
+    last_toggle: SimTime,
+    estop: Option<EStopCause>,
+    observed_state: RobotState,
+    packets_seen: u64,
+}
+
+impl Plc {
+    /// Default watchdog timeout: 10 control periods.
+    pub const DEFAULT_WATCHDOG_TIMEOUT: SimDuration = SimDuration::from_millis(10);
+
+    /// Creates a PLC in the power-on E-STOP state.
+    pub fn new() -> Self {
+        Self::with_timeout(Self::DEFAULT_WATCHDOG_TIMEOUT)
+    }
+
+    /// Creates a PLC with a custom watchdog timeout.
+    pub fn with_timeout(watchdog_timeout: SimDuration) -> Self {
+        Plc {
+            watchdog_timeout,
+            last_watchdog_phase: None,
+            last_toggle: SimTime::ZERO,
+            estop: Some(EStopCause::PhysicalButton), // powered up stopped
+            observed_state: RobotState::EStop,
+            packets_seen: 0,
+        }
+    }
+
+    /// Feeds the PLC one observed Byte 0 (state nibble + watchdog bit), as
+    /// decoded by the USB board.
+    pub fn observe(&mut self, state: RobotState, watchdog: bool, now: SimTime) {
+        self.packets_seen += 1;
+        self.observed_state = state;
+        match self.last_watchdog_phase {
+            None => {
+                self.last_watchdog_phase = Some(watchdog);
+                self.last_toggle = now;
+            }
+            Some(phase) if phase != watchdog => {
+                self.last_watchdog_phase = Some(watchdog);
+                self.last_toggle = now;
+            }
+            Some(_) => {}
+        }
+        if state == RobotState::EStop && self.estop.is_none() {
+            self.estop = Some(EStopCause::SoftwareCommand);
+        }
+    }
+
+    /// Advances the PLC's own clock: checks the watchdog deadline. Call once
+    /// per control period even when no packet arrived (silence is itself a
+    /// watchdog failure).
+    pub fn tick(&mut self, now: SimTime) {
+        if self.estop.is_none()
+            && now.saturating_since(self.last_toggle) > self.watchdog_timeout
+        {
+            self.estop = Some(EStopCause::WatchdogTimeout);
+        }
+    }
+
+    /// Presses the physical start button: clears the E-STOP latch so the
+    /// software can begin initialization (paper: "A physical start button
+    /// should be pressed to take the robot out of the emergency stop").
+    pub fn press_start(&mut self, now: SimTime) {
+        self.estop = None;
+        self.last_watchdog_phase = None;
+        self.last_toggle = now;
+    }
+
+    /// Presses the physical E-STOP button.
+    pub fn press_estop(&mut self) {
+        self.estop = Some(EStopCause::PhysicalButton);
+    }
+
+    /// Latches a hardware-side fault (motor-controller over-speed trip).
+    pub fn latch_hardware_fault(&mut self) {
+        if self.estop.is_none() {
+            self.estop = Some(EStopCause::HardwareFault);
+        }
+    }
+
+    /// Whether the E-STOP latch is set, and why.
+    pub fn estop(&self) -> Option<EStopCause> {
+        self.estop
+    }
+
+    /// Brake command: brakes are released in Pedal Down (teleoperation) and
+    /// Init (the homing sequence physically moves the joints), never with an
+    /// E-STOP latched, and never in Pedal Up ("Whenever the human operator
+    /// lifts the foot from the pedal … engages the fail-safe power-off
+    /// brakes", paper §II.B).
+    pub fn brakes_released(&self) -> bool {
+        self.estop.is_none()
+            && matches!(self.observed_state, RobotState::PedalDown | RobotState::Init)
+    }
+
+    /// Last state nibble the PLC observed.
+    pub fn observed_state(&self) -> RobotState {
+        self.observed_state
+    }
+
+    /// Packets observed since power-up.
+    pub fn packets_seen(&self) -> u64 {
+        self.packets_seen
+    }
+}
+
+impl Default for Plc {
+    fn default() -> Self {
+        Plc::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    /// Drives a healthy watchdog (toggling every tick) through the PLC.
+    fn drive_healthy(plc: &mut Plc, state: RobotState, from_ms: u64, to_ms: u64) {
+        for ms in from_ms..to_ms {
+            plc.observe(state, ms % 2 == 0, at(ms));
+            plc.tick(at(ms));
+        }
+    }
+
+    #[test]
+    fn powers_up_in_estop() {
+        let plc = Plc::new();
+        assert_eq!(plc.estop(), Some(EStopCause::PhysicalButton));
+        assert!(!plc.brakes_released());
+    }
+
+    #[test]
+    fn start_button_clears_latch() {
+        let mut plc = Plc::new();
+        plc.press_start(at(0));
+        assert_eq!(plc.estop(), None);
+    }
+
+    #[test]
+    fn brakes_release_only_in_pedal_down_and_init() {
+        let mut plc = Plc::new();
+        plc.press_start(at(0));
+        drive_healthy(&mut plc, RobotState::Init, 0, 5);
+        assert!(plc.brakes_released(), "homing moves the joints");
+        drive_healthy(&mut plc, RobotState::PedalUp, 5, 10);
+        assert!(!plc.brakes_released());
+        drive_healthy(&mut plc, RobotState::PedalDown, 10, 15);
+        assert!(plc.brakes_released());
+    }
+
+    #[test]
+    fn watchdog_silence_latches_estop() {
+        let mut plc = Plc::new();
+        plc.press_start(at(0));
+        drive_healthy(&mut plc, RobotState::PedalDown, 0, 20);
+        assert!(plc.brakes_released());
+        // Watchdog freezes (software stopped toggling after detecting an
+        // unsafe command) — but packets keep flowing.
+        for ms in 20..40 {
+            plc.observe(RobotState::PedalDown, true, at(ms));
+            plc.tick(at(ms));
+        }
+        assert_eq!(plc.estop(), Some(EStopCause::WatchdogTimeout));
+        assert!(!plc.brakes_released());
+    }
+
+    #[test]
+    fn total_silence_also_latches_estop() {
+        let mut plc = Plc::new();
+        plc.press_start(at(0));
+        drive_healthy(&mut plc, RobotState::PedalDown, 0, 5);
+        for ms in 5..40 {
+            plc.tick(at(ms)); // no packets at all
+        }
+        assert_eq!(plc.estop(), Some(EStopCause::WatchdogTimeout));
+    }
+
+    #[test]
+    fn software_estop_command_latches() {
+        let mut plc = Plc::new();
+        plc.press_start(at(0));
+        drive_healthy(&mut plc, RobotState::PedalDown, 0, 3);
+        plc.observe(RobotState::EStop, true, at(3));
+        assert_eq!(plc.estop(), Some(EStopCause::SoftwareCommand));
+    }
+
+    #[test]
+    fn physical_estop_overrides_everything() {
+        let mut plc = Plc::new();
+        plc.press_start(at(0));
+        drive_healthy(&mut plc, RobotState::PedalDown, 0, 5);
+        plc.press_estop();
+        assert_eq!(plc.estop(), Some(EStopCause::PhysicalButton));
+        assert!(!plc.brakes_released());
+    }
+
+    #[test]
+    fn healthy_watchdog_never_times_out() {
+        let mut plc = Plc::new();
+        plc.press_start(at(0));
+        drive_healthy(&mut plc, RobotState::PedalDown, 0, 1000);
+        assert_eq!(plc.estop(), None);
+        assert_eq!(plc.packets_seen(), 1000);
+    }
+
+    #[test]
+    fn estop_cause_display() {
+        assert_eq!(format!("{}", EStopCause::WatchdogTimeout), "watchdog timeout");
+    }
+}

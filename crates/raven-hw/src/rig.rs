@@ -1,0 +1,379 @@
+//! The assembled hardware rig: write path → board → PLC/motors → plant →
+//! encoders → read path.
+//!
+//! [`HardwareRig`] is everything below the control software in Fig. 1(b) of
+//! the paper: the USB channel (with its interceptor chain), the interface
+//! board, the PLC safety processor, the motor controllers, and the physical
+//! plant. The control software interacts with it exactly twice per 1 ms
+//! cycle: one command write and one feedback read.
+
+use raven_dynamics::plant::EncoderReading;
+use raven_dynamics::{PlantParams, RavenPlant};
+use raven_kinematics::{MotorState, WRIST_AXES};
+use simbus::SimTime;
+
+use crate::bitw::{BitwCodec, BitwPlacement};
+use crate::board::UsbBoard;
+use crate::channel::{UsbChannel, WriteOutcome};
+use crate::packet::{UsbCommandPacket, UsbFeedbackPacket, DAC_CHANNELS};
+use crate::plc::{EStopCause, Plc};
+
+
+/// Radians of wrist-servo target per DAC count on channels 3–6 (board spec).
+pub const WRIST_RAD_PER_COUNT: f64 = 5.0e-5;
+
+/// Motor-controller over-speed trip points per positioning axis (rad/s).
+/// Normal teleoperation peaks below ~30 rad/s at the shafts; sustained
+/// motion at the abrupt-jump scale (>1 mm per 2 ms at the end-effector)
+/// corresponds to ~150+ rad/s. The trip fires as the jump develops — the
+/// hardware-side detection the paper observes (§III.C.1), which reacts
+/// *after* the physical impact rather than before it.
+pub const OVERSPEED_LIMITS: [f64; 3] = [160.0, 160.0, 100.0];
+
+/// The hardware side of the robot, assembled.
+///
+/// # Example
+///
+/// ```
+/// use raven_hw::{HardwareRig, UsbCommandPacket, RobotState};
+/// use raven_dynamics::PlantParams;
+/// use simbus::SimTime;
+///
+/// let mut rig = HardwareRig::new(PlantParams::raven_ii());
+/// rig.press_start(SimTime::ZERO);
+/// let pkt = UsbCommandPacket { state: RobotState::Init, watchdog: true, dac: [0; 8] };
+/// rig.deliver_command(&pkt, SimTime::ZERO);
+/// rig.step(SimTime::ZERO);
+/// let fb = rig.read_feedback(SimTime::ZERO);
+/// assert_eq!(fb.state, RobotState::Init);
+/// ```
+#[derive(Debug)]
+pub struct HardwareRig {
+    /// The USB write/read paths with their interceptor chains.
+    pub channel: UsbChannel,
+    /// The 8-channel interface board.
+    pub board: UsbBoard,
+    /// The PLC safety processor.
+    pub plc: Plc,
+    /// The physical plant.
+    pub plant: RavenPlant,
+    last_encoder: Option<[i32; 3]>,
+    bitw: Option<Bitw>,
+}
+
+#[derive(Debug)]
+struct Bitw {
+    placement: BitwPlacement,
+    host_tx: BitwCodec,
+    board_rx: BitwCodec,
+    board_tx: BitwCodec,
+    host_rx: BitwCodec,
+}
+
+impl HardwareRig {
+    /// Builds a rig with a stock board around a fresh plant.
+    pub fn new(params: PlantParams) -> Self {
+        HardwareRig {
+            channel: UsbChannel::new(),
+            board: UsbBoard::new(),
+            plc: Plc::new(),
+            plant: RavenPlant::new(params),
+            last_encoder: None,
+            bitw: None,
+        }
+    }
+
+    /// Retrofits link encryption with the given placement and session key
+    /// (paper §III.D's "bump-in-the-wire" discussion; see `bitw`).
+    pub fn enable_bitw(&mut self, placement: BitwPlacement, key: u64) {
+        self.bitw = Some(Bitw {
+            placement,
+            host_tx: BitwCodec::new(key),
+            board_rx: BitwCodec::new(key),
+            board_tx: BitwCodec::new(key ^ 0x5a5a),
+            host_rx: BitwCodec::new(key ^ 0x5a5a),
+        });
+    }
+
+    /// Command packets rejected by the board-side BITW authenticator.
+    pub fn bitw_rejects(&self) -> u64 {
+        self.bitw.as_ref().map_or(0, |b| b.board_rx.rejects())
+    }
+
+    /// Builds a rig with a checksum-verifying (hardened) board.
+    pub fn with_hardened_board(params: PlantParams) -> Self {
+        HardwareRig { board: UsbBoard::hardened(), ..Self::new(params) }
+    }
+
+    /// Presses the physical start button (clears the PLC E-STOP latch).
+    pub fn press_start(&mut self, now: SimTime) {
+        self.plc.press_start(now);
+    }
+
+    /// Presses the physical E-STOP button.
+    pub fn press_estop(&mut self) {
+        self.plc.press_estop();
+    }
+
+    /// Delivers one command packet through the interceptor chain to the
+    /// board; the PLC observes the state byte of whatever actually arrived.
+    ///
+    /// With BITW enabled, the placement decides what the interceptors see:
+    /// `Wire` (the real retrofit) encrypts downstream of the host, so the
+    /// in-host malware still sees and mutates plaintext; `Host` encrypts
+    /// upstream of `write`, so interceptors see only ciphertext and any
+    /// mutation is rejected by the board-side authenticator.
+    pub fn deliver_command(&mut self, pkt: &UsbCommandPacket, now: SimTime) -> WriteOutcome {
+        let plaintext = pkt.encode().to_vec();
+        let (to_chain, host_sealed) = match &mut self.bitw {
+            Some(b) if b.placement == BitwPlacement::Host => {
+                (b.host_tx.seal(&plaintext), true)
+            }
+            _ => (plaintext, false),
+        };
+        let outcome = self.channel.write(to_chain, now);
+        if let Some(bytes) = &outcome.delivered {
+            // The wire segment between chain and board.
+            let at_board: Option<Vec<u8>> = match &mut self.bitw {
+                Some(b) if host_sealed => b.board_rx.open(bytes),
+                Some(b) if b.placement == BitwPlacement::Wire => {
+                    // Encryptor and decryptor bracket an uncompromised
+                    // cable: a lossless round trip (the malware already ran
+                    // upstream, on plaintext — the paper's TOCTOU point).
+                    let sealed = b.host_tx.seal(bytes);
+                    b.board_rx.open(&sealed)
+                }
+                _ => Some(bytes.clone()),
+            };
+            if let Some(clear) = at_board {
+                if let Ok(decoded) = self.board.receive(&clear) {
+                    self.plc.observe(decoded.state, decoded.watchdog, now);
+                }
+            }
+        }
+        outcome
+    }
+
+    /// Advances the physical world by one control period: PLC deadline
+    /// check, brake actuation, motor torques from the latched DAC words,
+    /// plant integration.
+    pub fn step(&mut self, now: SimTime) {
+        self.plc.tick(now);
+        if self.plc.brakes_released() {
+            self.plant.release_brakes();
+        } else {
+            self.plant.engage_brakes();
+        }
+        let dac3 = self.board.positioning_dac();
+        let torques = self.plant.params().dac_to_torque(&dac3);
+        let latched = self.board.latched_dac();
+        let mut wrist = [0.0; WRIST_AXES];
+        for i in 0..WRIST_AXES {
+            wrist[i] = f64::from(latched[3 + i]) * WRIST_RAD_PER_COUNT;
+        }
+        self.plant.set_wrist_targets(wrist);
+        self.plant.step_control_period(&torques);
+        self.check_overspeed();
+    }
+
+    /// Motor-controller over-speed protection: compares consecutive encoder
+    /// snapshots (one control period apart) against [`OVERSPEED_LIMITS`].
+    fn check_overspeed(&mut self) {
+        let reading = self.plant.read_encoders().counts;
+        if let Some(last) = self.last_encoder {
+            if !self.plant.brakes_engaged() {
+                let cpr = self.plant.params().encoder_counts_per_rad;
+                for i in 0..3 {
+                    let speed = f64::from(reading[i] - last[i]).abs() / cpr / 1e-3;
+                    if speed > OVERSPEED_LIMITS[i] {
+                        self.plc.latch_hardware_fault();
+                    }
+                }
+            }
+        }
+        self.last_encoder = Some(reading);
+    }
+
+    /// Builds the feedback packet, passes it through the read interceptors,
+    /// and returns what the control software sees.
+    pub fn read_feedback(&mut self, now: SimTime) -> UsbFeedbackPacket {
+        let reading = self.plant.read_encoders();
+        let mut encoders = [0i32; DAC_CHANNELS];
+        encoders[..3].copy_from_slice(&reading.counts);
+        for i in 0..WRIST_AXES {
+            encoders[3 + i] = reading.wrist_counts[i];
+        }
+        let mut fb = self.board.make_feedback(encoders);
+        fb.plc_fault = self.plc.estop().is_some();
+        let onto_chain = match &mut self.bitw {
+            Some(b) if b.placement == BitwPlacement::Host => b.board_tx.seal(&fb.encode()),
+            _ => fb.encode().to_vec(),
+        };
+        let bytes = self.channel.read(onto_chain, now);
+        let cleartext = match &mut self.bitw {
+            Some(b) if b.placement == BitwPlacement::Host => {
+                // Tampered ciphertext fails authentication; the driver
+                // re-reads the register (same cycle) and gets the clean
+                // snapshot.
+                b.host_rx.open(&bytes).unwrap_or_else(|| fb.encode().to_vec())
+            }
+            _ => bytes,
+        };
+        // A mangled feedback packet falls back to the unmodified reading —
+        // the control software has no way to detect it either way, but the
+        // simulation must stay well-formed.
+        UsbFeedbackPacket::decode_unchecked(&cleartext).unwrap_or(fb)
+    }
+
+    /// Reconstructs motor positions from a feedback packet (the control
+    /// software's decode step).
+    pub fn decode_motor_positions(&self, fb: &UsbFeedbackPacket) -> MotorState {
+        let reading = EncoderReading {
+            counts: [fb.encoders[0], fb.encoders[1], fb.encoders[2]],
+            wrist_counts: [fb.encoders[3], fb.encoders[4], fb.encoders[5], fb.encoders[6]],
+        };
+        self.plant.decode_encoders(&reading)
+    }
+
+    /// The PLC's E-STOP latch, if set.
+    pub fn estop(&self) -> Option<EStopCause> {
+        self.plc.estop()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::packet::RobotState;
+    use simbus::SimDuration;
+
+    fn at(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    fn pedal_down(dac0: i16, wd: bool) -> UsbCommandPacket {
+        let mut dac = [0i16; DAC_CHANNELS];
+        dac[0] = dac0;
+        UsbCommandPacket { state: RobotState::PedalDown, watchdog: wd, dac }
+    }
+
+    /// Runs a healthy Pedal-Down session applying `dac0` for `ms` periods.
+    fn run_session(rig: &mut HardwareRig, dac0: i16, ms: u64) {
+        rig.press_start(at(0));
+        for t in 0..ms {
+            rig.deliver_command(&pedal_down(dac0, t % 2 == 0), at(t));
+            rig.step(at(t));
+        }
+    }
+
+    #[test]
+    fn motors_move_only_in_pedal_down() {
+        let mut rig = HardwareRig::new(PlantParams::raven_ii());
+        rig.press_start(at(0));
+        let m0 = rig.plant.state().motor_pos();
+        // Pedal Up with a big DAC: brakes stay on, nothing moves.
+        for t in 0..20 {
+            let mut pkt = pedal_down(8000, t % 2 == 0);
+            pkt.state = RobotState::PedalUp;
+            rig.deliver_command(&pkt, at(t));
+            rig.step(at(t));
+        }
+        assert_eq!(rig.plant.state().motor_pos(), m0);
+        // Pedal Down: the same DAC moves the shoulder.
+        for t in 20..60 {
+            rig.deliver_command(&pedal_down(8000, t % 2 == 0), at(t));
+            rig.step(at(t));
+        }
+        assert!(rig.plant.state().motor_pos().angles[0] > m0.angles[0]);
+    }
+
+    #[test]
+    fn feedback_reflects_motion() {
+        let mut rig = HardwareRig::new(PlantParams::raven_ii());
+        let before = rig.read_feedback(at(0)).encoders[0];
+        run_session(&mut rig, 6000, 50);
+        let after = rig.read_feedback(at(50)).encoders[0];
+        assert!(after > before, "encoder counts should increase: {before} -> {after}");
+    }
+
+    #[test]
+    fn frozen_watchdog_triggers_estop_and_brakes() {
+        let mut rig = HardwareRig::new(PlantParams::raven_ii());
+        run_session(&mut rig, 2000, 20);
+        assert!(rig.estop().is_none());
+        // Watchdog stops toggling.
+        for t in 20..40 {
+            rig.deliver_command(&pedal_down(2000, true), at(t));
+            rig.step(at(t));
+        }
+        assert_eq!(rig.estop(), Some(EStopCause::WatchdogTimeout));
+        assert!(rig.plant.brakes_engaged());
+    }
+
+    #[test]
+    fn estop_button_stops_motion_immediately() {
+        let mut rig = HardwareRig::new(PlantParams::raven_ii());
+        run_session(&mut rig, 5000, 30);
+        rig.press_estop();
+        let m = rig.plant.state().motor_pos();
+        for t in 30..50 {
+            rig.deliver_command(&pedal_down(5000, t % 2 == 0), at(t));
+            rig.step(at(t));
+        }
+        assert_eq!(rig.plant.state().motor_pos(), m);
+    }
+
+    #[test]
+    fn wrist_channels_drive_wrist_servos() {
+        let mut rig = HardwareRig::new(PlantParams::raven_ii());
+        rig.press_start(at(0));
+        let mut dac = [0i16; DAC_CHANNELS];
+        dac[3] = 10_000; // wrist channel
+        for t in 0..400 {
+            let pkt = UsbCommandPacket {
+                state: RobotState::PedalDown,
+                watchdog: t % 2 == 0,
+                dac,
+            };
+            rig.deliver_command(&pkt, at(t));
+            rig.step(at(t));
+        }
+        let target = 10_000.0 * WRIST_RAD_PER_COUNT;
+        assert!((rig.plant.state().wrist[0] - target).abs() < 0.05 * target.abs() + 1e-4);
+    }
+
+    #[test]
+    fn decode_motor_positions_matches_plant() {
+        let mut rig = HardwareRig::new(PlantParams::raven_ii());
+        run_session(&mut rig, 3000, 40);
+        let fb = rig.read_feedback(at(40));
+        let decoded = rig.decode_motor_positions(&fb);
+        let truth = rig.plant.state().motor_pos();
+        let res = rig.plant.params().encoder_counts_per_rad;
+        for i in 0..3 {
+            assert!((decoded.angles[i] - truth.angles[i]).abs() <= 0.5 / res + 1e-12);
+        }
+    }
+
+    #[test]
+    fn hardened_board_blocks_in_flight_corruption() {
+        use crate::channel::{WriteAction, WriteContext, WriteInterceptor};
+        #[derive(Debug)]
+        struct Corruptor;
+        impl WriteInterceptor for Corruptor {
+            fn on_write(&mut self, buf: &mut Vec<u8>, _ctx: &WriteContext) -> WriteAction {
+                buf[2] = buf[2].wrapping_add(50);
+                WriteAction::Forward
+            }
+            fn name(&self) -> &str {
+                "corruptor"
+            }
+        }
+        let mut rig = HardwareRig::with_hardened_board(PlantParams::raven_ii());
+        rig.channel.install(Box::new(Corruptor));
+        rig.press_start(at(0));
+        rig.deliver_command(&pedal_down(0, true), at(0));
+        assert_eq!(rig.board.integrity_rejects(), 1);
+        assert_eq!(rig.board.latched_dac()[0], 0);
+    }
+}

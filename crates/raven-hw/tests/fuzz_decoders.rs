@@ -1,0 +1,69 @@
+//! Decoder robustness: random byte soup must never panic any decoder —
+//! the parsers sit directly on attacker-controlled input.
+
+use proptest::prelude::*;
+use raven_hw::{BitwCodec, UsbBoard, UsbCommandPacket, UsbFeedbackPacket};
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn command_decoders_never_panic(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = UsbCommandPacket::decode_unchecked(&bytes);
+        let _ = UsbCommandPacket::decode_verified(&bytes);
+    }
+
+    #[test]
+    fn feedback_decoder_never_panics(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let _ = UsbFeedbackPacket::decode_unchecked(&bytes);
+    }
+
+    #[test]
+    fn boards_never_panic_on_garbage(bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let mut stock = UsbBoard::new();
+        let _ = stock.receive(&bytes);
+        let mut hardened = UsbBoard::hardened();
+        let _ = hardened.receive(&bytes);
+        // Latches stay well-formed regardless.
+        let _ = stock.latched_dac();
+        let _ = hardened.latched_state();
+    }
+
+    #[test]
+    fn bitw_open_never_panics(key in any::<u64>(), bytes in prop::collection::vec(any::<u8>(), 0..64)) {
+        let mut codec = BitwCodec::new(key);
+        let _ = codec.open(&bytes);
+    }
+
+    #[test]
+    fn bitw_seal_open_roundtrip(key in any::<u64>(), msg in prop::collection::vec(any::<u8>(), 0..40)) {
+        let mut tx = BitwCodec::new(key);
+        let mut rx = BitwCodec::new(key);
+        let sealed = tx.seal(&msg);
+        let opened = rx.open(&sealed);
+        prop_assert_eq!(opened.as_deref(), Some(msg.as_slice()));
+    }
+
+    #[test]
+    fn bitw_rejects_any_tampering(
+        key in any::<u64>(),
+        msg in prop::collection::vec(any::<u8>(), 1..40),
+        offset_frac in 0.0f64..1.0,
+        delta in 1u8..=255,
+    ) {
+        let mut tx = BitwCodec::new(key);
+        let mut rx = BitwCodec::new(key);
+        let mut sealed = tx.seal(&msg);
+        let offset = ((sealed.len() - 1) as f64 * offset_frac) as usize;
+        sealed[offset] = sealed[offset].wrapping_add(delta);
+        prop_assert!(rx.open(&sealed).is_none(), "tampering at {offset} accepted");
+    }
+
+    #[test]
+    fn bitw_cross_key_rejection(k1 in any::<u64>(), k2 in any::<u64>(), msg in prop::collection::vec(any::<u8>(), 1..40)) {
+        prop_assume!(k1 != k2);
+        let mut tx = BitwCodec::new(k1);
+        let mut rx = BitwCodec::new(k2);
+        prop_assert!(rx.open(&tx.seal(&msg)).is_none());
+    }
+}

@@ -1,0 +1,90 @@
+//! Property-based tests on the USB packet codec and board behavior.
+
+use proptest::prelude::*;
+use raven_hw::{
+    PacketError, RobotState, UsbBoard, UsbCommandPacket, UsbFeedbackPacket, COMMAND_PACKET_LEN,
+};
+
+fn any_state() -> impl Strategy<Value = RobotState> {
+    prop::sample::select(RobotState::all().to_vec())
+}
+
+fn any_command() -> impl Strategy<Value = UsbCommandPacket> {
+    (any_state(), any::<bool>(), prop::array::uniform8(any::<i16>()))
+        .prop_map(|(state, watchdog, dac)| UsbCommandPacket { state, watchdog, dac })
+}
+
+proptest! {
+    #[test]
+    fn command_roundtrip(pkt in any_command()) {
+        let buf = pkt.encode();
+        prop_assert_eq!(UsbCommandPacket::decode_unchecked(&buf).unwrap(), pkt);
+        prop_assert_eq!(UsbCommandPacket::decode_verified(&buf).unwrap(), pkt);
+    }
+
+    #[test]
+    fn feedback_roundtrip(
+        state in any_state(),
+        watchdog in any::<bool>(),
+        encoders in prop::array::uniform8(-(1i32 << 23)..(1i32 << 23)),
+    ) {
+        let pkt = UsbFeedbackPacket { state, watchdog, plc_fault: false, encoders };
+        let decoded = UsbFeedbackPacket::decode_unchecked(&pkt.encode()).unwrap();
+        prop_assert_eq!(decoded, pkt);
+    }
+
+    #[test]
+    fn any_single_byte_payload_change_defeats_the_checksum(
+        pkt in any_command(),
+        offset in 0usize..COMMAND_PACKET_LEN,
+        delta in 1u8..=255,
+    ) {
+        // The additive checksum catches every single-byte modification —
+        // the point is that the *stock board never checks it*.
+        let mut buf = pkt.encode();
+        buf[offset] = buf[offset].wrapping_add(delta);
+        let verdict = UsbCommandPacket::decode_verified(&buf);
+        let rejected = matches!(
+            verdict,
+            Err(PacketError::BadChecksum { .. }) | Err(PacketError::UnknownState { .. })
+        );
+        prop_assert!(rejected, "corrupted packet verified as clean: {verdict:?}");
+    }
+
+    #[test]
+    fn stock_board_accepts_any_payload_corruption(
+        pkt in any_command(),
+        offset in 1usize..COMMAND_PACKET_LEN - 1, // skip byte 0 (state nibble)
+        delta in 1u8..=255,
+    ) {
+        let mut board = UsbBoard::new();
+        let mut buf = pkt.encode();
+        buf[offset] = buf[offset].wrapping_add(delta);
+        // The TOCTOU property: payload corruption always latches.
+        prop_assert!(board.receive(&buf).is_ok());
+    }
+
+    #[test]
+    fn hardened_board_never_latches_corrupted_payload(
+        pkt in any_command(),
+        offset in 1usize..COMMAND_PACKET_LEN - 1,
+        delta in 1u8..=255,
+    ) {
+        let mut board = UsbBoard::hardened();
+        board.receive(&pkt.encode()).unwrap();
+        let latched_before = board.latched_dac();
+        let mut buf = pkt.encode();
+        buf[offset] = buf[offset].wrapping_add(delta);
+        let _ = board.receive(&buf);
+        prop_assert_eq!(board.latched_dac(), latched_before);
+    }
+
+    #[test]
+    fn byte0_always_encodes_state_and_watchdog(pkt in any_command()) {
+        let b0 = pkt.encode()[0];
+        prop_assert_eq!(RobotState::from_nibble(b0 & 0x0F), Some(pkt.state));
+        prop_assert_eq!(b0 & 0x10 != 0, pkt.watchdog);
+        // Bits 5–7 are always clear (the analysis relies on a small alphabet).
+        prop_assert_eq!(b0 & 0xE0, 0);
+    }
+}

@@ -1,0 +1,195 @@
+//! Joint-space and motor-space state types.
+//!
+//! The paper distinguishes joint positions (`jpos`, in joint units: radians
+//! for the two revolute axes, meters for insertion) from motor positions
+//! (`mpos`, motor-shaft radians behind the cable transmission). Fig. 8
+//! reports model errors separately for both spaces; this module provides the
+//! corresponding strongly-typed vectors so the two can never be confused.
+
+use serde::{Deserialize, Serialize};
+
+/// Number of dynamically-modeled positioning axes (shoulder, elbow,
+/// insertion) — the paper's "first three (out of seven) degrees of freedom".
+pub const NUM_AXES: usize = 3;
+
+/// Number of wrist/instrument servo channels carried kinematically
+/// (tool rotation, wrist, grasper jaw 1, grasper jaw 2).
+pub const WRIST_AXES: usize = 4;
+
+/// Number of motor channels on one USB I/O board (the RAVEN interface boards
+/// are 8-channel; channel 7 is unused on a 7-DOF arm).
+pub const NUM_CHANNELS: usize = 8;
+
+/// Positions of the three positioning joints.
+///
+/// # Example
+///
+/// ```
+/// use raven_kinematics::JointState;
+///
+/// let j = JointState::new(0.4, 1.5, 0.30);
+/// assert_eq!(j.to_array(), [0.4, 1.5, 0.30]);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct JointState {
+    /// Shoulder joint angle (radians).
+    pub shoulder: f64,
+    /// Elbow joint angle (radians).
+    pub elbow: f64,
+    /// Tool insertion depth (meters, positive into the patient).
+    pub insertion: f64,
+}
+
+impl JointState {
+    /// Creates a joint state.
+    pub const fn new(shoulder: f64, elbow: f64, insertion: f64) -> Self {
+        JointState { shoulder, elbow, insertion }
+    }
+
+    /// As an array `[shoulder, elbow, insertion]`.
+    pub const fn to_array(self) -> [f64; NUM_AXES] {
+        [self.shoulder, self.elbow, self.insertion]
+    }
+
+    /// From an array `[shoulder, elbow, insertion]`.
+    pub const fn from_array(a: [f64; NUM_AXES]) -> Self {
+        JointState::new(a[0], a[1], a[2])
+    }
+
+    /// Component-wise difference `self - rhs`.
+    pub fn delta(self, rhs: JointState) -> JointState {
+        JointState::new(
+            self.shoulder - rhs.shoulder,
+            self.elbow - rhs.elbow,
+            self.insertion - rhs.insertion,
+        )
+    }
+
+    /// Largest absolute component (mixed units; useful for quick limiting).
+    pub fn max_abs(self) -> f64 {
+        self.shoulder.abs().max(self.elbow.abs()).max(self.insertion.abs())
+    }
+
+    /// `true` when every component is finite.
+    pub fn is_finite(self) -> bool {
+        self.shoulder.is_finite() && self.elbow.is_finite() && self.insertion.is_finite()
+    }
+}
+
+impl From<[f64; NUM_AXES]> for JointState {
+    fn from(a: [f64; NUM_AXES]) -> Self {
+        JointState::from_array(a)
+    }
+}
+
+impl From<JointState> for [f64; NUM_AXES] {
+    fn from(j: JointState) -> Self {
+        j.to_array()
+    }
+}
+
+impl std::fmt::Display for JointState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "jpos(sh={:.4}rad, el={:.4}rad, ins={:.4}m)",
+            self.shoulder, self.elbow, self.insertion
+        )
+    }
+}
+
+/// Positions of the three positioning motors (motor-shaft radians).
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct MotorState {
+    /// Motor shaft angles for axes 0..2 (radians).
+    pub angles: [f64; NUM_AXES],
+}
+
+impl MotorState {
+    /// Creates a motor state from shaft angles.
+    pub const fn new(angles: [f64; NUM_AXES]) -> Self {
+        MotorState { angles }
+    }
+
+    /// As an array.
+    pub const fn to_array(self) -> [f64; NUM_AXES] {
+        self.angles
+    }
+
+    /// Component-wise difference `self - rhs`.
+    pub fn delta(self, rhs: MotorState) -> MotorState {
+        let mut out = [0.0; NUM_AXES];
+        for i in 0..NUM_AXES {
+            out[i] = self.angles[i] - rhs.angles[i];
+        }
+        MotorState::new(out)
+    }
+
+    /// Largest absolute shaft angle.
+    pub fn max_abs(self) -> f64 {
+        self.angles.iter().fold(0.0, |m, a| m.max(a.abs()))
+    }
+
+    /// `true` when every component is finite.
+    pub fn is_finite(self) -> bool {
+        self.angles.iter().all(|a| a.is_finite())
+    }
+}
+
+impl From<[f64; NUM_AXES]> for MotorState {
+    fn from(a: [f64; NUM_AXES]) -> Self {
+        MotorState::new(a)
+    }
+}
+
+impl std::fmt::Display for MotorState {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "mpos({:.3}, {:.3}, {:.3})rad",
+            self.angles[0], self.angles[1], self.angles[2]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn array_roundtrip() {
+        let j = JointState::new(1.0, 2.0, 0.3);
+        assert_eq!(JointState::from_array(j.to_array()), j);
+        let m = MotorState::new([10.0, -5.0, 2.0]);
+        assert_eq!(MotorState::from(m.to_array()), m);
+    }
+
+    #[test]
+    fn delta_and_max_abs() {
+        let a = JointState::new(1.0, 2.0, 0.3);
+        let b = JointState::new(0.5, 2.5, 0.1);
+        let d = a.delta(b);
+        assert!((d.shoulder - 0.5).abs() < 1e-12);
+        assert!((d.elbow + 0.5).abs() < 1e-12);
+        assert!((d.insertion - 0.2).abs() < 1e-12);
+        assert_eq!(d.max_abs(), 0.5);
+        let m = MotorState::new([1.0, -3.0, 2.0]);
+        assert_eq!(m.max_abs(), 3.0);
+        assert_eq!(m.delta(m), MotorState::default());
+    }
+
+    #[test]
+    fn finiteness() {
+        assert!(JointState::new(0.0, 0.0, 0.0).is_finite());
+        assert!(!JointState::new(f64::NAN, 0.0, 0.0).is_finite());
+        assert!(!MotorState::new([0.0, f64::INFINITY, 0.0]).is_finite());
+    }
+
+    #[test]
+    fn display_formats() {
+        let j = format!("{}", JointState::new(0.1, 0.2, 0.3));
+        assert!(j.contains("sh=0.1000"));
+        let m = format!("{}", MotorState::new([1.0, 2.0, 3.0]));
+        assert!(m.starts_with("mpos("));
+    }
+}

@@ -1,0 +1,181 @@
+//! Joint limits and workspace checks.
+//!
+//! The RAVEN control software "compares … with a set of pre-defined
+//! thresholds to ensure the motors and arm joints do not move beyond their
+//! safety limits" and verifies "the desired joint positions are not outside
+//! of the robot workspace" (paper §II.B, §III.B.3). This module provides
+//! those predicates; `raven-control::safety` wires them into the software
+//! safety checks that the TOCTOU attack bypasses.
+
+use serde::{Deserialize, Serialize};
+
+use crate::joints::JointState;
+
+/// Which joint violated its limit, and by how much.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub enum LimitViolation {
+    /// Shoulder angle outside its range.
+    Shoulder {
+        /// The offending value (radians).
+        value: f64,
+    },
+    /// Elbow angle outside its range.
+    Elbow {
+        /// The offending value (radians).
+        value: f64,
+    },
+    /// Insertion depth outside its range.
+    Insertion {
+        /// The offending value (meters).
+        value: f64,
+    },
+    /// A non-finite joint value (NaN propagation from a corrupted input).
+    NonFinite,
+}
+
+impl std::fmt::Display for LimitViolation {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LimitViolation::Shoulder { value } => write!(f, "shoulder limit violated: {value:.4} rad"),
+            LimitViolation::Elbow { value } => write!(f, "elbow limit violated: {value:.4} rad"),
+            LimitViolation::Insertion { value } => {
+                write!(f, "insertion limit violated: {value:.4} m")
+            }
+            LimitViolation::NonFinite => f.write_str("non-finite joint value"),
+        }
+    }
+}
+
+impl std::error::Error for LimitViolation {}
+
+/// Mechanical ranges of the three positioning joints.
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct JointLimits {
+    /// Shoulder range (radians), inclusive.
+    pub shoulder: (f64, f64),
+    /// Elbow range (radians), inclusive.
+    pub elbow: (f64, f64),
+    /// Insertion range (meters), inclusive.
+    pub insertion: (f64, f64),
+}
+
+impl JointLimits {
+    /// RAVEN II-like ranges (ref. \[12\]: shoulder 0–90°, elbow 0–135°
+    /// mechanism range, insertion stroke in the 0.08–0.45 m band around the
+    /// port).
+    pub fn raven_ii() -> Self {
+        JointLimits {
+            shoulder: (-1.6, 1.6),
+            elbow: (0.15, 2.6),
+            insertion: (0.08, 0.45),
+        }
+    }
+
+    /// Checks a joint state, returning the first violation found (shoulder,
+    /// elbow, insertion order — matching the axis order of the USB packet).
+    pub fn check(&self, joints: &JointState) -> Result<(), LimitViolation> {
+        if !joints.is_finite() {
+            return Err(LimitViolation::NonFinite);
+        }
+        if joints.shoulder < self.shoulder.0 || joints.shoulder > self.shoulder.1 {
+            return Err(LimitViolation::Shoulder { value: joints.shoulder });
+        }
+        if joints.elbow < self.elbow.0 || joints.elbow > self.elbow.1 {
+            return Err(LimitViolation::Elbow { value: joints.elbow });
+        }
+        if joints.insertion < self.insertion.0 || joints.insertion > self.insertion.1 {
+            return Err(LimitViolation::Insertion { value: joints.insertion });
+        }
+        Ok(())
+    }
+
+    /// `true` when the state satisfies every limit.
+    pub fn contains(&self, joints: &JointState) -> bool {
+        self.check(joints).is_ok()
+    }
+
+    /// Clamps a joint state into the limit box (used by the mitigation
+    /// policy that forces the robot to "stay in a previously safe state",
+    /// paper §IV.C).
+    pub fn clamp(&self, joints: &JointState) -> JointState {
+        JointState::new(
+            joints.shoulder.clamp(self.shoulder.0, self.shoulder.1),
+            joints.elbow.clamp(self.elbow.0, self.elbow.1),
+            joints.insertion.clamp(self.insertion.0, self.insertion.1),
+        )
+    }
+
+    /// The center of the limit box — a safe "home" configuration.
+    pub fn center(&self) -> JointState {
+        JointState::new(
+            0.5 * (self.shoulder.0 + self.shoulder.1),
+            0.5 * (self.elbow.0 + self.elbow.1),
+            0.5 * (self.insertion.0 + self.insertion.1),
+        )
+    }
+}
+
+impl Default for JointLimits {
+    fn default() -> Self {
+        JointLimits::raven_ii()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn center_is_inside() {
+        let l = JointLimits::raven_ii();
+        assert!(l.contains(&l.center()));
+    }
+
+    #[test]
+    fn violations_are_reported_per_joint() {
+        let l = JointLimits::raven_ii();
+        let mut j = l.center();
+        j.shoulder = 10.0;
+        assert!(matches!(l.check(&j), Err(LimitViolation::Shoulder { .. })));
+        let mut j = l.center();
+        j.elbow = -1.0;
+        assert!(matches!(l.check(&j), Err(LimitViolation::Elbow { .. })));
+        let mut j = l.center();
+        j.insertion = 0.0;
+        assert!(matches!(l.check(&j), Err(LimitViolation::Insertion { .. })));
+    }
+
+    #[test]
+    fn non_finite_is_rejected() {
+        let l = JointLimits::raven_ii();
+        let j = JointState::new(f64::NAN, 1.0, 0.2);
+        assert!(matches!(l.check(&j), Err(LimitViolation::NonFinite)));
+    }
+
+    #[test]
+    fn clamp_brings_state_inside() {
+        let l = JointLimits::raven_ii();
+        let wild = JointState::new(99.0, -99.0, 99.0);
+        let c = l.clamp(&wild);
+        assert!(l.contains(&c));
+        assert_eq!(c.shoulder, l.shoulder.1);
+        assert_eq!(c.elbow, l.elbow.0);
+        assert_eq!(c.insertion, l.insertion.1);
+        // Clamping an in-range state is the identity.
+        let inside = l.center();
+        assert_eq!(l.clamp(&inside), inside);
+    }
+
+    #[test]
+    fn boundary_is_inclusive() {
+        let l = JointLimits::raven_ii();
+        let j = JointState::new(l.shoulder.1, l.elbow.0, l.insertion.1);
+        assert!(l.contains(&j));
+    }
+
+    #[test]
+    fn violation_display() {
+        assert!(format!("{}", LimitViolation::Shoulder { value: 2.0 }).contains("shoulder"));
+        assert!(format!("{}", LimitViolation::NonFinite).contains("finite"));
+    }
+}

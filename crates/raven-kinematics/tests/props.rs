@@ -1,0 +1,86 @@
+//! Property-based tests: FK∘IK identity, coupling invertibility, limits.
+
+use proptest::prelude::*;
+use raven_kinematics::{ArmConfig, CouplingMatrix, JointLimits, JointState, MotorState};
+use raven_math::Vec3;
+
+fn in_limit_joints() -> impl Strategy<Value = JointState> {
+    let l = JointLimits::raven_ii();
+    (
+        l.shoulder.0..l.shoulder.1,
+        l.elbow.0..l.elbow.1,
+        l.insertion.0..l.insertion.1,
+    )
+        .prop_map(|(s, e, i)| JointState::new(s, e, i))
+}
+
+proptest! {
+    #[test]
+    fn fk_ik_roundtrip_on_reachable_workspace(j in in_limit_joints()) {
+        let arm = ArmConfig::raven_ii_left();
+        let fk = arm.forward(&j);
+        let back = arm.inverse(fk.position).unwrap();
+        prop_assert!((back.shoulder - j.shoulder).abs() < 1e-8);
+        prop_assert!((back.elbow - j.elbow).abs() < 1e-8);
+        prop_assert!((back.insertion - j.insertion).abs() < 1e-8);
+    }
+
+    #[test]
+    fn fk_position_distance_equals_insertion(j in in_limit_joints()) {
+        let arm = ArmConfig::raven_ii_left();
+        let fk = arm.forward(&j);
+        prop_assert!((fk.position.distance(arm.remote_center) - j.insertion).abs() < 1e-9);
+    }
+
+    #[test]
+    fn fk_is_smooth_under_small_joint_motion(j in in_limit_joints()) {
+        // A 1 mrad / 0.1 mm joint step moves the tip less than ~1 mm:
+        // the basis of the paper's "1 mm jump in 1-2 ms is anomalous" rule.
+        let arm = ArmConfig::raven_ii_left();
+        let eps = JointState::new(j.shoulder + 1e-3, j.elbow + 1e-3, j.insertion + 1e-4);
+        let d = arm.forward(&j).position.distance(arm.forward(&eps).position);
+        prop_assert!(d < 1.5e-3, "tip moved {d} m for a tiny joint step");
+    }
+
+    #[test]
+    fn coupling_roundtrip(j in in_limit_joints()) {
+        let c = CouplingMatrix::raven_ii();
+        let back = c.motors_to_joints(&c.joints_to_motors(&j));
+        prop_assert!((back.shoulder - j.shoulder).abs() < 1e-10);
+        prop_assert!((back.elbow - j.elbow).abs() < 1e-10);
+        prop_assert!((back.insertion - j.insertion).abs() < 1e-10);
+    }
+
+    #[test]
+    fn motor_roundtrip(a0 in -500.0..500.0f64, a1 in -500.0..500.0f64, a2 in -500.0..500.0f64) {
+        let c = CouplingMatrix::raven_ii();
+        let m = MotorState::new([a0, a1, a2]);
+        let back = c.joints_to_motors(&c.motors_to_joints(&m));
+        for i in 0..3 {
+            prop_assert!((back.angles[i] - m.angles[i]).abs() < 1e-8);
+        }
+    }
+
+    #[test]
+    fn clamp_is_idempotent_and_contained(
+        s in -10.0..10.0f64, e in -10.0..10.0f64, i in -2.0..2.0f64,
+    ) {
+        let l = JointLimits::raven_ii();
+        let j = JointState::new(s, e, i);
+        let c = l.clamp(&j);
+        prop_assert!(l.contains(&c));
+        prop_assert_eq!(l.clamp(&c), c);
+    }
+
+    #[test]
+    fn ik_never_returns_out_of_mechanism_branch(p in prop::array::uniform3(-0.6..0.6f64)) {
+        let arm = ArmConfig::raven_ii_left();
+        if let Ok(j) = arm.inverse(Vec3::from(p)) {
+            // Elbow-down branch only.
+            prop_assert!(j.elbow >= 0.0 && j.elbow <= std::f64::consts::PI + 1e-9);
+            // And FK of the solution must land on the target.
+            let fk = arm.forward(&j);
+            prop_assert!((fk.position - Vec3::from(p)).norm() < 1e-8);
+        }
+    }
+}

@@ -1,0 +1,108 @@
+//! Angle utilities: wrapping, unit conversion, and shortest angular distance.
+
+use std::f64::consts::PI;
+
+/// Converts degrees to radians.
+#[inline]
+pub fn deg_to_rad(deg: f64) -> f64 {
+    deg * PI / 180.0
+}
+
+/// Converts radians to degrees.
+#[inline]
+pub fn rad_to_deg(rad: f64) -> f64 {
+    rad * 180.0 / PI
+}
+
+/// Wraps an angle into `(-π, π]`.
+///
+/// # Example
+///
+/// ```
+/// use raven_math::angles::wrap_to_pi;
+/// use std::f64::consts::PI;
+///
+/// assert!((wrap_to_pi(3.0 * PI) - PI).abs() < 1e-12);
+/// assert!((wrap_to_pi(-3.0 * PI) - PI).abs() < 1e-12);
+/// ```
+pub fn wrap_to_pi(angle: f64) -> f64 {
+    let two_pi = 2.0 * PI;
+    let mut a = angle % two_pi;
+    if a <= -PI {
+        a += two_pi;
+    } else if a > PI {
+        a -= two_pi;
+    }
+    a
+}
+
+/// Shortest signed angular distance from `from` to `to`, in `(-π, π]`.
+pub fn shortest_delta(from: f64, to: f64) -> f64 {
+    wrap_to_pi(to - from)
+}
+
+/// Clamps `value` into `[lo, hi]`.
+///
+/// # Panics
+///
+/// Panics if `lo > hi`.
+#[inline]
+pub fn clamp(value: f64, lo: f64, hi: f64) -> f64 {
+    assert!(lo <= hi, "clamp: lo ({lo}) > hi ({hi})");
+    value.max(lo).min(hi)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn degree_radian_roundtrip() {
+        for d in [-720.0, -90.0, 0.0, 45.0, 180.0, 359.0] {
+            assert!((rad_to_deg(deg_to_rad(d)) - d).abs() < 1e-10);
+        }
+        assert!((deg_to_rad(180.0) - PI).abs() < 1e-15);
+    }
+
+    #[test]
+    fn wrap_stays_in_range() {
+        for k in -20..20 {
+            for frac in [0.0, 0.1, 0.5, 0.99] {
+                let a = k as f64 * PI + frac;
+                let w = wrap_to_pi(a);
+                assert!(w > -PI - 1e-12 && w <= PI + 1e-12, "{a} wrapped to {w}");
+                // Wrapped angle is congruent mod 2π.
+                assert!(((a - w) / (2.0 * PI)).round() * 2.0 * PI - (a - w) < 1e-9);
+            }
+        }
+    }
+
+    #[test]
+    fn wrap_fixed_points() {
+        assert_eq!(wrap_to_pi(0.0), 0.0);
+        assert!((wrap_to_pi(PI) - PI).abs() < 1e-12);
+        assert!((wrap_to_pi(-PI) - PI).abs() < 1e-12); // -π maps to +π
+        assert!((wrap_to_pi(2.0 * PI)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn shortest_delta_takes_short_way() {
+        let d = shortest_delta(deg_to_rad(170.0), deg_to_rad(-170.0));
+        assert!((d - deg_to_rad(20.0)).abs() < 1e-12);
+        let d = shortest_delta(deg_to_rad(-170.0), deg_to_rad(170.0));
+        assert!((d + deg_to_rad(20.0)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn clamp_basics() {
+        assert_eq!(clamp(5.0, 0.0, 1.0), 1.0);
+        assert_eq!(clamp(-5.0, 0.0, 1.0), 0.0);
+        assert_eq!(clamp(0.5, 0.0, 1.0), 0.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "clamp")]
+    fn clamp_invalid_range_panics() {
+        clamp(0.0, 1.0, -1.0);
+    }
+}

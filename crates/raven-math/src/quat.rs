@@ -1,0 +1,295 @@
+//! Unit quaternions for end-effector orientations (`ori`, `ori_d` in the
+//! paper's kinematic chain, Fig. 2).
+
+use serde::{Deserialize, Serialize};
+
+use crate::mat3::Mat3;
+use crate::vec3::Vec3;
+
+/// A quaternion `w + xi + yj + zk`.
+///
+/// Most constructors produce unit quaternions representing rotations; use
+/// [`Quat::normalized`] after arithmetic that may drift off the unit sphere.
+///
+/// # Example
+///
+/// ```
+/// use raven_math::{Quat, Vec3};
+///
+/// let q = Quat::from_axis_angle(Vec3::Z, std::f64::consts::FRAC_PI_2).unwrap();
+/// assert!((q.rotate(Vec3::X) - Vec3::Y).norm() < 1e-12);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
+pub struct Quat {
+    /// Scalar part.
+    pub w: f64,
+    /// Vector part, i component.
+    pub x: f64,
+    /// Vector part, j component.
+    pub y: f64,
+    /// Vector part, k component.
+    pub z: f64,
+}
+
+impl Quat {
+    /// The identity rotation.
+    pub const IDENTITY: Quat = Quat { w: 1.0, x: 0.0, y: 0.0, z: 0.0 };
+
+    /// Creates a quaternion from raw components.
+    #[inline]
+    pub const fn new(w: f64, x: f64, y: f64, z: f64) -> Self {
+        Quat { w, x, y, z }
+    }
+
+    /// Rotation of `angle` radians about `axis`. Returns `None` when `axis`
+    /// has no direction (norm below `1e-12`).
+    pub fn from_axis_angle(axis: Vec3, angle: f64) -> Option<Quat> {
+        let axis = axis.normalized()?;
+        let (s, c) = (angle * 0.5).sin_cos();
+        Some(Quat::new(c, axis.x * s, axis.y * s, axis.z * s))
+    }
+
+    /// Quaternion norm.
+    pub fn norm(self) -> f64 {
+        (self.w * self.w + self.x * self.x + self.y * self.y + self.z * self.z).sqrt()
+    }
+
+    /// Returns the unit quaternion, or `None` when the norm is below `1e-12`.
+    pub fn normalized(self) -> Option<Quat> {
+        let n = self.norm();
+        if n < 1e-12 {
+            return None;
+        }
+        Some(Quat::new(self.w / n, self.x / n, self.y / n, self.z / n))
+    }
+
+    /// Conjugate; the inverse rotation for unit quaternions.
+    #[inline]
+    pub fn conjugate(self) -> Quat {
+        Quat::new(self.w, -self.x, -self.y, -self.z)
+    }
+
+    /// Hamilton product `self * rhs` (apply `rhs` first, then `self`).
+    /// Also available as the `*` operator.
+    #[allow(clippy::should_implement_trait)] // kept for call-chaining ergonomics
+    pub fn mul(self, rhs: Quat) -> Quat {
+        Quat::new(
+            self.w * rhs.w - self.x * rhs.x - self.y * rhs.y - self.z * rhs.z,
+            self.w * rhs.x + self.x * rhs.w + self.y * rhs.z - self.z * rhs.y,
+            self.w * rhs.y - self.x * rhs.z + self.y * rhs.w + self.z * rhs.x,
+            self.w * rhs.z + self.x * rhs.y - self.y * rhs.x + self.z * rhs.w,
+        )
+    }
+
+    /// Rotates a vector by this (unit) quaternion.
+    pub fn rotate(self, v: Vec3) -> Vec3 {
+        // v' = v + 2u × (u × v + w v), u = vector part.
+        let u = Vec3::new(self.x, self.y, self.z);
+        v + 2.0 * u.cross(u.cross(v) + v * self.w)
+    }
+
+    /// The equivalent rotation matrix.
+    pub fn to_mat3(self) -> Mat3 {
+        Mat3::from_columns(self.rotate(Vec3::X), self.rotate(Vec3::Y), self.rotate(Vec3::Z))
+    }
+
+    /// Builds a unit quaternion from a proper rotation matrix (Shepperd's
+    /// method, numerically stable branch selection).
+    pub fn from_mat3(m: &Mat3) -> Quat {
+        let t = m.trace();
+        let q = if t > 0.0 {
+            let s = (t + 1.0).sqrt() * 2.0;
+            Quat::new(
+                0.25 * s,
+                (m.at(2, 1) - m.at(1, 2)) / s,
+                (m.at(0, 2) - m.at(2, 0)) / s,
+                (m.at(1, 0) - m.at(0, 1)) / s,
+            )
+        } else if m.at(0, 0) > m.at(1, 1) && m.at(0, 0) > m.at(2, 2) {
+            let s = (1.0 + m.at(0, 0) - m.at(1, 1) - m.at(2, 2)).sqrt() * 2.0;
+            Quat::new(
+                (m.at(2, 1) - m.at(1, 2)) / s,
+                0.25 * s,
+                (m.at(0, 1) + m.at(1, 0)) / s,
+                (m.at(0, 2) + m.at(2, 0)) / s,
+            )
+        } else if m.at(1, 1) > m.at(2, 2) {
+            let s = (1.0 + m.at(1, 1) - m.at(0, 0) - m.at(2, 2)).sqrt() * 2.0;
+            Quat::new(
+                (m.at(0, 2) - m.at(2, 0)) / s,
+                (m.at(0, 1) + m.at(1, 0)) / s,
+                0.25 * s,
+                (m.at(1, 2) + m.at(2, 1)) / s,
+            )
+        } else {
+            let s = (1.0 + m.at(2, 2) - m.at(0, 0) - m.at(1, 1)).sqrt() * 2.0;
+            Quat::new(
+                (m.at(1, 0) - m.at(0, 1)) / s,
+                (m.at(0, 2) + m.at(2, 0)) / s,
+                (m.at(1, 2) + m.at(2, 1)) / s,
+                0.25 * s,
+            )
+        };
+        q.normalized().unwrap_or(Quat::IDENTITY)
+    }
+
+    /// Geodesic angle (radians, in `[0, π]`) between two unit quaternions.
+    pub fn angle_to(self, rhs: Quat) -> f64 {
+        let dot = (self.w * rhs.w + self.x * rhs.x + self.y * rhs.y + self.z * rhs.z)
+            .abs()
+            .clamp(0.0, 1.0);
+        2.0 * dot.acos()
+    }
+
+    /// Spherical linear interpolation from `self` (`t = 0`) to `rhs` (`t = 1`).
+    pub fn slerp(self, rhs: Quat, t: f64) -> Quat {
+        let mut dot =
+            self.w * rhs.w + self.x * rhs.x + self.y * rhs.y + self.z * rhs.z;
+        // Take the short way around.
+        let mut end = rhs;
+        if dot < 0.0 {
+            dot = -dot;
+            end = Quat::new(-rhs.w, -rhs.x, -rhs.y, -rhs.z);
+        }
+        if dot > 0.9995 {
+            // Nearly parallel: fall back to nlerp.
+            let q = Quat::new(
+                self.w + (end.w - self.w) * t,
+                self.x + (end.x - self.x) * t,
+                self.y + (end.y - self.y) * t,
+                self.z + (end.z - self.z) * t,
+            );
+            return q.normalized().unwrap_or(Quat::IDENTITY);
+        }
+        let theta = dot.acos();
+        let (s0, s1) = (((1.0 - t) * theta).sin() / theta.sin(), (t * theta).sin() / theta.sin());
+        Quat::new(
+            self.w * s0 + end.w * s1,
+            self.x * s0 + end.x * s1,
+            self.y * s0 + end.y * s1,
+            self.z * s0 + end.z * s1,
+        )
+    }
+
+    /// `true` when every component is finite.
+    pub fn is_finite(self) -> bool {
+        self.w.is_finite() && self.x.is_finite() && self.y.is_finite() && self.z.is_finite()
+    }
+}
+
+impl Default for Quat {
+    fn default() -> Self {
+        Quat::IDENTITY
+    }
+}
+
+impl std::ops::Mul for Quat {
+    type Output = Quat;
+    fn mul(self, rhs: Quat) -> Quat {
+        Quat::mul(self, rhs)
+    }
+}
+
+impl std::fmt::Display for Quat {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "[{:.6}; {:.6}, {:.6}, {:.6}]", self.w, self.x, self.y, self.z)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PI: f64 = std::f64::consts::PI;
+
+    #[test]
+    fn identity_rotates_nothing() {
+        let v = Vec3::new(1.0, -2.0, 0.5);
+        assert!((Quat::IDENTITY.rotate(v) - v).norm() < 1e-15);
+    }
+
+    #[test]
+    fn axis_angle_basics() {
+        let q = Quat::from_axis_angle(Vec3::Z, PI / 2.0).unwrap();
+        assert!((q.rotate(Vec3::X) - Vec3::Y).norm() < 1e-12);
+        assert!((q.rotate(Vec3::Y) + Vec3::X).norm() < 1e-12);
+        // Rotation about the axis leaves the axis fixed.
+        assert!((q.rotate(Vec3::Z) - Vec3::Z).norm() < 1e-12);
+        assert!(Quat::from_axis_angle(Vec3::ZERO, 1.0).is_none());
+    }
+
+    #[test]
+    fn conjugate_inverts_rotation() {
+        let q = Quat::from_axis_angle(Vec3::new(1.0, 2.0, -0.3), 1.1).unwrap();
+        let v = Vec3::new(0.2, -0.7, 1.5);
+        assert!((q.conjugate().rotate(q.rotate(v)) - v).norm() < 1e-12);
+    }
+
+    #[test]
+    fn composition_matches_sequential_rotation() {
+        let a = Quat::from_axis_angle(Vec3::X, 0.4).unwrap();
+        let b = Quat::from_axis_angle(Vec3::Y, -0.9).unwrap();
+        let v = Vec3::new(1.0, 2.0, 3.0);
+        let via_product = a.mul(b).rotate(v);
+        let sequential = a.rotate(b.rotate(v));
+        assert!((via_product - sequential).norm() < 1e-12);
+    }
+
+    #[test]
+    fn matrix_roundtrip() {
+        for (axis, ang) in [
+            (Vec3::X, 0.3),
+            (Vec3::new(1.0, 1.0, 0.0), 2.2),
+            (Vec3::new(-0.2, 0.5, 0.9), -1.4),
+            (Vec3::Y, PI - 1e-3),
+        ] {
+            let q = Quat::from_axis_angle(axis, ang).unwrap();
+            let m = q.to_mat3();
+            assert!(m.is_rotation(1e-10));
+            let q2 = Quat::from_mat3(&m);
+            assert!(q.angle_to(q2) < 1e-9, "roundtrip failed for {q}");
+        }
+    }
+
+    #[test]
+    fn angle_to_self_is_zero() {
+        let q = Quat::from_axis_angle(Vec3::Z, 0.8).unwrap();
+        assert!(q.angle_to(q) < 1e-7);
+        // q and -q represent the same rotation.
+        let neg = Quat::new(-q.w, -q.x, -q.y, -q.z);
+        assert!(q.angle_to(neg) < 1e-7);
+    }
+
+    #[test]
+    fn slerp_endpoints_and_halfway() {
+        let a = Quat::IDENTITY;
+        let b = Quat::from_axis_angle(Vec3::Z, 1.0).unwrap();
+        assert!(a.slerp(b, 0.0).angle_to(a) < 1e-9);
+        assert!(a.slerp(b, 1.0).angle_to(b) < 1e-9);
+        let mid = a.slerp(b, 0.5);
+        let expect = Quat::from_axis_angle(Vec3::Z, 0.5).unwrap();
+        assert!(mid.angle_to(expect) < 1e-9);
+    }
+
+    #[test]
+    fn slerp_near_parallel_falls_back() {
+        let a = Quat::from_axis_angle(Vec3::Z, 1e-9).unwrap();
+        let b = Quat::IDENTITY;
+        let q = a.slerp(b, 0.3);
+        assert!((q.norm() - 1.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn operator_mul_matches_method() {
+        let a = Quat::from_axis_angle(Vec3::X, 0.4).unwrap();
+        let b = Quat::from_axis_angle(Vec3::Y, -0.9).unwrap();
+        assert_eq!(a * b, a.mul(b));
+    }
+
+    #[test]
+    fn normalized_unit() {
+        let q = Quat::new(2.0, 0.0, 0.0, 0.0).normalized().unwrap();
+        assert_eq!(q, Quat::IDENTITY);
+        assert!(Quat::new(0.0, 0.0, 0.0, 0.0).normalized().is_none());
+    }
+}

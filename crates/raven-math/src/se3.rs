@@ -1,0 +1,205 @@
+//! Rigid-body poses (SE(3)) and Denavit–Hartenberg transforms for the
+//! RAVEN II kinematic chain.
+
+use serde::{Deserialize, Serialize};
+
+use crate::mat3::Mat3;
+use crate::quat::Quat;
+use crate::vec3::Vec3;
+
+/// A rigid-body pose: rotation followed by translation.
+///
+/// Composition follows the usual convention: `a.compose(&b)` maps a point
+/// first through `b`, then through `a` — i.e. `T_a * T_b` as homogeneous
+/// matrices.
+///
+/// # Example
+///
+/// ```
+/// use raven_math::{Pose, Vec3};
+///
+/// let lift = Pose::from_translation(Vec3::new(0.0, 0.0, 1.0));
+/// assert_eq!(lift.transform_point(Vec3::ZERO), Vec3::new(0.0, 0.0, 1.0));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct Pose {
+    /// Orientation of the frame.
+    pub rotation: Quat,
+    /// Origin of the frame.
+    pub translation: Vec3,
+}
+
+impl Pose {
+    /// The identity pose.
+    pub const IDENTITY: Pose = Pose { rotation: Quat::IDENTITY, translation: Vec3::ZERO };
+
+    /// Creates a pose from a rotation and a translation.
+    pub const fn new(rotation: Quat, translation: Vec3) -> Self {
+        Pose { rotation, translation }
+    }
+
+    /// A pure translation.
+    pub const fn from_translation(translation: Vec3) -> Self {
+        Pose { rotation: Quat::IDENTITY, translation }
+    }
+
+    /// A pure rotation.
+    pub const fn from_rotation(rotation: Quat) -> Self {
+        Pose { rotation, translation: Vec3::ZERO }
+    }
+
+    /// Maps a point through this pose.
+    pub fn transform_point(&self, p: Vec3) -> Vec3 {
+        self.rotation.rotate(p) + self.translation
+    }
+
+    /// Rotates a direction (ignores translation).
+    pub fn transform_direction(&self, d: Vec3) -> Vec3 {
+        self.rotation.rotate(d)
+    }
+
+    /// Pose composition: `self` applied after `rhs`.
+    pub fn compose(&self, rhs: &Pose) -> Pose {
+        Pose {
+            rotation: self.rotation.mul(rhs.rotation),
+            translation: self.transform_point(rhs.translation),
+        }
+    }
+
+    /// The inverse pose.
+    pub fn inverse(&self) -> Pose {
+        let inv_rot = self.rotation.conjugate();
+        Pose { rotation: inv_rot, translation: -inv_rot.rotate(self.translation) }
+    }
+
+    /// Rotation as a matrix.
+    pub fn rotation_matrix(&self) -> Mat3 {
+        self.rotation.to_mat3()
+    }
+}
+
+impl std::fmt::Display for Pose {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Pose {{ t: {}, r: {} }}", self.translation, self.rotation)
+    }
+}
+
+/// Standard Denavit–Hartenberg parameters for one link of a serial chain.
+///
+/// The RAVEN II positioning mechanism is a spherical linkage: its first two
+/// DH link twists are the fixed cable-drive angles of the mechanism, and the
+/// third joint is prismatic (tool insertion). See `raven-kinematics` for the
+/// concrete parameter set.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct DhParam {
+    /// Link length `a` (meters).
+    pub a: f64,
+    /// Link twist `alpha` (radians).
+    pub alpha: f64,
+    /// Link offset `d` (meters); variable for prismatic joints.
+    pub d: f64,
+    /// Joint angle `theta` (radians); variable for revolute joints.
+    pub theta: f64,
+}
+
+impl DhParam {
+    /// Creates a DH parameter row.
+    pub const fn new(a: f64, alpha: f64, d: f64, theta: f64) -> Self {
+        DhParam { a, alpha, d, theta }
+    }
+
+    /// The homogeneous transform of this link (standard DH convention):
+    /// `Rz(theta) · Tz(d) · Tx(a) · Rx(alpha)`.
+    pub fn transform(&self) -> Pose {
+        let rz = Pose::from_rotation(
+            Quat::from_axis_angle(Vec3::Z, self.theta).unwrap_or(Quat::IDENTITY),
+        );
+        let tz = Pose::from_translation(Vec3::new(0.0, 0.0, self.d));
+        let tx = Pose::from_translation(Vec3::new(self.a, 0.0, 0.0));
+        let rx = Pose::from_rotation(
+            Quat::from_axis_angle(Vec3::X, self.alpha).unwrap_or(Quat::IDENTITY),
+        );
+        rz.compose(&tz).compose(&tx).compose(&rx)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const PI_2: f64 = std::f64::consts::FRAC_PI_2;
+
+    #[test]
+    fn identity_pose_is_neutral() {
+        let p = Vec3::new(1.0, 2.0, 3.0);
+        assert_eq!(Pose::IDENTITY.transform_point(p), p);
+        let pose = Pose::new(
+            Quat::from_axis_angle(Vec3::X, 0.7).unwrap(),
+            Vec3::new(0.1, 0.2, 0.3),
+        );
+        let composed = Pose::IDENTITY.compose(&pose);
+        assert!((composed.transform_point(p) - pose.transform_point(p)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn compose_then_inverse_is_identity() {
+        let a = Pose::new(Quat::from_axis_angle(Vec3::Y, 1.2).unwrap(), Vec3::new(1.0, 0.0, -2.0));
+        let p = Vec3::new(-0.5, 3.0, 0.25);
+        let round = a.inverse().transform_point(a.transform_point(p));
+        assert!((round - p).norm() < 1e-12);
+        let both = a.compose(&a.inverse());
+        assert!((both.transform_point(p) - p).norm() < 1e-12);
+    }
+
+    #[test]
+    fn composition_order_matters_and_matches_sequential() {
+        let rot = Pose::from_rotation(Quat::from_axis_angle(Vec3::Z, PI_2).unwrap());
+        let trans = Pose::from_translation(Vec3::X);
+        // rot ∘ trans: translate first, then rotate.
+        let p = rot.compose(&trans).transform_point(Vec3::ZERO);
+        assert!((p - Vec3::Y).norm() < 1e-12);
+        // trans ∘ rot: rotate first (no-op on origin), then translate.
+        let p = trans.compose(&rot).transform_point(Vec3::ZERO);
+        assert!((p - Vec3::X).norm() < 1e-12);
+    }
+
+    #[test]
+    fn directions_ignore_translation() {
+        let pose = Pose::new(Quat::IDENTITY, Vec3::new(10.0, 10.0, 10.0));
+        assert_eq!(pose.transform_direction(Vec3::X), Vec3::X);
+    }
+
+    #[test]
+    fn dh_pure_revolute() {
+        // a = 0, alpha = 0, d = 0: pure rotation about Z by theta.
+        let dh = DhParam::new(0.0, 0.0, 0.0, PI_2);
+        let t = dh.transform();
+        assert!((t.transform_point(Vec3::X) - Vec3::Y).norm() < 1e-12);
+    }
+
+    #[test]
+    fn dh_pure_prismatic() {
+        // Only d set: pure translation along Z.
+        let dh = DhParam::new(0.0, 0.0, 0.3, 0.0);
+        let t = dh.transform();
+        assert!((t.transform_point(Vec3::ZERO) - Vec3::new(0.0, 0.0, 0.3)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn dh_link_length_then_twist() {
+        // a = 1 with alpha = 90°: frame advances along X then twists about X.
+        let dh = DhParam::new(1.0, PI_2, 0.0, 0.0);
+        let t = dh.transform();
+        assert!((t.transform_point(Vec3::ZERO) - Vec3::X).norm() < 1e-12);
+        // A point on new Y maps onto world Z (twist by +90° about X).
+        assert!((t.transform_point(Vec3::Y) - (Vec3::X + Vec3::Z)).norm() < 1e-12);
+    }
+
+    #[test]
+    fn rotation_matrix_agrees_with_quaternion() {
+        let q = Quat::from_axis_angle(Vec3::new(0.3, -1.0, 0.4), 0.9).unwrap();
+        let pose = Pose::from_rotation(q);
+        let v = Vec3::new(0.1, 0.2, -0.3);
+        assert!((pose.rotation_matrix() * v - q.rotate(v)).norm() < 1e-12);
+    }
+}

@@ -1,0 +1,228 @@
+//! The Interoperable Teleoperation Protocol (ITP) codec.
+//!
+//! "The desired position and orientation of robotic arms, foot pedal status,
+//! and robot control mode are sent from the teleoperation or master console
+//! … over the network using the Interoperable Teleoperation Protocol (ITP),
+//! a protocol based on the UDP packet protocol" (paper §II.B). This is an
+//! ITP-like wire format carrying exactly those fields; attack scenario A
+//! mutates these packets in flight.
+//!
+//! Wire layout (29 bytes, little-endian):
+//!
+//! ```text
+//! 0..2   magic "IT"
+//! 2      version (1)
+//! 3..7   sequence number (u32)
+//! 7      flags: bit 0 = pedal, bit 1 = console E-STOP
+//! 8..20  delta position, 3 × i32, units of 0.1 µm
+//! 20..28 wrist targets, 4 × i16, milliradians
+//! 28     additive checksum of bytes 0..28
+//! ```
+
+use raven_math::Vec3;
+use serde::{Deserialize, Serialize};
+
+/// Wire length of an ITP packet.
+pub const ITP_PACKET_LEN: usize = 29;
+
+/// Position resolution on the wire: 0.1 µm per count.
+const POS_UNIT: f64 = 1e-7;
+
+/// Wrist resolution on the wire: 1 mrad per count.
+const WRIST_UNIT: f64 = 1e-3;
+
+/// One teleoperation sample from the master console.
+#[derive(Debug, Clone, Copy, PartialEq, Default, Serialize, Deserialize)]
+pub struct ItpPacket {
+    /// Monotonic sequence number (for loss/reorder detection).
+    pub seq: u32,
+    /// Foot pedal pressed.
+    pub pedal: bool,
+    /// Console-side emergency stop request.
+    pub estop: bool,
+    /// Desired end-effector increment since the previous packet (meters).
+    pub delta_pos: Vec3,
+    /// Desired wrist positions (radians).
+    pub wrist: [f64; 4],
+}
+
+/// Why an ITP packet failed to parse.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Serialize, Deserialize)]
+pub enum ItpError {
+    /// Wrong length on the wire.
+    WrongLength {
+        /// Observed length.
+        got: usize,
+    },
+    /// Magic/version mismatch.
+    BadHeader,
+    /// Checksum mismatch.
+    BadChecksum,
+}
+
+impl std::fmt::Display for ItpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ItpError::WrongLength { got } => write!(f, "wrong ITP length {got}"),
+            ItpError::BadHeader => f.write_str("bad ITP header"),
+            ItpError::BadChecksum => f.write_str("bad ITP checksum"),
+        }
+    }
+}
+
+impl std::error::Error for ItpError {}
+
+impl ItpPacket {
+    /// Encodes to the 29-byte wire format.
+    pub fn encode(&self) -> [u8; ITP_PACKET_LEN] {
+        let mut buf = [0u8; ITP_PACKET_LEN];
+        buf[0] = b'I';
+        buf[1] = b'T';
+        buf[2] = 1;
+        buf[3..7].copy_from_slice(&self.seq.to_le_bytes());
+        buf[7] = u8::from(self.pedal) | (u8::from(self.estop) << 1);
+        for (i, v) in [self.delta_pos.x, self.delta_pos.y, self.delta_pos.z]
+            .into_iter()
+            .enumerate()
+        {
+            let counts = (v / POS_UNIT).round().clamp(i32::MIN as f64, i32::MAX as f64) as i32;
+            buf[8 + 4 * i..12 + 4 * i].copy_from_slice(&counts.to_le_bytes());
+        }
+        for (i, w) in self.wrist.into_iter().enumerate() {
+            let counts = (w / WRIST_UNIT).round().clamp(i16::MIN as f64, i16::MAX as f64) as i16;
+            buf[20 + 2 * i..22 + 2 * i].copy_from_slice(&counts.to_le_bytes());
+        }
+        buf[ITP_PACKET_LEN - 1] =
+            buf[..ITP_PACKET_LEN - 1].iter().fold(0u8, |a, b| a.wrapping_add(*b));
+        buf
+    }
+
+    /// Decodes the wire format, verifying header and checksum (the control
+    /// software does validate *network* input — the attack the paper
+    /// demonstrates therefore mutates fields while keeping the packet
+    /// well-formed, i.e. it re-encodes).
+    ///
+    /// # Errors
+    ///
+    /// [`ItpError`] on malformed input.
+    pub fn decode(buf: &[u8]) -> Result<ItpPacket, ItpError> {
+        if buf.len() != ITP_PACKET_LEN {
+            return Err(ItpError::WrongLength { got: buf.len() });
+        }
+        if buf[0] != b'I' || buf[1] != b'T' || buf[2] != 1 {
+            return Err(ItpError::BadHeader);
+        }
+        let sum = buf[..ITP_PACKET_LEN - 1].iter().fold(0u8, |a, b| a.wrapping_add(*b));
+        if sum != buf[ITP_PACKET_LEN - 1] {
+            return Err(ItpError::BadChecksum);
+        }
+        let seq = u32::from_le_bytes([buf[3], buf[4], buf[5], buf[6]]);
+        let pedal = buf[7] & 1 != 0;
+        let estop = buf[7] & 2 != 0;
+        let mut d = [0.0; 3];
+        for (i, v) in d.iter_mut().enumerate() {
+            let counts = i32::from_le_bytes([
+                buf[8 + 4 * i],
+                buf[9 + 4 * i],
+                buf[10 + 4 * i],
+                buf[11 + 4 * i],
+            ]);
+            *v = f64::from(counts) * POS_UNIT;
+        }
+        let mut wrist = [0.0; 4];
+        for (i, w) in wrist.iter_mut().enumerate() {
+            let counts = i16::from_le_bytes([buf[20 + 2 * i], buf[21 + 2 * i]]);
+            *w = f64::from(counts) * WRIST_UNIT;
+        }
+        Ok(ItpPacket { seq, pedal, estop, delta_pos: Vec3::new(d[0], d[1], d[2]), wrist })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_preserves_fields() {
+        let pkt = ItpPacket {
+            seq: 123_456,
+            pedal: true,
+            estop: false,
+            delta_pos: Vec3::new(1.5e-4, -2.25e-4, 3.0e-5),
+            wrist: [0.1, -0.2, 0.0, 1.5],
+        };
+        let decoded = ItpPacket::decode(&pkt.encode()).unwrap();
+        assert_eq!(decoded.seq, pkt.seq);
+        assert_eq!(decoded.pedal, pkt.pedal);
+        assert_eq!(decoded.estop, pkt.estop);
+        assert!((decoded.delta_pos - pkt.delta_pos).norm() < 1e-7);
+        for i in 0..4 {
+            assert!((decoded.wrist[i] - pkt.wrist[i]).abs() < 1e-3);
+        }
+    }
+
+    #[test]
+    fn quantization_is_tenth_micron() {
+        let pkt = ItpPacket { delta_pos: Vec3::new(1.04e-7, 0.0, 0.0), ..Default::default() };
+        let decoded = ItpPacket::decode(&pkt.encode()).unwrap();
+        assert_eq!(decoded.delta_pos.x, 1e-7); // rounds to 1 count
+    }
+
+    #[test]
+    fn bad_length_rejected() {
+        assert_eq!(ItpPacket::decode(&[0u8; 10]), Err(ItpError::WrongLength { got: 10 }));
+    }
+
+    #[test]
+    fn bad_header_rejected() {
+        let mut buf = ItpPacket::default().encode();
+        buf[0] = b'X';
+        assert_eq!(ItpPacket::decode(&buf), Err(ItpError::BadHeader));
+        let mut buf = ItpPacket::default().encode();
+        buf[2] = 9; // unknown version
+        assert_eq!(ItpPacket::decode(&buf), Err(ItpError::BadHeader));
+    }
+
+    #[test]
+    fn corrupted_payload_rejected_by_checksum() {
+        // Unlike the USB boards, the network decoder *does* verify
+        // integrity — a scenario-A attacker must re-encode, not bit-flip.
+        let mut buf = ItpPacket { seq: 9, ..Default::default() }.encode();
+        buf[10] ^= 0xFF;
+        assert_eq!(ItpPacket::decode(&buf), Err(ItpError::BadChecksum));
+    }
+
+    #[test]
+    fn attacker_reencoding_passes_validation() {
+        // The paper's scenario A: mutate the *decoded* fields and re-encode;
+        // the result is fully well-formed ("preserving their legitimate
+        // format", §I).
+        let original = ItpPacket {
+            seq: 7,
+            pedal: true,
+            delta_pos: Vec3::new(1e-5, 0.0, 0.0),
+            ..Default::default()
+        };
+        let mut hacked = ItpPacket::decode(&original.encode()).unwrap();
+        hacked.delta_pos = Vec3::new(5e-3, 0.0, 0.0); // 5 mm jump
+        let decoded = ItpPacket::decode(&hacked.encode()).unwrap();
+        assert!((decoded.delta_pos.x - 5e-3).abs() < 1e-7);
+    }
+
+    #[test]
+    fn flags_encode_independently() {
+        for (pedal, estop) in [(false, false), (true, false), (false, true), (true, true)] {
+            let pkt = ItpPacket { pedal, estop, ..Default::default() };
+            let d = ItpPacket::decode(&pkt.encode()).unwrap();
+            assert_eq!((d.pedal, d.estop), (pedal, estop));
+        }
+    }
+
+    #[test]
+    fn extreme_deltas_saturate() {
+        let pkt = ItpPacket { delta_pos: Vec3::new(1e6, -1e6, 0.0), ..Default::default() };
+        let d = ItpPacket::decode(&pkt.encode()).unwrap();
+        assert!((d.delta_pos.x - f64::from(i32::MAX) * 1e-7).abs() < 1e-6);
+        assert!((d.delta_pos.y - f64::from(i32::MIN) * 1e-7).abs() < 1e-6);
+    }
+}

@@ -1,0 +1,233 @@
+//! Typed publish/subscribe topics — the ROS middleware substitute.
+//!
+//! The RAVEN control software runs as a node on ROS (paper §II.B) and
+//! publishes robot state on ROS topics, which the paper's graphic simulator
+//! and dynamic model listen to (§IV.A). [`Bus`] provides the same decoupling:
+//! any number of publishers and subscribers per topic, with per-subscriber
+//! FIFO queues so slow consumers never lose ordering.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use parking_lot::Mutex;
+
+/// A single-type topic with multiple publishers and subscribers.
+///
+/// Messages are cloned into each subscriber's private FIFO queue at publish
+/// time. Queues are bounded (default 65,536 messages); overflow drops the
+/// *oldest* message and counts it, mirroring a bounded ROS subscriber queue.
+///
+/// # Example
+///
+/// ```
+/// use simbus::Bus;
+///
+/// let bus: Bus<u32> = Bus::new("jpos");
+/// let mut sub = bus.subscribe();
+/// bus.publish(7);
+/// bus.publish(9);
+/// assert_eq!(sub.drain(), vec![7, 9]);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Bus<T> {
+    inner: Arc<BusInner<T>>,
+}
+
+#[derive(Debug)]
+struct BusInner<T> {
+    name: String,
+    capacity: usize,
+    queues: Mutex<Vec<Arc<Mutex<SubQueue<T>>>>>,
+    published: Mutex<u64>,
+}
+
+#[derive(Debug)]
+struct SubQueue<T> {
+    items: VecDeque<T>,
+    dropped: u64,
+}
+
+impl<T: Clone> Bus<T> {
+    /// Creates a topic with the default queue capacity (65,536).
+    pub fn new(name: impl Into<String>) -> Self {
+        Self::with_capacity(name, 65_536)
+    }
+
+    /// Creates a topic with a specific per-subscriber queue capacity.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `capacity` is zero.
+    pub fn with_capacity(name: impl Into<String>, capacity: usize) -> Self {
+        assert!(capacity > 0, "bus capacity must be positive");
+        Bus {
+            inner: Arc::new(BusInner {
+                name: name.into(),
+                capacity,
+                queues: Mutex::new(Vec::new()),
+                published: Mutex::new(0),
+            }),
+        }
+    }
+
+    /// Topic name.
+    pub fn name(&self) -> &str {
+        &self.inner.name
+    }
+
+    /// Total messages published on this topic.
+    pub fn published(&self) -> u64 {
+        *self.inner.published.lock()
+    }
+
+    /// Number of live subscribers.
+    pub fn subscriber_count(&self) -> usize {
+        let mut queues = self.inner.queues.lock();
+        queues.retain(|q| Arc::strong_count(q) > 1);
+        queues.len()
+    }
+
+    /// Publishes a message to all current subscribers.
+    pub fn publish(&self, msg: T) {
+        *self.inner.published.lock() += 1;
+        let mut queues = self.inner.queues.lock();
+        // Drop queues whose subscription handle is gone.
+        queues.retain(|q| Arc::strong_count(q) > 1);
+        for q in queues.iter() {
+            let mut q = q.lock();
+            if q.items.len() == self.inner.capacity {
+                q.items.pop_front();
+                q.dropped += 1;
+            }
+            q.items.push_back(msg.clone());
+        }
+    }
+
+    /// Registers a new subscriber. Only messages published after this call
+    /// are delivered to it.
+    pub fn subscribe(&self) -> Subscription<T> {
+        let q = Arc::new(Mutex::new(SubQueue { items: VecDeque::new(), dropped: 0 }));
+        self.inner.queues.lock().push(Arc::clone(&q));
+        Subscription { queue: q }
+    }
+}
+
+/// A subscriber handle; dropping it unsubscribes.
+#[derive(Debug)]
+pub struct Subscription<T> {
+    queue: Arc<Mutex<SubQueue<T>>>,
+}
+
+impl<T> Subscription<T> {
+    /// Removes and returns the oldest pending message, if any.
+    pub fn recv(&mut self) -> Option<T> {
+        self.queue.lock().items.pop_front()
+    }
+
+    /// Removes and returns all pending messages in publish order.
+    pub fn drain(&mut self) -> Vec<T> {
+        self.queue.lock().items.drain(..).collect()
+    }
+
+    /// Keeps only the newest pending message and returns it — the common
+    /// pattern for periodic consumers that want the latest state.
+    pub fn latest(&mut self) -> Option<T> {
+        let mut q = self.queue.lock();
+        let last = q.items.pop_back();
+        q.items.clear();
+        last
+    }
+
+    /// Number of pending messages.
+    pub fn pending(&self) -> usize {
+        self.queue.lock().items.len()
+    }
+
+    /// Messages lost to queue overflow since subscription.
+    pub fn dropped(&self) -> u64 {
+        self.queue.lock().dropped
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fifo_delivery() {
+        let bus: Bus<i32> = Bus::new("t");
+        let mut s = bus.subscribe();
+        for i in 0..10 {
+            bus.publish(i);
+        }
+        assert_eq!(s.drain(), (0..10).collect::<Vec<_>>());
+        assert_eq!(s.pending(), 0);
+    }
+
+    #[test]
+    fn late_subscriber_misses_earlier_messages() {
+        let bus: Bus<i32> = Bus::new("t");
+        bus.publish(1);
+        let mut s = bus.subscribe();
+        bus.publish(2);
+        assert_eq!(s.drain(), vec![2]);
+    }
+
+    #[test]
+    fn multiple_subscribers_each_get_a_copy() {
+        let bus: Bus<String> = Bus::new("t");
+        let mut a = bus.subscribe();
+        let mut b = bus.subscribe();
+        bus.publish("x".to_string());
+        assert_eq!(a.recv().as_deref(), Some("x"));
+        assert_eq!(b.recv().as_deref(), Some("x"));
+    }
+
+    #[test]
+    fn overflow_drops_oldest() {
+        let bus: Bus<u32> = Bus::with_capacity("t", 3);
+        let mut s = bus.subscribe();
+        for i in 0..5 {
+            bus.publish(i);
+        }
+        assert_eq!(s.dropped(), 2);
+        assert_eq!(s.drain(), vec![2, 3, 4]);
+    }
+
+    #[test]
+    fn latest_discards_backlog() {
+        let bus: Bus<u32> = Bus::new("t");
+        let mut s = bus.subscribe();
+        for i in 0..5 {
+            bus.publish(i);
+        }
+        assert_eq!(s.latest(), Some(4));
+        assert_eq!(s.pending(), 0);
+        assert_eq!(s.latest(), None);
+    }
+
+    #[test]
+    fn dropping_subscription_unsubscribes() {
+        let bus: Bus<u32> = Bus::new("t");
+        let s = bus.subscribe();
+        assert_eq!(bus.subscriber_count(), 1);
+        drop(s);
+        bus.publish(1);
+        assert_eq!(bus.subscriber_count(), 0);
+    }
+
+    #[test]
+    fn published_counter() {
+        let bus: Bus<u32> = Bus::new("t");
+        bus.publish(1);
+        bus.publish(2);
+        assert_eq!(bus.published(), 2);
+        assert_eq!(bus.name(), "t");
+    }
+
+    #[test]
+    #[should_panic(expected = "capacity")]
+    fn zero_capacity_panics() {
+        let _: Bus<u32> = Bus::with_capacity("t", 0);
+    }
+}

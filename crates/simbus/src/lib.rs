@@ -1,0 +1,29 @@
+//! Deterministic simulation substrate for the raven-guard reproduction.
+//!
+//! The paper's system runs on ROS middleware over an RT-Preempt Linux kernel
+//! with a hard 1 ms control period (§II.B, §III.D). This crate replaces that
+//! stack with a deterministic, virtual-time equivalent:
+//!
+//! * [`time`] — virtual clock with nanosecond resolution and the robot's
+//!   1 ms control tick;
+//! * [`bus`] — typed publish/subscribe topics (the ROS substitute);
+//! * [`net`] — simulated UDP links with loss, delay, and jitter (carries the
+//!   ITP teleoperation protocol and the malware's exfiltration traffic);
+//! * [`trace`] — time-series recording for experiment analysis (the
+//!   equivalent of the paper's logged robot runs);
+//! * [`rng`] — seed-derivation helpers so every experiment is reproducible.
+//!
+//! Everything here is single-threaded by design: experiments advance a
+//! [`time::SimClock`] explicitly, so runs are bit-for-bit reproducible — a
+//! property the detection-accuracy experiments (Table IV, Fig. 9) rely on.
+
+pub mod bus;
+pub mod net;
+pub mod rng;
+pub mod time;
+pub mod trace;
+
+pub use bus::{Bus, Subscription};
+pub use net::{LinkConfig, SimLink};
+pub use time::{SimClock, SimDuration, SimTime, CONTROL_PERIOD};
+pub use trace::TraceRecorder;

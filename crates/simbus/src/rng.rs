@@ -1,0 +1,86 @@
+//! Seed derivation for reproducible experiments.
+//!
+//! Every stochastic component in the reproduction (trajectory tremor, sensor
+//! noise, network loss, injection campaigns) takes an explicit seed. This
+//! module provides a stable way to derive independent per-component seeds
+//! from one experiment seed, so a single `u64` reproduces an entire campaign.
+
+use rand::rngs::SmallRng;
+use rand::SeedableRng;
+
+/// Derives a stream-specific seed from a root seed and a stream label.
+///
+/// Uses the SplitMix64 finalizer over the root seed XOR a label hash —
+/// cheap, stable across platforms, and well distributed.
+///
+/// # Example
+///
+/// ```
+/// use simbus::rng::derive_seed;
+///
+/// let a = derive_seed(42, "tremor");
+/// let b = derive_seed(42, "sensor-noise");
+/// assert_ne!(a, b);
+/// assert_eq!(a, derive_seed(42, "tremor"));
+/// ```
+pub fn derive_seed(root: u64, stream: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325; // FNV offset basis
+    for b in stream.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3); // FNV prime
+    }
+    splitmix64(root ^ h)
+}
+
+/// Constructs a small, fast, seedable RNG for a component stream.
+pub fn stream_rng(root: u64, stream: &str) -> SmallRng {
+    SmallRng::seed_from_u64(derive_seed(root, stream))
+}
+
+/// SplitMix64 finalizer: bijective mixing of a 64-bit value.
+pub fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::Rng;
+
+    #[test]
+    fn derive_is_deterministic() {
+        assert_eq!(derive_seed(1, "a"), derive_seed(1, "a"));
+        assert_ne!(derive_seed(1, "a"), derive_seed(2, "a"));
+        assert_ne!(derive_seed(1, "a"), derive_seed(1, "b"));
+    }
+
+    #[test]
+    fn splitmix_is_bijective_on_samples() {
+        // No collisions among a decent sample of consecutive inputs.
+        let mut seen = std::collections::HashSet::new();
+        for i in 0..10_000u64 {
+            assert!(seen.insert(splitmix64(i)));
+        }
+    }
+
+    #[test]
+    fn stream_rng_reproducible() {
+        let mut a = stream_rng(7, "x");
+        let mut b = stream_rng(7, "x");
+        for _ in 0..16 {
+            assert_eq!(a.gen::<u64>(), b.gen::<u64>());
+        }
+    }
+
+    #[test]
+    fn stream_rng_streams_differ() {
+        let mut a = stream_rng(7, "x");
+        let mut b = stream_rng(7, "y");
+        let va: Vec<u64> = (0..8).map(|_| a.gen()).collect();
+        let vb: Vec<u64> = (0..8).map(|_| b.gen()).collect();
+        assert_ne!(va, vb);
+    }
+}

@@ -1,0 +1,278 @@
+//! Virtual time.
+//!
+//! The RAVEN II control loop runs every 1 millisecond (paper §III.D: "the
+//! operational cycle is 1 millisecond"). [`SimTime`] counts nanoseconds since
+//! simulation start; [`SimClock`] advances it tick by tick.
+
+use std::ops::{Add, AddAssign, Sub};
+
+use serde::{Deserialize, Serialize};
+
+/// The robot's control period: 1 ms.
+pub const CONTROL_PERIOD: SimDuration = SimDuration::from_micros(1_000);
+
+/// An instant in virtual time (nanoseconds since simulation start).
+///
+/// # Example
+///
+/// ```
+/// use simbus::{SimDuration, SimTime};
+///
+/// let t = SimTime::ZERO + SimDuration::from_millis(3);
+/// assert_eq!(t.as_millis_f64(), 3.0);
+/// ```
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimTime(u64);
+
+impl SimTime {
+    /// Simulation start.
+    pub const ZERO: SimTime = SimTime(0);
+
+    /// Constructs from raw nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimTime(ns)
+    }
+
+    /// Nanoseconds since simulation start.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Seconds since simulation start, as `f64`.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+
+    /// Milliseconds since simulation start, as `f64`.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 * 1e-6
+    }
+
+    /// Time elapsed since `earlier`, saturating to zero if `earlier` is in
+    /// the future.
+    pub fn saturating_since(self, earlier: SimTime) -> SimDuration {
+        SimDuration::from_nanos(self.0.saturating_sub(earlier.0))
+    }
+}
+
+impl Add<SimDuration> for SimTime {
+    type Output = SimTime;
+    fn add(self, d: SimDuration) -> SimTime {
+        SimTime(self.0 + d.0)
+    }
+}
+
+impl AddAssign<SimDuration> for SimTime {
+    fn add_assign(&mut self, d: SimDuration) {
+        self.0 += d.0;
+    }
+}
+
+impl Sub for SimTime {
+    type Output = SimDuration;
+    /// # Panics
+    ///
+    /// Panics in debug builds if `rhs` is later than `self`.
+    fn sub(self, rhs: SimTime) -> SimDuration {
+        SimDuration(self.0 - rhs.0)
+    }
+}
+
+impl std::fmt::Display for SimTime {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "t={:.3}ms", self.as_millis_f64())
+    }
+}
+
+/// A span of virtual time (nanoseconds).
+#[derive(
+    Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default, Serialize, Deserialize,
+)]
+pub struct SimDuration(u64);
+
+impl SimDuration {
+    /// Zero-length span.
+    pub const ZERO: SimDuration = SimDuration(0);
+
+    /// Constructs from nanoseconds.
+    pub const fn from_nanos(ns: u64) -> Self {
+        SimDuration(ns)
+    }
+
+    /// Constructs from microseconds.
+    pub const fn from_micros(us: u64) -> Self {
+        SimDuration(us * 1_000)
+    }
+
+    /// Constructs from milliseconds.
+    pub const fn from_millis(ms: u64) -> Self {
+        SimDuration(ms * 1_000_000)
+    }
+
+    /// Constructs from seconds (fractional allowed).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `secs` is negative or not finite.
+    pub fn from_secs_f64(secs: f64) -> Self {
+        assert!(secs.is_finite() && secs >= 0.0, "invalid duration: {secs}");
+        SimDuration((secs * 1e9).round() as u64)
+    }
+
+    /// Raw nanoseconds.
+    pub const fn as_nanos(self) -> u64 {
+        self.0
+    }
+
+    /// Span in seconds, as `f64`.
+    pub fn as_secs_f64(self) -> f64 {
+        self.0 as f64 * 1e-9
+    }
+
+    /// Span in milliseconds, as `f64`.
+    pub fn as_millis_f64(self) -> f64 {
+        self.0 as f64 * 1e-6
+    }
+
+    /// Integer number of whole control periods (1 ms) in this span.
+    pub fn as_control_ticks(self) -> u64 {
+        self.0 / CONTROL_PERIOD.0
+    }
+
+    /// Scales the duration by an integer factor.
+    pub const fn saturating_mul(self, k: u64) -> SimDuration {
+        SimDuration(self.0.saturating_mul(k))
+    }
+}
+
+impl Add for SimDuration {
+    type Output = SimDuration;
+    fn add(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0 + rhs.0)
+    }
+}
+
+impl Sub for SimDuration {
+    type Output = SimDuration;
+    fn sub(self, rhs: SimDuration) -> SimDuration {
+        SimDuration(self.0.saturating_sub(rhs.0))
+    }
+}
+
+impl std::fmt::Display for SimDuration {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.3}ms", self.as_millis_f64())
+    }
+}
+
+/// The virtual clock driving a simulation run.
+///
+/// A simulation advances by calling [`SimClock::tick`] once per control
+/// period; components read [`SimClock::now`].
+///
+/// # Example
+///
+/// ```
+/// use simbus::SimClock;
+///
+/// let mut clock = SimClock::new();
+/// clock.tick();
+/// clock.tick();
+/// assert_eq!(clock.now().as_millis_f64(), 2.0);
+/// assert_eq!(clock.ticks(), 2);
+/// ```
+#[derive(Debug, Clone, Default, PartialEq, Eq, Serialize, Deserialize)]
+pub struct SimClock {
+    now: SimTime,
+    ticks: u64,
+}
+
+impl SimClock {
+    /// A clock at simulation start.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Current virtual instant.
+    pub fn now(&self) -> SimTime {
+        self.now
+    }
+
+    /// Number of control ticks elapsed.
+    pub fn ticks(&self) -> u64 {
+        self.ticks
+    }
+
+    /// Advances by one control period (1 ms) and returns the new time.
+    pub fn tick(&mut self) -> SimTime {
+        self.advance(CONTROL_PERIOD)
+    }
+
+    /// Advances by an arbitrary span and returns the new time. Counts the
+    /// span's whole control periods toward [`SimClock::ticks`].
+    pub fn advance(&mut self, d: SimDuration) -> SimTime {
+        self.now += d;
+        self.ticks += d.as_control_ticks().max(1);
+        self.now
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn durations_convert() {
+        assert_eq!(SimDuration::from_millis(1), SimDuration::from_micros(1000));
+        assert_eq!(SimDuration::from_secs_f64(0.001), SimDuration::from_millis(1));
+        assert_eq!(SimDuration::from_millis(5).as_secs_f64(), 0.005);
+        assert_eq!(SimDuration::from_millis(7).as_control_ticks(), 7);
+        assert_eq!(SimDuration::from_micros(1500).as_control_ticks(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid duration")]
+    fn negative_duration_panics() {
+        let _ = SimDuration::from_secs_f64(-1.0);
+    }
+
+    #[test]
+    fn time_arithmetic() {
+        let t0 = SimTime::ZERO;
+        let t1 = t0 + SimDuration::from_millis(10);
+        assert_eq!(t1 - t0, SimDuration::from_millis(10));
+        assert_eq!(t0.saturating_since(t1), SimDuration::ZERO);
+        assert_eq!(t1.saturating_since(t0), SimDuration::from_millis(10));
+    }
+
+    #[test]
+    fn clock_ticks_at_control_period() {
+        let mut c = SimClock::new();
+        for _ in 0..100 {
+            c.tick();
+        }
+        assert_eq!(c.ticks(), 100);
+        assert_eq!(c.now().as_millis_f64(), 100.0);
+    }
+
+    #[test]
+    fn advance_counts_whole_periods() {
+        let mut c = SimClock::new();
+        c.advance(SimDuration::from_millis(5));
+        assert_eq!(c.ticks(), 5);
+        // Sub-period advance still counts as progress (min 1 tick).
+        c.advance(SimDuration::from_micros(10));
+        assert_eq!(c.ticks(), 6);
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        let a = SimTime::from_nanos(5);
+        let b = SimTime::from_nanos(9);
+        assert!(a < b);
+        assert_eq!(format!("{}", SimDuration::from_millis(2)), "2.000ms");
+        assert_eq!(format!("{}", SimTime::from_nanos(1_000_000)), "t=1.000ms");
+    }
+}

@@ -1,0 +1,22 @@
+//! The "bump-in-the-wire" encryption study (paper §III.D): why the classic
+//! BITW retrofit does not stop this attack, and what host-side encryption
+//! would and would not buy.
+//!
+//! ```sh
+//! cargo run --release --example bitw_defense
+//! ```
+
+use raven_core::experiments::run_bitw_study;
+
+fn main() {
+    println!("running the BITW study: recon + injection vs three placements …\n");
+    let study = run_bitw_study(47);
+    print!("{}", study.render());
+    println!(
+        "\nthe paper's §III.D argument, executed: the wire retrofit encrypts *downstream* \
+         of the compromised host, so the malware still sees plaintext (TOCTOU survives); \
+         host-side encryption kills the reconnaissance and the targeted trigger, but blind \
+         corruption still denies service — and neither predicts physical consequences the \
+         way the dynamic-model guard does."
+    );
+}

@@ -1,0 +1,6 @@
+//! Workspace-level umbrella crate for the raven-guard reproduction.
+//!
+//! This crate exists to host the runnable examples (`examples/`) and the
+//! cross-crate integration tests (`tests/`). The actual library surface lives
+//! in [`raven_core`] and the per-subsystem crates it re-exports.
+pub use raven_core as core;
