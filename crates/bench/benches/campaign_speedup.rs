@@ -1,0 +1,153 @@
+//! Before/after wall-clock for the parallel campaign engine: times the
+//! Table IV and Fig. 9 sweeps serially (`--workers 1`) and on a worker
+//! pool, verifies the outputs are byte-identical, and records the timings
+//! in `BENCH_campaign.json` (workspace root, mirrored under `results/`).
+//!
+//! ```sh
+//! cargo bench -p bench --bench campaign_speedup
+//! ```
+//!
+//! The ≥2× speedup gate only applies where it is physically attainable:
+//! on hosts with fewer than 4 cores the record still captures the honest
+//! numbers, but the assertion is skipped (a CPU-bound sweep cannot beat
+//! serial on a single core).
+
+use std::time::Instant;
+
+use raven_core::experiments::{run_fig9_with, run_table4_with, Fig9Config, Table4Config};
+use raven_core::training::TrainingConfig;
+use raven_core::ExecutorConfig;
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct SweepTiming {
+    sweep: String,
+    runs: usize,
+    serial_s: f64,
+    parallel_s: f64,
+    parallel_workers: usize,
+    speedup: f64,
+    byte_identical: bool,
+}
+
+#[derive(Serialize)]
+struct CampaignBench {
+    available_parallelism: usize,
+    parallel_workers: usize,
+    quick_mode: bool,
+    sweeps: Vec<SweepTiming>,
+    note: String,
+}
+
+fn time_sweep<T: Serialize>(
+    sweep: &str,
+    runs: usize,
+    workers: usize,
+    run: impl Fn(&ExecutorConfig) -> T,
+) -> SweepTiming {
+    let t0 = Instant::now();
+    let serial = run(&ExecutorConfig::serial());
+    let serial_s = t0.elapsed().as_secs_f64();
+
+    let t1 = Instant::now();
+    let parallel = run(&ExecutorConfig::with_workers(workers));
+    let parallel_s = t1.elapsed().as_secs_f64();
+
+    let byte_identical = serde_json::to_string(&serial).expect("serialize serial")
+        == serde_json::to_string(&parallel).expect("serialize parallel");
+    let timing = SweepTiming {
+        sweep: sweep.to_string(),
+        runs,
+        serial_s,
+        parallel_s,
+        parallel_workers: workers,
+        speedup: serial_s / parallel_s.max(1e-9),
+        byte_identical,
+    };
+    println!(
+        "{sweep}: serial {serial_s:.2} s, {workers} workers {parallel_s:.2} s \
+         ({:.2}x, byte-identical: {byte_identical})",
+        timing.speedup
+    );
+    timing
+}
+
+fn main() {
+    let cores = std::thread::available_parallelism().map(usize::from).unwrap_or(1);
+    // Measure at ≥4 workers even on narrower hosts so the record always
+    // shows the N≥4 configuration the acceptance gate is defined at.
+    let workers = cores.max(4);
+    let quick = bench::quick_mode();
+
+    let (t4_config, f9_config) = if quick {
+        (Table4Config::quick(9), Fig9Config::quick(9))
+    } else {
+        // Bench scale: large enough that pool overhead is noise (hundreds
+        // of multi-second-session runs), small enough to finish in minutes.
+        (
+            Table4Config {
+                scenario_a_runs: 120,
+                scenario_b_runs: 120,
+                training: TrainingConfig { runs: 24, ..TrainingConfig::quick(9) },
+                ..Table4Config::quick(9)
+            },
+            Fig9Config {
+                values: vec![2_000, 16_000, 30_000],
+                durations_ms: vec![4, 32, 256],
+                repetitions: 8,
+                ..Fig9Config::quick(9)
+            },
+        )
+    };
+
+    let t4_runs = (t4_config.scenario_a_runs + t4_config.scenario_b_runs) as usize;
+    let f9_runs =
+        f9_config.values.len() * f9_config.durations_ms.len() * f9_config.repetitions as usize;
+
+    let sweeps = vec![
+        time_sweep("table4", t4_runs, workers, |exec| run_table4_with(&t4_config, exec)),
+        time_sweep("fig9", f9_runs, workers, |exec| run_fig9_with(&f9_config, exec)),
+    ];
+
+    for t in &sweeps {
+        assert!(t.byte_identical, "{}: parallel output diverged from serial", t.sweep);
+        if cores >= 4 {
+            assert!(
+                t.speedup >= 2.0,
+                "{}: expected >=2x speedup at {} workers on {} cores, got {:.2}x",
+                t.sweep,
+                t.parallel_workers,
+                cores,
+                t.speedup
+            );
+        }
+    }
+
+    let record = CampaignBench {
+        available_parallelism: cores,
+        parallel_workers: workers,
+        quick_mode: quick,
+        sweeps,
+        note: if cores >= 4 {
+            "speedup gate (>=2x at N>=4) enforced".to_string()
+        } else {
+            format!(
+                "host exposes {cores} core(s): timings recorded but the >=2x \
+                 gate is only enforced on hosts with >=4 cores"
+            )
+        },
+    };
+
+    bench::save_json("BENCH_campaign", &record);
+    // The record is also pinned at the workspace root, where the issue
+    // tracking this engine expects it.
+    let root = {
+        let mut d = bench::results_dir();
+        d.pop();
+        d
+    };
+    let path = root.join("BENCH_campaign.json");
+    std::fs::write(&path, serde_json::to_string_pretty(&record).expect("serialize record"))
+        .expect("write BENCH_campaign.json");
+    println!("[saved {}]", path.display());
+}

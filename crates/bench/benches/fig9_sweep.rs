@@ -10,11 +10,8 @@ use raven_core::experiments::{run_fig9, Fig9Config};
 
 fn main() {
     let started = std::time::Instant::now();
-    let config = if bench::quick_mode() {
-        Fig9Config::quick(21)
-    } else {
-        Fig9Config::paper_scale(21)
-    };
+    let config =
+        if bench::quick_mode() { Fig9Config::quick(21) } else { Fig9Config::paper_scale(21) };
     let result = run_fig9(&config);
     print!("{}", result.render());
     println!(

@@ -12,9 +12,7 @@
 //! ```
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use raven_attack::{
-    capture_log, ActivationWindow, Corruption, InjectionWrapper, LoggingWrapper,
-};
+use raven_attack::{capture_log, ActivationWindow, Corruption, InjectionWrapper, LoggingWrapper};
 use raven_detect::{DetectorConfig, DynamicDetector, Mitigation};
 use raven_dynamics::estimator::RtModelConfig;
 use raven_dynamics::{PlantParams, RavenPlant, RtModel};

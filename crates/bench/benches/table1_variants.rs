@@ -17,9 +17,5 @@ fn main() {
         started.elapsed().as_secs_f64()
     );
     bench::save_json("table1_variants", &result);
-    assert_eq!(
-        result.matching_rows(),
-        result.rows.len(),
-        "all Table I variants must reproduce"
-    );
+    assert_eq!(result.matching_rows(), result.rows.len(), "all Table I variants must reproduce");
 }

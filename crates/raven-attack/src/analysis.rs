@@ -128,8 +128,7 @@ pub fn find_state_byte(capture: &[LoggedPacket]) -> Result<StateByteHypothesis, 
     }
     let profiles = byte_profiles(capture);
     let len = profiles.len();
-    let packets: Vec<&LoggedPacket> =
-        capture.iter().filter(|p| p.bytes.len() == len).collect();
+    let packets: Vec<&LoggedPacket> = capture.iter().filter(|p| p.bytes.len() == len).collect();
 
     let mut best: Option<StateByteHypothesis> = None;
     let mut best_score = usize::MAX;
@@ -153,11 +152,8 @@ pub fn find_state_byte(capture: &[LoggedPacket]) -> Result<StateByteHypothesis, 
         let score = state_values.len() + if watchdog_mask.is_none() { 100 } else { 0 };
         if state_values.len() >= 2 && score < best_score {
             best_score = score;
-            best = Some(StateByteHypothesis {
-                offset: profile.offset,
-                watchdog_mask,
-                state_values,
-            });
+            best =
+                Some(StateByteHypothesis { offset: profile.offset, watchdog_mask, state_values });
         }
     }
     best.ok_or(AnalysisError::NoStateLikeByte)
@@ -169,10 +165,7 @@ pub fn find_state_byte(capture: &[LoggedPacket]) -> Result<StateByteHypothesis, 
 fn find_toggling_bit(series: &[u8]) -> Option<u8> {
     for bit in 0..8u8 {
         let mask = 1u8 << bit;
-        let toggles = series
-            .windows(2)
-            .filter(|w| (w[0] ^ w[1]) & mask != 0)
-            .count();
+        let toggles = series.windows(2).filter(|w| (w[0] ^ w[1]) & mask != 0).count();
         if toggles * 4 >= series.len().saturating_sub(1) && toggles > 8 {
             return Some(mask);
         }
@@ -245,7 +238,7 @@ mod tests {
             for k in 0..count {
                 let pkt = UsbCommandPacket {
                     state,
-                    watchdog: seq % 2 == 0,
+                    watchdog: seq.is_multiple_of(2),
                     // DAC values vary like real motion (data-like bytes).
                     dac: [
                         (1000.0 * ((seq as f64) * 0.1).sin()) as i16,
@@ -304,11 +297,7 @@ mod tests {
         let h = find_state_byte(&capture).unwrap();
         let segs = infer_state_segments(&capture, &h);
         let values: Vec<u8> = segs.iter().map(|s| s.value).collect();
-        assert_eq!(
-            values,
-            vec![0x0, 0x3, 0x7, 0xF, 0x7, 0xF],
-            "state staircase of Fig. 6"
-        );
+        assert_eq!(values, vec![0x0, 0x3, 0x7, 0xF, 0x7, 0xF], "state staircase of Fig. 6");
         assert_eq!(segs[3].packets, 400);
     }
 
@@ -322,11 +311,7 @@ mod tests {
     fn featureless_capture_fails() {
         // Constant packets: every byte has alphabet size 1.
         let capture: Vec<LoggedPacket> = (0..200)
-            .map(|seq| LoggedPacket {
-                time: SimTime::ZERO,
-                seq,
-                bytes: vec![0u8; 18],
-            })
+            .map(|seq| LoggedPacket { time: SimTime::ZERO, seq, bytes: vec![0u8; 18] })
             .collect();
         assert_eq!(find_state_byte(&capture), Err(AnalysisError::NoStateLikeByte));
     }

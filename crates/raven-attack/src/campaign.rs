@@ -92,6 +92,85 @@ impl CampaignConfig {
     pub fn total_runs(&self) -> usize {
         self.specs.len() * self.repetitions as usize
     }
+
+    /// Enumerates every run of the campaign as a flat, deterministic plan:
+    /// spec-major, repetition-minor — the same order the original nested
+    /// loops executed in. Parallel executors index this plan, so run →
+    /// (spec, repetition, seed stream) is fixed regardless of scheduling.
+    pub fn plan(&self) -> CampaignPlan {
+        let mut runs = Vec::with_capacity(self.total_runs());
+        for (spec_idx, spec) in self.specs.iter().enumerate() {
+            for repetition in 0..self.repetitions {
+                runs.push(RunDescriptor {
+                    spec_idx,
+                    spec: *spec,
+                    repetition,
+                    stream: format!("campaign-{spec_idx}-{repetition}"),
+                });
+            }
+        }
+        CampaignPlan { runs }
+    }
+}
+
+/// One planned run: which spec, which repetition, and the seed stream
+/// label to derive its RNG seed from (`derive_seed(root, stream)`).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct RunDescriptor {
+    /// Index of the spec in `CampaignConfig::specs`.
+    pub spec_idx: usize,
+    /// The spec itself (copied for self-containedness).
+    pub spec: InjectionSpec,
+    /// Repetition index within the spec.
+    pub repetition: u32,
+    stream: String,
+}
+
+impl RunDescriptor {
+    /// The seed-stream label for this run.
+    pub fn stream(&self) -> &str {
+        &self.stream
+    }
+}
+
+/// The flat, ordered list of runs a campaign executes.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct CampaignPlan {
+    runs: Vec<RunDescriptor>,
+}
+
+impl CampaignPlan {
+    /// Number of planned runs.
+    pub fn len(&self) -> usize {
+        self.runs.len()
+    }
+
+    /// Whether the plan is empty.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
+    }
+
+    /// Iterates the runs in execution order.
+    pub fn iter(&self) -> std::slice::Iter<'_, RunDescriptor> {
+        self.runs.iter()
+    }
+}
+
+impl std::ops::Index<usize> for CampaignPlan {
+    type Output = RunDescriptor;
+
+    fn index(&self, i: usize) -> &RunDescriptor {
+        &self.runs[i]
+    }
+}
+
+impl<'a> IntoIterator for &'a CampaignPlan {
+    type Item = &'a RunDescriptor;
+    type IntoIter = std::slice::Iter<'a, RunDescriptor>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.runs.iter()
+    }
 }
 
 #[cfg(test)]
@@ -108,13 +187,28 @@ mod tests {
     #[test]
     fn spec_constructors() {
         let s = InjectionSpec::torque(5000, 64);
-        assert!(matches!(
-            s.scenario,
-            Scenario::TorqueCommand { dac_delta: 5000, channel: 0 }
-        ));
+        assert!(matches!(s.scenario, Scenario::TorqueCommand { dac_delta: 5000, channel: 0 }));
         assert_eq!(s.duration_packets, 64);
         let s = InjectionSpec::user_input(2e-3, 16);
         assert!(matches!(s.scenario, Scenario::UserInput { .. }));
+    }
+
+    #[test]
+    fn plan_enumerates_spec_major_rep_minor() {
+        let c = CampaignConfig::fig9_grid(&[100, 1000], &[2, 16], 3, 1);
+        let plan = c.plan();
+        assert_eq!(plan.len(), c.total_runs());
+        let mut expected = 0usize;
+        for (spec_idx, spec) in c.specs.iter().enumerate() {
+            for rep in 0..c.repetitions {
+                let d = &plan[expected];
+                assert_eq!(d.spec_idx, spec_idx);
+                assert_eq!(&d.spec, spec);
+                assert_eq!(d.repetition, rep);
+                assert_eq!(d.stream(), format!("campaign-{spec_idx}-{rep}"));
+                expected += 1;
+            }
+        }
     }
 
     #[test]

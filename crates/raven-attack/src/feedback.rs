@@ -48,11 +48,7 @@ impl FeedbackLogger {
 
 impl ReadInterceptor for FeedbackLogger {
     fn on_read(&mut self, buf: &mut Vec<u8>, ctx: &WriteContext) {
-        self.log.lock().push(LoggedPacket {
-            time: ctx.time,
-            seq: ctx.seq,
-            bytes: buf.clone(),
-        });
+        self.log.lock().push(LoggedPacket { time: ctx.time, seq: ctx.seq, bytes: buf.clone() });
         self.captured += 1;
     }
 
@@ -115,11 +111,7 @@ pub fn summarize_motion(capture: &[LoggedPacket], threshold: f64) -> MotionSumma
     if activity.is_empty() {
         return MotionSummary { active_fraction: 0.0, mean_active_level: 0.0, threshold };
     }
-    let active: Vec<f64> = activity
-        .iter()
-        .map(|(_, a)| *a)
-        .filter(|a| *a > threshold)
-        .collect();
+    let active: Vec<f64> = activity.iter().map(|(_, a)| *a).filter(|a| *a > threshold).collect();
     MotionSummary {
         active_fraction: active.len() as f64 / activity.len() as f64,
         mean_active_level: if active.is_empty() {
@@ -316,11 +308,8 @@ mod tests {
             ActivationWindow::immediate_persistent(),
             50.0,
         );
-        let pedal_down = UsbCommandPacket {
-            state: RobotState::PedalDown,
-            watchdog: true,
-            dac: [0; 8],
-        };
+        let pedal_down =
+            UsbCommandPacket { state: RobotState::PedalDown, watchdog: true, dac: [0; 8] };
 
         // Idle feedback: the gate stays closed.
         for i in 0..40u64 {
@@ -360,11 +349,7 @@ mod tests {
             sensor.on_read(&mut fb, &ctx(i));
         }
         // Moving, but Pedal Up: inner trigger refuses.
-        let pedal_up = UsbCommandPacket {
-            state: RobotState::PedalUp,
-            watchdog: true,
-            dac: [0; 8],
-        };
+        let pedal_up = UsbCommandPacket { state: RobotState::PedalUp, watchdog: true, dac: [0; 8] };
         let mut buf = pedal_up.encode().to_vec();
         gate.on_write(&mut buf, &ctx(100));
         assert_eq!(gate.injections(), 0);

@@ -17,8 +17,8 @@
 //!   activation-period grids for Fig. 9, run counts for Table IV).
 
 pub mod analysis;
-pub mod feedback;
 pub mod campaign;
+pub mod feedback;
 pub mod malware;
 pub mod variants;
 pub mod wrappers;
@@ -27,7 +27,7 @@ pub use analysis::{
     byte_profiles, find_state_byte, infer_state_segments, AnalysisError, ByteProfile,
     StateByteHypothesis, StateSegment,
 };
-pub use campaign::{CampaignConfig, InjectionSpec, Scenario};
+pub use campaign::{CampaignConfig, CampaignPlan, InjectionSpec, RunDescriptor, Scenario};
 pub use feedback::{
     encoder_activity, motion_gated_attack, shared_motion, summarize_motion, FeedbackLogger,
     GatedInjection, MotionSensor, MotionSummary, SharedMotion,

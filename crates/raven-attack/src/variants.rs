@@ -7,7 +7,7 @@
 //! interceptor implementations for the variants that act on paths our
 //! simulation exposes (ITP network, USB write, USB read).
 
-use raven_hw::channel::{ReadInterceptor, WriteContext, WriteInterceptor, WriteAction};
+use raven_hw::channel::{ReadInterceptor, WriteAction, WriteContext, WriteInterceptor};
 use raven_teleop::ItpPacket;
 use serde::{Deserialize, Serialize};
 
@@ -337,11 +337,7 @@ mod tests {
     #[test]
     fn state_nibble_rewrite_changes_plc_view() {
         let mut rw = StateNibbleRewrite::new(RobotState::EStop.nibble());
-        let pkt = UsbCommandPacket {
-            state: RobotState::PedalDown,
-            watchdog: true,
-            dac: [0; 8],
-        };
+        let pkt = UsbCommandPacket { state: RobotState::PedalDown, watchdog: true, dac: [0; 8] };
         let mut buf = pkt.encode().to_vec();
         rw.on_write(&mut buf, &ctx());
         let decoded = UsbCommandPacket::decode_unchecked(&buf).unwrap();

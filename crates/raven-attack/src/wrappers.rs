@@ -232,8 +232,7 @@ impl InjectionWrapper {
 
     /// `true` once the activation window is exhausted.
     pub fn exhausted(&self) -> bool {
-        self.window.duration_packets != u64::MAX
-            && self.injections >= self.window.duration_packets
+        self.window.duration_packets != u64::MAX && self.injections >= self.window.duration_packets
     }
 }
 
@@ -264,7 +263,7 @@ impl WriteInterceptor for InjectionWrapper {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use raven_hw::{RobotState, UsbCommandPacket, UsbChannel};
+    use raven_hw::{RobotState, UsbChannel, UsbCommandPacket};
     use simbus::LinkConfig;
 
     fn ctx(seq: u64) -> WriteContext {

@@ -8,7 +8,9 @@
 //! TOCTOU gap.
 
 use raven_dynamics::{DacScale, PlantParams};
-use raven_hw::{RobotState, UsbCommandPacket, UsbFeedbackPacket, DAC_CHANNELS, WRIST_RAD_PER_COUNT};
+use raven_hw::{
+    RobotState, UsbCommandPacket, UsbFeedbackPacket, DAC_CHANNELS, WRIST_RAD_PER_COUNT,
+};
 use raven_kinematics::{ArmConfig, JointState, MotorState, NUM_AXES, WRIST_AXES};
 use raven_math::Vec3;
 use serde::{Deserialize, Serialize};
@@ -343,11 +345,7 @@ impl RavenController {
             fault,
         });
 
-        UsbCommandPacket {
-            state: self.sm.state(),
-            watchdog: self.watchdog_phase,
-            dac,
-        }
+        UsbCommandPacket { state: self.sm.state(), watchdog: self.watchdog_phase, dac }
     }
 
     fn enter_pedal_down(&mut self, current_pos: Vec3) {
@@ -360,8 +358,8 @@ impl RavenController {
 
     fn decode_motors(&self, feedback: &UsbFeedbackPacket) -> MotorState {
         let mut angles = [0.0; NUM_AXES];
-        for i in 0..NUM_AXES {
-            angles[i] = f64::from(feedback.encoders[i]) / self.config.encoder_counts_per_rad;
+        for (a, e) in angles.iter_mut().zip(feedback.encoders.iter()) {
+            *a = f64::from(*e) / self.config.encoder_counts_per_rad;
         }
         MotorState::new(angles)
     }
@@ -432,8 +430,8 @@ mod tests {
         let m = ctl.chain().arm().joints_to_motors(&joints);
         let cfg = ControllerConfig::raven_ii();
         let mut encoders = [0i32; DAC_CHANNELS];
-        for i in 0..NUM_AXES {
-            encoders[i] = (m.angles[i] * cfg.encoder_counts_per_rad).round() as i32;
+        for (e, a) in encoders.iter_mut().zip(m.angles.iter()) {
+            *e = (a * cfg.encoder_counts_per_rad).round() as i32;
         }
         UsbFeedbackPacket { state: RobotState::EStop, watchdog: false, plc_fault: false, encoders }
     }
@@ -540,8 +538,7 @@ mod tests {
             if let Some(mpos_d) = ctl.telemetry().unwrap().mpos_d {
                 let cfg = ControllerConfig::raven_ii();
                 for i in 0..NUM_AXES {
-                    fb.encoders[i] =
-                        (mpos_d.angles[i] * cfg.encoder_counts_per_rad).round() as i32;
+                    fb.encoders[i] = (mpos_d.angles[i] * cfg.encoder_counts_per_rad).round() as i32;
                 }
             }
         }

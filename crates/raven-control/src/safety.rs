@@ -180,9 +180,7 @@ mod tests {
     fn dac_over_threshold_caught() {
         let mut c = checker();
         let m = MotorState::default();
-        let err = c
-            .check_cycle(&mid(), &m, &m, &[0, 0, 25_000, 0, 0, 0, 0, 0])
-            .unwrap_err();
+        let err = c.check_cycle(&mid(), &m, &m, &[0, 0, 25_000, 0, 0, 0, 0, 0]).unwrap_err();
         assert!(matches!(err, SafetyViolation::DacThreshold { channel: 2, value: 25_000 }));
         assert_eq!(err.fault_reason(), FaultReason::DacLimit);
         assert_eq!(c.violations(), 1);

@@ -66,11 +66,8 @@ fn pedal_down_releases_brakes_and_tracks_motion() {
     };
 
     // Constant velocity along -Y at 50 mm/s for 2 s.
-    let input = OperatorInput {
-        pedal: true,
-        delta_pos: Vec3::new(0.0, -5e-5, 0.0),
-        wrist: [0.0; 4],
-    };
+    let input =
+        OperatorInput { pedal: true, delta_pos: Vec3::new(0.0, -5e-5, 0.0), wrist: [0.0; 4] };
     for _ in 0..2000 {
         run_cycle(&mut ctl, &mut rig, &mut clock, Some(&input));
         assert_ne!(ctl.state_machine().state(), RobotState::EStop, "clean run must not fault");
@@ -93,7 +90,8 @@ fn pedal_release_stops_and_holds() {
     let (mut ctl, mut rig, mut clock) = fresh_system();
     boot(&mut ctl, &mut rig, &mut clock);
 
-    let moving = OperatorInput { pedal: true, delta_pos: Vec3::new(5e-5, 0.0, 0.0), wrist: [0.0; 4] };
+    let moving =
+        OperatorInput { pedal: true, delta_pos: Vec3::new(5e-5, 0.0, 0.0), wrist: [0.0; 4] };
     for _ in 0..500 {
         run_cycle(&mut ctl, &mut rig, &mut clock, Some(&moving));
     }
@@ -123,8 +121,7 @@ fn smooth_circle_trajectory_runs_clean() {
     for k in 0..5000u64 {
         let t = k as f64 * 1e-3;
         let w = 2.0 * std::f64::consts::PI * 0.2;
-        let target =
-            Vec3::new(0.015 * ((w * t).cos() - 1.0), 0.015 * (w * t).sin(), 0.0);
+        let target = Vec3::new(0.015 * ((w * t).cos() - 1.0), 0.015 * (w * t).sin(), 0.0);
         let delta = target - last_target;
         last_target = target;
         let input = OperatorInput { pedal: true, delta_pos: delta, wrist: [0.0; 4] };
@@ -139,17 +136,15 @@ fn smooth_circle_trajectory_runs_clean() {
         last_phys = Some(pos);
     }
     assert!(rig.estop().is_none());
-    assert!(
-        max_step < 5e-4,
-        "clean trajectory moved {max_step} m in one cycle — too jumpy"
-    );
+    assert!(max_step < 5e-4, "clean trajectory moved {max_step} m in one cycle — too jumpy");
 }
 
 #[test]
 fn estop_button_halts_everything() {
     let (mut ctl, mut rig, mut clock) = fresh_system();
     boot(&mut ctl, &mut rig, &mut clock);
-    let input = OperatorInput { pedal: true, delta_pos: Vec3::new(5e-5, 0.0, 0.0), wrist: [0.0; 4] };
+    let input =
+        OperatorInput { pedal: true, delta_pos: Vec3::new(5e-5, 0.0, 0.0), wrist: [0.0; 4] };
     for _ in 0..300 {
         run_cycle(&mut ctl, &mut rig, &mut clock, Some(&input));
     }

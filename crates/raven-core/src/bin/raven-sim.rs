@@ -4,13 +4,62 @@
 //! raven-sim session [seed]         run a clean teleoperation session
 //! raven-sim attack [seed]          run the scenario-B attack, undefended
 //! raven-sim defend [seed]          train the guard and run the same attack
+//! raven-sim train [seed]           learn detection thresholds (parallel)
 //! raven-sim table1|table2|fig5|fig6|fig8   regenerate an artifact (quick sizes)
+//! raven-sim table4|fig9|ablations  Monte-Carlo sweeps (parallel campaign engine)
 //! ```
+//!
+//! Sweep commands accept `--workers N` (default: all cores, or
+//! `$RAVEN_WORKERS`) and `--paper` (paper-scale sizes instead of the quick
+//! protocol). Progress and throughput (runs completed, runs/sec, ETA) are
+//! reported on stderr while a sweep runs. Results are bit-identical for
+//! any `--workers` value.
 
-use raven_core::experiments::{run_fig5, run_fig6, run_fig8, run_table1, run_table2};
-use raven_core::training::{train_thresholds, TrainingConfig};
-use raven_core::{AttackSetup, DetectorSetup, SimConfig, Simulation};
+use raven_core::experiments::{
+    run_fig5, run_fig6, run_fig8, run_fig9_with, run_fusion_ablation_with,
+    run_lookahead_ablation_with, run_mitigation_ablation_with, run_table1, run_table2,
+    run_table4_with, Fig9Config, Table4Config,
+};
+use raven_core::training::{train_thresholds, train_thresholds_with, TrainingConfig};
+use raven_core::{AttackSetup, DetectorSetup, ExecutorConfig, SimConfig, Simulation};
 use raven_detect::{DetectorConfig, Mitigation};
+
+/// Options for the sweep commands: `[seed] [--workers N] [--paper]`.
+struct SweepOpts {
+    seed: u64,
+    paper: bool,
+    exec: ExecutorConfig,
+}
+
+fn parse_sweep_opts(args: &[String]) -> SweepOpts {
+    let mut seed = 42u64;
+    let mut workers = None;
+    let mut paper = false;
+    let mut rest = args[2..].iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--workers" => {
+                workers = rest
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .or_else(|| die("--workers needs a positive integer"));
+            }
+            "--paper" => paper = true,
+            other => match other.parse() {
+                Ok(s) => seed = s,
+                Err(_) => {
+                    die::<u64>(&format!("unrecognized argument `{other}`"));
+                }
+            },
+        }
+    }
+    SweepOpts { seed, paper, exec: ExecutorConfig { workers, progress: true } }
+}
+
+fn die<T>(msg: &str) -> Option<T> {
+    eprintln!("raven-sim: {msg}");
+    std::process::exit(2);
+}
 
 fn seed_arg(args: &[String]) -> u64 {
     args.get(2).and_then(|s| s.parse().ok()).unwrap_or(42)
@@ -55,8 +104,7 @@ fn main() {
         }
         "defend" => {
             eprintln!("training thresholds (reduced 20-run protocol) …");
-            let report =
-                train_thresholds(&TrainingConfig { runs: 20, ..TrainingConfig::quick(3) });
+            let report = train_thresholds(&TrainingConfig { runs: 20, ..TrainingConfig::quick(3) });
             let mut sim = Simulation::new(SimConfig {
                 session_ms: 4_000,
                 detector: Some(DetectorSetup {
@@ -73,6 +121,48 @@ fn main() {
             sim.boot();
             print_outcome("guarded under scenario-B injection", &sim.run_session());
         }
+        "train" => {
+            let opts = parse_sweep_opts(&args);
+            let config = if opts.paper {
+                TrainingConfig::paper_scale(opts.seed)
+            } else {
+                TrainingConfig::quick(opts.seed)
+            };
+            let report = train_thresholds_with(&config, &opts.exec);
+            println!(
+                "thresholds from {} runs ({} samples):\n{}",
+                report.runs,
+                report.samples,
+                report.thresholds.to_json()
+            );
+        }
+        "table4" => {
+            let opts = parse_sweep_opts(&args);
+            let config = if opts.paper {
+                Table4Config::paper_scale(opts.seed)
+            } else {
+                Table4Config::quick(opts.seed)
+            };
+            print!("{}", run_table4_with(&config, &opts.exec).render());
+        }
+        "fig9" => {
+            let opts = parse_sweep_opts(&args);
+            let config = if opts.paper {
+                Fig9Config::paper_scale(opts.seed)
+            } else {
+                Fig9Config::quick(opts.seed)
+            };
+            print!("{}", run_fig9_with(&config, &opts.exec).render());
+        }
+        "ablations" => {
+            let opts = parse_sweep_opts(&args);
+            let runs = if opts.paper { 60 } else { 12 };
+            print!("{}", run_fusion_ablation_with(opts.seed, runs, &opts.exec).render());
+            println!();
+            print!("{}", run_mitigation_ablation_with(opts.seed, runs / 2, &opts.exec).render());
+            println!();
+            print!("{}", run_lookahead_ablation_with(opts.seed, runs, &opts.exec).render());
+        }
         "table1" => print!("{}", run_table1(31).render()),
         "table2" => print!("{}", run_table2(10_000).render()),
         "fig5" => print!("{}", run_fig5(3, 4_000).render()),
@@ -80,7 +170,8 @@ fn main() {
         "fig8" => print!("{}", run_fig8(42, 3, 2_500, 0.02).render()),
         _ => {
             eprintln!(
-                "usage: raven-sim <session|attack|defend|table1|table2|fig5|fig6|fig8> [seed]"
+                "usage: raven-sim <session|attack|defend|train|table1|table2|table4|\
+                 fig5|fig6|fig8|fig9|ablations> [seed] [--workers N] [--paper]"
             );
             std::process::exit(2);
         }

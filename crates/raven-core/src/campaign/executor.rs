@@ -1,0 +1,335 @@
+//! Parallel experiment-campaign executor.
+//!
+//! Every Monte-Carlo sweep in this reproduction — threshold training,
+//! Table IV, Fig. 9, the ablations, generic campaigns — has the same
+//! shape: `n` independent runs, each a pure function of a seed derived
+//! from `(root seed, run index)`, merged **in run order**. That makes the
+//! sweeps embarrassingly parallel *without* giving up determinism: this
+//! executor fans runs over a scoped worker pool and slots each result by
+//! its run index, so the merged output is bit-identical to a serial
+//! execution regardless of worker count or scheduling.
+//!
+//! Guarantees:
+//!
+//! * **Deterministic ordering** — `SweepResult::outcomes[i]` is run `i`'s
+//!   result; consumers fold in index order, exactly as the serial loops
+//!   did.
+//! * **Panic isolation** — a panicking run is caught (`catch_unwind`) and
+//!   recorded as a [`RunError`] for its index; every other run completes.
+//!   (The vendored `parking_lot` ignores lock poisoning, so a panicked
+//!   run cannot poison shared state either.)
+//! * **Telemetry** — optional progress lines on stderr (runs completed,
+//!   runs/sec, ETA) plus a final [`SweepStats`] with wall-clock and
+//!   throughput, surfaced by the `raven-sim` CLI and the bench harnesses.
+
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+/// Environment variable overriding the default worker count.
+pub const WORKERS_ENV: &str = "RAVEN_WORKERS";
+
+/// How a sweep is executed.
+#[derive(Debug, Clone, Default)]
+pub struct ExecutorConfig {
+    /// Worker threads. `None` resolves to `$RAVEN_WORKERS` if set, else
+    /// `std::thread::available_parallelism()`.
+    pub workers: Option<usize>,
+    /// Emit progress/throughput lines to stderr while running.
+    pub progress: bool,
+}
+
+impl ExecutorConfig {
+    /// Serial execution (one worker, no progress output). The baseline the
+    /// parallel output must be byte-identical to.
+    pub fn serial() -> Self {
+        ExecutorConfig { workers: Some(1), progress: false }
+    }
+
+    /// A fixed worker count.
+    pub fn with_workers(workers: usize) -> Self {
+        ExecutorConfig { workers: Some(workers), progress: false }
+    }
+
+    /// The worker count this config resolves to (≥ 1).
+    pub fn resolved_workers(&self) -> usize {
+        self.workers
+            .or_else(|| std::env::var(WORKERS_ENV).ok().and_then(|v| v.trim().parse().ok()))
+            .unwrap_or_else(|| std::thread::available_parallelism().map(usize::from).unwrap_or(1))
+            .max(1)
+    }
+}
+
+/// A run that panicked instead of producing a result.
+#[derive(Debug, Clone, Serialize, Deserialize)]
+pub struct RunError {
+    /// The run's index in the sweep (its slot in `outcomes`).
+    pub index: usize,
+    /// The seed the run executed under.
+    pub seed: u64,
+    /// The panic payload, as text.
+    pub message: String,
+}
+
+impl std::fmt::Display for RunError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "run {} (seed {:#x}) panicked: {}", self.index, self.seed, self.message)
+    }
+}
+
+/// Wall-clock/throughput summary of one sweep.
+#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+pub struct SweepStats {
+    /// Runs attempted.
+    pub runs: usize,
+    /// Runs that panicked.
+    pub errors: usize,
+    /// Worker threads used.
+    pub workers: usize,
+    /// Wall-clock seconds.
+    pub elapsed_s: f64,
+    /// Completed runs per second.
+    pub runs_per_sec: f64,
+}
+
+/// A sweep's outcome: one slot per run, in run order, plus stats.
+#[derive(Debug)]
+pub struct SweepResult<T> {
+    /// `outcomes[i]` is run `i`'s result or its captured panic.
+    pub outcomes: Vec<Result<T, RunError>>,
+    /// Execution telemetry.
+    pub stats: SweepStats,
+}
+
+impl<T> SweepResult<T> {
+    /// Splits into successes (in run order) and errors (in run order).
+    pub fn split(self) -> (Vec<T>, Vec<RunError>) {
+        let mut ok = Vec::with_capacity(self.outcomes.len());
+        let mut errors = Vec::new();
+        for outcome in self.outcomes {
+            match outcome {
+                Ok(v) => ok.push(v),
+                Err(e) => errors.push(e),
+            }
+        }
+        (ok, errors)
+    }
+
+    /// All results in run order; panics listing every failed run if any
+    /// run panicked. Use this where the serial code would have panicked
+    /// anyway (e.g. training asserts fault-free runs).
+    pub fn expect_all(self, what: &str) -> Vec<T> {
+        let (ok, errors) = self.split();
+        assert!(
+            errors.is_empty(),
+            "{what}: {} of {} runs failed:\n{}",
+            errors.len(),
+            errors.len() + ok.len(),
+            errors.iter().map(ToString::to_string).collect::<Vec<_>>().join("\n")
+        );
+        ok
+    }
+}
+
+/// Runs `n` independent jobs over a scoped worker pool and returns their
+/// results **in run order**.
+///
+/// `seed_of(i)` names run `i`'s seed (recorded in [`RunError`]s and handed
+/// to the job); `job(i, seed)` executes it. Jobs must be independent —
+/// each receives only its index and seed, never another run's output —
+/// which is what makes worker count and scheduling unobservable in the
+/// merged result.
+pub fn run_sweep<T, S, F>(
+    label: &str,
+    n: usize,
+    config: &ExecutorConfig,
+    seed_of: S,
+    job: F,
+) -> SweepResult<T>
+where
+    T: Send,
+    S: Fn(usize) -> u64 + Sync,
+    F: Fn(usize, u64) -> T + Sync,
+{
+    let workers = config.resolved_workers().min(n.max(1));
+    let started = Instant::now();
+    let progress = Progress::new(label, n, config.progress);
+
+    let run_one =
+        |i: usize| -> Result<T, RunError> {
+            let seed = seed_of(i);
+            let outcome = catch_unwind(AssertUnwindSafe(|| job(i, seed)))
+                .map_err(|payload| RunError { index: i, seed, message: panic_text(&*payload) });
+            progress.completed();
+            outcome
+        };
+
+    let outcomes: Vec<Result<T, RunError>> = if workers <= 1 {
+        (0..n).map(run_one).collect()
+    } else {
+        let slots: Vec<Mutex<Option<Result<T, RunError>>>> =
+            (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+        crossbeam::thread::scope(|scope| {
+            for _ in 0..workers {
+                scope.spawn(|_| loop {
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    *slots[i].lock() = Some(run_one(i));
+                });
+            }
+        })
+        .expect("campaign worker pool");
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, slot)| slot.into_inner().unwrap_or_else(|| panic!("run {i} never ran")))
+            .collect()
+    };
+
+    let elapsed_s = started.elapsed().as_secs_f64();
+    let errors = outcomes.iter().filter(|o| o.is_err()).count();
+    let stats = SweepStats {
+        runs: n,
+        errors,
+        workers,
+        elapsed_s,
+        runs_per_sec: if elapsed_s > 0.0 { n as f64 / elapsed_s } else { f64::INFINITY },
+    };
+    progress.finish(&stats);
+    SweepResult { outcomes, stats }
+}
+
+fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+/// Throttled stderr progress reporter (thread-safe, lock-free).
+struct Progress {
+    label: String,
+    total: usize,
+    enabled: bool,
+    done: AtomicUsize,
+    started: Instant,
+    last_print_ms: AtomicU64,
+}
+
+impl Progress {
+    const PRINT_EVERY_MS: u64 = 500;
+
+    fn new(label: &str, total: usize, enabled: bool) -> Self {
+        Progress {
+            label: label.to_string(),
+            total,
+            enabled,
+            done: AtomicUsize::new(0),
+            started: Instant::now(),
+            last_print_ms: AtomicU64::new(0),
+        }
+    }
+
+    fn completed(&self) {
+        let done = self.done.fetch_add(1, Ordering::Relaxed) + 1;
+        if !self.enabled || done == self.total {
+            return; // the final line comes from finish()
+        }
+        let now_ms = self.started.elapsed().as_millis() as u64;
+        let last = self.last_print_ms.load(Ordering::Relaxed);
+        if now_ms.saturating_sub(last) < Self::PRINT_EVERY_MS {
+            return;
+        }
+        // One winner per window; losers skip printing.
+        if self
+            .last_print_ms
+            .compare_exchange(last, now_ms, Ordering::Relaxed, Ordering::Relaxed)
+            .is_err()
+        {
+            return;
+        }
+        let elapsed = self.started.elapsed().as_secs_f64();
+        let rate = done as f64 / elapsed.max(1e-9);
+        let eta = (self.total - done) as f64 / rate.max(1e-9);
+        eprintln!(
+            "{}: {}/{} runs ({:.1} runs/s, ETA {:.0} s)",
+            self.label, done, self.total, rate, eta
+        );
+    }
+
+    fn finish(&self, stats: &SweepStats) {
+        if self.enabled {
+            eprintln!(
+                "{}: {} runs in {:.1} s ({:.1} runs/s, {} workers{})",
+                self.label,
+                stats.runs,
+                stats.elapsed_s,
+                stats.runs_per_sec,
+                stats.workers,
+                if stats.errors > 0 { format!(", {} FAILED", stats.errors) } else { String::new() }
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn seeds(i: usize) -> u64 {
+        simbus::rng::derive_seed(99, &format!("exec-test-{i}"))
+    }
+
+    #[test]
+    fn parallel_matches_serial_in_order() {
+        let job = |i: usize, seed: u64| (i, seed.wrapping_mul(0x9e37_79b9));
+        let serial = run_sweep("t", 64, &ExecutorConfig::serial(), seeds, job).expect_all("serial");
+        for workers in [2, 3, 8] {
+            let par = run_sweep("t", 64, &ExecutorConfig::with_workers(workers), seeds, job)
+                .expect_all("parallel");
+            assert_eq!(par, serial, "workers={workers}");
+        }
+    }
+
+    #[test]
+    fn one_poisoned_run_yields_one_error_others_complete() {
+        let result = run_sweep("t", 16, &ExecutorConfig::with_workers(4), seeds, |i, _seed| {
+            assert!(i != 5, "poisoned run");
+            i * 2
+        });
+        assert_eq!(result.stats.errors, 1);
+        let (ok, errors) = result.split();
+        assert_eq!(errors.len(), 1);
+        assert_eq!(errors[0].index, 5);
+        assert_eq!(errors[0].seed, seeds(5));
+        assert!(errors[0].message.contains("poisoned run"));
+        let expected: Vec<usize> = (0..16).filter(|i| *i != 5).map(|i| i * 2).collect();
+        assert_eq!(ok, expected);
+    }
+
+    #[test]
+    fn worker_resolution_prefers_explicit_count() {
+        assert_eq!(ExecutorConfig::with_workers(3).resolved_workers(), 3);
+        assert_eq!(ExecutorConfig::serial().resolved_workers(), 1);
+        assert!(ExecutorConfig::default().resolved_workers() >= 1);
+    }
+
+    #[test]
+    fn stats_count_runs_and_workers() {
+        let r = run_sweep("t", 10, &ExecutorConfig::with_workers(32), seeds, |i, _| i);
+        // Worker count is clamped to the number of runs.
+        assert_eq!(r.stats.workers, 10);
+        assert_eq!(r.stats.runs, 10);
+        assert_eq!(r.stats.errors, 0);
+        assert!(r.stats.elapsed_s >= 0.0);
+    }
+}

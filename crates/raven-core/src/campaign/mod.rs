@@ -15,6 +15,10 @@ use simbus::rng::derive_seed;
 use crate::scenario::AttackSetup;
 use crate::sim::{DetectorSetup, SessionOutcome, SimConfig, Simulation, Workload};
 
+pub mod executor;
+
+pub use executor::{run_sweep, ExecutorConfig, RunError, SweepResult, SweepStats};
+
 /// One campaign run's record.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct CampaignRun {
@@ -59,19 +63,35 @@ impl CampaignResult {
 }
 
 /// Executes a campaign with the detector in shadow mode (thresholds
-/// supplied by the caller, typically from `training::train_thresholds`).
+/// supplied by the caller, typically from `training::train_thresholds`),
+/// using the default executor (all cores; see [`ExecutorConfig`]).
 pub fn run_campaign(
     config: &CampaignConfig,
     thresholds: DetectionThresholds,
     session_ms: u64,
 ) -> CampaignResult {
-    let mut runs = Vec::with_capacity(config.total_runs());
-    let mut summary = CampaignSummary::default();
-    for (spec_idx, spec) in config.specs.iter().enumerate() {
-        for rep in 0..config.repetitions {
-            let seed = derive_seed(config.seed, &format!("campaign-{spec_idx}-{rep}"));
+    run_campaign_with(config, thresholds, session_ms, &ExecutorConfig::default())
+}
+
+/// [`run_campaign`] with explicit executor control. Output is bit-identical
+/// for any worker count: runs are keyed by the deterministic
+/// [`raven_attack::CampaignPlan`] and merged in plan order.
+pub fn run_campaign_with(
+    config: &CampaignConfig,
+    thresholds: DetectionThresholds,
+    session_ms: u64,
+    exec: &ExecutorConfig,
+) -> CampaignResult {
+    let plan = config.plan();
+    let sweep = run_sweep(
+        "campaign",
+        plan.len(),
+        exec,
+        |i| derive_seed(config.seed, plan[i].stream()),
+        |i, seed| {
+            let descriptor = &plan[i];
             let mut sim = Simulation::new(SimConfig {
-                workload: Workload::training_pair()[(rep % 2) as usize],
+                workload: Workload::training_pair()[(descriptor.repetition % 2) as usize],
                 session_ms,
                 detector: Some(DetectorSetup {
                     config: DetectorConfig {
@@ -83,21 +103,30 @@ pub fn run_campaign(
                 }),
                 ..SimConfig::standard(seed)
             });
-            sim.install_attack(&AttackSetup::from_spec(spec));
+            sim.install_attack(&AttackSetup::from_spec(&descriptor.spec));
             sim.boot();
-            let outcome = sim.run_session();
-            summary.runs += 1;
-            if outcome.adverse {
-                summary.adverse += 1;
-            }
-            if outcome.model_detected {
-                summary.model_detected += 1;
-            }
-            if outcome.raven_detected {
-                summary.raven_detected += 1;
-            }
-            runs.push(CampaignRun { spec: *spec, repetition: rep, outcome });
+            sim.run_session()
+        },
+    );
+    let outcomes = sweep.expect_all("campaign");
+    let mut summary = CampaignSummary::default();
+    let mut runs = Vec::with_capacity(outcomes.len());
+    for (descriptor, outcome) in plan.iter().zip(outcomes) {
+        summary.runs += 1;
+        if outcome.adverse {
+            summary.adverse += 1;
         }
+        if outcome.model_detected {
+            summary.model_detected += 1;
+        }
+        if outcome.raven_detected {
+            summary.raven_detected += 1;
+        }
+        runs.push(CampaignRun {
+            spec: descriptor.spec,
+            repetition: descriptor.repetition,
+            outcome,
+        });
     }
     CampaignResult { runs, summary }
 }
@@ -120,14 +149,10 @@ mod tests {
         assert_eq!(result.summary.runs, 4);
         assert_eq!(result.runs.len(), 4);
         // The strong, long spec hurts; the weak, short one does not.
-        let strong_adverse = result
-            .runs_where(|s| s.duration_packets == 256)
-            .filter(|r| r.outcome.adverse)
-            .count();
-        let weak_adverse = result
-            .runs_where(|s| s.duration_packets == 4)
-            .filter(|r| r.outcome.adverse)
-            .count();
+        let strong_adverse =
+            result.runs_where(|s| s.duration_packets == 256).filter(|r| r.outcome.adverse).count();
+        let weak_adverse =
+            result.runs_where(|s| s.duration_packets == 4).filter(|r| r.outcome.adverse).count();
         assert!(strong_adverse > 0, "{result:?}");
         assert_eq!(weak_adverse, 0);
         // The model detects at least the adverse runs.

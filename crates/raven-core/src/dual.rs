@@ -73,10 +73,7 @@ impl DualArmSession {
             workload: green_workload,
             ..config.clone()
         };
-        DualArmSession {
-            gold: Simulation::new(config),
-            green: Simulation::new(green_config),
-        }
+        DualArmSession { gold: Simulation::new(config), green: Simulation::new(green_config) }
     }
 
     /// Installs an attack against one arm's stack.
@@ -143,10 +140,8 @@ mod tests {
 
     #[test]
     fn both_arms_run_clean_sessions() {
-        let mut dual = DualArmSession::new(SimConfig {
-            session_ms: 1_500,
-            ..SimConfig::standard(61)
-        });
+        let mut dual =
+            DualArmSession::new(SimConfig { session_ms: 1_500, ..SimConfig::standard(61) });
         dual.boot();
         let out = dual.run_session(1_500);
         assert!(!out.any_adverse(), "{out:?}");
@@ -156,10 +151,8 @@ mod tests {
 
     #[test]
     fn attack_on_one_arm_leaves_the_other_untouched() {
-        let mut dual = DualArmSession::new(SimConfig {
-            session_ms: 3_000,
-            ..SimConfig::standard(63)
-        });
+        let mut dual =
+            DualArmSession::new(SimConfig { session_ms: 3_000, ..SimConfig::standard(63) });
         dual.install_attack(
             Arm::Gold,
             &AttackSetup::ScenarioB {
@@ -172,10 +165,7 @@ mod tests {
         dual.boot();
         let out = dual.run_session(3_000);
         assert!(out.arm(Arm::Gold).adverse, "attacked arm must jump: {out:?}");
-        assert!(
-            !out.arm(Arm::Green).adverse,
-            "untouched arm must stay clean: {out:?}"
-        );
+        assert!(!out.arm(Arm::Green).adverse, "untouched arm must stay clean: {out:?}");
         assert_eq!(out.green.final_state, "Pedal Down");
     }
 }

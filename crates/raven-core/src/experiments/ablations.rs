@@ -15,9 +15,10 @@ use raven_math::stats::ConfusionMatrix;
 use serde::{Deserialize, Serialize};
 use simbus::rng::derive_seed;
 
+use crate::campaign::executor::{run_sweep, ExecutorConfig};
 use crate::scenario::AttackSetup;
 use crate::sim::{DetectorSetup, SimConfig, Simulation, Workload};
-use crate::training::{train_thresholds, TrainingConfig};
+use crate::training::{train_thresholds_with, TrainingConfig};
 
 /// One fusion-rule row.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -54,42 +55,62 @@ impl FusionAblation {
 /// Runs the fusion ablation: the same mixed attack/clean campaign under both
 /// fusion rules, reusing one set of learned thresholds.
 pub fn run_fusion_ablation(seed: u64, runs_per_rule: u32) -> FusionAblation {
+    run_fusion_ablation_with(seed, runs_per_rule, &ExecutorConfig::default())
+}
+
+/// [`run_fusion_ablation`] with explicit executor control.
+pub fn run_fusion_ablation_with(
+    seed: u64,
+    runs_per_rule: u32,
+    exec: &ExecutorConfig,
+) -> FusionAblation {
     let thresholds =
-        train_thresholds(&TrainingConfig { runs: 24, ..TrainingConfig::quick(seed) }).thresholds;
+        train_thresholds_with(&TrainingConfig { runs: 24, ..TrainingConfig::quick(seed) }, exec)
+            .thresholds;
     let mut rows = Vec::new();
     for (label, fusion) in [("all-three", FusionRule::AllThree), ("any-one", FusionRule::AnyOne)] {
+        let records = run_sweep(
+            &format!("ablation-fusion-{label}"),
+            runs_per_rule as usize,
+            exec,
+            |i| derive_seed(seed, &format!("fusion-{label}-{i}")),
+            |i, run_seed| {
+                let run = i as u32;
+                let clean = run.is_multiple_of(2);
+                let attack = if clean {
+                    AttackSetup::None
+                } else {
+                    AttackSetup::ScenarioB {
+                        dac_delta: 22_000 + 2_000 * (run % 5) as i16,
+                        channel: (run % 3) as usize,
+                        delay_packets: 250 + u64::from(run) * 31 % 300,
+                        duration_packets: [8, 32, 128, 512][(run % 4) as usize],
+                    }
+                };
+                let mut sim = Simulation::new(SimConfig {
+                    workload: Workload::training_pair()[(run % 2) as usize],
+                    session_ms: 2_200,
+                    detector: Some(DetectorSetup {
+                        config: DetectorConfig {
+                            mitigation: Mitigation::Observe,
+                            fusion,
+                            ..DetectorConfig::default()
+                        },
+                        model_perturbation: 0.02,
+                        thresholds: Some(thresholds),
+                    }),
+                    ..SimConfig::standard(run_seed)
+                });
+                sim.install_attack(&attack);
+                sim.boot();
+                let out = sim.run_session();
+                (attack.is_attack(), out.model_detected)
+            },
+        )
+        .expect_all("fusion ablation");
         let mut cm = ConfusionMatrix::new();
-        for run in 0..runs_per_rule {
-            let run_seed = derive_seed(seed, &format!("fusion-{label}-{run}"));
-            let clean = run % 2 == 0;
-            let attack = if clean {
-                AttackSetup::None
-            } else {
-                AttackSetup::ScenarioB {
-                    dac_delta: 22_000 + 2_000 * (run % 5) as i16,
-                    channel: (run % 3) as usize,
-                    delay_packets: 250 + u64::from(run) * 31 % 300,
-                    duration_packets: [8, 32, 128, 512][(run % 4) as usize],
-                }
-            };
-            let mut sim = Simulation::new(SimConfig {
-                workload: Workload::training_pair()[(run % 2) as usize],
-                session_ms: 2_200,
-                detector: Some(DetectorSetup {
-                    config: DetectorConfig {
-                        mitigation: Mitigation::Observe,
-                        fusion,
-                        ..DetectorConfig::default()
-                    },
-                    model_perturbation: 0.02,
-                    thresholds: Some(thresholds),
-                }),
-                ..SimConfig::standard(run_seed)
-            });
-            sim.install_attack(&attack);
-            sim.boot();
-            let out = sim.run_session();
-            cm.record(attack.is_attack(), out.model_detected);
+        for (attacked, detected) in records {
+            cm.record(attacked, detected);
         }
         rows.push(FusionRow {
             rule: label.to_string(),
@@ -146,42 +167,62 @@ impl MitigationAblation {
 
 /// Runs the mitigation ablation: identical attacks under the three policies.
 pub fn run_mitigation_ablation(seed: u64, runs_per_policy: u32) -> MitigationAblation {
+    run_mitigation_ablation_with(seed, runs_per_policy, &ExecutorConfig::default())
+}
+
+/// [`run_mitigation_ablation`] with explicit executor control.
+pub fn run_mitigation_ablation_with(
+    seed: u64,
+    runs_per_policy: u32,
+    exec: &ExecutorConfig,
+) -> MitigationAblation {
     let thresholds =
-        train_thresholds(&TrainingConfig { runs: 24, ..TrainingConfig::quick(seed) }).thresholds;
+        train_thresholds_with(&TrainingConfig { runs: 24, ..TrainingConfig::quick(seed) }, exec)
+            .thresholds;
     let mut rows = Vec::new();
     for (label, mitigation) in [
         ("observe", Mitigation::Observe),
         ("block-and-hold", Mitigation::BlockAndHold),
         ("e-stop", Mitigation::EStop),
     ] {
+        let records = run_sweep(
+            &format!("ablation-mitigation-{label}"),
+            runs_per_policy as usize,
+            exec,
+            |i| derive_seed(seed, &format!("mitigation-{i}")), // same per policy
+            |i, run_seed| {
+                let run = i as u32;
+                let mut sim = Simulation::new(SimConfig {
+                    workload: Workload::Circle,
+                    session_ms: 2_500,
+                    detector: Some(DetectorSetup {
+                        config: DetectorConfig { mitigation, ..DetectorConfig::default() },
+                        model_perturbation: 0.02,
+                        thresholds: Some(thresholds),
+                    }),
+                    ..SimConfig::standard(run_seed)
+                });
+                sim.install_attack(&AttackSetup::ScenarioB {
+                    dac_delta: 28_000,
+                    channel: (run % 3) as usize,
+                    delay_packets: 300 + u64::from(run) * 41,
+                    duration_packets: 256,
+                });
+                sim.boot();
+                let out = sim.run_session();
+                (out.max_ee_step_2ms, out.adverse, out.final_state == "Pedal Down")
+            },
+        )
+        .expect_all("mitigation ablation");
         let mut sum_step = 0.0;
         let mut adverse = 0u32;
         let mut survived = 0u32;
-        for run in 0..runs_per_policy {
-            let run_seed = derive_seed(seed, &format!("mitigation-{run}")); // same per policy
-            let mut sim = Simulation::new(SimConfig {
-                workload: Workload::Circle,
-                session_ms: 2_500,
-                detector: Some(DetectorSetup {
-                    config: DetectorConfig { mitigation, ..DetectorConfig::default() },
-                    model_perturbation: 0.02,
-                    thresholds: Some(thresholds),
-                }),
-                ..SimConfig::standard(run_seed)
-            });
-            sim.install_attack(&AttackSetup::ScenarioB {
-                dac_delta: 28_000,
-                channel: (run % 3) as usize,
-                delay_packets: 300 + u64::from(run) * 41,
-                duration_packets: 256,
-            });
-            sim.boot();
-            let out = sim.run_session();
-            sum_step += out.max_ee_step_2ms * 1e3;
-            if out.adverse {
+        for (max_step, was_adverse, did_survive) in records {
+            sum_step += max_step * 1e3;
+            if was_adverse {
                 adverse += 1;
             }
-            if out.final_state == "Pedal Down" {
+            if did_survive {
                 survived += 1;
             }
         }
@@ -292,9 +333,8 @@ pub struct LookaheadAblation {
 impl LookaheadAblation {
     /// Renders as text.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "ABLATION: prediction horizon (scenario B, sub-authority injections)\n",
-        );
+        let mut out =
+            String::from("ABLATION: prediction horizon (scenario B, sub-authority injections)\n");
         out.push_str(&format!(
             "{:<10} {:>7} {:>7} {:>14}\n",
             "horizon", "TPR", "FPR", "latency (ms)"
@@ -311,63 +351,88 @@ impl LookaheadAblation {
 
 /// Runs the lookahead ablation: the same campaign with horizons 1–8.
 pub fn run_lookahead_ablation(seed: u64, runs_per_horizon: u32) -> LookaheadAblation {
+    run_lookahead_ablation_with(seed, runs_per_horizon, &ExecutorConfig::default())
+}
+
+/// [`run_lookahead_ablation`] with explicit executor control.
+pub fn run_lookahead_ablation_with(
+    seed: u64,
+    runs_per_horizon: u32,
+    exec: &ExecutorConfig,
+) -> LookaheadAblation {
     let thresholds =
-        train_thresholds(&TrainingConfig { runs: 24, ..TrainingConfig::quick(seed) }).thresholds;
+        train_thresholds_with(&TrainingConfig { runs: 24, ..TrainingConfig::quick(seed) }, exec)
+            .thresholds;
     let mut rows = Vec::new();
     for horizon in [1u32, 2, 4, 8] {
+        let records = run_sweep(
+            &format!("ablation-lookahead-{horizon}"),
+            runs_per_horizon as usize,
+            exec,
+            |i| derive_seed(seed, &format!("lookahead-{i}")), // shared per horizon
+            |i, run_seed| {
+                let run = i as u32;
+                let clean = run.is_multiple_of(3);
+                let delay = 300 + u64::from(run) * 29 % 200;
+                let attack = if clean {
+                    AttackSetup::None
+                } else {
+                    AttackSetup::ScenarioB {
+                        dac_delta: 21_000 + 500 * (run % 6) as i16, // near PID authority: slow builds
+                        channel: (run % 3) as usize,
+                        delay_packets: delay,
+                        duration_packets: 512,
+                    }
+                };
+                let mut sim = Simulation::new(SimConfig {
+                    workload: Workload::training_pair()[(run % 2) as usize],
+                    session_ms: 2_500,
+                    detector: Some(DetectorSetup {
+                        config: DetectorConfig {
+                            mitigation: Mitigation::Observe,
+                            lookahead_steps: horizon,
+                            ..DetectorConfig::default()
+                        },
+                        model_perturbation: 0.02,
+                        thresholds: Some(thresholds),
+                    }),
+                    ..SimConfig::standard(run_seed)
+                });
+                sim.install_attack(&attack);
+                sim.boot();
+                let out = sim.run_session();
+                let latency = if attack.is_attack() && out.model_detected {
+                    sim.detector()
+                        .and_then(|d| d.lock().first_alarm_assessment())
+                        // Assessments count Pedal-Down packets; injection
+                        // starts after `delay` of them.
+                        .map(|first| first.saturating_sub(delay) as f64)
+                } else {
+                    None
+                };
+                (attack.is_attack(), out.model_detected, latency)
+            },
+        )
+        .expect_all("lookahead ablation");
         let mut cm = ConfusionMatrix::new();
         let mut latency_sum = 0.0;
         let mut detected = 0u32;
-        for run in 0..runs_per_horizon {
-            let run_seed = derive_seed(seed, &format!("lookahead-{run}")); // shared per horizon
-            let clean = run % 3 == 0;
-            let delay = 300 + u64::from(run) * 29 % 200;
-            let attack = if clean {
-                AttackSetup::None
-            } else {
-                AttackSetup::ScenarioB {
-                    dac_delta: 21_000 + 500 * (run % 6) as i16, // near PID authority: slow builds
-                    channel: (run % 3) as usize,
-                    delay_packets: delay,
-                    duration_packets: 512,
-                }
-            };
-            let mut sim = Simulation::new(SimConfig {
-                workload: Workload::training_pair()[(run % 2) as usize],
-                session_ms: 2_500,
-                detector: Some(DetectorSetup {
-                    config: DetectorConfig {
-                        mitigation: Mitigation::Observe,
-                        lookahead_steps: horizon,
-                        ..DetectorConfig::default()
-                    },
-                    model_perturbation: 0.02,
-                    thresholds: Some(thresholds),
-                }),
-                ..SimConfig::standard(run_seed)
-            });
-            sim.install_attack(&attack);
-            sim.boot();
-            let out = sim.run_session();
-            cm.record(attack.is_attack(), out.model_detected);
-            if attack.is_attack() && out.model_detected {
-                if let Some(first) = sim
-                    .detector()
-                    .and_then(|d| d.lock().first_alarm_assessment())
-                {
-                    // Assessments count Pedal-Down packets; injection starts
-                    // after `delay` of them.
-                    let latency = first.saturating_sub(delay) as f64;
-                    latency_sum += latency;
-                    detected += 1;
-                }
+        for (attacked, model, latency) in records {
+            cm.record(attacked, model);
+            if let Some(latency) = latency {
+                latency_sum += latency;
+                detected += 1;
             }
         }
         rows.push(LookaheadRow {
             horizon,
             tpr: cm.tpr() * 100.0,
             fpr: cm.fpr() * 100.0,
-            mean_latency_ms: if detected > 0 { latency_sum / f64::from(detected) } else { f64::NAN },
+            mean_latency_ms: if detected > 0 {
+                latency_sum / f64::from(detected)
+            } else {
+                f64::NAN
+            },
         });
     }
     LookaheadAblation { rows }
@@ -558,11 +623,7 @@ mod tests {
         // non-decreasing, and detected attacks are caught no later.
         assert!(h8.tpr >= h1.tpr, "{}", r.render());
         if h1.mean_latency_ms.is_finite() && h8.mean_latency_ms.is_finite() {
-            assert!(
-                h8.mean_latency_ms <= h1.mean_latency_ms + 1.0,
-                "{}",
-                r.render()
-            );
+            assert!(h8.mean_latency_ms <= h1.mean_latency_ms + 1.0, "{}", r.render());
         }
     }
 
@@ -593,10 +654,6 @@ mod tests {
         let r = run_hardened_board(45);
         assert!(r.b_integrity_rejects > 0, "{}", r.render());
         assert!(!r.b_adverse, "checksums must stop byte-level corruption\n{}", r.render());
-        assert!(
-            r.a_still_effective,
-            "integrity checks cannot stop scenario A\n{}",
-            r.render()
-        );
+        assert!(r.a_still_effective, "integrity checks cannot stop scenario A\n{}", r.render());
     }
 }

@@ -84,9 +84,7 @@ pub fn run_fig5(seed: u64, session_ms: u64) -> Fig5Result {
     });
     // Attacker installs the eavesdropping wrapper before the session.
     let log = capture_log();
-    sim.rig_mut()
-        .channel
-        .install_first(Box::new(LoggingWrapper::new(std::sync::Arc::clone(&log))));
+    sim.rig_mut().channel.install_first(Box::new(LoggingWrapper::new(std::sync::Arc::clone(&log))));
     sim.boot();
     let _ = sim.run_session();
 
@@ -100,26 +98,16 @@ pub fn run_fig5(seed: u64, session_ms: u64) -> Fig5Result {
             transitions: p.transitions,
         })
         .collect();
-    let byte0_values: Vec<u8> = profiles
-        .first()
-        .map(|p| p.alphabet.iter().copied().collect())
-        .unwrap_or_default();
+    let byte0_values: Vec<u8> =
+        profiles.first().map(|p| p.alphabet.iter().copied().collect()).unwrap_or_default();
     let hypothesis = find_state_byte(&capture).ok();
     let watchdog_mask = hypothesis.as_ref().and_then(|h| h.watchdog_mask);
-    let mut byte0_values_masked: Vec<u8> = byte0_values
-        .iter()
-        .map(|b| b & !watchdog_mask.unwrap_or(0))
-        .collect();
+    let mut byte0_values_masked: Vec<u8> =
+        byte0_values.iter().map(|b| b & !watchdog_mask.unwrap_or(0)).collect();
     byte0_values_masked.sort_unstable();
     byte0_values_masked.dedup();
 
-    Fig5Result {
-        packets: capture.len(),
-        bytes,
-        byte0_values,
-        byte0_values_masked,
-        watchdog_mask,
-    }
+    Fig5Result { packets: capture.len(), bytes, byte0_values, byte0_values_masked, watchdog_mask }
 }
 
 #[cfg(test)]

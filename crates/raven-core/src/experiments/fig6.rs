@@ -87,11 +87,8 @@ pub fn run_fig6(seed: u64) -> Fig6Result {
             Ok(h) => {
                 let segments = infer_state_segments(&capture, &h);
                 // Ignore micro-segments (single stray packets).
-                let staircase: Vec<u8> = segments
-                    .iter()
-                    .filter(|s| s.packets >= 3)
-                    .map(|s| s.value)
-                    .collect();
+                let staircase: Vec<u8> =
+                    segments.iter().filter(|s| s.packets >= 3).map(|s| s.value).collect();
                 (dedup_adjacent(&staircase), h.trigger_values())
             }
             Err(_) => (Vec::new(), Vec::new()),
@@ -131,20 +128,22 @@ fn check_ground_truth(staircase: &[u8], cycles: u32) -> bool {
         expect.push(down);
     }
     // Session may end with a final Pedal Up segment.
-    staircase == expect.as_slice() || {
-        let mut with_tail = expect.clone();
-        with_tail.push(up);
-        staircase == with_tail.as_slice()
-    } || {
-        // Or the capture may start after the E-STOP idle (no packets until
-        // the software starts writing).
-        staircase.len() >= 2 && staircase[0] == init && {
-            let mut no_estop = expect[1..].to_vec();
-            let matched = staircase == no_estop.as_slice();
-            no_estop.push(up);
-            matched || staircase == no_estop.as_slice()
+    staircase == expect.as_slice()
+        || {
+            let mut with_tail = expect.clone();
+            with_tail.push(up);
+            staircase == with_tail.as_slice()
         }
-    }
+        || {
+            // Or the capture may start after the E-STOP idle (no packets until
+            // the software starts writing).
+            staircase.len() >= 2 && staircase[0] == init && {
+                let mut no_estop = expect[1..].to_vec();
+                let matched = staircase == no_estop.as_slice();
+                no_estop.push(up);
+                matched || staircase == no_estop.as_slice()
+            }
+        }
 }
 
 #[cfg(test)]
@@ -155,12 +154,7 @@ mod tests {
     fn all_nine_runs_recover_the_state_machine() {
         let r = run_fig6(5);
         assert_eq!(r.runs.len(), 9);
-        assert_eq!(
-            r.correct_runs(),
-            9,
-            "state inference failed on some runs:\n{}",
-            r.render()
-        );
+        assert_eq!(r.correct_runs(), 9, "state inference failed on some runs:\n{}", r.render());
         // Every run derives the paper's trigger values.
         for run in &r.runs {
             let mut t = run.trigger_values.clone();

@@ -12,8 +12,8 @@
 
 use std::time::Instant;
 
-use raven_dynamics::RtModel;
 use raven_dynamics::estimator::RtModelConfig;
+use raven_dynamics::RtModel;
 use raven_math::angles::rad_to_deg;
 use raven_math::ode::Method;
 use serde::{Deserialize, Serialize};
@@ -150,8 +150,7 @@ pub fn run_fig8(seed: u64, runs: u32, session_ms: u64, model_perturbation: f64) 
         if engaged.len() < 100 {
             continue;
         }
-        let model_params =
-            sim_plant_params(&sim, run_seed, model_perturbation);
+        let model_params = sim_plant_params(&sim, run_seed, model_perturbation);
 
         for (mi, method) in methods.iter().enumerate() {
             let mut model = RtModel::with_config(
@@ -203,12 +202,9 @@ pub fn run_fig8(seed: u64, runs: u32, session_ms: u64, model_perturbation: f64) 
     for (mi, method) in methods.iter().enumerate() {
         let n = steps_total[mi].max(1) as f64;
         let runs_f = f64::from(runs);
-        let mut joints = [JointError {
-            mpos_err_deg: 0.0,
-            mpos_err_pct: 0.0,
-            jpos_err: 0.0,
-            jpos_err_pct: 0.0,
-        }; 3];
+        let mut joints =
+            [JointError { mpos_err_deg: 0.0, mpos_err_pct: 0.0, jpos_err: 0.0, jpos_err_pct: 0.0 };
+                3];
         for i in 0..3 {
             let me = err_mpos[mi][i] / n;
             let je = err_jpos[mi][i] / n;

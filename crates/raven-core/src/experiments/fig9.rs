@@ -15,9 +15,10 @@ use raven_detect::{DetectionThresholds, DetectorConfig, Mitigation};
 use serde::{Deserialize, Serialize};
 use simbus::rng::derive_seed;
 
+use crate::campaign::executor::{run_sweep, ExecutorConfig};
 use crate::scenario::AttackSetup;
 use crate::sim::{DetectorSetup, SimConfig, Simulation, Workload};
-use crate::training::{train_thresholds, TrainingConfig};
+use crate::training::{train_thresholds_with, TrainingConfig};
 
 /// One grid cell's estimated probabilities.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -128,69 +129,97 @@ impl Fig9Result {
     }
 }
 
-/// Runs the Fig. 9 sweep.
+/// Runs the Fig. 9 sweep with the default executor (all cores).
 pub fn run_fig9(config: &Fig9Config) -> Fig9Result {
-    let thresholds = train_thresholds(&config.training).thresholds;
-    let mut cells = Vec::new();
-    for &value in &config.values {
-        for &duration_ms in &config.durations_ms {
-            cells.push(run_cell(config, value, duration_ms, thresholds));
-        }
-    }
+    run_fig9_with(config, &ExecutorConfig::default())
+}
+
+/// [`run_fig9`] with explicit executor control.
+///
+/// The whole values × durations × repetitions grid is flattened into one
+/// sweep (cell-major, repetition-minor) so workers stay busy across cell
+/// boundaries; per-cell counts fold in repetition order, making the grid
+/// bit-identical for any worker count.
+pub fn run_fig9_with(config: &Fig9Config, exec: &ExecutorConfig) -> Fig9Result {
+    let thresholds = train_thresholds_with(&config.training, exec).thresholds;
+    let grid: Vec<(i16, u64)> = config
+        .values
+        .iter()
+        .flat_map(|&value| config.durations_ms.iter().map(move |&d| (value, d)))
+        .collect();
+    let reps = config.repetitions.max(1) as usize;
+    let outcomes = run_sweep(
+        "fig9",
+        grid.len() * config.repetitions as usize,
+        exec,
+        |i| {
+            let (value, duration_ms) = grid[i / reps];
+            let rep = (i % reps) as u32;
+            derive_seed(config.seed, &format!("fig9-{value}-{duration_ms}-{rep}"))
+        },
+        |i, seed| {
+            let (value, duration_ms) = grid[i / reps];
+            let rep = (i % reps) as u32;
+            run_rep(config, value, duration_ms, rep, seed, thresholds)
+        },
+    )
+    .expect_all("fig9 sweep");
+    let cells = grid
+        .iter()
+        .enumerate()
+        .map(|(cell_idx, &(value, duration_ms))| {
+            let mut adverse = 0u32;
+            let mut model = 0u32;
+            let mut raven = 0u32;
+            for (was_adverse, was_model, was_raven) in
+                outcomes[cell_idx * reps..(cell_idx + 1) * reps].iter().copied()
+            {
+                adverse += u32::from(was_adverse);
+                model += u32::from(was_model);
+                raven += u32::from(was_raven);
+            }
+            let n = f64::from(config.repetitions.max(1));
+            Fig9Cell {
+                value,
+                duration_ms,
+                p_adverse: f64::from(adverse) / n,
+                p_model: f64::from(model) / n,
+                p_raven: f64::from(raven) / n,
+                repetitions: config.repetitions,
+            }
+        })
+        .collect();
     Fig9Result { cells }
 }
 
-fn run_cell(
+/// One repetition of one grid cell: (adverse, model_detected, raven_detected).
+fn run_rep(
     config: &Fig9Config,
     value: i16,
     duration_ms: u64,
+    rep: u32,
+    seed: u64,
     thresholds: DetectionThresholds,
-) -> Fig9Cell {
-    let mut adverse = 0u32;
-    let mut model = 0u32;
-    let mut raven = 0u32;
-    for rep in 0..config.repetitions {
-        let seed = derive_seed(config.seed, &format!("fig9-{value}-{duration_ms}-{rep}"));
-        let mut sim = Simulation::new(SimConfig {
-            workload: Workload::training_pair()[(rep % 2) as usize],
-            session_ms: config.session_ms,
-            detector: Some(DetectorSetup {
-                config: DetectorConfig {
-                    mitigation: Mitigation::Observe,
-                    ..DetectorConfig::default()
-                },
-                model_perturbation: 0.02,
-                thresholds: Some(thresholds),
-            }),
-            ..SimConfig::standard(seed)
-        });
-        sim.install_attack(&AttackSetup::ScenarioB {
-            dac_delta: value,
-            channel: (rep % 3) as usize,
-            delay_packets: 250 + u64::from(rep) * 37,
-            duration_packets: duration_ms,
-        });
-        sim.boot();
-        let out = sim.run_session();
-        if out.adverse {
-            adverse += 1;
-        }
-        if out.model_detected {
-            model += 1;
-        }
-        if out.raven_detected {
-            raven += 1;
-        }
-    }
-    let n = f64::from(config.repetitions.max(1));
-    Fig9Cell {
-        value,
-        duration_ms,
-        p_adverse: f64::from(adverse) / n,
-        p_model: f64::from(model) / n,
-        p_raven: f64::from(raven) / n,
-        repetitions: config.repetitions,
-    }
+) -> (bool, bool, bool) {
+    let mut sim = Simulation::new(SimConfig {
+        workload: Workload::training_pair()[(rep % 2) as usize],
+        session_ms: config.session_ms,
+        detector: Some(DetectorSetup {
+            config: DetectorConfig { mitigation: Mitigation::Observe, ..DetectorConfig::default() },
+            model_perturbation: 0.02,
+            thresholds: Some(thresholds),
+        }),
+        ..SimConfig::standard(seed)
+    });
+    sim.install_attack(&AttackSetup::ScenarioB {
+        dac_delta: value,
+        channel: (rep % 3) as usize,
+        delay_packets: 250 + u64::from(rep) * 37,
+        duration_packets: duration_ms,
+    });
+    sim.boot();
+    let out = sim.run_session();
+    (out.adverse, out.model_detected, out.raven_detected)
 }
 
 #[cfg(test)]

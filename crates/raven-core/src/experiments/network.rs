@@ -1,7 +1,7 @@
 //! Network-degradation study — the related-work comparison of §V.A.
 //!
 //! The paper contrasts its host-level attacks with the network-level DoS and
-//! MITM attacks of Bonaci et al. (its refs. [7][8]): "causing the user input
+//! MITM attacks of Bonaci et al. (its refs. 7 and 8): "causing the user input
 //! packets to be delayed or get lost in transit to the robot might lead to
 //! jerky motions of the robotic arms or difficulty in performing tasks",
 //! while packet-content modification on the network "led the safety software
@@ -48,12 +48,17 @@ pub struct NetworkStudy {
 impl NetworkStudy {
     /// Renders as text.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "STUDY: network degradation vs host-level injection (paper §V.A)\n",
-        );
+        let mut out =
+            String::from("STUDY: network degradation vs host-level injection (paper §V.A)\n");
         out.push_str(&format!(
             "{:<22} {:>6} {:>9} {:>14} {:>14} {:>8} {:>10}\n",
-            "condition", "loss", "delay ms", "rms err (mm)", "2ms step (mm)", "adverse", "completed"
+            "condition",
+            "loss",
+            "delay ms",
+            "rms err (mm)",
+            "2ms step (mm)",
+            "adverse",
+            "completed"
         ));
         for r in &self.rows {
             out.push_str(&format!(
@@ -174,11 +179,7 @@ mod tests {
         let injected = s.row("host-injection").unwrap();
 
         // Packet loss worsens tracking…
-        assert!(
-            heavy.rms_tracking_error_mm >= ideal.rms_tracking_error_mm,
-            "{}",
-            s.render()
-        );
+        assert!(heavy.rms_tracking_error_mm >= ideal.rms_tracking_error_mm, "{}", s.render());
         // …but no network condition produces the abrupt jump…
         for r in &s.rows {
             if r.condition != "host-injection" {

@@ -48,8 +48,7 @@ impl Table1Result {
 
     /// Renders the table in the paper's layout.
     pub fn render(&self) -> String {
-        let mut out =
-            String::from("TABLE I (reproduced): attack variants and observed impact\n");
+        let mut out = String::from("TABLE I (reproduced): attack variants and observed impact\n");
         out.push_str(&format!(
             "{:<12} {:<28} {:<28} {:<26} {:<26}\n",
             "id", "target library", "malicious action", "paper impact", "observed impact"
@@ -83,26 +82,26 @@ fn setup_for(spec: &VariantSpec) -> AttackSetup {
         },
         // Substituted math-drift: a large, sudden phantom offset on the
         // elbow feedback walks the IK target out of the workspace.
-        "math-drift" => AttackSetup::EncoderCorruption { channel: 1, offset_counts: 900_000, delay_reads: 3_000 },
-        "plc-state" => AttackSetup::PlcStateRewrite {
-            forced_nibble: RobotState::PedalUp.nibble(),
+        "math-drift" => AttackSetup::EncoderCorruption {
+            channel: 1,
+            offset_counts: 900_000,
+            delay_reads: 3_000,
         },
+        "plc-state" => AttackSetup::PlcStateRewrite { forced_nibble: RobotState::PedalUp.nibble() },
         "motor-cmd" => AttackSetup::ScenarioB {
             dac_delta: 30_000,
             channel: 0,
             delay_packets: 300,
             duration_packets: 256,
         },
-        "encoder-fb" => AttackSetup::EncoderCorruption { channel: 2, offset_counts: 12_000, delay_reads: 3_200 },
+        "encoder-fb" => {
+            AttackSetup::EncoderCorruption { channel: 2, offset_counts: 12_000, delay_reads: 3_200 }
+        }
         other => panic!("unknown variant id {other}"),
     }
 }
 
-fn classify(
-    spec: &VariantSpec,
-    booted: bool,
-    outcome: Option<&SessionOutcome>,
-) -> ObservedImpact {
+fn classify(spec: &VariantSpec, booted: bool, outcome: Option<&SessionOutcome>) -> ObservedImpact {
     if !booted {
         return ObservedImpact::HomingFailure;
     }
@@ -165,10 +164,8 @@ pub fn run_table1(seed: u64) -> Table1Result {
     let mut rows = Vec::new();
     for spec in catalog() {
         let run_seed = derive_seed(seed, &format!("table1-{}", spec.id));
-        let mut sim = Simulation::new(SimConfig {
-            session_ms: 4_000,
-            ..SimConfig::standard(run_seed)
-        });
+        let mut sim =
+            Simulation::new(SimConfig { session_ms: 4_000, ..SimConfig::standard(run_seed) });
         sim.install_attack(&setup_for(&spec));
         let booted = sim.boot_expecting_failure();
         let outcome = booted.then(|| sim.run_session());

@@ -11,9 +11,7 @@
 
 use std::time::Instant;
 
-use raven_attack::{
-    capture_log, ActivationWindow, Corruption, InjectionWrapper, LoggingWrapper,
-};
+use raven_attack::{capture_log, ActivationWindow, Corruption, InjectionWrapper, LoggingWrapper};
 use raven_hw::{RobotState, UsbChannel, UsbCommandPacket};
 use raven_math::stats::RunningStats;
 use serde::{Deserialize, Serialize};
@@ -46,9 +44,8 @@ pub struct Table2Result {
 impl Table2Result {
     /// Renders the table in the paper's layout.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "TABLE II. PERFORMANCE OVERHEAD OF MALICIOUS SYSTEM CALL (reproduced)\n",
-        );
+        let mut out =
+            String::from("TABLE II. PERFORMANCE OVERHEAD OF MALICIOUS SYSTEM CALL (reproduced)\n");
         out.push_str(&format!(
             "{:<28} {:>9} {:>9} {:>9} {:>9}\n",
             "Time (µs)", "Min", "Max", "Mean", "Std."

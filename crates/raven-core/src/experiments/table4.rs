@@ -15,9 +15,10 @@ use raven_math::stats::ConfusionMatrix;
 use serde::{Deserialize, Serialize};
 use simbus::rng::derive_seed;
 
+use crate::campaign::executor::{run_sweep, ExecutorConfig};
 use crate::scenario::AttackSetup;
 use crate::sim::{DetectorSetup, SimConfig, Simulation, Workload};
-use crate::training::{train_thresholds, TrainingConfig};
+use crate::training::{train_thresholds_with, TrainingConfig};
 
 /// One detector's scored row.
 #[derive(Debug, Clone, Copy, Serialize, Deserialize)]
@@ -121,9 +122,8 @@ pub struct Table4Result {
 impl Table4Result {
     /// Renders the table in the paper's layout.
     pub fn render(&self) -> String {
-        let mut out = String::from(
-            "TABLE IV (reproduced): detection performance, dynamic model vs RAVEN\n",
-        );
+        let mut out =
+            String::from("TABLE IV (reproduced): detection performance, dynamic model vs RAVEN\n");
         out.push_str(&format!(
             "{:<24} {:<14} {:>7} {:>7} {:>7} {:>7}\n",
             "Attack Scenario", "Technique", "ACC", "TPR", "FPR", "F1"
@@ -131,8 +131,12 @@ impl Table4Result {
         for s in &self.scenarios {
             out.push_str(&format!(
                 "{:<24} {:<14} {:>7.1} {:>7.1} {:>7.1} {:>7.1}\n",
-                s.scenario, "Dynamic Model", s.dynamic_model.acc, s.dynamic_model.tpr,
-                s.dynamic_model.fpr, s.dynamic_model.f1
+                s.scenario,
+                "Dynamic Model",
+                s.dynamic_model.acc,
+                s.dynamic_model.tpr,
+                s.dynamic_model.fpr,
+                s.dynamic_model.f1
             ));
             out.push_str(&format!(
                 "{:<24} {:<14} {:>7.1} {:>7.1} {:>7.1} {:>7.1}\n",
@@ -143,11 +147,7 @@ impl Table4Result {
                 "", s.model_only_detections, s.raven_only_detections
             ));
         }
-        let avg_acc: f64 = self
-            .scenarios
-            .iter()
-            .map(|s| s.dynamic_model.acc)
-            .sum::<f64>()
+        let avg_acc: f64 = self.scenarios.iter().map(|s| s.dynamic_model.acc).sum::<f64>()
             / self.scenarios.len().max(1) as f64;
         let avg_f1: f64 = self.scenarios.iter().map(|s| s.dynamic_model.f1).sum::<f64>()
             / self.scenarios.len().max(1) as f64;
@@ -212,22 +212,31 @@ fn run_scenario(
     runs: u32,
     config: &Table4Config,
     thresholds: DetectionThresholds,
+    exec: &ExecutorConfig,
 ) -> ScenarioComparison {
+    // Fan the scored runs over the executor; each returns its
+    // (attacked, model, raven) triple and the confusion matrices fold in
+    // run order, exactly as the serial loop did.
+    let triples = run_sweep(
+        &format!("table4-{scenario}"),
+        runs as usize,
+        exec,
+        |i| derive_seed(config.seed, &format!("t4-run-{scenario}-{i}")),
+        |i, run_seed| {
+            let run = i as u32;
+            let clean = (run as f64 / runs.max(1) as f64) < config.clean_fraction;
+            let attack =
+                if clean { AttackSetup::None } else { scenario_attack(scenario, run, config.seed) };
+            let workload = Workload::training_pair()[(run % 2) as usize];
+            evaluate_run(run_seed, config.session_ms, workload, attack, thresholds)
+        },
+    )
+    .expect_all("table4 scenario");
     let mut model_cm = ConfusionMatrix::new();
     let mut raven_cm = ConfusionMatrix::new();
     let mut model_only = 0;
     let mut raven_only = 0;
-    for run in 0..runs {
-        let run_seed = derive_seed(config.seed, &format!("t4-run-{scenario}-{run}"));
-        let clean = (run as f64 / runs.max(1) as f64) < config.clean_fraction;
-        let attack = if clean {
-            AttackSetup::None
-        } else {
-            scenario_attack(scenario, run, config.seed)
-        };
-        let workload = Workload::training_pair()[(run % 2) as usize];
-        let (attacked, model, raven) =
-            evaluate_run(run_seed, config.session_ms, workload, attack, thresholds);
+    for (attacked, model, raven) in triples {
         model_cm.record(attacked, model);
         raven_cm.record(attacked, raven);
         if attacked {
@@ -251,18 +260,20 @@ fn run_scenario(
     }
 }
 
-/// Runs the full Table IV protocol.
+/// Runs the full Table IV protocol with the default executor (all cores).
 pub fn run_table4(config: &Table4Config) -> Table4Result {
-    let training = train_thresholds(&config.training);
+    run_table4_with(config, &ExecutorConfig::default())
+}
+
+/// [`run_table4`] with explicit executor control; output is bit-identical
+/// for any worker count.
+pub fn run_table4_with(config: &Table4Config, exec: &ExecutorConfig) -> Table4Result {
+    let training = train_thresholds_with(&config.training, exec);
     let scenarios = vec![
-        run_scenario('A', config.scenario_a_runs, config, training.thresholds),
-        run_scenario('B', config.scenario_b_runs, config, training.thresholds),
+        run_scenario('A', config.scenario_a_runs, config, training.thresholds, exec),
+        run_scenario('B', config.scenario_b_runs, config, training.thresholds, exec),
     ];
-    Table4Result {
-        scenarios,
-        thresholds: training.thresholds,
-        training_samples: training.samples,
-    }
+    Table4Result { scenarios, thresholds: training.thresholds, training_samples: training.samples }
 }
 
 #[cfg(test)]

@@ -18,7 +18,8 @@ pub mod sim;
 pub mod training;
 pub mod viz;
 
-pub use campaign::{run_campaign, CampaignResult, CampaignRun, CampaignSummary};
+pub use campaign::executor::{run_sweep, ExecutorConfig, RunError, SweepResult, SweepStats};
+pub use campaign::{run_campaign, run_campaign_with, CampaignResult, CampaignRun, CampaignSummary};
 pub use dual::{Arm, DualArmSession, DualOutcome};
 pub use scenario::AttackSetup;
 pub use sim::{DetectorSetup, SessionOutcome, SimConfig, Simulation, Workload};

@@ -7,15 +7,17 @@
 //! experiment in this reproduction is a configuration of this one loop.
 
 use raven_attack::{ActivationWindow, Corruption, InjectionWrapper, ItpMitm};
-use raven_control::{ControllerConfig, CycleTelemetry, FaultReason, OperatorInput, RavenController};
+use raven_control::{
+    ControllerConfig, CycleTelemetry, FaultReason, OperatorInput, RavenController,
+};
 use raven_detect::{DetectorConfig, DynamicDetector, GuardInterceptor, SharedDetector};
 use raven_dynamics::{PlantParams, RtModel};
 use raven_hw::{EStopCause, HardwareRig, RobotState};
 use raven_kinematics::ArmConfig;
 use raven_math::Vec3;
 use raven_teleop::{
-    Circle, ItpPacket, Lissajous, MasterConsole, MinimumJerk, PedalSchedule, Suturing,
-    Trajectory, WithTremor,
+    Circle, ItpPacket, Lissajous, MasterConsole, MinimumJerk, PedalSchedule, Suturing, Trajectory,
+    WithTremor,
 };
 use serde::{Deserialize, Serialize};
 use simbus::rng::derive_seed;
@@ -243,10 +245,8 @@ impl Simulation {
                 (home.insertion - 0.10).max(arm.limits.insertion.0 + 0.01),
             )
         };
-        rig.plant = raven_dynamics::RavenPlant::with_state(
-            config.plant,
-            config.plant.rest_state(stowed),
-        );
+        rig.plant =
+            raven_dynamics::RavenPlant::with_state(config.plant, config.plant.rest_state(stowed));
         if let Some(placement) = config.bitw {
             rig.enable_bitw(placement, derive_seed(config.seed, "bitw-key"));
         }
@@ -570,8 +570,7 @@ impl Simulation {
     }
 
     fn outcome(&self, ticks: u64) -> SessionOutcome {
-        let adverse =
-            self.max_ee_step_1ms > 1.0e-3 || self.max_ee_step_2ms > 1.0e-3;
+        let adverse = self.max_ee_step_1ms > 1.0e-3 || self.max_ee_step_2ms > 1.0e-3;
         let fault = self.controller.state_machine().fault();
         let raven_detected = matches!(
             fault,
@@ -585,8 +584,7 @@ impl Simulation {
             self.rig.estop(),
             Some(EStopCause::WatchdogTimeout) | Some(EStopCause::HardwareFault)
         );
-        let model_detected =
-            self.detector.as_ref().map(|d| d.lock().alarmed()).unwrap_or(false);
+        let model_detected = self.detector.as_ref().map(|d| d.lock().alarmed()).unwrap_or(false);
         SessionOutcome {
             max_ee_step_1ms: self.max_ee_step_1ms,
             max_ee_step_2ms: self.max_ee_step_2ms,
@@ -619,10 +617,7 @@ mod tests {
 
     #[test]
     fn clean_session_has_no_adverse_impact() {
-        let mut sim = Simulation::new(SimConfig {
-            session_ms: 2_000,
-            ..SimConfig::standard(11)
-        });
+        let mut sim = Simulation::new(SimConfig { session_ms: 2_000, ..SimConfig::standard(11) });
         sim.boot();
         let out = sim.run_session();
         assert!(!out.adverse, "clean run flagged adverse: {out:?}");
@@ -634,10 +629,7 @@ mod tests {
 
     #[test]
     fn scenario_b_injection_causes_adverse_impact_on_undefended_robot() {
-        let mut sim = Simulation::new(SimConfig {
-            session_ms: 3_000,
-            ..SimConfig::standard(13)
-        });
+        let mut sim = Simulation::new(SimConfig { session_ms: 3_000, ..SimConfig::standard(13) });
         sim.install_attack(&AttackSetup::ScenarioB {
             dac_delta: 30_000,
             channel: 0,
@@ -647,18 +639,12 @@ mod tests {
         sim.boot();
         let out = sim.run_session();
         assert!(out.injections > 0, "attack never fired: {out:?}");
-        assert!(
-            out.adverse,
-            "a long, large torque injection must jump the arm: {out:?}"
-        );
+        assert!(out.adverse, "a long, large torque injection must jump the arm: {out:?}");
     }
 
     #[test]
     fn scenario_a_mitm_hijacks_trajectory() {
-        let mut sim = Simulation::new(SimConfig {
-            session_ms: 3_000,
-            ..SimConfig::standard(17)
-        });
+        let mut sim = Simulation::new(SimConfig { session_ms: 3_000, ..SimConfig::standard(17) });
         sim.install_attack(&AttackSetup::ScenarioA {
             magnitude: 4.0e-4,
             delay_packets: 400,
@@ -677,10 +663,8 @@ mod tests {
     #[test]
     fn deterministic_given_seed() {
         let run = |seed: u64| {
-            let mut sim = Simulation::new(SimConfig {
-                session_ms: 1_000,
-                ..SimConfig::standard(seed)
-            });
+            let mut sim =
+                Simulation::new(SimConfig { session_ms: 1_000, ..SimConfig::standard(seed) });
             sim.boot();
             let out = sim.run_session();
             (out.max_ee_step_1ms, out.ticks)

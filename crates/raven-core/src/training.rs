@@ -7,6 +7,7 @@ use raven_detect::{DetectionThresholds, DetectorConfig, Mitigation, ThresholdLea
 use serde::{Deserialize, Serialize};
 use simbus::rng::derive_seed;
 
+use crate::campaign::executor::{run_sweep, ExecutorConfig};
 use crate::sim::{DetectorSetup, SimConfig, Simulation, Workload};
 
 /// Configuration of a training campaign.
@@ -63,36 +64,60 @@ pub struct TrainingReport {
 ///
 /// Panics if `config.runs` is zero or a clean training run fails to boot.
 pub fn train_thresholds(config: &TrainingConfig) -> TrainingReport {
+    train_thresholds_with(config, &ExecutorConfig::default())
+}
+
+/// [`train_thresholds`] with explicit executor control.
+///
+/// Each run owns its simulation and returns its run-local
+/// [`ThresholdLearner`]; the master learner merges them **in run order**,
+/// so the learned thresholds are bit-identical for any worker count.
+///
+/// # Panics
+///
+/// Panics if `config.runs` is zero or a clean training run faults (each
+/// faulting run is reported with its index and seed).
+pub fn train_thresholds_with(config: &TrainingConfig, exec: &ExecutorConfig) -> TrainingReport {
     assert!(config.runs > 0, "training needs at least one run");
+    let learners = run_sweep(
+        "training",
+        config.runs as usize,
+        exec,
+        |run| derive_seed(config.seed, &format!("train-{run}")),
+        |run, seed| {
+            let workload = Workload::training_pair()[run % 2];
+            let sim_config = SimConfig {
+                seed,
+                workload,
+                session_ms: config.session_ms,
+                detector: Some(DetectorSetup {
+                    config: DetectorConfig {
+                        mitigation: Mitigation::Observe,
+                        percentile_band: config.percentile_band,
+                        ..DetectorConfig::default()
+                    },
+                    model_perturbation: config.model_perturbation,
+                    thresholds: None, // learning mode
+                }),
+                ..SimConfig::standard(0)
+            };
+            let mut sim = Simulation::new(sim_config);
+            sim.boot();
+            let outcome = sim.run_session();
+            assert!(
+                outcome.controller_fault.is_none(),
+                "fault-free training run {run} faulted: {outcome:?}"
+            );
+            let det = sim.detector().expect("training sim must have a detector");
+            let mut det = det.lock();
+            det.end_learning_run();
+            det.learner().clone()
+        },
+    )
+    .expect_all("threshold training");
     let mut master = ThresholdLearner::new();
-    for run in 0..config.runs {
-        let workload = Workload::training_pair()[(run % 2) as usize];
-        let sim_config = SimConfig {
-            seed: derive_seed(config.seed, &format!("train-{run}")),
-            workload,
-            session_ms: config.session_ms,
-            detector: Some(DetectorSetup {
-                config: DetectorConfig {
-                    mitigation: Mitigation::Observe,
-                    percentile_band: config.percentile_band,
-                    ..DetectorConfig::default()
-                },
-                model_perturbation: config.model_perturbation,
-                thresholds: None, // learning mode
-            }),
-            ..SimConfig::standard(0)
-        };
-        let mut sim = Simulation::new(sim_config);
-        sim.boot();
-        let outcome = sim.run_session();
-        assert!(
-            outcome.controller_fault.is_none(),
-            "fault-free training run {run} faulted: {outcome:?}"
-        );
-        let det = sim.detector().expect("training sim must have a detector");
-        let mut det = det.lock();
-        det.end_learning_run();
-        master.merge(det.learner());
+    for learner in &learners {
+        master.merge(learner);
     }
     let (lo, hi) = config.percentile_band;
     let thresholds = master.learn(lo, hi).expect("training produced no samples");

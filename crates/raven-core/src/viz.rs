@@ -56,9 +56,7 @@ pub fn line_chart(title: &str, x_label: &str, y_label: &str, series: &[Series<'_
         "<svg xmlns=\"http://www.w3.org/2000/svg\" width=\"{W}\" height=\"{H}\" \
          viewBox=\"0 0 {W} {H}\" font-family=\"sans-serif\">\n"
     ));
-    svg.push_str(&format!(
-        "<rect width=\"{W}\" height=\"{H}\" fill=\"white\" stroke=\"none\"/>\n"
-    ));
+    svg.push_str(&format!("<rect width=\"{W}\" height=\"{H}\" fill=\"white\" stroke=\"none\"/>\n"));
     svg.push_str(&format!(
         "<text x=\"{}\" y=\"24\" font-size=\"15\" text-anchor=\"middle\">{}</text>\n",
         W / 2.0,
@@ -136,11 +134,7 @@ pub fn trace_chart(title: &str, trace: &TraceRecorder, signals: &[(&str, &str)])
         .map(|(name, color)| Series {
             label: name,
             color,
-            points: trace
-                .samples(name)
-                .iter()
-                .map(|s| (s.time.as_millis_f64(), s.value))
-                .collect(),
+            points: trace.samples(name).iter().map(|s| (s.time.as_millis_f64(), s.value)).collect(),
         })
         .collect();
     line_chart(title, "time (ms)", "value", &series)
@@ -231,11 +225,12 @@ mod tests {
     fn empty_chart_does_not_panic() {
         let svg = line_chart("empty", "x", "y", &[]);
         assert!(svg.contains("<line")); // axes still drawn
-        let svg = line_chart("empty series", "x", "y", &[Series {
-            label: "none",
-            color: "#000",
-            points: vec![],
-        }]);
+        let svg = line_chart(
+            "empty series",
+            "x",
+            "y",
+            &[Series { label: "none", color: "#000", points: vec![] }],
+        );
         assert!(svg.ends_with("</svg>\n"));
     }
 

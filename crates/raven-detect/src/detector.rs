@@ -245,11 +245,7 @@ impl DynamicDetector {
             None => [0.0; NUM_AXES],
         };
         let jvel = match self.last_jpos {
-            Some(last) => [
-                (ja[0] - last[0]) / dt,
-                (ja[1] - last[1]) / dt,
-                (ja[2] - last[2]) / dt,
-            ],
+            Some(last) => [(ja[0] - last[0]) / dt, (ja[1] - last[1]) / dt, (ja[2] - last[2]) / dt],
             None => [0.0; NUM_AXES],
         };
         self.last_mpos = Some(mpos);
@@ -328,10 +324,8 @@ impl DynamicDetector {
     /// Panics if no fault-free samples were observed.
     pub fn arm(&mut self) {
         let (lo, hi) = self.config.percentile_band;
-        let thresholds = self
-            .learner
-            .learn(lo, hi)
-            .expect("cannot arm: no fault-free samples observed");
+        let thresholds =
+            self.learner.learn(lo, hi).expect("cannot arm: no fault-free samples observed");
         self.arm_with(thresholds);
     }
 
@@ -591,17 +585,13 @@ mod tests {
     fn guard_ignores_non_pedal_down_states() {
         let (det, params) = setup(Mitigation::EStop);
         train_and_arm(&det, &params);
-        det.lock().sync_measurement(
-            params.coupling().joints_to_motors(&JointState::new(0.0, 1.4, 0.25)),
-        );
+        det.lock()
+            .sync_measurement(params.coupling().joints_to_motors(&JointState::new(0.0, 1.4, 0.25)));
         let mut guard = GuardInterceptor::new(Arc::clone(&det));
-        let mut pkt = UsbCommandPacket {
-            state: RobotState::PedalUp,
-            watchdog: true,
-            dac: [32_000; 8],
-        }
-        .encode()
-        .to_vec();
+        let mut pkt =
+            UsbCommandPacket { state: RobotState::PedalUp, watchdog: true, dac: [32_000; 8] }
+                .encode()
+                .to_vec();
         assert_eq!(guard.on_write(&mut pkt, &ctx()), WriteAction::Forward);
         assert_eq!(det.lock().assessments(), 0);
     }

@@ -220,9 +220,7 @@ mod tests {
     fn faultfree_samples_rarely_alarm_at_998() {
         let l = trained_learner();
         let t = l.learn_default().unwrap();
-        let alarms = (0..1000)
-            .filter(|&k| t.fused_alarm(&features(k as f64 / 1000.0)))
-            .count();
+        let alarms = (0..1000).filter(|&k| t.fused_alarm(&features(k as f64 / 1000.0))).count();
         // Only the top ~0.2% of the training data can exceed.
         assert!(alarms <= 3, "{alarms} alarms on training data");
     }

@@ -79,7 +79,7 @@ mod tests {
         // Motor 0.1 joint-units ahead of the joint.
         let t = c.joint_torque(1.0 + 10.0 * 0.4, 0.0, 0.4, 0.0);
         assert!((t - 10.0).abs() < 1e-12); // 100 N·m/rad * 0.1 rad
-        // Joint ahead of the motor: torque reverses.
+                                           // Joint ahead of the motor: torque reverses.
         let t = c.joint_torque(10.0 * 0.4, 0.0, 0.5, 0.0);
         assert!((t + 10.0).abs() < 1e-12);
     }

@@ -146,14 +146,10 @@ mod tests {
     #[test]
     fn euler_and_rk4_agree_to_first_order() {
         let params = PlantParams::raven_ii();
-        let euler = RtModel::with_config(
-            params,
-            RtModelConfig { method: Method::Euler, step_size: 1e-3 },
-        );
-        let rk4 = RtModel::with_config(
-            params,
-            RtModelConfig { method: Method::Rk4, step_size: 1e-3 },
-        );
+        let euler =
+            RtModel::with_config(params, RtModelConfig { method: Method::Euler, step_size: 1e-3 });
+        let rk4 =
+            RtModel::with_config(params, RtModelConfig { method: Method::Rk4, step_size: 1e-3 });
         let s = rest_state(&params);
         let a = euler.predict(&s, &[1000, -500, 200]);
         let b = rk4.predict(&s, &[1000, -500, 200]);

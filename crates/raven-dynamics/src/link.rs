@@ -143,8 +143,8 @@ mod tests {
         let p = LinkParams::raven_ii();
         let m_short = p.inertia(1.2, 0.1);
         let m_long = p.inertia(1.2, 0.4);
-        for i in 0..3 {
-            assert!(m_short[i] > 0.0);
+        for m in &m_short {
+            assert!(*m > 0.0);
         }
         assert!(m_long[0] > m_short[0]);
         assert!(m_long[1] > m_short[1]);

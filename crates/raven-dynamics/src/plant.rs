@@ -199,19 +199,14 @@ impl RavenPlant {
                         x_clamped[3 + i] = 0.0; // mvel zero
                     }
                     let mut d = derivative(&self.params, &x_clamped, &torques);
-                    for i in 0..6 {
-                        d[i] = 0.0;
-                    }
+                    d[..6].fill(0.0);
                     d
                 };
                 self.state.x = rk4.step(&self.state.x, self.time, h, &deriv);
-                for i in 0..3 {
-                    self.state.x[i] = frozen[i];
-                    self.state.x[3 + i] = 0.0;
-                }
+                self.state.x[..3].copy_from_slice(&frozen[..3]);
+                self.state.x[3..6].fill(0.0);
             } else {
-                let deriv =
-                    |x: &[f64; ODE_DIM], _t: f64| derivative(&self.params, x, &torques);
+                let deriv = |x: &[f64; ODE_DIM], _t: f64| derivative(&self.params, x, &torques);
                 self.state.x = rk4.step(&self.state.x, self.time, h, &deriv);
             }
             self.time += h;
@@ -230,12 +225,12 @@ impl RavenPlant {
     pub fn read_encoders(&self) -> EncoderReading {
         let m = self.state.motor_pos();
         let mut counts = [0i32; NUM_AXES];
-        for i in 0..NUM_AXES {
-            counts[i] = (m.angles[i] * self.params.encoder_counts_per_rad).round() as i32;
+        for (c, a) in counts.iter_mut().zip(m.angles.iter()) {
+            *c = (a * self.params.encoder_counts_per_rad).round() as i32;
         }
         let mut wrist_counts = [0i32; WRIST_AXES];
-        for i in 0..WRIST_AXES {
-            wrist_counts[i] = (self.state.wrist[i] * 1000.0).round() as i32;
+        for (c, w) in wrist_counts.iter_mut().zip(self.state.wrist.iter()) {
+            *c = (w * 1000.0).round() as i32;
         }
         EncoderReading { counts, wrist_counts }
     }
@@ -244,8 +239,8 @@ impl RavenPlant {
     /// software's view of `mpos`).
     pub fn decode_encoders(&self, reading: &EncoderReading) -> MotorState {
         let mut angles = [0.0; NUM_AXES];
-        for i in 0..NUM_AXES {
-            angles[i] = f64::from(reading.counts[i]) / self.params.encoder_counts_per_rad;
+        for (a, c) in angles.iter_mut().zip(reading.counts.iter()) {
+            *a = f64::from(*c) / self.params.encoder_counts_per_rad;
         }
         MotorState::new(angles)
     }

@@ -95,8 +95,8 @@ mod tests {
         assert_eq!(s.joint_vel(), [0.0; 3]);
         // Motor positions map back onto the joints through the ratios.
         let m = s.motor_pos();
-        for i in 0..3 {
-            assert!((m.angles[i] / ratios[i] - j.to_array()[i]).abs() < 1e-12);
+        for ((a, r), jv) in m.angles.iter().zip(ratios.iter()).zip(j.to_array()) {
+            assert!((a / r - jv).abs() < 1e-12);
         }
     }
 

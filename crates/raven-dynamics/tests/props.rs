@@ -1,12 +1,11 @@
 //! Property-based tests on the plant dynamics.
 
 use proptest::prelude::*;
-use raven_dynamics::{PlantParams, PlantState, RavenPlant, RtModel};
+use raven_dynamics::{PlantParams, RavenPlant, RtModel};
 use raven_kinematics::JointState;
 
 fn workspace_joints() -> impl Strategy<Value = JointState> {
-    (-1.2..1.2f64, 0.4..2.4f64, 0.10..0.42f64)
-        .prop_map(|(s, e, i)| JointState::new(s, e, i))
+    (-1.2..1.2f64, 0.4..2.4f64, 0.10..0.42f64).prop_map(|(s, e, i)| JointState::new(s, e, i))
 }
 
 fn small_dac() -> impl Strategy<Value = [i16; 3]> {

@@ -80,8 +80,7 @@ impl BitwCodec {
         }
         let nonce = u32::from_le_bytes([sealed[0], sealed[1], sealed[2], sealed[3]]);
         let body = &sealed[4..sealed.len() - 2];
-        let tag_wire =
-            u16::from_le_bytes([sealed[sealed.len() - 2], sealed[sealed.len() - 1]]);
+        let tag_wire = u16::from_le_bytes([sealed[sealed.len() - 2], sealed[sealed.len() - 1]]);
         let mut stream = keystream(self.key, nonce);
         let plaintext: Vec<u8> = body.iter().map(|b| b ^ stream.next_byte()).collect();
         if authenticate(self.key, nonce, &plaintext) != tag_wire {

@@ -8,9 +8,7 @@
 
 use serde::{Deserialize, Serialize};
 
-use crate::packet::{
-    PacketError, RobotState, UsbCommandPacket, UsbFeedbackPacket, DAC_CHANNELS,
-};
+use crate::packet::{PacketError, RobotState, UsbCommandPacket, UsbFeedbackPacket, DAC_CHANNELS};
 
 /// One USB interface board.
 #[derive(Debug, Clone, Default, Serialize, Deserialize)]

@@ -148,12 +148,7 @@ impl UsbChannel {
 
     /// Pushes a buffer through the write chain.
     pub fn write(&mut self, buf: Vec<u8>, time: SimTime) -> WriteOutcome {
-        let ctx = WriteContext {
-            time,
-            seq: self.seq,
-            process: Self::PROCESS,
-            fd: Self::BOARD_FD,
-        };
+        let ctx = WriteContext { time, seq: self.seq, process: Self::PROCESS, fd: Self::BOARD_FD };
         self.seq += 1;
         self.writes += 1;
 
@@ -186,12 +181,7 @@ impl UsbChannel {
     /// Pushes a feedback buffer through the read chain, returning the bytes
     /// the control software ultimately sees.
     pub fn read(&mut self, buf: Vec<u8>, time: SimTime) -> Vec<u8> {
-        let ctx = WriteContext {
-            time,
-            seq: self.seq,
-            process: Self::PROCESS,
-            fd: Self::BOARD_FD,
-        };
+        let ctx = WriteContext { time, seq: self.seq, process: Self::PROCESS, fd: Self::BOARD_FD };
         let mut current = buf;
         for interceptor in &mut self.read_chain {
             interceptor.on_read(&mut current, &ctx);

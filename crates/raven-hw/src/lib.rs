@@ -27,8 +27,8 @@ pub use bitw::{BitwCodec, BitwPlacement, BITW_OVERHEAD};
 pub use board::UsbBoard;
 pub use channel::{ReadInterceptor, UsbChannel, WriteAction, WriteContext, WriteInterceptor};
 pub use packet::{
-    PacketError, RobotState, UsbCommandPacket, UsbFeedbackPacket, COMMAND_PACKET_LEN,
-    DAC_CHANNELS, FEEDBACK_PACKET_LEN, WATCHDOG_BIT,
+    PacketError, RobotState, UsbCommandPacket, UsbFeedbackPacket, COMMAND_PACKET_LEN, DAC_CHANNELS,
+    FEEDBACK_PACKET_LEN, WATCHDOG_BIT,
 };
 pub use plc::{EStopCause, Plc};
 pub use rig::{HardwareRig, OVERSPEED_LIMITS, WRIST_RAD_PER_COUNT};

@@ -328,11 +328,7 @@ mod tests {
     fn board_accepts_corrupted_payload_without_checksum_check() {
         // The TOCTOU attack: mutate a DAC byte after encoding; the stock
         // decoder accepts it, the verifying decoder rejects it.
-        let pkt = UsbCommandPacket {
-            state: RobotState::PedalDown,
-            watchdog: false,
-            dac: [0; 8],
-        };
+        let pkt = UsbCommandPacket { state: RobotState::PedalDown, watchdog: false, dac: [0; 8] };
         let mut buf = pkt.encode();
         buf[2] = buf[2].wrapping_add(77); // high byte of channel 0
         let decoded = UsbCommandPacket::decode_unchecked(&buf).unwrap();

@@ -97,9 +97,7 @@ impl Plc {
     /// per control period even when no packet arrived (silence is itself a
     /// watchdog failure).
     pub fn tick(&mut self, now: SimTime) {
-        if self.estop.is_none()
-            && now.saturating_since(self.last_toggle) > self.watchdog_timeout
-        {
+        if self.estop.is_none() && now.saturating_since(self.last_toggle) > self.watchdog_timeout {
             self.estop = Some(EStopCause::WatchdogTimeout);
         }
     }

@@ -18,7 +18,6 @@ use crate::channel::{UsbChannel, WriteOutcome};
 use crate::packet::{UsbCommandPacket, UsbFeedbackPacket, DAC_CHANNELS};
 use crate::plc::{EStopCause, Plc};
 
-
 /// Radians of wrist-servo target per DAC count on channels 3–6 (board spec).
 pub const WRIST_RAD_PER_COUNT: f64 = 5.0e-5;
 
@@ -126,9 +125,7 @@ impl HardwareRig {
     pub fn deliver_command(&mut self, pkt: &UsbCommandPacket, now: SimTime) -> WriteOutcome {
         let plaintext = pkt.encode().to_vec();
         let (to_chain, host_sealed) = match &mut self.bitw {
-            Some(b) if b.placement == BitwPlacement::Host => {
-                (b.host_tx.seal(&plaintext), true)
-            }
+            Some(b) if b.placement == BitwPlacement::Host => (b.host_tx.seal(&plaintext), true),
             _ => (plaintext, false),
         };
         let outcome = self.channel.write(to_chain, now);
@@ -200,9 +197,7 @@ impl HardwareRig {
         let reading = self.plant.read_encoders();
         let mut encoders = [0i32; DAC_CHANNELS];
         encoders[..3].copy_from_slice(&reading.counts);
-        for i in 0..WRIST_AXES {
-            encoders[3 + i] = reading.wrist_counts[i];
-        }
+        encoders[3..3 + WRIST_AXES].copy_from_slice(&reading.wrist_counts);
         let mut fb = self.board.make_feedback(encoders);
         fb.plc_fault = self.plc.estop().is_some();
         let onto_chain = match &mut self.bitw {
@@ -330,11 +325,7 @@ mod tests {
         let mut dac = [0i16; DAC_CHANNELS];
         dac[3] = 10_000; // wrist channel
         for t in 0..400 {
-            let pkt = UsbCommandPacket {
-                state: RobotState::PedalDown,
-                watchdog: t % 2 == 0,
-                dac,
-            };
+            let pkt = UsbCommandPacket { state: RobotState::PedalDown, watchdog: t % 2 == 0, dac };
             rig.deliver_command(&pkt, at(t));
             rig.step(at(t));
         }

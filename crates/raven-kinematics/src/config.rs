@@ -47,9 +47,7 @@ impl ArmConfig {
     /// The right arm: mirrored about the sagittal plane (port offset along
     /// +X; geometry otherwise identical because the mechanism is symmetric).
     pub fn raven_ii_right() -> Self {
-        ArmConfig::builder()
-            .remote_center(Vec3::new(0.30, 0.0, 0.0))
-            .build()
+        ArmConfig::builder().remote_center(Vec3::new(0.30, 0.0, 0.0)).build()
     }
 
     /// Starts building a custom arm.

@@ -54,9 +54,8 @@ impl CouplingMatrix {
         let n = Mat3::diagonal(ratios[0], ratios[1], ratios[2]);
         let k = Mat3::from_rows([1.0, 0.0, 0.0], [k21, 1.0, 0.0], [k31, k32, 1.0]);
         let forward = n * k;
-        let inverse = forward
-            .inverse()
-            .expect("unit-triangular times nonsingular diagonal is invertible");
+        let inverse =
+            forward.inverse().expect("unit-triangular times nonsingular diagonal is invertible");
         CouplingMatrix { forward, inverse }
     }
 

@@ -119,8 +119,8 @@ impl MotorState {
     /// Component-wise difference `self - rhs`.
     pub fn delta(self, rhs: MotorState) -> MotorState {
         let mut out = [0.0; NUM_AXES];
-        for i in 0..NUM_AXES {
-            out[i] = self.angles[i] - rhs.angles[i];
+        for (o, (a, b)) in out.iter_mut().zip(self.angles.iter().zip(rhs.angles.iter())) {
+            *o = a - b;
         }
         MotorState::new(out)
     }
@@ -144,11 +144,7 @@ impl From<[f64; NUM_AXES]> for MotorState {
 
 impl std::fmt::Display for MotorState {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(
-            f,
-            "mpos({:.3}, {:.3}, {:.3})rad",
-            self.angles[0], self.angles[1], self.angles[2]
-        )
+        write!(f, "mpos({:.3}, {:.3}, {:.3})rad", self.angles[0], self.angles[1], self.angles[2])
     }
 }
 

@@ -36,7 +36,9 @@ pub enum LimitViolation {
 impl std::fmt::Display for LimitViolation {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
-            LimitViolation::Shoulder { value } => write!(f, "shoulder limit violated: {value:.4} rad"),
+            LimitViolation::Shoulder { value } => {
+                write!(f, "shoulder limit violated: {value:.4} rad")
+            }
             LimitViolation::Elbow { value } => write!(f, "elbow limit violated: {value:.4} rad"),
             LimitViolation::Insertion { value } => {
                 write!(f, "insertion limit violated: {value:.4} m")
@@ -64,11 +66,7 @@ impl JointLimits {
     /// mechanism range, insertion stroke in the 0.08–0.45 m band around the
     /// port).
     pub fn raven_ii() -> Self {
-        JointLimits {
-            shoulder: (-1.6, 1.6),
-            elbow: (0.15, 2.6),
-            insertion: (0.08, 0.45),
-        }
+        JointLimits { shoulder: (-1.6, 1.6), elbow: (0.15, 2.6), insertion: (0.08, 0.45) }
     }
 
     /// Checks a joint state, returning the first violation found (shoulder,

@@ -134,12 +134,7 @@ pub(crate) fn inverse(config: &ArmConfig, position: Vec3) -> Result<JointState, 
     solve_shoulder(config, u, elbow, d3)
 }
 
-fn solve_shoulder(
-    config: &ArmConfig,
-    u: Vec3,
-    elbow: f64,
-    d3: f64,
-) -> Result<JointState, IkError> {
+fn solve_shoulder(config: &ArmConfig, u: Vec3, elbow: f64, d3: f64) -> Result<JointState, IkError> {
     // With θ2 known, v = Rx(α1)Rz(θ2)Rx(α2)ẑ is fixed; θ1 rotates v onto u
     // about Z, so compare azimuths.
     let v = tool_direction(config, 0.0, elbow);
@@ -214,10 +209,7 @@ mod tests {
     #[test]
     fn ik_rejects_remote_center() {
         let a = arm();
-        assert!(matches!(
-            inverse(&a, a.remote_center),
-            Err(IkError::InsertionOutOfRange { .. })
-        ));
+        assert!(matches!(inverse(&a, a.remote_center), Err(IkError::InsertionOutOfRange { .. })));
     }
 
     #[test]
@@ -226,10 +218,7 @@ mod tests {
         // Straight up along +Z is outside the cone of this mechanism
         // (u_z max = cos(α1-α2) < 1).
         let target = a.remote_center + Vec3::Z * 0.3;
-        assert!(matches!(
-            inverse(&a, target),
-            Err(IkError::DirectionUnreachable { .. })
-        ));
+        assert!(matches!(inverse(&a, target), Err(IkError::DirectionUnreachable { .. })));
     }
 
     #[test]

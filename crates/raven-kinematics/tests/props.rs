@@ -6,11 +6,7 @@ use raven_math::Vec3;
 
 fn in_limit_joints() -> impl Strategy<Value = JointState> {
     let l = JointLimits::raven_ii();
-    (
-        l.shoulder.0..l.shoulder.1,
-        l.elbow.0..l.elbow.1,
-        l.insertion.0..l.insertion.1,
-    )
+    (l.shoulder.0..l.shoulder.1, l.elbow.0..l.elbow.1, l.insertion.0..l.insertion.1)
         .prop_map(|(s, e, i)| JointState::new(s, e, i))
 }
 

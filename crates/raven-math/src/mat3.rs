@@ -26,8 +26,7 @@ pub struct Mat3 {
 
 impl Mat3 {
     /// The identity matrix.
-    pub const IDENTITY: Mat3 =
-        Mat3 { rows: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]] };
+    pub const IDENTITY: Mat3 = Mat3 { rows: [[1.0, 0.0, 0.0], [0.0, 1.0, 0.0], [0.0, 0.0, 1.0]] };
 
     /// The zero matrix.
     pub const ZERO: Mat3 = Mat3 { rows: [[0.0; 3]; 3] };

@@ -93,13 +93,7 @@ pub enum Method {
 
 impl Method {
     /// Advances `state` with the selected method.
-    pub fn step<const N: usize, F>(
-        self,
-        state: &[f64; N],
-        t: f64,
-        dt: f64,
-        deriv: &F,
-    ) -> [f64; N]
+    pub fn step<const N: usize, F>(self, state: &[f64; N], t: f64, dt: f64, deriv: &F) -> [f64; N]
     where
         F: Fn(&[f64; N], f64) -> [f64; N],
     {

@@ -143,8 +143,7 @@ impl Quat {
 
     /// Spherical linear interpolation from `self` (`t = 0`) to `rhs` (`t = 1`).
     pub fn slerp(self, rhs: Quat, t: f64) -> Quat {
-        let mut dot =
-            self.w * rhs.w + self.x * rhs.x + self.y * rhs.y + self.z * rhs.z;
+        let mut dot = self.w * rhs.w + self.x * rhs.x + self.y * rhs.y + self.z * rhs.z;
         // Take the short way around.
         let mut end = rhs;
         if dot < 0.0 {

@@ -133,10 +133,8 @@ mod tests {
     fn identity_pose_is_neutral() {
         let p = Vec3::new(1.0, 2.0, 3.0);
         assert_eq!(Pose::IDENTITY.transform_point(p), p);
-        let pose = Pose::new(
-            Quat::from_axis_angle(Vec3::X, 0.7).unwrap(),
-            Vec3::new(0.1, 0.2, 0.3),
-        );
+        let pose =
+            Pose::new(Quat::from_axis_angle(Vec3::X, 0.7).unwrap(), Vec3::new(0.1, 0.2, 0.3));
         let composed = Pose::IDENTITY.compose(&pose);
         assert!((composed.transform_point(p) - pose.transform_point(p)).norm() < 1e-12);
     }

@@ -39,9 +39,7 @@ impl PedalSchedule {
 
     /// Pedal pressed from `start` onward, forever.
     pub fn down_after(start: SimTime) -> Self {
-        PedalSchedule {
-            intervals: vec![(start, SimTime::from_nanos(u64::MAX))],
-        }
+        PedalSchedule { intervals: vec![(start, SimTime::from_nanos(u64::MAX))] }
     }
 
     /// A typical session: pedal down for `work` then up for `rest`,
@@ -131,13 +129,8 @@ impl MasterConsole {
             // so resuming is smooth.
             Vec3::ZERO
         };
-        let pkt = ItpPacket {
-            seq: self.seq,
-            pedal,
-            estop: false,
-            delta_pos: delta,
-            wrist: self.wrist,
-        };
+        let pkt =
+            ItpPacket { seq: self.seq, pedal, estop: false, delta_pos: delta, wrist: self.wrist };
         self.seq = self.seq.wrapping_add(1);
         pkt
     }

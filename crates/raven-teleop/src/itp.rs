@@ -81,9 +81,7 @@ impl ItpPacket {
         buf[2] = 1;
         buf[3..7].copy_from_slice(&self.seq.to_le_bytes());
         buf[7] = u8::from(self.pedal) | (u8::from(self.estop) << 1);
-        for (i, v) in [self.delta_pos.x, self.delta_pos.y, self.delta_pos.z]
-            .into_iter()
-            .enumerate()
+        for (i, v) in [self.delta_pos.x, self.delta_pos.y, self.delta_pos.z].into_iter().enumerate()
         {
             let counts = (v / POS_UNIT).round().clamp(i32::MIN as f64, i32::MAX as f64) as i32;
             buf[8 + 4 * i..12 + 4 * i].copy_from_slice(&counts.to_le_bytes());

@@ -19,4 +19,6 @@ pub mod traj;
 pub use console::{MasterConsole, PedalSchedule};
 pub use itp::{ItpError, ItpPacket, ITP_PACKET_LEN};
 pub use recorded::{Recording, Replay};
-pub use traj::{standard_workloads, Circle, Lissajous, MinimumJerk, Suturing, Trajectory, WithTremor};
+pub use traj::{
+    standard_workloads, Circle, Lissajous, MinimumJerk, Suturing, Trajectory, WithTremor,
+};

@@ -153,11 +153,7 @@ impl Trajectory for Suturing {
         let loop_phase = (phase / 0.7).min(1.0);
         let w = 2.0 * std::f64::consts::PI * loop_phase;
         let advance = self.stitch_len * (stitch + smooth(loop_phase));
-        Vec3::new(
-            advance,
-            self.loop_radius * w.sin(),
-            self.loop_radius * (1.0 - w.cos()) * 0.5,
-        )
+        Vec3::new(advance, self.loop_radius * w.sin(), self.loop_radius * (1.0 - w.cos()) * 0.5)
     }
 
     fn label(&self) -> &str {
@@ -196,7 +192,7 @@ impl<T: Trajectory> WithTremor<T> {
 
 impl<T: Trajectory> Trajectory for WithTremor<T> {
     fn offset(&mut self, t: f64) -> Vec3 {
-        let dt = (t - self.last_t).max(0.0).min(0.1);
+        let dt = (t - self.last_t).clamp(0.0, 0.1);
         self.last_t = t;
         // OU process: dx = -x/τ dt + σ √dt ξ, τ ≈ 20 ms.
         let tau: f64 = 0.02;
@@ -219,11 +215,7 @@ impl<T: Trajectory> Trajectory for WithTremor<T> {
 pub fn standard_workloads(seed: u64) -> Vec<Box<dyn Trajectory>> {
     vec![
         Box::new(WithTremor::new(Circle::new(0.012, 0.25), 3.0e-5, seed)),
-        Box::new(WithTremor::new(
-            Suturing::new(0.006, 0.004, 2.0),
-            3.0e-5,
-            seed.wrapping_add(1),
-        )),
+        Box::new(WithTremor::new(Suturing::new(0.006, 0.004, 2.0), 3.0e-5, seed.wrapping_add(1))),
     ]
 }
 
@@ -237,7 +229,7 @@ mod tests {
         assert_eq!(mj.offset(0.0), Vec3::ZERO);
         assert!((mj.offset(2.0) - Vec3::new(0.02, 0.0, 0.0)).norm() < 1e-12);
         assert!((mj.offset(5.0) - Vec3::new(0.02, 0.0, 0.0)).norm() < 1e-12); // holds
-        // Max per-ms step stays well under surgical speed limits.
+                                                                              // Max per-ms step stays well under surgical speed limits.
         let mut max_step = 0.0_f64;
         let mut last = mj.offset(0.0);
         for k in 1..2000 {
@@ -253,7 +245,7 @@ mod tests {
         let mut c = Circle::new(0.01, 0.5);
         assert!((c.offset(0.0)).norm() < 1e-12);
         assert!((c.offset(2.0)).norm() < 1e-9); // one full period
-        // Radius respected: max distance from circle center (-r, 0).
+                                                // Radius respected: max distance from circle center (-r, 0).
         for k in 0..100 {
             let p = c.offset(k as f64 * 0.02);
             let center = Vec3::new(-0.01, 0.0, 0.0);

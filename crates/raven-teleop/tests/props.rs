@@ -2,7 +2,9 @@
 
 use proptest::prelude::*;
 use raven_math::Vec3;
-use raven_teleop::{Circle, ItpPacket, Lissajous, MinimumJerk, Suturing, Trajectory, ITP_PACKET_LEN};
+use raven_teleop::{
+    Circle, ItpPacket, Lissajous, MinimumJerk, Suturing, Trajectory, ITP_PACKET_LEN,
+};
 
 fn any_packet() -> impl Strategy<Value = ItpPacket> {
     (

@@ -10,8 +10,8 @@
 
 use std::collections::BinaryHeap;
 
-use rand::Rng;
 use rand::rngs::SmallRng;
+use rand::Rng;
 use serde::{Deserialize, Serialize};
 
 use crate::rng::stream_rng;
@@ -31,11 +31,7 @@ pub struct LinkConfig {
 impl LinkConfig {
     /// An ideal link: zero delay, zero jitter, no loss.
     pub fn ideal() -> Self {
-        LinkConfig {
-            delay: SimDuration::ZERO,
-            jitter: SimDuration::ZERO,
-            loss_probability: 0.0,
-        }
+        LinkConfig { delay: SimDuration::ZERO, jitter: SimDuration::ZERO, loss_probability: 0.0 }
     }
 
     /// A LAN-like link: 200 µs delay, 100 µs jitter, no loss — the hospital-
@@ -288,9 +284,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "loss probability")]
     fn invalid_loss_probability_panics() {
-        let _: SimLink<u32> = SimLink::new(
-            LinkConfig { loss_probability: 1.5, ..LinkConfig::ideal() },
-            0,
-        );
+        let _: SimLink<u32> =
+            SimLink::new(LinkConfig { loss_probability: 1.5, ..LinkConfig::ideal() }, 0);
     }
 }

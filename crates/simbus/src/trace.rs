@@ -96,22 +96,15 @@ impl TraceRecorder {
         if s.len() < 2 {
             return None;
         }
-        Some(
-            s.windows(2)
-                .map(|w| (w[1].value - w[0].value).abs())
-                .fold(0.0, f64::max),
-        )
+        Some(s.windows(2).map(|w| (w[1].value - w[0].value).abs()).fold(0.0, f64::max))
     }
 
     /// Renders the trace as CSV with a shared, merged time column. Signals
     /// missing a sample at some timestamp get an empty cell.
     pub fn to_csv(&self) -> String {
         let names: Vec<&String> = self.signals.keys().collect();
-        let mut times: Vec<SimTime> = self
-            .signals
-            .values()
-            .flat_map(|s| s.iter().map(|x| x.time))
-            .collect();
+        let mut times: Vec<SimTime> =
+            self.signals.values().flat_map(|s| s.iter().map(|x| x.time)).collect();
         times.sort_unstable();
         times.dedup();
 
@@ -147,10 +140,7 @@ impl TraceRecorder {
     /// interleave two time-lines).
     pub fn merge(&mut self, other: TraceRecorder) {
         for (name, series) in other.signals {
-            assert!(
-                !self.signals.contains_key(&name),
-                "duplicate signal {name} in trace merge"
-            );
+            assert!(!self.signals.contains_key(&name), "duplicate signal {name} in trace merge");
             self.signals.insert(name, series);
         }
     }

@@ -23,16 +23,10 @@ fn main() {
     let mut sim = Simulation::new(SimConfig {
         workload: Workload::Suturing,
         session_ms: 4_000,
-        pedal: raven_core::sim::PedalPattern::DutyCycle {
-            work_ms: 900,
-            rest_ms: 300,
-            cycles: 3,
-        },
+        pedal: raven_core::sim::PedalPattern::DutyCycle { work_ms: 900, rest_ms: 300, cycles: 3 },
         ..SimConfig::standard(7)
     });
-    sim.rig_mut()
-        .channel
-        .install_first(Box::new(LoggingWrapper::new(std::sync::Arc::clone(&log))));
+    sim.rig_mut().channel.install_first(Box::new(LoggingWrapper::new(std::sync::Arc::clone(&log))));
     sim.boot();
     let _ = sim.run_session();
     let capture = log.lock().clone();

@@ -8,10 +8,7 @@
 use raven_core::{Arm, AttackSetup, DualArmSession, SimConfig};
 
 fn main() {
-    let mut dual = DualArmSession::new(SimConfig {
-        session_ms: 4_000,
-        ..SimConfig::standard(63)
-    });
+    let mut dual = DualArmSession::new(SimConfig { session_ms: 4_000, ..SimConfig::standard(63) });
     println!("installing the scenario-B injection against the GOLD arm only …");
     dual.install_attack(
         Arm::Gold,

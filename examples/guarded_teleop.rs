@@ -36,10 +36,7 @@ fn attacked_session(mitigation: Mitigation, thresholds: raven_detect::DetectionT
     println!("  final state         : {}", outcome.final_state);
     println!("  E-STOP              : {:?}", outcome.estop);
     assert!(outcome.model_detected, "the guard must see the attack");
-    assert!(
-        !outcome.adverse,
-        "mitigation must keep the arm below the 1 mm jump limit"
-    );
+    assert!(!outcome.adverse, "mitigation must keep the arm below the 1 mm jump limit");
 }
 
 fn main() {

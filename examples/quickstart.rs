@@ -9,11 +9,8 @@ use raven_core::{SimConfig, Simulation, Workload};
 
 fn main() {
     // A 5-second circle-scan session with operator tremor, seed 42.
-    let config = SimConfig {
-        workload: Workload::Circle,
-        session_ms: 5_000,
-        ..SimConfig::standard(42)
-    };
+    let config =
+        SimConfig { workload: Workload::Circle, session_ms: 5_000, ..SimConfig::standard(42) };
     let mut sim = Simulation::new(config);
 
     println!("booting: E-STOP → start button → homing → Pedal Up …");

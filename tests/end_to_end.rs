@@ -123,16 +123,10 @@ fn malware_lifecycle_discovers_trigger_from_live_traffic() {
     let mut sim = Simulation::new(SimConfig {
         workload: Workload::Suturing,
         session_ms: 3_500,
-        pedal: raven_core::sim::PedalPattern::DutyCycle {
-            work_ms: 700,
-            rest_ms: 250,
-            cycles: 3,
-        },
+        pedal: raven_core::sim::PedalPattern::DutyCycle { work_ms: 700, rest_ms: 250, cycles: 3 },
         ..SimConfig::standard(17)
     });
-    sim.rig_mut()
-        .channel
-        .install_first(Box::new(LoggingWrapper::new(std::sync::Arc::clone(&log))));
+    sim.rig_mut().channel.install_first(Box::new(LoggingWrapper::new(std::sync::Arc::clone(&log))));
     sim.boot();
     let _ = sim.run_session();
 
@@ -166,10 +160,7 @@ fn lossy_network_degrades_gracefully() {
 #[test]
 fn full_stack_determinism() {
     let run = |seed: u64| {
-        let mut sim = Simulation::new(SimConfig {
-            session_ms: 1_500,
-            ..SimConfig::standard(seed)
-        });
+        let mut sim = Simulation::new(SimConfig { session_ms: 1_500, ..SimConfig::standard(seed) });
         sim.install_attack(&AttackSetup::ScenarioB {
             dac_delta: 24_000,
             channel: 0,
@@ -188,7 +179,9 @@ fn full_stack_determinism() {
 /// fires only while the robot is actually moving.
 #[test]
 fn motion_gated_attack_strikes_only_during_motion() {
-    use raven_attack::{motion_gated_attack, ActivationWindow, Corruption, MotionSensor, GatedInjection};
+    use raven_attack::{
+        motion_gated_attack, ActivationWindow, Corruption, GatedInjection, MotionSensor,
+    };
 
     let run = |threshold: f64| {
         let mut sim = Simulation::new(SimConfig {
@@ -273,7 +266,7 @@ fn telemetry_bus_and_threshold_persistence() {
             config: DetectorConfig::default(),
             model_perturbation: 0.02,
             thresholds: Some(reloaded),
-        },),
+        }),
         ..SimConfig::standard(37)
     });
     let mut sub = sim.telemetry_bus().subscribe();

@@ -1,0 +1,193 @@
+//! Offline, API-compatible subset of `criterion` for this workspace.
+//!
+//! Implements the benchmark harness surface `benches/micro_kernels.rs`
+//! uses: `Criterion::default().sample_size(n)`, `bench_function`,
+//! `benchmark_group`, `Bencher::iter`, and the `criterion_group!` /
+//! `criterion_main!` macros. Timing is a plain median-of-samples
+//! wall-clock measurement printed to stdout — no statistical regression
+//! analysis or HTML reports, but stable enough to compare kernels.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier (re-exported for convenience).
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Benchmark harness entry point.
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measure: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 20,
+            warm_up: Duration::from_millis(150),
+            measure: Duration::from_millis(600),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of timing samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample_size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Runs a single named benchmark.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        run_benchmark(name, self.sample_size, self.warm_up, self.measure, f);
+        self
+    }
+
+    /// Starts a named group; benchmarks report as `group/name`.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, prefix: name.to_string() }
+    }
+}
+
+/// A group of related benchmarks sharing a name prefix.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    prefix: String,
+}
+
+impl<'a> BenchmarkGroup<'a> {
+    /// Runs a benchmark within the group.
+    pub fn bench_function(&mut self, name: &str, f: impl FnMut(&mut Bencher)) -> &mut Self {
+        let full = format!("{}/{}", self.prefix, name);
+        run_benchmark(
+            &full,
+            self.criterion.sample_size,
+            self.criterion.warm_up,
+            self.criterion.measure,
+            f,
+        );
+        self
+    }
+
+    /// Overrides the sample count for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.criterion.sample_size = n;
+        self
+    }
+
+    /// Ends the group (explicit, to mirror criterion's API).
+    pub fn finish(self) {}
+}
+
+/// Passed to benchmark closures; times the routine under test.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `routine`, running it `iters` times back-to-back.
+    pub fn iter<O>(&mut self, mut routine: impl FnMut() -> O) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(routine());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_benchmark(
+    name: &str,
+    sample_size: usize,
+    warm_up: Duration,
+    measure: Duration,
+    mut f: impl FnMut(&mut Bencher),
+) {
+    // Warm-up: find an iteration count whose batch takes ~1/sample_size of
+    // the measurement budget, so total runtime stays bounded.
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    let warm_start = Instant::now();
+    let mut per_iter = Duration::from_nanos(1);
+    while warm_start.elapsed() < warm_up {
+        f(&mut b);
+        per_iter = b.elapsed.max(Duration::from_nanos(1)) / u32::try_from(b.iters).unwrap_or(1);
+        b.iters = (b.iters * 2).min(1 << 30);
+    }
+    let budget_per_sample = measure / u32::try_from(sample_size).unwrap_or(1);
+    let iters = (budget_per_sample.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 30);
+
+    let mut samples_ns: Vec<f64> = Vec::with_capacity(sample_size);
+    for _ in 0..sample_size {
+        let mut b = Bencher { iters: iters as u64, elapsed: Duration::ZERO };
+        f(&mut b);
+        samples_ns.push(b.elapsed.as_nanos() as f64 / iters as f64);
+    }
+    samples_ns.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples_ns[samples_ns.len() / 2];
+    let lo = samples_ns[0];
+    let hi = samples_ns[samples_ns.len() - 1];
+    println!("{name:<40} time: [{} {} {}]", format_ns(lo), format_ns(median), format_ns(hi));
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns < 1_000.0 {
+        format!("{ns:.2} ns")
+    } else if ns < 1_000_000.0 {
+        format!("{:.3} µs", ns / 1_000.0)
+    } else if ns < 1_000_000_000.0 {
+        format!("{:.3} ms", ns / 1_000_000.0)
+    } else {
+        format!("{:.3} s", ns / 1_000_000_000.0)
+    }
+}
+
+/// Declares a benchmark group runner function.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Declares the benchmark binary's `main`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_quickly_scaled_down() {
+        let mut c = Criterion {
+            sample_size: 3,
+            warm_up: Duration::from_millis(5),
+            measure: Duration::from_millis(10),
+        };
+        let mut calls = 0u64;
+        c.bench_function("noop", |b| b.iter(|| calls = calls.wrapping_add(1)));
+        let mut group = c.benchmark_group("g");
+        group.bench_function("inner", |b| b.iter(|| black_box(1 + 1)));
+        group.finish();
+        assert!(calls > 0);
+    }
+}

@@ -1,0 +1,429 @@
+//! Offline, API-compatible subset of `serde` for this workspace.
+//!
+//! The build environment has no network access, so the real `serde` cannot
+//! be fetched. This stub keeps the same surface the workspace uses — the
+//! `Serialize`/`Deserialize` traits plus `#[derive(Serialize, Deserialize)]`
+//! — over a single self-describing data model ([`Content`]) that
+//! `serde_json` renders to and parses from JSON with the same conventions
+//! as the real crates (structs → objects, unit enum variants → strings,
+//! data-carrying variants → externally tagged objects, newtype structs →
+//! transparent).
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::fmt;
+
+pub use serde_derive::{Deserialize, Serialize};
+
+/// The self-describing value every `Serialize` type lowers to and every
+/// `Deserialize` type is rebuilt from. Mirrors the JSON data model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Content {
+    /// `null` (also the encoding of `None` and non-finite floats).
+    Null,
+    /// A boolean.
+    Bool(bool),
+    /// A signed integer.
+    I64(i64),
+    /// An unsigned integer.
+    U64(u64),
+    /// A float.
+    F64(f64),
+    /// A string.
+    Str(String),
+    /// A sequence.
+    Seq(Vec<Content>),
+    /// An ordered map with string keys (JSON object).
+    Map(Vec<(String, Content)>),
+}
+
+impl Content {
+    /// Map lookup by key; `None` for non-maps and absent keys.
+    pub fn get(&self, key: &str) -> Option<&Content> {
+        match self {
+            Content::Map(entries) => entries.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// A short label for error messages.
+    pub fn kind(&self) -> &'static str {
+        match self {
+            Content::Null => "null",
+            Content::Bool(_) => "bool",
+            Content::I64(_) | Content::U64(_) => "integer",
+            Content::F64(_) => "float",
+            Content::Str(_) => "string",
+            Content::Seq(_) => "sequence",
+            Content::Map(_) => "map",
+        }
+    }
+}
+
+/// Deserialization error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct DeError(pub String);
+
+impl DeError {
+    /// Builds an error from anything displayable.
+    pub fn msg(m: impl fmt::Display) -> Self {
+        DeError(m.to_string())
+    }
+}
+
+impl fmt::Display for DeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for DeError {}
+
+/// A type that can lower itself to [`Content`].
+pub trait Serialize {
+    /// Lowers `self` to the data model.
+    fn to_content(&self) -> Content;
+}
+
+/// A type that can rebuild itself from [`Content`].
+pub trait Deserialize: Sized {
+    /// Rebuilds `Self`, failing with a description of the mismatch.
+    fn from_content(content: &Content) -> Result<Self, DeError>;
+}
+
+/// `serde::ser` compatibility alias module.
+pub mod ser {
+    pub use super::Serialize;
+}
+
+/// `serde::de` compatibility alias module.
+pub mod de {
+    pub use super::{DeError, Deserialize};
+}
+
+// ---------------------------------------------------------------------------
+// Primitive impls
+// ---------------------------------------------------------------------------
+
+macro_rules! impl_ser_de_uint {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                Content::U64(*self as u64)
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v = match *c {
+                    Content::U64(v) => v,
+                    Content::I64(v) if v >= 0 => v as u64,
+                    _ => return Err(DeError::msg(format!(
+                        "expected unsigned integer, got {}", c.kind()))),
+                };
+                <$t>::try_from(v).map_err(|_| DeError::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+
+macro_rules! impl_ser_de_int {
+    ($($t:ty),*) => {$(
+        impl Serialize for $t {
+            fn to_content(&self) -> Content {
+                let v = *self as i64;
+                if v >= 0 { Content::U64(v as u64) } else { Content::I64(v) }
+            }
+        }
+        impl Deserialize for $t {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                let v = match *c {
+                    Content::I64(v) => v,
+                    Content::U64(v) => i64::try_from(v)
+                        .map_err(|_| DeError::msg("integer out of range"))?,
+                    _ => return Err(DeError::msg(format!(
+                        "expected integer, got {}", c.kind()))),
+                };
+                <$t>::try_from(v).map_err(|_| DeError::msg("integer out of range"))
+            }
+        }
+    )*};
+}
+
+impl_ser_de_uint!(u8, u16, u32, u64, usize);
+impl_ser_de_int!(i8, i16, i32, i64, isize);
+
+impl Serialize for bool {
+    fn to_content(&self) -> Content {
+        Content::Bool(*self)
+    }
+}
+
+impl Deserialize for bool {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Bool(b) => Ok(*b),
+            _ => Err(DeError::msg(format!("expected bool, got {}", c.kind()))),
+        }
+    }
+}
+
+impl Serialize for f64 {
+    fn to_content(&self) -> Content {
+        Content::F64(*self)
+    }
+}
+
+impl Deserialize for f64 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match *c {
+            Content::F64(v) => Ok(v),
+            Content::I64(v) => Ok(v as f64),
+            Content::U64(v) => Ok(v as f64),
+            // serde_json encodes non-finite floats as null.
+            Content::Null => Ok(f64::NAN),
+            _ => Err(DeError::msg(format!("expected float, got {}", c.kind()))),
+        }
+    }
+}
+
+impl Serialize for f32 {
+    fn to_content(&self) -> Content {
+        Content::F64(f64::from(*self))
+    }
+}
+
+impl Deserialize for f32 {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        f64::from_content(c).map(|v| v as f32)
+    }
+}
+
+impl Serialize for String {
+    fn to_content(&self) -> Content {
+        Content::Str(self.clone())
+    }
+}
+
+impl Deserialize for String {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) => Ok(s.clone()),
+            _ => Err(DeError::msg(format!("expected string, got {}", c.kind()))),
+        }
+    }
+}
+
+impl Serialize for str {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Serialize for char {
+    fn to_content(&self) -> Content {
+        Content::Str(self.to_string())
+    }
+}
+
+impl Deserialize for char {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Str(s) if s.chars().count() == 1 => Ok(s.chars().next().unwrap()),
+            _ => Err(DeError::msg("expected single-character string")),
+        }
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for &T {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Serialize + ?Sized> Serialize for Box<T> {
+    fn to_content(&self) -> Content {
+        (**self).to_content()
+    }
+}
+
+impl<T: Deserialize> Deserialize for Box<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        T::from_content(c).map(Box::new)
+    }
+}
+
+impl<T: Serialize> Serialize for Option<T> {
+    fn to_content(&self) -> Content {
+        match self {
+            Some(v) => v.to_content(),
+            None => Content::Null,
+        }
+    }
+}
+
+impl<T: Deserialize> Deserialize for Option<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(None),
+            other => T::from_content(other).map(Some),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for Vec<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for Vec<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Seq(items) => items.iter().map(T::from_content).collect(),
+            _ => Err(DeError::msg(format!("expected sequence, got {}", c.kind()))),
+        }
+    }
+}
+
+impl<T: Serialize> Serialize for VecDeque<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize> Deserialize for VecDeque<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Vec::<T>::from_content(c).map(VecDeque::from)
+    }
+}
+
+impl<T: Serialize> Serialize for std::collections::BTreeSet<T> {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + Ord> Deserialize for std::collections::BTreeSet<T> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Vec::<T>::from_content(c).map(|v| v.into_iter().collect())
+    }
+}
+
+impl<T: Serialize> Serialize for [T] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Serialize, const N: usize> Serialize for [T; N] {
+    fn to_content(&self) -> Content {
+        Content::Seq(self.iter().map(Serialize::to_content).collect())
+    }
+}
+
+impl<T: Deserialize + fmt::Debug, const N: usize> Deserialize for [T; N] {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        let items = Vec::<T>::from_content(c)?;
+        let n = items.len();
+        <[T; N]>::try_from(items)
+            .map_err(|_| DeError::msg(format!("expected array of length {N}, got {n}")))
+    }
+}
+
+impl<V: Serialize> Serialize for BTreeMap<String, V> {
+    fn to_content(&self) -> Content {
+        Content::Map(self.iter().map(|(k, v)| (k.clone(), v.to_content())).collect())
+    }
+}
+
+impl<V: Deserialize> Deserialize for BTreeMap<String, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Map(entries) => {
+                entries.iter().map(|(k, v)| Ok((k.clone(), V::from_content(v)?))).collect()
+            }
+            _ => Err(DeError::msg(format!("expected map, got {}", c.kind()))),
+        }
+    }
+}
+
+impl<V: Serialize, S: std::hash::BuildHasher> Serialize for HashMap<String, V, S> {
+    fn to_content(&self) -> Content {
+        // Deterministic output: sort keys like a BTreeMap would.
+        let mut entries: Vec<(String, Content)> =
+            self.iter().map(|(k, v)| (k.clone(), v.to_content())).collect();
+        entries.sort_by(|a, b| a.0.cmp(&b.0));
+        Content::Map(entries)
+    }
+}
+
+impl<V: Deserialize> Deserialize for HashMap<String, V> {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Map(entries) => {
+                entries.iter().map(|(k, v)| Ok((k.clone(), V::from_content(v)?))).collect()
+            }
+            _ => Err(DeError::msg(format!("expected map, got {}", c.kind()))),
+        }
+    }
+}
+
+macro_rules! impl_tuple {
+    ($(($($name:ident : $idx:tt),+))*) => {$(
+        impl<$($name: Serialize),+> Serialize for ($($name,)+) {
+            fn to_content(&self) -> Content {
+                Content::Seq(vec![$(self.$idx.to_content()),+])
+            }
+        }
+        impl<$($name: Deserialize),+> Deserialize for ($($name,)+) {
+            fn from_content(c: &Content) -> Result<Self, DeError> {
+                match c {
+                    Content::Seq(items) => {
+                        let expected = [$($idx),+].len();
+                        if items.len() != expected {
+                            return Err(DeError::msg(format!(
+                                "expected tuple of length {expected}, got {}", items.len())));
+                        }
+                        Ok(($($name::from_content(&items[$idx])?,)+))
+                    }
+                    _ => Err(DeError::msg(format!("expected sequence, got {}", c.kind()))),
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple! {
+    (A: 0)
+    (A: 0, B: 1)
+    (A: 0, B: 1, C: 2)
+    (A: 0, B: 1, C: 2, D: 3)
+    (A: 0, B: 1, C: 2, D: 3, E: 4)
+    (A: 0, B: 1, C: 2, D: 3, E: 4, F: 5)
+}
+
+impl Serialize for () {
+    fn to_content(&self) -> Content {
+        Content::Null
+    }
+}
+
+impl Deserialize for () {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        match c {
+            Content::Null => Ok(()),
+            _ => Err(DeError::msg(format!("expected null, got {}", c.kind()))),
+        }
+    }
+}
+
+impl Serialize for Content {
+    fn to_content(&self) -> Content {
+        self.clone()
+    }
+}
+
+impl Deserialize for Content {
+    fn from_content(c: &Content) -> Result<Self, DeError> {
+        Ok(c.clone())
+    }
+}

@@ -1,0 +1,405 @@
+//! Hand-rolled `#[derive(Serialize)]` / `#[derive(Deserialize)]` for the
+//! offline serde stub.
+//!
+//! The build environment has no access to crates.io, so `syn`/`quote` are
+//! unavailable; the input item is parsed directly from the raw
+//! `proc_macro::TokenStream` and the generated impl is emitted as source
+//! text. Supported shapes — everything this workspace derives on:
+//!
+//! * structs with named fields → JSON objects;
+//! * newtype structs (`struct T(U)`) → transparent (the inner value);
+//! * tuple structs → sequences;
+//! * unit structs → `null`;
+//! * enums: unit variants → `"Name"`; struct/newtype/tuple variants →
+//!   externally tagged `{"Name": …}` (serde's default representation).
+//!
+//! Generics and `#[serde(...)]` attributes are intentionally unsupported —
+//! the derive panics loudly rather than generating wrong code.
+
+use proc_macro::{Delimiter, TokenStream, TokenTree};
+
+#[derive(Debug)]
+enum Fields {
+    Named(Vec<String>),
+    Tuple(usize),
+    Unit,
+}
+
+#[derive(Debug)]
+struct Variant {
+    name: String,
+    fields: Fields,
+}
+
+#[derive(Debug)]
+enum Item {
+    Struct { name: String, fields: Fields },
+    Enum { name: String, variants: Vec<Variant> },
+}
+
+/// Splits a token slice on top-level commas (commas at angle-bracket depth
+/// zero; bracketed/braced/parenthesized groups are single tokens already).
+fn split_top_level_commas(tokens: &[TokenTree]) -> Vec<Vec<TokenTree>> {
+    let mut out = Vec::new();
+    let mut cur = Vec::new();
+    let mut angle_depth = 0i32;
+    for t in tokens {
+        if let TokenTree::Punct(p) = t {
+            match p.as_char() {
+                '<' => angle_depth += 1,
+                '>' => angle_depth -= 1,
+                ',' if angle_depth == 0 => {
+                    out.push(std::mem::take(&mut cur));
+                    continue;
+                }
+                _ => {}
+            }
+        }
+        cur.push(t.clone());
+    }
+    if !cur.is_empty() {
+        out.push(cur);
+    }
+    out
+}
+
+/// Strips leading attributes (`#[...]`) and a visibility qualifier
+/// (`pub`, `pub(...)`) from a token slice.
+fn strip_attrs_and_vis(tokens: &[TokenTree]) -> &[TokenTree] {
+    let mut i = 0;
+    while i < tokens.len() {
+        match &tokens[i] {
+            TokenTree::Punct(p) if p.as_char() == '#' => {
+                // '#' followed by a bracket group.
+                i += 2;
+            }
+            TokenTree::Ident(id) if id.to_string() == "pub" => {
+                i += 1;
+                if let Some(TokenTree::Group(g)) = tokens.get(i) {
+                    if g.delimiter() == Delimiter::Parenthesis {
+                        i += 1;
+                    }
+                }
+            }
+            _ => break,
+        }
+    }
+    &tokens[i..]
+}
+
+fn parse_named_fields(group: &proc_macro::Group) -> Vec<String> {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    split_top_level_commas(&tokens)
+        .iter()
+        .filter_map(|field| {
+            let field = strip_attrs_and_vis(field);
+            match field.first() {
+                Some(TokenTree::Ident(id)) => Some(id.to_string()),
+                _ => None,
+            }
+        })
+        .collect()
+}
+
+fn parse_tuple_arity(group: &proc_macro::Group) -> usize {
+    let tokens: Vec<TokenTree> = group.stream().into_iter().collect();
+    split_top_level_commas(&tokens).iter().filter(|f| !f.is_empty()).count()
+}
+
+fn parse_item(input: TokenStream) -> Item {
+    let tokens: Vec<TokenTree> = input.into_iter().collect();
+    let tokens = strip_attrs_and_vis(&tokens);
+    let mut it = tokens.iter();
+    let kind = loop {
+        match it.next() {
+            Some(TokenTree::Ident(id)) => {
+                let s = id.to_string();
+                if s == "struct" || s == "enum" {
+                    break s;
+                }
+            }
+            Some(_) => continue,
+            None => panic!("serde_derive: expected `struct` or `enum`"),
+        }
+    };
+    let name = match it.next() {
+        Some(TokenTree::Ident(id)) => id.to_string(),
+        other => panic!("serde_derive: expected item name, got {other:?}"),
+    };
+    let rest: Vec<TokenTree> = it.cloned().collect();
+    if matches!(rest.first(), Some(TokenTree::Punct(p)) if p.as_char() == '<') {
+        panic!("serde_derive (offline stub): generic types are not supported; write a manual impl for `{name}`");
+    }
+    if kind == "struct" {
+        let fields = match rest.first() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                Fields::Named(parse_named_fields(g))
+            }
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                Fields::Tuple(parse_tuple_arity(g))
+            }
+            Some(TokenTree::Punct(p)) if p.as_char() == ';' => Fields::Unit,
+            None => Fields::Unit,
+            other => panic!("serde_derive: unsupported struct body {other:?}"),
+        };
+        Item::Struct { name, fields }
+    } else {
+        let body = match rest.first() {
+            Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => g,
+            other => panic!("serde_derive: expected enum body, got {other:?}"),
+        };
+        let body_tokens: Vec<TokenTree> = body.stream().into_iter().collect();
+        let variants = split_top_level_commas(&body_tokens)
+            .iter()
+            .filter(|v| !v.is_empty())
+            .map(|v| {
+                let v = strip_attrs_and_vis(v);
+                let name = match v.first() {
+                    Some(TokenTree::Ident(id)) => id.to_string(),
+                    other => panic!("serde_derive: expected variant name, got {other:?}"),
+                };
+                let fields = match v.get(1) {
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Brace => {
+                        Fields::Named(parse_named_fields(g))
+                    }
+                    Some(TokenTree::Group(g)) if g.delimiter() == Delimiter::Parenthesis => {
+                        Fields::Tuple(parse_tuple_arity(g))
+                    }
+                    _ => Fields::Unit,
+                };
+                Variant { name, fields }
+            })
+            .collect();
+        Item::Enum { name, variants }
+    }
+}
+
+#[proc_macro_derive(Serialize)]
+pub fn derive_serialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let entries: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "(\"{f}\".to_string(), ::serde::Serialize::to_content(&self.{f}))"
+                            )
+                        })
+                        .collect();
+                    format!("::serde::Content::Map(vec![{}])", entries.join(", "))
+                }
+                Fields::Tuple(1) => "::serde::Serialize::to_content(&self.0)".to_string(),
+                Fields::Tuple(n) => {
+                    let entries: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Serialize::to_content(&self.{i})"))
+                        .collect();
+                    format!("::serde::Content::Seq(vec![{}])", entries.join(", "))
+                }
+                Fields::Unit => "::serde::Content::Null".to_string(),
+            };
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{ {body} }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let arms: Vec<String> = variants
+                .iter()
+                .map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => {
+                            format!("{name}::{vn} => ::serde::Content::Str(\"{vn}\".to_string()),")
+                        }
+                        Fields::Named(fields) => {
+                            let pat = fields.join(", ");
+                            let entries: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "(\"{f}\".to_string(), ::serde::Serialize::to_content({f}))"
+                                    )
+                                })
+                                .collect();
+                            format!(
+                                "{name}::{vn} {{ {pat} }} => ::serde::Content::Map(vec![\
+                                     (\"{vn}\".to_string(), ::serde::Content::Map(vec![{}]))]),",
+                                entries.join(", ")
+                            )
+                        }
+                        Fields::Tuple(1) => format!(
+                            "{name}::{vn}(f0) => ::serde::Content::Map(vec![\
+                                 (\"{vn}\".to_string(), ::serde::Serialize::to_content(f0))]),"
+                        ),
+                        Fields::Tuple(n) => {
+                            let binders: Vec<String> = (0..*n).map(|i| format!("f{i}")).collect();
+                            let entries: Vec<String> = binders
+                                .iter()
+                                .map(|b| format!("::serde::Serialize::to_content({b})"))
+                                .collect();
+                            format!(
+                                "{name}::{vn}({}) => ::serde::Content::Map(vec![\
+                                     (\"{vn}\".to_string(), ::serde::Content::Seq(vec![{}]))]),",
+                                binders.join(", "),
+                                entries.join(", ")
+                            )
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Serialize for {name} {{\n\
+                     fn to_content(&self) -> ::serde::Content {{\n\
+                         match self {{ {} }}\n\
+                     }}\n\
+                 }}",
+                arms.join("\n")
+            )
+        }
+    };
+    src.parse().expect("serde_derive: generated Serialize impl must parse")
+}
+
+#[proc_macro_derive(Deserialize)]
+pub fn derive_deserialize(input: TokenStream) -> TokenStream {
+    let item = parse_item(input);
+    let src = match &item {
+        Item::Struct { name, fields } => {
+            let body = match fields {
+                Fields::Named(names) => {
+                    let inits: Vec<String> = names
+                        .iter()
+                        .map(|f| {
+                            format!(
+                                "{f}: ::serde::Deserialize::from_content(c.get(\"{f}\")\
+                                     .ok_or_else(|| ::serde::DeError::msg(\
+                                         \"missing field `{f}` in {name}\"))?)?"
+                            )
+                        })
+                        .collect();
+                    format!(
+                        "if !matches!(c, ::serde::Content::Map(_)) {{\n\
+                             return Err(::serde::DeError::msg(format!(\
+                                 \"expected map for {name}, got {{}}\", c.kind())));\n\
+                         }}\n\
+                         Ok({name} {{ {} }})",
+                        inits.join(", ")
+                    )
+                }
+                Fields::Tuple(1) => {
+                    format!("Ok({name}(::serde::Deserialize::from_content(c)?))")
+                }
+                Fields::Tuple(n) => {
+                    let inits: Vec<String> = (0..*n)
+                        .map(|i| format!("::serde::Deserialize::from_content(&items[{i}])?"))
+                        .collect();
+                    format!(
+                        "let items = match c {{\n\
+                             ::serde::Content::Seq(items) if items.len() == {n} => items,\n\
+                             _ => return Err(::serde::DeError::msg(\
+                                 \"expected sequence of length {n} for {name}\")),\n\
+                         }};\n\
+                         Ok({name}({}))",
+                        inits.join(", ")
+                    )
+                }
+                Fields::Unit => format!("let _ = c; Ok({name})"),
+            };
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(c: &::serde::Content) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         {body}\n\
+                     }}\n\
+                 }}"
+            )
+        }
+        Item::Enum { name, variants } => {
+            let unit_arms: Vec<String> = variants
+                .iter()
+                .filter(|v| matches!(v.fields, Fields::Unit))
+                .map(|v| format!("\"{0}\" => return Ok({name}::{0}),", v.name))
+                .collect();
+            let tagged_arms: Vec<String> = variants
+                .iter()
+                .filter_map(|v| {
+                    let vn = &v.name;
+                    match &v.fields {
+                        Fields::Unit => None,
+                        Fields::Named(fields) => {
+                            let inits: Vec<String> = fields
+                                .iter()
+                                .map(|f| {
+                                    format!(
+                                        "{f}: ::serde::Deserialize::from_content(inner.get(\"{f}\")\
+                                             .ok_or_else(|| ::serde::DeError::msg(\
+                                                 \"missing field `{f}` in {name}::{vn}\"))?)?"
+                                    )
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => return Ok({name}::{vn} {{ {} }}),",
+                                inits.join(", ")
+                            ))
+                        }
+                        Fields::Tuple(1) => Some(format!(
+                            "\"{vn}\" => return Ok({name}::{vn}(\
+                                 ::serde::Deserialize::from_content(inner)?)),"
+                        )),
+                        Fields::Tuple(n) => {
+                            let inits: Vec<String> = (0..*n)
+                                .map(|i| {
+                                    format!("::serde::Deserialize::from_content(&items[{i}])?")
+                                })
+                                .collect();
+                            Some(format!(
+                                "\"{vn}\" => {{\n\
+                                     let items = match inner {{\n\
+                                         ::serde::Content::Seq(items) if items.len() == {n} => items,\n\
+                                         _ => return Err(::serde::DeError::msg(\
+                                             \"expected sequence for {name}::{vn}\")),\n\
+                                     }};\n\
+                                     return Ok({name}::{vn}({}));\n\
+                                 }}",
+                                inits.join(", ")
+                            ))
+                        }
+                    }
+                })
+                .collect();
+            format!(
+                "impl ::serde::Deserialize for {name} {{\n\
+                     fn from_content(c: &::serde::Content) -> \
+                         ::std::result::Result<Self, ::serde::DeError> {{\n\
+                         match c {{\n\
+                             ::serde::Content::Str(tag) => {{\n\
+                                 match tag.as_str() {{\n\
+                                     {units}\n\
+                                     _ => {{}}\n\
+                                 }}\n\
+                             }}\n\
+                             ::serde::Content::Map(entries) if entries.len() == 1 => {{\n\
+                                 let (tag, inner) = &entries[0];\n\
+                                 let _ = inner;\n\
+                                 match tag.as_str() {{\n\
+                                     {tagged}\n\
+                                     _ => {{}}\n\
+                                 }}\n\
+                             }}\n\
+                             _ => {{}}\n\
+                         }}\n\
+                         Err(::serde::DeError::msg(format!(\
+                             \"unknown {name} variant in {{}}\", c.kind())))\n\
+                     }}\n\
+                 }}",
+                units = unit_arms.join("\n"),
+                tagged = tagged_arms.join("\n"),
+            )
+        }
+    };
+    src.parse().expect("serde_derive: generated Deserialize impl must parse")
+}

@@ -1,0 +1,451 @@
+//! Offline, API-compatible subset of `serde_json` for this workspace.
+//!
+//! Renders the serde stub's [`Content`] data model to JSON text and parses
+//! JSON text back, following serde_json's conventions: 2-space pretty
+//! indentation, non-finite floats as `null`, floats always printed with a
+//! decimal point or exponent so they re-parse as floats.
+
+use std::fmt;
+
+use serde::{Content, Deserialize, Serialize};
+
+/// A parsed JSON value (the serde stub's data model, re-exported).
+pub type Value = Content;
+
+/// Serialization/parse error.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Error(String);
+
+impl Error {
+    fn new(m: impl fmt::Display) -> Self {
+        Error(m.to_string())
+    }
+}
+
+impl fmt::Display for Error {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.0)
+    }
+}
+
+impl std::error::Error for Error {}
+
+impl From<serde::DeError> for Error {
+    fn from(e: serde::DeError) -> Self {
+        Error(e.0)
+    }
+}
+
+/// Serializes a value to compact JSON.
+///
+/// # Errors
+///
+/// Never fails in this stub; the `Result` mirrors serde_json's signature.
+pub fn to_string<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_content(), None, 0);
+    Ok(out)
+}
+
+/// Serializes a value to pretty JSON (2-space indent).
+///
+/// # Errors
+///
+/// Never fails in this stub; the `Result` mirrors serde_json's signature.
+pub fn to_string_pretty<T: Serialize + ?Sized>(value: &T) -> Result<String, Error> {
+    let mut out = String::new();
+    write_value(&mut out, &value.to_content(), Some("  "), 0);
+    Ok(out)
+}
+
+/// Parses a value from JSON text.
+///
+/// # Errors
+///
+/// Returns a parse or shape-mismatch error.
+pub fn from_str<T: Deserialize>(s: &str) -> Result<T, Error> {
+    let mut p = Parser { bytes: s.as_bytes(), pos: 0 };
+    p.skip_ws();
+    let content = p.parse_value()?;
+    p.skip_ws();
+    if p.pos != p.bytes.len() {
+        return Err(Error::new(format!("trailing characters at offset {}", p.pos)));
+    }
+    Ok(T::from_content(&content)?)
+}
+
+/// Parses JSON text into a [`Value`].
+///
+/// # Errors
+///
+/// Returns a parse error on malformed input.
+pub fn value_from_str(s: &str) -> Result<Value, Error> {
+    from_str::<Value>(s)
+}
+
+// ---------------------------------------------------------------------------
+// Writer
+// ---------------------------------------------------------------------------
+
+fn write_value(out: &mut String, v: &Content, indent: Option<&str>, depth: usize) {
+    match v {
+        Content::Null => out.push_str("null"),
+        Content::Bool(true) => out.push_str("true"),
+        Content::Bool(false) => out.push_str("false"),
+        Content::I64(n) => out.push_str(&n.to_string()),
+        Content::U64(n) => out.push_str(&n.to_string()),
+        Content::F64(x) => out.push_str(&format_f64(*x)),
+        Content::Str(s) => write_escaped(out, s),
+        Content::Seq(items) => {
+            write_compound(out, indent, depth, '[', ']', items.len(), |out, i, ind, d| {
+                write_value(out, &items[i], ind, d);
+            })
+        }
+        Content::Map(entries) => {
+            write_compound(out, indent, depth, '{', '}', entries.len(), |out, i, ind, d| {
+                write_escaped(out, &entries[i].0);
+                out.push(':');
+                if ind.is_some() {
+                    out.push(' ');
+                }
+                write_value(out, &entries[i].1, ind, d);
+            });
+        }
+    }
+}
+
+fn write_compound(
+    out: &mut String,
+    indent: Option<&str>,
+    depth: usize,
+    open: char,
+    close: char,
+    len: usize,
+    mut write_item: impl FnMut(&mut String, usize, Option<&str>, usize),
+) {
+    out.push(open);
+    if len == 0 {
+        out.push(close);
+        return;
+    }
+    for i in 0..len {
+        if i > 0 {
+            out.push(',');
+        }
+        if let Some(ind) = indent {
+            out.push('\n');
+            for _ in 0..=depth {
+                out.push_str(ind);
+            }
+        }
+        write_item(out, i, indent, depth + 1);
+    }
+    if let Some(ind) = indent {
+        out.push('\n');
+        for _ in 0..depth {
+            out.push_str(ind);
+        }
+    }
+    out.push(close);
+}
+
+/// Formats a float so it always re-parses as a float (serde_json prints
+/// `1.0`, not `1`); non-finite values become `null` as in serde_json.
+fn format_f64(x: f64) -> String {
+    if !x.is_finite() {
+        return "null".to_string();
+    }
+    let s = format!("{x}");
+    if s.contains('.') || s.contains('e') || s.contains('E') {
+        s
+    } else {
+        format!("{s}.0")
+    }
+}
+
+fn write_escaped(out: &mut String, s: &str) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn skip_ws(&mut self) {
+        while let Some(b) = self.bytes.get(self.pos) {
+            if matches!(b, b' ' | b'\t' | b'\n' | b'\r') {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn expect(&mut self, b: u8) -> Result<(), Error> {
+        if self.peek() == Some(b) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(Error::new(format!("expected `{}` at offset {}", b as char, self.pos)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Content, Error> {
+        self.skip_ws();
+        match self.peek() {
+            Some(b'n') => self.parse_keyword("null", Content::Null),
+            Some(b't') => self.parse_keyword("true", Content::Bool(true)),
+            Some(b'f') => self.parse_keyword("false", Content::Bool(false)),
+            Some(b'"') => Ok(Content::Str(self.parse_string()?)),
+            Some(b'[') => self.parse_seq(),
+            Some(b'{') => self.parse_map(),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            other => Err(Error::new(format!(
+                "unexpected {:?} at offset {}",
+                other.map(|b| b as char),
+                self.pos
+            ))),
+        }
+    }
+
+    fn parse_keyword(&mut self, kw: &str, value: Content) -> Result<Content, Error> {
+        if self.bytes[self.pos..].starts_with(kw.as_bytes()) {
+            self.pos += kw.len();
+            Ok(value)
+        } else {
+            Err(Error::new(format!("invalid literal at offset {}", self.pos)))
+        }
+    }
+
+    fn parse_string(&mut self) -> Result<String, Error> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(Error::new("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'u') => {
+                            let hex = self
+                                .bytes
+                                .get(self.pos + 1..self.pos + 5)
+                                .ok_or_else(|| Error::new("truncated \\u escape"))?;
+                            let code = u32::from_str_radix(
+                                std::str::from_utf8(hex)
+                                    .map_err(|_| Error::new("bad \\u escape"))?,
+                                16,
+                            )
+                            .map_err(|_| Error::new("bad \\u escape"))?;
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| Error::new("bad \\u code point"))?,
+                            );
+                            self.pos += 4;
+                        }
+                        other => {
+                            return Err(Error::new(format!("bad escape {other:?}")));
+                        }
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| Error::new("invalid UTF-8"))?;
+                    let c = rest.chars().next().unwrap();
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Content, Error> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(self.peek(), Some(b'0'..=b'9')) {
+            self.pos += 1;
+        }
+        let mut is_float = false;
+        if self.peek() == Some(b'.') {
+            is_float = true;
+            self.pos += 1;
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        if matches!(self.peek(), Some(b'e' | b'E')) {
+            is_float = true;
+            self.pos += 1;
+            if matches!(self.peek(), Some(b'+' | b'-')) {
+                self.pos += 1;
+            }
+            while matches!(self.peek(), Some(b'0'..=b'9')) {
+                self.pos += 1;
+            }
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| Error::new("invalid number"))?;
+        if !is_float {
+            if let Ok(u) = text.parse::<u64>() {
+                return Ok(Content::U64(u));
+            }
+            if let Ok(i) = text.parse::<i64>() {
+                return Ok(Content::I64(i));
+            }
+        }
+        text.parse::<f64>()
+            .map(Content::F64)
+            .map_err(|_| Error::new(format!("invalid number `{text}`")))
+    }
+
+    fn parse_seq(&mut self) -> Result<Content, Error> {
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            return Ok(Content::Seq(items));
+        }
+        loop {
+            items.push(self.parse_value()?);
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b']') => {
+                    self.pos += 1;
+                    return Ok(Content::Seq(items));
+                }
+                other => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `]`, got {:?}",
+                        other.map(|b| b as char)
+                    )));
+                }
+            }
+        }
+    }
+
+    fn parse_map(&mut self) -> Result<Content, Error> {
+        self.expect(b'{')?;
+        let mut entries = Vec::new();
+        self.skip_ws();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            return Ok(Content::Map(entries));
+        }
+        loop {
+            self.skip_ws();
+            let key = self.parse_string()?;
+            self.skip_ws();
+            self.expect(b':')?;
+            let value = self.parse_value()?;
+            entries.push((key, value));
+            self.skip_ws();
+            match self.peek() {
+                Some(b',') => {
+                    self.pos += 1;
+                }
+                Some(b'}') => {
+                    self.pos += 1;
+                    return Ok(Content::Map(entries));
+                }
+                other => {
+                    return Err(Error::new(format!(
+                        "expected `,` or `}}`, got {:?}",
+                        other.map(|b| b as char)
+                    )));
+                }
+            }
+        }
+    }
+}
+
+/// Builds a [`Value`] from JSON-like syntax. Supports the literal subset
+/// this workspace uses: objects with literal keys, arrays, expressions.
+#[macro_export]
+macro_rules! json {
+    (null) => { $crate::Value::Null };
+    ([ $($item:tt),* $(,)? ]) => {
+        $crate::Value::Seq(vec![ $( $crate::json!($item) ),* ])
+    };
+    ({ $($key:literal : $value:tt),* $(,)? }) => {
+        $crate::Value::Map(vec![ $( ($key.to_string(), $crate::json!($value)) ),* ])
+    };
+    ($other:expr) => {
+        ::serde::Serialize::to_content(&$other)
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_scalars() {
+        assert_eq!(to_string(&1u64).unwrap(), "1");
+        assert_eq!(to_string(&-3i64).unwrap(), "-3");
+        assert_eq!(to_string(&1.5f64).unwrap(), "1.5");
+        assert_eq!(to_string(&2.0f64).unwrap(), "2.0");
+        assert_eq!(to_string(&f64::NAN).unwrap(), "null");
+        assert_eq!(to_string("a\"b").unwrap(), "\"a\\\"b\"");
+        assert_eq!(from_str::<u64>("1").unwrap(), 1);
+        assert_eq!(from_str::<f64>("2.0").unwrap(), 2.0);
+        assert_eq!(from_str::<String>("\"x\\n\"").unwrap(), "x\n");
+    }
+
+    #[test]
+    fn roundtrip_compound() {
+        let v: Vec<Option<u32>> = vec![Some(1), None, Some(3)];
+        let s = to_string(&v).unwrap();
+        assert_eq!(s, "[1,null,3]");
+        assert_eq!(from_str::<Vec<Option<u32>>>(&s).unwrap(), v);
+    }
+
+    #[test]
+    fn pretty_is_parseable() {
+        let v = json!({"a": [1, 2], "b": {"c": true}});
+        let s = to_string_pretty(&v).unwrap();
+        assert_eq!(from_str::<Value>(&s).unwrap(), v);
+        assert!(s.contains("\n  \"a\""));
+    }
+}
