@@ -28,6 +28,22 @@ pub enum FaultReason {
     PlcStop,
 }
 
+impl FaultReason {
+    /// Stable snake_case token for metric names and event fields
+    /// (e.g. `fault.count.dac_limit`).
+    pub fn slug(self) -> &'static str {
+        match self {
+            FaultReason::DacLimit => "dac_limit",
+            FaultReason::JointLimit => "joint_limit",
+            FaultReason::IkFailure => "ik_failure",
+            FaultReason::HomingFailure => "homing_failure",
+            FaultReason::OperatorStop => "operator_stop",
+            FaultReason::GuardStop => "guard_stop",
+            FaultReason::PlcStop => "plc_stop",
+        }
+    }
+}
+
 impl std::fmt::Display for FaultReason {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {

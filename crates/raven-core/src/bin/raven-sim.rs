@@ -14,6 +14,17 @@
 //! protocol). Progress and throughput (runs completed, runs/sec, ETA) are
 //! reported on stderr while a sweep runs. Results are bit-identical for
 //! any `--workers` value.
+//!
+//! Observability:
+//!
+//! * `--metrics-json <path>` — write the run's (or sweep's) metrics
+//!   registry as JSON (counters, gauges, histograms);
+//! * `--incident-dir <dir>` — when a single-run command trips the flight
+//!   recorder (fault, detector alarm, or E-STOP), write the incident
+//!   report (event ring + last 250 ms of every trace signal) as JSON
+//!   into `<dir>`;
+//! * `RAVEN_LOG=<debug|info|warn|error|off>` — stderr log threshold
+//!   (the CLI defaults to `info`; library callers default to `warn`).
 
 use raven_core::experiments::{
     run_fig5, run_fig6, run_fig8, run_fig9_with, run_fusion_ablation_with,
@@ -23,18 +34,23 @@ use raven_core::experiments::{
 use raven_core::training::{train_thresholds, train_thresholds_with, TrainingConfig};
 use raven_core::{AttackSetup, DetectorSetup, ExecutorConfig, SimConfig, Simulation};
 use raven_detect::{DetectorConfig, Mitigation};
+use simbus::obs::{log, Metrics, Severity};
+use std::path::PathBuf;
 
-/// Options for the sweep commands: `[seed] [--workers N] [--paper]`.
+/// Options for the sweep commands:
+/// `[seed] [--workers N] [--paper] [--metrics-json <path>]`.
 struct SweepOpts {
     seed: u64,
     paper: bool,
     exec: ExecutorConfig,
+    metrics_json: Option<PathBuf>,
 }
 
 fn parse_sweep_opts(args: &[String]) -> SweepOpts {
     let mut seed = 42u64;
     let mut workers = None;
     let mut paper = false;
+    let mut metrics_json = None;
     let mut rest = args[2..].iter();
     while let Some(arg) = rest.next() {
         match arg.as_str() {
@@ -45,6 +61,10 @@ fn parse_sweep_opts(args: &[String]) -> SweepOpts {
                     .or_else(|| die("--workers needs a positive integer"));
             }
             "--paper" => paper = true,
+            "--metrics-json" => {
+                metrics_json =
+                    rest.next().map(PathBuf::from).or_else(|| die("--metrics-json needs a path"));
+            }
             other => match other.parse() {
                 Ok(s) => seed = s,
                 Err(_) => {
@@ -53,16 +73,91 @@ fn parse_sweep_opts(args: &[String]) -> SweepOpts {
             },
         }
     }
-    SweepOpts { seed, paper, exec: ExecutorConfig { workers, progress: true } }
+    SweepOpts { seed, paper, exec: ExecutorConfig { workers, progress: true }, metrics_json }
+}
+
+/// Options for the single-run commands:
+/// `[seed] [--metrics-json <path>] [--incident-dir <dir>]`.
+struct RunOpts {
+    seed: u64,
+    metrics_json: Option<PathBuf>,
+    incident_dir: Option<PathBuf>,
+}
+
+fn parse_run_opts(args: &[String]) -> RunOpts {
+    let mut seed = 42u64;
+    let mut metrics_json = None;
+    let mut incident_dir = None;
+    let mut rest = args[2..].iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--metrics-json" => {
+                metrics_json =
+                    rest.next().map(PathBuf::from).or_else(|| die("--metrics-json needs a path"));
+            }
+            "--incident-dir" => {
+                incident_dir = rest
+                    .next()
+                    .map(PathBuf::from)
+                    .or_else(|| die("--incident-dir needs a directory"));
+            }
+            other => match other.parse() {
+                Ok(s) => seed = s,
+                Err(_) => {
+                    die::<u64>(&format!("unrecognized argument `{other}`"));
+                }
+            },
+        }
+    }
+    RunOpts { seed, metrics_json, incident_dir }
+}
+
+fn write_json(path: &std::path::Path, json: &str, what: &str) {
+    if let Some(parent) = path.parent().filter(|p| !p.as_os_str().is_empty()) {
+        if let Err(e) = std::fs::create_dir_all(parent) {
+            die::<()>(&format!("cannot create {}: {e}", parent.display()));
+        }
+    }
+    match std::fs::write(path, json) {
+        Ok(()) => log::emit(Severity::Info, "raven-sim", &format!("{what}: {}", path.display())),
+        Err(e) => {
+            die::<()>(&format!("cannot write {}: {e}", path.display()));
+        }
+    }
+}
+
+fn dump_metrics(path: Option<&PathBuf>, metrics: &Metrics) {
+    if let Some(path) = path {
+        let json = serde_json::to_string_pretty(metrics).expect("metrics serialize");
+        write_json(path, &json, "metrics written");
+    }
+}
+
+/// Flushes a single run's observability artifacts: metrics JSON, incident
+/// report (if the flight recorder tripped), and — at `RAVEN_LOG=debug` —
+/// the per-stage wall-clock profile.
+fn flush_run_artifacts(sim: &Simulation, opts: &RunOpts) {
+    dump_metrics(opts.metrics_json.as_ref(), &sim.metrics());
+    if let Some(dir) = &opts.incident_dir {
+        if let Some(incident) = sim.incident() {
+            let json = serde_json::to_string_pretty(incident).expect("incident serialize");
+            write_json(
+                &dir.join(format!("incident-seed{}.json", opts.seed)),
+                &json,
+                "incident written",
+            );
+        } else {
+            log::emit(Severity::Info, "raven-sim", "no incident: flight recorder never tripped");
+        }
+    }
+    if log::enabled(Severity::Debug) {
+        eprint!("{}", sim.profiler().render());
+    }
 }
 
 fn die<T>(msg: &str) -> Option<T> {
     eprintln!("raven-sim: {msg}");
     std::process::exit(2);
-}
-
-fn seed_arg(args: &[String]) -> u64 {
-    args.get(2).and_then(|s| s.parse().ok()).unwrap_or(42)
 }
 
 fn attack() -> AttackSetup {
@@ -85,28 +180,46 @@ fn print_outcome(label: &str, out: &raven_core::SessionOutcome) {
 }
 
 fn main() {
+    // The CLI is interactive: raise the default stderr log threshold to
+    // `info` so progress and artifact notes show up. An explicit
+    // `RAVEN_LOG=` still wins.
+    log::set_default_level(Severity::Info);
     let args: Vec<String> = std::env::args().collect();
     let command = args.get(1).map(String::as_str).unwrap_or("help");
     match command {
         "session" => {
-            let mut sim = Simulation::new(SimConfig::standard(seed_arg(&args)));
+            let opts = parse_run_opts(&args);
+            let mut sim = Simulation::new(SimConfig {
+                record_cycles: opts.incident_dir.is_some(),
+                ..SimConfig::standard(opts.seed)
+            });
             sim.boot();
             print_outcome("clean session", &sim.run_session());
+            flush_run_artifacts(&sim, &opts);
         }
         "attack" => {
+            let opts = parse_run_opts(&args);
             let mut sim = Simulation::new(SimConfig {
                 session_ms: 4_000,
-                ..SimConfig::standard(seed_arg(&args))
+                record_cycles: opts.incident_dir.is_some(),
+                ..SimConfig::standard(opts.seed)
             });
             sim.install_attack(&attack());
             sim.boot();
             print_outcome("undefended under scenario-B injection", &sim.run_session());
+            flush_run_artifacts(&sim, &opts);
         }
         "defend" => {
-            eprintln!("training thresholds (reduced 20-run protocol) …");
+            let opts = parse_run_opts(&args);
+            log::emit(
+                Severity::Info,
+                "raven-sim",
+                "training thresholds (reduced 20-run protocol) …",
+            );
             let report = train_thresholds(&TrainingConfig { runs: 20, ..TrainingConfig::quick(3) });
             let mut sim = Simulation::new(SimConfig {
                 session_ms: 4_000,
+                record_cycles: opts.incident_dir.is_some(),
                 detector: Some(DetectorSetup {
                     config: DetectorConfig {
                         mitigation: Mitigation::EStop,
@@ -115,11 +228,12 @@ fn main() {
                     model_perturbation: 0.02,
                     thresholds: Some(report.thresholds),
                 }),
-                ..SimConfig::standard(seed_arg(&args))
+                ..SimConfig::standard(opts.seed)
             });
             sim.install_attack(&attack());
             sim.boot();
             print_outcome("guarded under scenario-B injection", &sim.run_session());
+            flush_run_artifacts(&sim, &opts);
         }
         "train" => {
             let opts = parse_sweep_opts(&args);
@@ -143,7 +257,9 @@ fn main() {
             } else {
                 Table4Config::quick(opts.seed)
             };
-            print!("{}", run_table4_with(&config, &opts.exec).render());
+            let result = run_table4_with(&config, &opts.exec);
+            print!("{}", result.render());
+            dump_metrics(opts.metrics_json.as_ref(), &result.metrics);
         }
         "fig9" => {
             let opts = parse_sweep_opts(&args);
@@ -152,7 +268,9 @@ fn main() {
             } else {
                 Fig9Config::quick(opts.seed)
             };
-            print!("{}", run_fig9_with(&config, &opts.exec).render());
+            let result = run_fig9_with(&config, &opts.exec);
+            print!("{}", result.render());
+            dump_metrics(opts.metrics_json.as_ref(), &result.metrics);
         }
         "ablations" => {
             let opts = parse_sweep_opts(&args);
@@ -171,7 +289,8 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: raven-sim <session|attack|defend|train|table1|table2|table4|\
-                 fig5|fig6|fig8|fig9|ablations> [seed] [--workers N] [--paper]"
+                 fig5|fig6|fig8|fig9|ablations> [seed] [--workers N] [--paper]\n\
+                 \x20      [--metrics-json <path>] [--incident-dir <dir>]   (RAVEN_LOG=<level>)"
             );
             std::process::exit(2);
         }

@@ -28,6 +28,7 @@ use std::time::Instant;
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
+use simbus::obs::{log, Metrics, Severity};
 
 /// Environment variable overriding the default worker count.
 pub const WORKERS_ENV: &str = "RAVEN_WORKERS";
@@ -80,8 +81,14 @@ impl std::fmt::Display for RunError {
     }
 }
 
-/// Wall-clock/throughput summary of one sweep.
-#[derive(Debug, Clone, Copy, Serialize, Deserialize)]
+/// Wall-clock/throughput summary of one sweep, plus the aggregated per-run
+/// metrics.
+///
+/// `elapsed_s`/`runs_per_sec` are wall clock and vary run to run; `metrics`
+/// is merged **in run order** from each run's deterministic registry, so it
+/// is byte-identical for any worker count (serialize `metrics` alone when
+/// byte-comparing artifacts).
+#[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct SweepStats {
     /// Runs attempted.
     pub runs: usize,
@@ -93,6 +100,9 @@ pub struct SweepStats {
     pub elapsed_s: f64,
     /// Completed runs per second.
     pub runs_per_sec: f64,
+    /// Per-run metrics merged in run order (empty for jobs that record
+    /// none; panicked runs contribute nothing).
+    pub metrics: Metrics,
 }
 
 /// A sweep's outcome: one slot per run, in run order, plus stats.
@@ -154,24 +164,50 @@ where
     S: Fn(usize) -> u64 + Sync,
     F: Fn(usize, u64) -> T + Sync,
 {
+    run_sweep_observed(label, n, config, seed_of, |i, seed, _metrics| job(i, seed))
+}
+
+/// [`run_sweep`] with per-run metrics aggregation: each job receives a
+/// fresh [`Metrics`] registry, and completed runs' registries are merged
+/// **in run order** into [`SweepStats::metrics`] — so sweep-level counters
+/// and histograms (e.g. the Table IV detection-latency distribution) come
+/// out byte-identical for any worker count. A panicked run's partial
+/// registry is discarded along with its result.
+pub fn run_sweep_observed<T, S, F>(
+    label: &str,
+    n: usize,
+    config: &ExecutorConfig,
+    seed_of: S,
+    job: F,
+) -> SweepResult<T>
+where
+    T: Send,
+    S: Fn(usize) -> u64 + Sync,
+    F: Fn(usize, u64, &mut Metrics) -> T + Sync,
+{
+    // One run's slot: its outcome plus its private metrics registry.
+    type RunSlot<T> = (Result<T, RunError>, Metrics);
+
     let workers = config.resolved_workers().min(n.max(1));
     let started = Instant::now();
     let progress = Progress::new(label, n, config.progress);
 
-    let run_one =
-        |i: usize| -> Result<T, RunError> {
-            let seed = seed_of(i);
-            let outcome = catch_unwind(AssertUnwindSafe(|| job(i, seed)))
-                .map_err(|payload| RunError { index: i, seed, message: panic_text(&*payload) });
-            progress.completed();
-            outcome
-        };
+    let run_one = |i: usize| -> RunSlot<T> {
+        let seed = seed_of(i);
+        let mut metrics = Metrics::new();
+        let outcome = catch_unwind(AssertUnwindSafe(|| job(i, seed, &mut metrics)))
+            .map_err(|payload| RunError { index: i, seed, message: panic_text(&*payload) });
+        if outcome.is_err() {
+            metrics = Metrics::new();
+        }
+        progress.completed();
+        (outcome, metrics)
+    };
 
-    let outcomes: Vec<Result<T, RunError>> = if workers <= 1 {
+    let slotted: Vec<RunSlot<T>> = if workers <= 1 {
         (0..n).map(run_one).collect()
     } else {
-        let slots: Vec<Mutex<Option<Result<T, RunError>>>> =
-            (0..n).map(|_| Mutex::new(None)).collect();
+        let slots: Vec<Mutex<Option<RunSlot<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
         crossbeam::thread::scope(|scope| {
             for _ in 0..workers {
@@ -192,6 +228,13 @@ where
             .collect()
     };
 
+    let mut metrics = Metrics::new();
+    let mut outcomes = Vec::with_capacity(n);
+    for (outcome, run_metrics) in slotted {
+        metrics.merge(&run_metrics);
+        outcomes.push(outcome);
+    }
+
     let elapsed_s = started.elapsed().as_secs_f64();
     let errors = outcomes.iter().filter(|o| o.is_err()).count();
     let stats = SweepStats {
@@ -200,6 +243,7 @@ where
         workers,
         elapsed_s,
         runs_per_sec: if elapsed_s > 0.0 { n as f64 / elapsed_s } else { f64::INFINITY },
+        metrics,
     };
     progress.finish(&stats);
     SweepResult { outcomes, stats }
@@ -215,7 +259,10 @@ fn panic_text(payload: &(dyn std::any::Any + Send)) -> String {
     }
 }
 
-/// Throttled stderr progress reporter (thread-safe, lock-free).
+/// Throttled progress reporter (thread-safe, lock-free). Lines go through
+/// the `RAVEN_LOG`-filtered log layer at `info`, so sweeps are silent by
+/// default under `cargo test` and visible in the CLI (which raises the
+/// default level to `info`) or with `RAVEN_LOG=info`.
 struct Progress {
     label: String,
     total: usize,
@@ -232,7 +279,7 @@ impl Progress {
         Progress {
             label: label.to_string(),
             total,
-            enabled,
+            enabled: enabled && log::enabled(Severity::Info),
             done: AtomicUsize::new(0),
             started: Instant::now(),
             last_print_ms: AtomicU64::new(0),
@@ -260,22 +307,30 @@ impl Progress {
         let elapsed = self.started.elapsed().as_secs_f64();
         let rate = done as f64 / elapsed.max(1e-9);
         let eta = (self.total - done) as f64 / rate.max(1e-9);
-        eprintln!(
-            "{}: {}/{} runs ({:.1} runs/s, ETA {:.0} s)",
-            self.label, done, self.total, rate, eta
+        log::emit(
+            Severity::Info,
+            &self.label,
+            &format!("{}/{} runs ({:.1} runs/s, ETA {:.0} s)", done, self.total, rate, eta),
         );
     }
 
     fn finish(&self, stats: &SweepStats) {
         if self.enabled {
-            eprintln!(
-                "{}: {} runs in {:.1} s ({:.1} runs/s, {} workers{})",
-                self.label,
-                stats.runs,
-                stats.elapsed_s,
-                stats.runs_per_sec,
-                stats.workers,
-                if stats.errors > 0 { format!(", {} FAILED", stats.errors) } else { String::new() }
+            log::emit(
+                Severity::Info,
+                &self.label,
+                &format!(
+                    "{} runs in {:.1} s ({:.1} runs/s, {} workers{})",
+                    stats.runs,
+                    stats.elapsed_s,
+                    stats.runs_per_sec,
+                    stats.workers,
+                    if stats.errors > 0 {
+                        format!(", {} FAILED", stats.errors)
+                    } else {
+                        String::new()
+                    }
+                ),
             );
         }
     }
@@ -331,5 +386,44 @@ mod tests {
         assert_eq!(r.stats.runs, 10);
         assert_eq!(r.stats.errors, 0);
         assert!(r.stats.elapsed_s >= 0.0);
+        assert!(r.stats.metrics.is_empty(), "plain run_sweep records no metrics");
+    }
+
+    #[test]
+    fn observed_sweep_aggregates_metrics_identically_for_any_worker_count() {
+        let job = |i: usize, seed: u64, m: &mut Metrics| {
+            m.inc("runs.completed");
+            m.observe("run.index", i as f64);
+            seed
+        };
+        let serial = run_sweep_observed("t", 20, &ExecutorConfig::serial(), seeds, job);
+        assert_eq!(serial.stats.metrics.counter("runs.completed"), 20);
+        assert_eq!(serial.stats.metrics.histogram("run.index").unwrap().count, 20);
+        let reference = serde_json::to_string(&serial.stats.metrics).expect("serialize metrics");
+        for workers in [2, 3, 8] {
+            let par =
+                run_sweep_observed("t", 20, &ExecutorConfig::with_workers(workers), seeds, job);
+            let got = serde_json::to_string(&par.stats.metrics).expect("serialize metrics");
+            assert_eq!(got, reference, "metrics diverged at workers={workers}");
+        }
+    }
+
+    #[test]
+    fn panicked_run_contributes_no_metrics() {
+        let r = run_sweep_observed(
+            "t",
+            8,
+            &ExecutorConfig::with_workers(4),
+            seeds,
+            |i, _seed, m: &mut Metrics| {
+                m.inc("runs.completed");
+                assert!(i != 3, "poisoned run");
+                i
+            },
+        );
+        assert_eq!(r.stats.errors, 1);
+        // Run 3 incremented its counter before panicking; the partial
+        // registry must not leak into the aggregate.
+        assert_eq!(r.stats.metrics.counter("runs.completed"), 7);
     }
 }

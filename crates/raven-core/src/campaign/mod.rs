@@ -17,7 +17,9 @@ use crate::sim::{DetectorSetup, SessionOutcome, SimConfig, Simulation, Workload}
 
 pub mod executor;
 
-pub use executor::{run_sweep, ExecutorConfig, RunError, SweepResult, SweepStats};
+pub use executor::{
+    run_sweep, run_sweep_observed, ExecutorConfig, RunError, SweepResult, SweepStats,
+};
 
 /// One campaign run's record.
 #[derive(Debug, Clone, Serialize, Deserialize)]
@@ -50,6 +52,11 @@ pub struct CampaignResult {
     pub runs: Vec<CampaignRun>,
     /// The aggregate.
     pub summary: CampaignSummary,
+    /// Sweep-level metrics, merged in run order from every run's
+    /// simulation (detector counters, `detector.detection_latency_cycles`
+    /// histogram, injection/E-STOP counts, …). Deterministic for any
+    /// worker count.
+    pub metrics: simbus::Metrics,
 }
 
 impl CampaignResult {
@@ -83,12 +90,12 @@ pub fn run_campaign_with(
     exec: &ExecutorConfig,
 ) -> CampaignResult {
     let plan = config.plan();
-    let sweep = run_sweep(
+    let sweep = run_sweep_observed(
         "campaign",
         plan.len(),
         exec,
         |i| derive_seed(config.seed, plan[i].stream()),
-        |i, seed| {
+        |i, seed, metrics| {
             let descriptor = &plan[i];
             let mut sim = Simulation::new(SimConfig {
                 workload: Workload::training_pair()[(descriptor.repetition % 2) as usize],
@@ -105,9 +112,12 @@ pub fn run_campaign_with(
             });
             sim.install_attack(&AttackSetup::from_spec(&descriptor.spec));
             sim.boot();
-            sim.run_session()
+            let outcome = sim.run_session();
+            metrics.merge(&sim.metrics());
+            outcome
         },
     );
+    let metrics = sweep.stats.metrics.clone();
     let outcomes = sweep.expect_all("campaign");
     let mut summary = CampaignSummary::default();
     let mut runs = Vec::with_capacity(outcomes.len());
@@ -128,7 +138,7 @@ pub fn run_campaign_with(
             outcome,
         });
     }
-    CampaignResult { runs, summary }
+    CampaignResult { runs, summary, metrics }
 }
 
 #[cfg(test)]
@@ -157,5 +167,12 @@ mod tests {
         assert_eq!(weak_adverse, 0);
         // The model detects at least the adverse runs.
         assert!(result.summary.model_detected as usize >= strong_adverse);
+        // Sweep-level metrics carry the aggregated detection-latency
+        // histogram, with one observation per model-detected attack run.
+        let latency = result
+            .metrics
+            .histogram("detector.detection_latency_cycles")
+            .expect("campaign metrics must aggregate detection latency");
+        assert_eq!(latency.count, u64::from(result.summary.model_detected));
     }
 }

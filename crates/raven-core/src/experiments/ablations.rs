@@ -262,46 +262,57 @@ impl HardenedBoardResult {
     }
 }
 
-/// Runs the hardened-board counterfactual.
+/// Runs the hardened-board counterfactual with the default executor.
 pub fn run_hardened_board(seed: u64) -> HardenedBoardResult {
-    // Scenario B against a checksum-verifying board.
-    let mut sim = Simulation::new(SimConfig {
-        session_ms: 3_000,
-        ..SimConfig::standard(derive_seed(seed, "hardened-b"))
-    });
-    *sim.rig_mut() = {
-        let params = *sim.rig_params();
-        raven_hw::HardwareRig::with_hardened_board(params)
-    };
-    sim.install_attack(&AttackSetup::ScenarioB {
-        dac_delta: 30_000,
-        channel: 0,
-        delay_packets: 300,
-        duration_packets: 256,
-    });
-    sim.boot();
-    let out_b = sim.run_session();
-    let rejects = sim.rig_mut().board.integrity_rejects();
+    run_hardened_board_with(seed, &ExecutorConfig::default())
+}
 
-    // Scenario A against the same hardened board.
-    let mut sim = Simulation::new(SimConfig {
-        session_ms: 3_000,
-        ..SimConfig::standard(derive_seed(seed, "hardened-a"))
-    });
-    *sim.rig_mut() = {
-        let params = *sim.rig_params();
-        raven_hw::HardwareRig::with_hardened_board(params)
-    };
-    sim.install_attack(&AttackSetup::ScenarioA {
-        magnitude: 4.0e-3,
-        delay_packets: 300,
-        duration_packets: 512,
-    });
-    sim.boot();
-    let out_a = sim.run_session();
-
+/// [`run_hardened_board`] with explicit executor control: the two
+/// counterfactual sessions (scenario B, then scenario A, both against the
+/// checksum-verifying board) fan out as one sweep; seeds match the original
+/// serial protocol, so the result is identical for any worker count.
+pub fn run_hardened_board_with(seed: u64, exec: &ExecutorConfig) -> HardenedBoardResult {
+    let labels = ["hardened-b", "hardened-a"];
+    let outcomes = run_sweep(
+        "ablation-hardened",
+        labels.len(),
+        exec,
+        |i| derive_seed(seed, labels[i]),
+        |i, run_seed| {
+            let mut sim =
+                Simulation::new(SimConfig { session_ms: 3_000, ..SimConfig::standard(run_seed) });
+            *sim.rig_mut() = {
+                let params = *sim.rig_params();
+                raven_hw::HardwareRig::with_hardened_board(params)
+            };
+            // The replacement rig starts unobserved; re-attach the run's
+            // observer so E-STOP events keep flowing.
+            let observer = std::sync::Arc::clone(sim.observer());
+            sim.rig_mut().set_observer(observer);
+            if i == 0 {
+                sim.install_attack(&AttackSetup::ScenarioB {
+                    dac_delta: 30_000,
+                    channel: 0,
+                    delay_packets: 300,
+                    duration_packets: 256,
+                });
+            } else {
+                sim.install_attack(&AttackSetup::ScenarioA {
+                    magnitude: 4.0e-3,
+                    delay_packets: 300,
+                    duration_packets: 512,
+                });
+            }
+            sim.boot();
+            let out = sim.run_session();
+            (sim.rig_mut().board.integrity_rejects(), out)
+        },
+    )
+    .expect_all("hardened-board ablation");
+    let (b_rejects, out_b) = &outcomes[0];
+    let (_, out_a) = &outcomes[1];
     HardenedBoardResult {
-        b_integrity_rejects: rejects,
+        b_integrity_rejects: *b_rejects,
         b_adverse: out_b.adverse,
         a_still_effective: out_a.adverse
             || out_a.controller_fault.is_some()
@@ -495,71 +506,88 @@ impl BitwStudy {
 /// the offline analysis, (2) deploy a Pedal-Down-triggered torque injection
 /// and measure the physical outcome.
 pub fn run_bitw_study(seed: u64) -> BitwStudy {
+    run_bitw_study_with(seed, &ExecutorConfig::default())
+}
+
+/// [`run_bitw_study`] with explicit executor control: the three placements
+/// run as one sweep (each placement's eavesdrop + attack phases stay
+/// serial inside its run). Per-placement seeds are unchanged from the
+/// original serial protocol, so rows are identical for any worker count.
+/// The crypto-overhead measurement is wall-clock and stays outside the
+/// sweep.
+pub fn run_bitw_study_with(seed: u64, exec: &ExecutorConfig) -> BitwStudy {
     use raven_attack::{capture_log, find_state_byte, LoggingWrapper};
     let configs: [(&str, Option<raven_hw::BitwPlacement>); 3] = [
         ("none", None),
         ("wire", Some(raven_hw::BitwPlacement::Wire)),
         ("host", Some(raven_hw::BitwPlacement::Host)),
     ];
-    let mut rows = Vec::new();
-    for (label, bitw) in configs {
-        // Phase 1–2: eavesdrop + analyze.
-        let log = capture_log();
-        let mut sim = Simulation::new(SimConfig {
-            session_ms: 3_000,
-            bitw,
-            ..SimConfig::standard(derive_seed(seed, &format!("bitw-recon-{label}")))
-        });
-        sim.rig_mut()
-            .channel
-            .install_first(Box::new(LoggingWrapper::new(std::sync::Arc::clone(&log))));
-        sim.boot();
-        let _ = sim.run_session();
-        let capture = log.lock().clone();
-        let recon = find_state_byte(&capture);
-        let recon_succeeded = recon
-            .as_ref()
-            .map(|h| h.trigger_values().contains(&0x0F) || h.trigger_values().contains(&0x1F))
-            .unwrap_or(false);
-
-        // Phase 3. Against plaintext the attacker deploys the paper's
-        // Pedal-Down-triggered injection. Against host-side ciphertext the
-        // trigger byte is gone, so the best remaining move is *blind*
-        // corruption of the opaque stream — which the authenticator turns
-        // into a denial of service.
-        let mut sim = Simulation::new(SimConfig {
-            session_ms: 3_000,
-            bitw,
-            ..SimConfig::standard(derive_seed(seed, &format!("bitw-attack-{label}")))
-        });
-        if bitw == Some(raven_hw::BitwPlacement::Host) {
-            use raven_attack::{ActivationWindow, Corruption, InjectionWrapper};
-            sim.rig_mut().channel.install_first(Box::new(InjectionWrapper::with_trigger(
-                (0..=255).collect(), // fires on any packet: blind corruption
-                Corruption::SetByte { offset: 7, value: 0x55 },
-                ActivationWindow::delayed(1_800, 512),
-            )));
-        } else {
-            sim.install_attack(&AttackSetup::ScenarioB {
-                dac_delta: 30_000,
-                channel: 0,
-                delay_packets: 300,
-                duration_packets: 256,
+    let rows = run_sweep(
+        "bitw-study",
+        configs.len(),
+        exec,
+        |i| derive_seed(seed, &format!("bitw-recon-{}", configs[i].0)),
+        |i, _run_seed| {
+            let (label, bitw) = configs[i];
+            // Phase 1–2: eavesdrop + analyze.
+            let log = capture_log();
+            let mut sim = Simulation::new(SimConfig {
+                session_ms: 3_000,
+                bitw,
+                ..SimConfig::standard(derive_seed(seed, &format!("bitw-recon-{label}")))
             });
-        }
-        sim.boot();
-        let out = sim.run_session();
-        rows.push(BitwRow {
-            config: label.to_string(),
-            recon_succeeded,
-            rejected_packets: sim.rig_mut().bitw_rejects(),
-            adverse: out.adverse,
-            // Available = still teleoperating AND the PLC has not braked the
-            // arm (a PLC E-STOP stops the robot even if the software state
-            // machine has not yet noticed).
-            available: out.final_state == "Pedal Down" && out.estop.is_none(),
-        });
-    }
+            sim.rig_mut()
+                .channel
+                .install_first(Box::new(LoggingWrapper::new(std::sync::Arc::clone(&log))));
+            sim.boot();
+            let _ = sim.run_session();
+            let capture = log.lock().clone();
+            let recon = find_state_byte(&capture);
+            let recon_succeeded = recon
+                .as_ref()
+                .map(|h| h.trigger_values().contains(&0x0F) || h.trigger_values().contains(&0x1F))
+                .unwrap_or(false);
+
+            // Phase 3. Against plaintext the attacker deploys the paper's
+            // Pedal-Down-triggered injection. Against host-side ciphertext
+            // the trigger byte is gone, so the best remaining move is
+            // *blind* corruption of the opaque stream — which the
+            // authenticator turns into a denial of service.
+            let mut sim = Simulation::new(SimConfig {
+                session_ms: 3_000,
+                bitw,
+                ..SimConfig::standard(derive_seed(seed, &format!("bitw-attack-{label}")))
+            });
+            if bitw == Some(raven_hw::BitwPlacement::Host) {
+                use raven_attack::{ActivationWindow, Corruption, InjectionWrapper};
+                sim.rig_mut().channel.install_first(Box::new(InjectionWrapper::with_trigger(
+                    (0..=255).collect(), // fires on any packet: blind corruption
+                    Corruption::SetByte { offset: 7, value: 0x55 },
+                    ActivationWindow::delayed(1_800, 512),
+                )));
+            } else {
+                sim.install_attack(&AttackSetup::ScenarioB {
+                    dac_delta: 30_000,
+                    channel: 0,
+                    delay_packets: 300,
+                    duration_packets: 256,
+                });
+            }
+            sim.boot();
+            let out = sim.run_session();
+            BitwRow {
+                config: label.to_string(),
+                recon_succeeded,
+                rejected_packets: sim.rig_mut().bitw_rejects(),
+                adverse: out.adverse,
+                // Available = still teleoperating AND the PLC has not
+                // braked the arm (a PLC E-STOP stops the robot even if the
+                // software state machine has not yet noticed).
+                available: out.final_state == "Pedal Down" && out.estop.is_none(),
+            }
+        },
+    )
+    .expect_all("bitw study");
 
     // Crypto overhead per packet.
     let mut tx = raven_hw::BitwCodec::new(1234);

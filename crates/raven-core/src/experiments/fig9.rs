@@ -15,7 +15,9 @@ use raven_detect::{DetectionThresholds, DetectorConfig, Mitigation};
 use serde::{Deserialize, Serialize};
 use simbus::rng::derive_seed;
 
-use crate::campaign::executor::{run_sweep, ExecutorConfig};
+use simbus::obs::Metrics;
+
+use crate::campaign::executor::{run_sweep_observed, ExecutorConfig};
 use crate::scenario::AttackSetup;
 use crate::sim::{DetectorSetup, SimConfig, Simulation, Workload};
 use crate::training::{train_thresholds_with, TrainingConfig};
@@ -85,6 +87,10 @@ impl Fig9Config {
 pub struct Fig9Result {
     /// All grid cells.
     pub cells: Vec<Fig9Cell>,
+    /// Sweep metrics merged in run order (detector counters,
+    /// `detector.detection_latency_cycles` histogram). Deterministic for
+    /// any worker count.
+    pub metrics: Metrics,
 }
 
 impl Fig9Result {
@@ -148,7 +154,7 @@ pub fn run_fig9_with(config: &Fig9Config, exec: &ExecutorConfig) -> Fig9Result {
         .flat_map(|&value| config.durations_ms.iter().map(move |&d| (value, d)))
         .collect();
     let reps = config.repetitions.max(1) as usize;
-    let outcomes = run_sweep(
+    let sweep = run_sweep_observed(
         "fig9",
         grid.len() * config.repetitions as usize,
         exec,
@@ -157,13 +163,14 @@ pub fn run_fig9_with(config: &Fig9Config, exec: &ExecutorConfig) -> Fig9Result {
             let rep = (i % reps) as u32;
             derive_seed(config.seed, &format!("fig9-{value}-{duration_ms}-{rep}"))
         },
-        |i, seed| {
+        |i, seed, metrics| {
             let (value, duration_ms) = grid[i / reps];
             let rep = (i % reps) as u32;
-            run_rep(config, value, duration_ms, rep, seed, thresholds)
+            run_rep(config, value, duration_ms, rep, seed, thresholds, metrics)
         },
-    )
-    .expect_all("fig9 sweep");
+    );
+    let metrics = sweep.stats.metrics.clone();
+    let outcomes = sweep.expect_all("fig9 sweep");
     let cells = grid
         .iter()
         .enumerate()
@@ -189,7 +196,7 @@ pub fn run_fig9_with(config: &Fig9Config, exec: &ExecutorConfig) -> Fig9Result {
             }
         })
         .collect();
-    Fig9Result { cells }
+    Fig9Result { cells, metrics }
 }
 
 /// One repetition of one grid cell: (adverse, model_detected, raven_detected).
@@ -200,6 +207,7 @@ fn run_rep(
     rep: u32,
     seed: u64,
     thresholds: DetectionThresholds,
+    metrics: &mut Metrics,
 ) -> (bool, bool, bool) {
     let mut sim = Simulation::new(SimConfig {
         workload: Workload::training_pair()[(rep % 2) as usize],
@@ -219,6 +227,7 @@ fn run_rep(
     });
     sim.boot();
     let out = sim.run_session();
+    metrics.merge(&sim.metrics());
     (out.adverse, out.model_detected, out.raven_detected)
 }
 

@@ -15,7 +15,9 @@ use raven_math::stats::ConfusionMatrix;
 use serde::{Deserialize, Serialize};
 use simbus::rng::derive_seed;
 
-use crate::campaign::executor::{run_sweep, ExecutorConfig};
+use simbus::obs::Metrics;
+
+use crate::campaign::executor::{run_sweep_observed, ExecutorConfig};
 use crate::scenario::AttackSetup;
 use crate::sim::{DetectorSetup, SimConfig, Simulation, Workload};
 use crate::training::{train_thresholds_with, TrainingConfig};
@@ -117,6 +119,10 @@ pub struct Table4Result {
     pub thresholds: DetectionThresholds,
     /// Training samples behind the thresholds.
     pub training_samples: u64,
+    /// Evaluation-run metrics merged in run order across both scenarios
+    /// (detector counters, `detector.detection_latency_cycles` histogram).
+    /// Deterministic for any worker count.
+    pub metrics: Metrics,
 }
 
 impl Table4Result {
@@ -190,6 +196,7 @@ fn evaluate_run(
     workload: Workload,
     attack: AttackSetup,
     thresholds: DetectionThresholds,
+    metrics: &mut Metrics,
 ) -> (bool, bool, bool) {
     let mut sim = Simulation::new(SimConfig {
         workload,
@@ -204,6 +211,7 @@ fn evaluate_run(
     sim.install_attack(&attack);
     sim.boot();
     let out = sim.run_session();
+    metrics.merge(&sim.metrics());
     (attack.is_attack(), out.model_detected, out.raven_detected)
 }
 
@@ -213,25 +221,27 @@ fn run_scenario(
     config: &Table4Config,
     thresholds: DetectionThresholds,
     exec: &ExecutorConfig,
-) -> ScenarioComparison {
+) -> (ScenarioComparison, Metrics) {
     // Fan the scored runs over the executor; each returns its
     // (attacked, model, raven) triple and the confusion matrices fold in
-    // run order, exactly as the serial loop did.
-    let triples = run_sweep(
+    // run order, exactly as the serial loop did. Per-run metrics merge the
+    // same way into the sweep stats.
+    let sweep = run_sweep_observed(
         &format!("table4-{scenario}"),
         runs as usize,
         exec,
         |i| derive_seed(config.seed, &format!("t4-run-{scenario}-{i}")),
-        |i, run_seed| {
+        |i, run_seed, metrics| {
             let run = i as u32;
             let clean = (run as f64 / runs.max(1) as f64) < config.clean_fraction;
             let attack =
                 if clean { AttackSetup::None } else { scenario_attack(scenario, run, config.seed) };
             let workload = Workload::training_pair()[(run % 2) as usize];
-            evaluate_run(run_seed, config.session_ms, workload, attack, thresholds)
+            evaluate_run(run_seed, config.session_ms, workload, attack, thresholds, metrics)
         },
-    )
-    .expect_all("table4 scenario");
+    );
+    let metrics = sweep.stats.metrics.clone();
+    let triples = sweep.expect_all("table4 scenario");
     let mut model_cm = ConfusionMatrix::new();
     let mut raven_cm = ConfusionMatrix::new();
     let mut model_only = 0;
@@ -247,7 +257,7 @@ fn run_scenario(
             }
         }
     }
-    ScenarioComparison {
+    let comparison = ScenarioComparison {
         scenario: match scenario {
             'A' => "A (User inputs)".to_string(),
             _ => "B (Torque commands)".to_string(),
@@ -257,7 +267,8 @@ fn run_scenario(
         raven: DetectorScore::from_matrix(raven_cm),
         model_only_detections: model_only,
         raven_only_detections: raven_only,
-    }
+    };
+    (comparison, metrics)
 }
 
 /// Runs the full Table IV protocol with the default executor (all cores).
@@ -269,11 +280,18 @@ pub fn run_table4(config: &Table4Config) -> Table4Result {
 /// for any worker count.
 pub fn run_table4_with(config: &Table4Config, exec: &ExecutorConfig) -> Table4Result {
     let training = train_thresholds_with(&config.training, exec);
-    let scenarios = vec![
-        run_scenario('A', config.scenario_a_runs, config, training.thresholds, exec),
-        run_scenario('B', config.scenario_b_runs, config, training.thresholds, exec),
-    ];
-    Table4Result { scenarios, thresholds: training.thresholds, training_samples: training.samples }
+    let (scenario_a, metrics_a) =
+        run_scenario('A', config.scenario_a_runs, config, training.thresholds, exec);
+    let (scenario_b, metrics_b) =
+        run_scenario('B', config.scenario_b_runs, config, training.thresholds, exec);
+    let mut metrics = metrics_a;
+    metrics.merge(&metrics_b);
+    Table4Result {
+        scenarios: vec![scenario_a, scenario_b],
+        thresholds: training.thresholds,
+        training_samples: training.samples,
+        metrics,
+    }
 }
 
 #[cfg(test)]
@@ -305,5 +323,12 @@ mod tests {
         // Sanity on the render.
         let text = r.render();
         assert!(text.contains("Dynamic Model") && text.contains("RAVEN"));
+        // Aggregated observability rides along: every model-detected attack
+        // run contributes one detection-latency observation.
+        let latency = r
+            .metrics
+            .histogram("detector.detection_latency_cycles")
+            .expect("table4 metrics must carry detection latency");
+        assert!(latency.count > 0, "{latency:?}");
     }
 }

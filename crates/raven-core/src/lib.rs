@@ -18,8 +18,10 @@ pub mod sim;
 pub mod training;
 pub mod viz;
 
-pub use campaign::executor::{run_sweep, ExecutorConfig, RunError, SweepResult, SweepStats};
+pub use campaign::executor::{
+    run_sweep, run_sweep_observed, ExecutorConfig, RunError, SweepResult, SweepStats,
+};
 pub use campaign::{run_campaign, run_campaign_with, CampaignResult, CampaignRun, CampaignSummary};
 pub use dual::{Arm, DualArmSession, DualOutcome};
 pub use scenario::AttackSetup;
-pub use sim::{DetectorSetup, SessionOutcome, SimConfig, Simulation, Workload};
+pub use sim::{DetectorSetup, IncidentReport, SessionOutcome, SimConfig, Simulation, Workload};

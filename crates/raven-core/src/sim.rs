@@ -20,8 +20,9 @@ use raven_teleop::{
     WithTremor,
 };
 use serde::{Deserialize, Serialize};
+use simbus::obs::{shared_observer, Event, EventLog, Metrics, Severity, SharedObserver};
 use simbus::rng::derive_seed;
-use simbus::{LinkConfig, SimClock, SimDuration, SimLink, SimTime};
+use simbus::{LinkConfig, SimClock, SimDuration, SimLink, SimTime, StageProfiler};
 
 use crate::scenario::AttackSetup;
 
@@ -205,6 +206,29 @@ pub struct SessionOutcome {
     pub injections: u64,
 }
 
+/// The flight recorder's black-box dump: captured when a run first faults,
+/// E-stops, or raises a detector alarm. Serializable to JSON (the
+/// `--incident-dir` artifact; schema in `docs/OBSERVABILITY.md`).
+///
+/// Everything inside is derived from virtual time, so the dump is
+/// byte-identical across identical seeded runs.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct IncidentReport {
+    /// Virtual time of the triggering cycle.
+    pub time: SimTime,
+    /// What tripped the recorder (`estop: …`, `fault: …`, `detector alarm`).
+    pub cause: String,
+    /// Root seed of the run.
+    pub seed: u64,
+    /// Length of the captured trace window (ms before `time`).
+    pub window_ms: u64,
+    /// The event ring at capture time, oldest first.
+    pub events: Vec<Event>,
+    /// Per-signal trace samples inside the window (requires
+    /// `record_cycles`; empty otherwise).
+    pub signals: std::collections::BTreeMap<String, Vec<simbus::trace::Sample>>,
+}
+
 /// The assembled simulation.
 pub struct Simulation {
     config: SimConfig,
@@ -223,17 +247,34 @@ pub struct Simulation {
     cycle_log: Vec<CycleRecord>,
     trace: simbus::TraceRecorder,
     telemetry_bus: simbus::Bus<CycleTelemetry>,
+    observer: SharedObserver,
+    profiler: StageProfiler,
+    incident: Option<IncidentReport>,
+    attack_delay_packets: Option<u64>,
+    prev_state: RobotState,
+    prev_fault: Option<FaultReason>,
+    prev_estop: Option<EStopCause>,
+    prev_alarmed: bool,
+    prev_mutations: u64,
+    prev_corrupted: u64,
+    prev_lost: u64,
 }
 
 impl Simulation {
     /// Console-silence timeout before the pedal is treated as released.
     const INPUT_TIMEOUT_MS: u64 = 100;
 
+    /// Trace window captured into an [`IncidentReport`] (ms before the
+    /// triggering cycle).
+    const INCIDENT_WINDOW_MS: u64 = 250;
+
     /// Builds the clean system for a configuration (no attack installed).
     pub fn new(config: SimConfig) -> Self {
         let arm = ArmConfig::builder().coupling(config.plant.coupling()).build();
         let controller = RavenController::new(arm.clone(), config.controller);
+        let observer = shared_observer(EventLog::DEFAULT_CAPACITY);
         let mut rig = HardwareRig::new(config.plant);
+        rig.set_observer(std::sync::Arc::clone(&observer));
         // The robot powers up in a stowed pose, not at the homing target —
         // initialization must physically move the arm (otherwise the
         // homing-failure attacks of Table I would be unobservable).
@@ -267,7 +308,10 @@ impl Simulation {
         // The guard is the LAST write interceptor: closest to the hardware,
         // downstream of any malware installed later (paper §IV.C).
         if let Some(det) = &detector {
-            rig.channel.install(Box::new(GuardInterceptor::new(std::sync::Arc::clone(det))));
+            rig.channel.install(Box::new(GuardInterceptor::with_observer(
+                std::sync::Arc::clone(det),
+                std::sync::Arc::clone(&observer),
+            )));
         }
 
         // Boot (pre-start idle + homing from the stowed pose) takes < 2 s;
@@ -286,6 +330,7 @@ impl Simulation {
             MasterConsole::new(config.workload.build(config.tremor, config.seed), schedule);
         let itp_link = SimLink::new(config.link, derive_seed(config.seed, "itp-link"));
 
+        let prev_state = controller.state_machine().state();
         Simulation {
             config,
             clock: SimClock::new(),
@@ -303,6 +348,19 @@ impl Simulation {
             cycle_log: Vec::new(),
             trace: simbus::TraceRecorder::new(),
             telemetry_bus: simbus::Bus::new("raven/telemetry"),
+            observer,
+            profiler: StageProfiler::new(),
+            incident: None,
+            attack_delay_packets: None,
+            prev_state,
+            prev_fault: None,
+            // The PLC powers up latched (normal initial state, not an
+            // incident); the flight recorder arms on the next edge.
+            prev_estop: Some(EStopCause::PhysicalButton),
+            prev_alarmed: false,
+            prev_mutations: 0,
+            prev_corrupted: 0,
+            prev_lost: 0,
         }
     }
 
@@ -326,11 +384,47 @@ impl Simulation {
         &self.cycle_log
     }
 
+    /// The shared observer (event ring + metrics) every instrumented
+    /// component of this simulation writes into.
+    pub fn observer(&self) -> &SharedObserver {
+        &self.observer
+    }
+
+    /// Snapshot of the metric registry (deterministic given the seed).
+    pub fn metrics(&self) -> Metrics {
+        self.observer.lock().metrics.clone()
+    }
+
+    /// Snapshot of the event ring, oldest first (deterministic given the
+    /// seed).
+    pub fn events(&self) -> Vec<Event> {
+        self.observer.lock().events.snapshot()
+    }
+
+    /// The flight recorder's dump, if a fault, E-STOP, or detector alarm
+    /// tripped it.
+    pub fn incident(&self) -> Option<&IncidentReport> {
+        self.incident.as_ref()
+    }
+
+    /// Wall-clock stage profile of [`Simulation::step`]. Nondeterministic;
+    /// never part of serialized artifacts.
+    pub fn profiler(&self) -> &StageProfiler {
+        &self.profiler
+    }
+
     /// Installs an attack before the session starts.
     pub fn install_attack(&mut self, attack: &AttackSetup) {
+        if !matches!(attack, AttackSetup::None) {
+            self.observer.lock().event(
+                Event::new(self.clock.now(), "attack", Severity::Info, "attack.installed")
+                    .with("setup", format!("{attack:?}")),
+            );
+        }
         match attack {
             AttackSetup::None => {}
             AttackSetup::ScenarioA { magnitude, delay_packets, duration_packets } => {
+                self.attack_delay_packets = Some(*delay_packets);
                 self.mitm = Some(ItpMitm::new(
                     Vec3::new(*magnitude, 0.0, 0.0),
                     *delay_packets,
@@ -338,6 +432,7 @@ impl Simulation {
                 ));
             }
             AttackSetup::ScenarioB { dac_delta, channel, delay_packets, duration_packets } => {
+                self.attack_delay_packets = Some(*delay_packets);
                 let wrapper = InjectionWrapper::pedal_down_trigger(
                     Corruption::AddDacWord { channel: *channel, delta: *dac_delta },
                     ActivationWindow::delayed(*delay_packets, *duration_packets),
@@ -456,22 +551,31 @@ impl Simulation {
     }
 
     /// One full 1 ms cycle of the whole system.
+    ///
+    /// Each numbered stage is wall-clock profiled (see
+    /// [`Simulation::profiler`]); at the end of the cycle the observer
+    /// diffs the safety-relevant state (robot state, faults, E-STOP latch,
+    /// injections, alarms) and the flight recorder captures an
+    /// [`IncidentReport`] on the first trip.
     pub fn step(&mut self) {
         let now = self.clock.now();
 
         // 1. Console emits; scenario-A malware mutates; network carries.
+        let t_stage = self.profiler.begin();
         let pkt = self.console.emit(now);
         let mut bytes = pkt.encode().to_vec();
         if let Some(mitm) = &mut self.mitm {
             mitm.process(&mut bytes);
         }
         self.itp_link.send(now, bytes);
+        self.profiler.end("console", t_stage);
 
         // 2. Control software ingests delivered packets. Position increments
         //    are accumulated and applied exactly once (they are *deltas*);
         //    the pedal is a level and holds between packets, but falls back
         //    to "up" if the console goes silent too long — losing the
         //    operator must stop the robot, not freeze it mid-command.
+        let t_stage = self.profiler.begin();
         let mut accumulated = Vec3::ZERO;
         let mut got_packet = false;
         for raw in self.itp_link.poll(now) {
@@ -495,15 +599,20 @@ impl Simulation {
                 input.pedal = false;
             }
         }
+        self.profiler.end("link", t_stage);
 
         // 3. Feedback read; detector measurement sync.
+        let t_stage = self.profiler.begin();
         let feedback = self.rig.read_feedback(now);
         if let Some(det) = &self.detector {
             let mpos = self.rig.decode_motor_positions(&feedback);
             det.lock().sync_measurement(mpos);
         }
+        self.profiler.end("feedback", t_stage);
 
-        // 4. Control cycle; command write through the interceptor chain.
+        // 4. Control cycle; command write through the interceptor chain
+        //    (malware wrappers first, the dynamic-model guard last).
+        let t_stage = self.profiler.begin();
         let input = self.last_input;
         let cmd = self.controller.cycle(input.as_ref(), &feedback);
         if self.telemetry_bus.subscriber_count() > 0 {
@@ -511,10 +620,14 @@ impl Simulation {
                 self.telemetry_bus.publish(*t);
             }
         }
+        self.profiler.end("controller", t_stage);
+        let t_stage = self.profiler.begin();
         self.rig.deliver_command(&cmd, now);
+        self.profiler.end("interceptors", t_stage);
 
         // 5. Guard-driven E-STOP (the trusted hardware module acts on both
         //    the software and the PLC).
+        let t_stage = self.profiler.begin();
         if let Some(det) = &self.detector {
             if det.lock().estop_requested()
                 && self.controller.state_machine().fault() != Some(FaultReason::GuardStop)
@@ -524,8 +637,10 @@ impl Simulation {
                 self.rig.press_estop();
             }
         }
+        self.profiler.end("detector", t_stage);
 
         // 6. Physics.
+        let t_stage = self.profiler.begin();
         self.rig.step(now);
         self.record_ee();
         if self.config.record_cycles {
@@ -547,7 +662,120 @@ impl Simulation {
             self.trace.record("jpos2", now, j[1]);
             self.trace.record("jpos3", now, j[2]);
         }
+        self.profiler.end("plant", t_stage);
+
+        self.observe_cycle(now);
         self.clock.tick();
+    }
+
+    /// End-of-cycle observation: diffs the safety-relevant state against
+    /// the previous cycle, emits events/metrics for every edge, and trips
+    /// the flight recorder once.
+    fn observe_cycle(&mut self, now: SimTime) {
+        // Sample detector state first (consistent lock order: detector
+        // before observer, matching the guard interceptor).
+        let det_sample = self.detector.as_ref().map(|det| {
+            let d = det.lock();
+            (d.alarmed(), d.first_alarm_assessment())
+        });
+
+        let state = self.controller.state_machine().state();
+        let fault = self.controller.state_machine().fault();
+        let estop = self.rig.estop();
+        let mutations = self.rig.channel.mutations();
+        let corrupted = self.mitm.as_ref().map_or(0, ItpMitm::corrupted);
+        let lost = self.itp_link.lost();
+        let alarmed = det_sample.is_some_and(|(a, _)| a);
+
+        {
+            let mut obs = self.observer.lock();
+            if state != self.prev_state {
+                obs.metrics.inc("control.transitions");
+                obs.event(
+                    Event::new(now, "control", Severity::Info, "state.transition")
+                        .with("from", format!("{:?}", self.prev_state))
+                        .with("to", format!("{state:?}")),
+                );
+            }
+            if fault != self.prev_fault {
+                if let Some(reason) = fault {
+                    obs.metrics.inc(&format!("fault.count.{}", reason.slug()));
+                    obs.event(
+                        Event::new(now, "control", Severity::Error, "control.fault")
+                            .with("reason", reason.slug()),
+                    );
+                }
+            }
+            if mutations > self.prev_mutations {
+                let delta = mutations - self.prev_mutations;
+                obs.metrics.add("attack.injections", delta);
+                obs.event(
+                    Event::new(now, "attack", Severity::Warn, "attack.injection")
+                        .with("vector", "usb")
+                        .with("count", delta),
+                );
+            }
+            if corrupted > self.prev_corrupted {
+                let delta = corrupted - self.prev_corrupted;
+                obs.metrics.add("attack.injections", delta);
+                obs.event(
+                    Event::new(now, "attack", Severity::Warn, "attack.injection")
+                        .with("vector", "itp")
+                        .with("count", delta),
+                );
+            }
+            if lost > self.prev_lost {
+                obs.metrics.add("net.packets_dropped", lost - self.prev_lost);
+            }
+            if alarmed && !self.prev_alarmed {
+                if let Some((_, Some(first))) = det_sample {
+                    obs.metrics.set_gauge("detector.first_alarm_assessment", first as f64);
+                    if let Some(delay) = self.attack_delay_packets {
+                        // The paper's detection latency: armed assessments
+                        // between injection onset and the first alarm.
+                        obs.metrics.observe(
+                            "detector.detection_latency_cycles",
+                            first.saturating_sub(delay) as f64,
+                        );
+                    }
+                }
+            }
+        }
+
+        // Flight recorder: trip once, on the first fault / E-STOP / alarm.
+        if self.incident.is_none() {
+            let fault_edge = fault.is_some() && self.prev_fault.is_none();
+            let estop_edge = estop.is_some() && self.prev_estop.is_none();
+            let alarm_edge = alarmed && !self.prev_alarmed;
+            if fault_edge || estop_edge || alarm_edge {
+                let cause = if let (true, Some(c)) = (estop_edge, estop) {
+                    format!("estop: {}", c.slug())
+                } else if let (true, Some(f)) = (fault_edge, fault) {
+                    format!("fault: {}", f.slug())
+                } else {
+                    "detector alarm".to_string()
+                };
+                let window = SimDuration::from_millis(Self::INCIDENT_WINDOW_MS);
+                let from = SimTime::from_nanos(now.as_nanos().saturating_sub(window.as_nanos()));
+                let obs = self.observer.lock();
+                self.incident = Some(IncidentReport {
+                    time: now,
+                    cause,
+                    seed: self.config.seed,
+                    window_ms: Self::INCIDENT_WINDOW_MS,
+                    events: obs.events.snapshot(),
+                    signals: self.trace.window_from(from),
+                });
+            }
+        }
+
+        self.prev_state = state;
+        self.prev_fault = fault;
+        self.prev_estop = estop;
+        self.prev_alarmed = alarmed;
+        self.prev_mutations = mutations;
+        self.prev_corrupted = corrupted;
+        self.prev_lost = lost;
     }
 
     fn record_ee(&mut self) {

@@ -17,6 +17,7 @@ use raven_hw::channel::{WriteAction, WriteContext, WriteInterceptor};
 use raven_hw::{RobotState, UsbCommandPacket};
 use raven_kinematics::{ArmConfig, MotorState, NUM_AXES};
 use serde::{Deserialize, Serialize};
+use simbus::obs::{Event, Severity, SharedObserver};
 
 use crate::features::InstantFeatures;
 use crate::thresholds::{DetectionThresholds, ThresholdLearner};
@@ -379,6 +380,7 @@ pub fn shared(detector: DynamicDetector) -> SharedDetector {
 #[derive(Debug)]
 pub struct GuardInterceptor {
     detector: SharedDetector,
+    observer: Option<SharedObserver>,
 }
 
 impl GuardInterceptor {
@@ -387,12 +389,19 @@ impl GuardInterceptor {
 
     /// Creates a guard over a shared detector.
     pub fn new(detector: SharedDetector) -> Self {
-        GuardInterceptor { detector }
+        GuardInterceptor { detector, observer: None }
+    }
+
+    /// Creates a guard that also reports assessments, verdicts, and blocked
+    /// commands into an observer (events stamped with the write's virtual
+    /// time from [`WriteContext`]).
+    pub fn with_observer(detector: SharedDetector, observer: SharedObserver) -> Self {
+        GuardInterceptor { detector, observer: Some(observer) }
     }
 }
 
 impl WriteInterceptor for GuardInterceptor {
-    fn on_write(&mut self, buf: &mut Vec<u8>, _ctx: &WriteContext) -> WriteAction {
+    fn on_write(&mut self, buf: &mut Vec<u8>, ctx: &WriteContext) -> WriteAction {
         let Ok(pkt) = UsbCommandPacket::decode_unchecked(buf) else {
             // Undecodable buffers cannot be executed by the board anyway.
             return WriteAction::Forward;
@@ -406,14 +415,22 @@ impl WriteInterceptor for GuardInterceptor {
         let Some(assessment) = det.assess(&dac3) else {
             return WriteAction::Forward;
         };
+        let armed = det.mode == DetectorMode::Armed;
+        if armed {
+            if let Some(obs) = &self.observer {
+                obs.lock().metrics.inc("detector.assessments");
+            }
+        }
         let holding = det.hold_cooldown > 0;
         if !assessment.alarm() && !holding {
             det.remember_safe(pkt.dac);
             return WriteAction::Forward;
         }
-        match det.config.mitigation {
-            Mitigation::Observe => WriteAction::Forward,
-            Mitigation::EStop => WriteAction::Drop,
+        // "blocked" = the board does not receive the command verbatim
+        // (dropped outright, or substituted with a safe hold).
+        let (action, blocked) = match det.config.mitigation {
+            Mitigation::Observe => (WriteAction::Forward, false),
+            Mitigation::EStop => (WriteAction::Drop, true),
             Mitigation::BlockAndHold => {
                 // Substitute a zero-torque hold, keeping the incoming state
                 // byte (the watchdog must keep toggling or the PLC will
@@ -426,18 +443,45 @@ impl WriteInterceptor for GuardInterceptor {
                 } else {
                     det.hold_cooldown = det.hold_cooldown.saturating_sub(1);
                 }
-                let Some(mut dac) = det.held_safe() else {
-                    return WriteAction::Drop;
+                match det.held_safe() {
+                    None => (WriteAction::Drop, true),
+                    Some(mut dac) => {
+                        // Wrist channels are positional set-points, not
+                        // torques — hold them at their freshly commanded
+                        // values.
+                        dac[3..].copy_from_slice(&pkt.dac[3..]);
+                        let replacement =
+                            UsbCommandPacket { state: pkt.state, watchdog: pkt.watchdog, dac };
+                        *buf = replacement.encode().to_vec();
+                        (WriteAction::Forward, true)
+                    }
+                }
+            }
+        };
+        if let Some(obs) = &self.observer {
+            let mut obs = obs.lock();
+            if blocked {
+                obs.metrics.inc("detector.blocked_commands");
+            }
+            if assessment.alarm() {
+                obs.metrics.inc("detector.alarms");
+                let action_label = match (action, blocked) {
+                    (WriteAction::Drop, _) => "drop",
+                    (WriteAction::Forward, true) => "hold",
+                    (WriteAction::Forward, false) => "observe",
                 };
-                // Wrist channels are positional set-points, not torques —
-                // hold them at their freshly commanded values.
-                dac[3..].copy_from_slice(&pkt.dac[3..]);
-                let replacement =
-                    UsbCommandPacket { state: pkt.state, watchdog: pkt.watchdog, dac };
-                *buf = replacement.encode().to_vec();
-                WriteAction::Forward
+                obs.event(
+                    Event::new(ctx.time, "detector", Severity::Warn, "detector.verdict")
+                        .with("assessment", det.assessments)
+                        .with("seq", ctx.seq)
+                        .with("threshold_alarm", assessment.threshold_alarm)
+                        .with("ee_alarm", assessment.ee_alarm)
+                        .with("ee_step_mm", assessment.features.ee_step * 1e3)
+                        .with("action", action_label),
+                );
             }
         }
+        action
     }
 
     fn name(&self) -> &str {
@@ -627,5 +671,32 @@ mod tests {
     fn arming_without_samples_panics() {
         let (det, _) = setup(Mitigation::EStop);
         det.lock().arm();
+    }
+
+    #[test]
+    fn observed_guard_reports_assessments_verdicts_and_blocks() {
+        let (det, params) = setup(Mitigation::EStop);
+        train_and_arm(&det, &params);
+        {
+            let mut d = det.lock();
+            d.reset_session();
+            d.sync_measurement(
+                params.coupling().joints_to_motors(&JointState::new(0.0, 1.4, 0.25)),
+            );
+        }
+        let obs = simbus::obs::shared_observer(64);
+        let mut guard = GuardInterceptor::with_observer(Arc::clone(&det), Arc::clone(&obs));
+        let mut safe = pedal_down_packet(150);
+        guard.on_write(&mut safe, &ctx());
+        runaway_measurement(&det, &params);
+        let mut hot = pedal_down_packet(32_000);
+        assert_eq!(guard.on_write(&mut hot, &ctx()), WriteAction::Drop);
+        let o = obs.lock();
+        assert_eq!(o.metrics.counter("detector.assessments"), 2);
+        assert_eq!(o.metrics.counter("detector.alarms"), 1);
+        assert_eq!(o.metrics.counter("detector.blocked_commands"), 1);
+        assert_eq!(o.events.count_kind("detector.verdict"), 1);
+        let verdict = o.events.last().unwrap();
+        assert_eq!(verdict.field("action"), Some(&simbus::obs::FieldValue::Str("drop".into())));
     }
 }

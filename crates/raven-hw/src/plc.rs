@@ -28,6 +28,19 @@ pub enum EStopCause {
     HardwareFault,
 }
 
+impl EStopCause {
+    /// Stable snake_case token for metric names and event fields
+    /// (e.g. `estop.count.watchdog_timeout`).
+    pub fn slug(self) -> &'static str {
+        match self {
+            EStopCause::WatchdogTimeout => "watchdog_timeout",
+            EStopCause::SoftwareCommand => "software_command",
+            EStopCause::PhysicalButton => "physical_button",
+            EStopCause::HardwareFault => "hardware_fault",
+        }
+    }
+}
+
 impl std::fmt::Display for EStopCause {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         let s = match self {

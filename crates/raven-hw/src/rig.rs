@@ -10,6 +10,7 @@
 use raven_dynamics::plant::EncoderReading;
 use raven_dynamics::{PlantParams, RavenPlant};
 use raven_kinematics::{MotorState, WRIST_AXES};
+use simbus::obs::{Event, Severity, SharedObserver};
 use simbus::SimTime;
 
 use crate::bitw::{BitwCodec, BitwPlacement};
@@ -58,6 +59,8 @@ pub struct HardwareRig {
     pub plant: RavenPlant,
     last_encoder: Option<[i32; 3]>,
     bitw: Option<Bitw>,
+    observer: Option<SharedObserver>,
+    reported_estop: Option<EStopCause>,
 }
 
 #[derive(Debug)]
@@ -72,14 +75,53 @@ struct Bitw {
 impl HardwareRig {
     /// Builds a rig with a stock board around a fresh plant.
     pub fn new(params: PlantParams) -> Self {
+        let plc = Plc::new();
+        // The PLC powers up latched; that is the rig's normal initial
+        // state, not an E-STOP edge worth reporting.
+        let reported_estop = plc.estop();
         HardwareRig {
             channel: UsbChannel::new(),
             board: UsbBoard::new(),
-            plc: Plc::new(),
+            plc,
             plant: RavenPlant::new(params),
             last_encoder: None,
             bitw: None,
+            observer: None,
+            reported_estop,
         }
+    }
+
+    /// Attaches an observer: the rig reports PLC E-STOP latch transitions
+    /// as `estop.latched` / `estop.cleared` events and per-cause counters.
+    pub fn set_observer(&mut self, observer: SharedObserver) {
+        self.observer = Some(observer);
+    }
+
+    /// Reports E-STOP latch edges since the last check. The PLC itself has
+    /// several latch sites (watchdog deadline, state byte, button, over-
+    /// speed trip), so the rig samples the latch at its two entry points
+    /// (`deliver_command`, `step`) rather than instrumenting each site —
+    /// the event time is the virtual time of the cycle that latched.
+    fn note_estop_edges(&mut self, now: SimTime) {
+        let Some(observer) = &self.observer else { return };
+        let current = self.plc.estop();
+        if current == self.reported_estop {
+            return;
+        }
+        let mut obs = observer.lock();
+        match current {
+            Some(cause) => {
+                obs.metrics.inc(&format!("estop.count.{}", cause.slug()));
+                obs.event(
+                    Event::new(now, "hw", Severity::Error, "estop.latched")
+                        .with("cause", cause.slug()),
+                );
+            }
+            None => {
+                obs.event(Event::new(now, "hw", Severity::Info, "estop.cleared"));
+            }
+        }
+        self.reported_estop = current;
     }
 
     /// Retrofits link encryption with the given placement and session key
@@ -107,6 +149,7 @@ impl HardwareRig {
     /// Presses the physical start button (clears the PLC E-STOP latch).
     pub fn press_start(&mut self, now: SimTime) {
         self.plc.press_start(now);
+        self.note_estop_edges(now);
     }
 
     /// Presses the physical E-STOP button.
@@ -148,6 +191,7 @@ impl HardwareRig {
                 }
             }
         }
+        self.note_estop_edges(now);
         outcome
     }
 
@@ -171,6 +215,7 @@ impl HardwareRig {
         self.plant.set_wrist_targets(wrist);
         self.plant.step_control_period(&torques);
         self.check_overspeed();
+        self.note_estop_edges(now);
     }
 
     /// Motor-controller over-speed protection: compares consecutive encoder
@@ -344,6 +389,34 @@ mod tests {
         for i in 0..3 {
             assert!((decoded.angles[i] - truth.angles[i]).abs() <= 0.5 / res + 1e-12);
         }
+    }
+
+    #[test]
+    fn observer_sees_estop_latch_and_clear_edges() {
+        let obs = simbus::obs::shared_observer(16);
+        let mut rig = HardwareRig::new(PlantParams::raven_ii());
+        rig.set_observer(std::sync::Arc::clone(&obs));
+        run_session(&mut rig, 2000, 20);
+        // Watchdog freezes -> PLC latches; exactly one latch event despite
+        // the latch staying set for many cycles.
+        for t in 20..40 {
+            rig.deliver_command(&pedal_down(2000, true), at(t));
+            rig.step(at(t));
+        }
+        {
+            let o = obs.lock();
+            assert_eq!(o.events.count_kind("estop.latched"), 1);
+            assert_eq!(o.metrics.counter("estop.count.watchdog_timeout"), 1);
+            let latched = o.events.iter().find(|e| e.kind == "estop.latched").unwrap();
+            assert!(latched.time >= at(20), "latch reported at the cycle it happened");
+        }
+        rig.press_start(at(40));
+        let o = obs.lock();
+        // Two clears: the boot-time start press releasing the power-up
+        // latch, and this one. The power-up latch itself is never reported
+        // as an `estop.latched` edge (it is the rig's normal initial state).
+        assert_eq!(o.events.count_kind("estop.cleared"), 2);
+        assert_eq!(o.events.count_kind("estop.latched"), 1);
     }
 
     #[test]

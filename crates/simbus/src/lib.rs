@@ -11,6 +11,8 @@
 //!   ITP teleoperation protocol and the malware's exfiltration traffic);
 //! * [`trace`] — time-series recording for experiment analysis (the
 //!   equivalent of the paper's logged robot runs);
+//! * [`obs`] — structured events, metrics, and wall-clock stage profiling
+//!   (the flight-recorder substrate; see `docs/OBSERVABILITY.md`);
 //! * [`rng`] — seed-derivation helpers so every experiment is reproducible.
 //!
 //! Everything here is single-threaded by design: experiments advance a
@@ -19,11 +21,16 @@
 
 pub mod bus;
 pub mod net;
+pub mod obs;
 pub mod rng;
 pub mod time;
 pub mod trace;
 
 pub use bus::{Bus, Subscription};
 pub use net::{LinkConfig, SimLink};
+pub use obs::{
+    shared_observer, Event, EventLog, FieldValue, Histogram, Metrics, Observer, Severity,
+    SharedObserver, StageProfiler, StageStats,
+};
 pub use time::{SimClock, SimDuration, SimTime, CONTROL_PERIOD};
 pub use trace::TraceRecorder;

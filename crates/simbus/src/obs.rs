@@ -1,0 +1,923 @@
+//! Observability: structured events, metrics, and stage profiling.
+//!
+//! The paper's argument hinges on *when* things happen inside one 1 ms
+//! control cycle — the TOCTOU gap between the software safety checks and the
+//! `write` to the USB board (§III.B), and the detector acting one control
+//! step ahead of the command it assesses (§IV, Fig. 7). Scalar traces
+//! ([`crate::trace::TraceRecorder`]) show *what* the signals did; this module
+//! records *why*: a causal, structured record of state transitions,
+//! injections, detector verdicts, and E-stops.
+//!
+//! Three instruments, with a strict determinism boundary between them:
+//!
+//! * [`EventLog`] — a bounded ring of structured [`Event`]s stamped with
+//!   **virtual** time only. Serialized event logs are part of a run's
+//!   deterministic artifact: identical seeds produce byte-identical logs.
+//! * [`Metrics`] — a registry of named counters, gauges, and fixed-bucket
+//!   [`Histogram`]s. Also purely virtual-time/count-based, so sweep-level
+//!   merges (in run order) are bit-identical for any worker count.
+//! * [`StageProfiler`] — **wall-clock** min/mean/max/p99 per pipeline stage.
+//!   Wall time is inherently nondeterministic, so profiles are kept strictly
+//!   out of the deterministic artifacts above; they never enter an
+//!   [`EventLog`] or [`Metrics`].
+//!
+//! The [`log`] submodule is the human-facing side: a leveled stderr filter
+//! controlled by the `RAVEN_LOG` environment variable (silent below `warn`
+//! by default, so `cargo test` stays quiet).
+
+use std::collections::{BTreeMap, VecDeque};
+use std::fmt;
+use std::sync::Arc;
+use std::time::Instant;
+
+use parking_lot::Mutex;
+use serde::{Deserialize, Serialize};
+
+use crate::time::SimTime;
+
+/// How loud an event is; also the unit of the `RAVEN_LOG` filter.
+///
+/// Ordered: `Debug < Info < Warn < Error`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum Severity {
+    /// High-volume diagnostics (per-cycle detail).
+    Debug,
+    /// Normal lifecycle (state transitions, progress).
+    Info,
+    /// Suspicious but non-fatal (injections observed, alarms raised).
+    Warn,
+    /// Safety-relevant failures (faults latched, E-stops).
+    Error,
+}
+
+impl Severity {
+    fn rank(self) -> u8 {
+        match self {
+            Severity::Debug => 0,
+            Severity::Info => 1,
+            Severity::Warn => 2,
+            Severity::Error => 3,
+        }
+    }
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Severity::Debug => "debug",
+            Severity::Info => "info",
+            Severity::Warn => "warn",
+            Severity::Error => "error",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A typed event field value.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub enum FieldValue {
+    /// Boolean flag.
+    Bool(bool),
+    /// Unsigned integer (counts, sequence numbers).
+    U64(u64),
+    /// Signed integer.
+    I64(i64),
+    /// Floating point (positions, thresholds). Must be finite: the JSON
+    /// stub serializes non-finite floats as `null`, which would break the
+    /// round-trip.
+    F64(f64),
+    /// Free-form text (names, causes).
+    Str(String),
+}
+
+impl fmt::Display for FieldValue {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FieldValue::Bool(v) => write!(f, "{v}"),
+            FieldValue::U64(v) => write!(f, "{v}"),
+            FieldValue::I64(v) => write!(f, "{v}"),
+            FieldValue::F64(v) => write!(f, "{v}"),
+            FieldValue::Str(v) => f.write_str(v),
+        }
+    }
+}
+
+impl From<bool> for FieldValue {
+    fn from(v: bool) -> Self {
+        FieldValue::Bool(v)
+    }
+}
+impl From<u64> for FieldValue {
+    fn from(v: u64) -> Self {
+        FieldValue::U64(v)
+    }
+}
+impl From<usize> for FieldValue {
+    fn from(v: usize) -> Self {
+        FieldValue::U64(v as u64)
+    }
+}
+impl From<i64> for FieldValue {
+    fn from(v: i64) -> Self {
+        FieldValue::I64(v)
+    }
+}
+impl From<f64> for FieldValue {
+    fn from(v: f64) -> Self {
+        FieldValue::F64(if v.is_finite() { v } else { 0.0 })
+    }
+}
+impl From<&str> for FieldValue {
+    fn from(v: &str) -> Self {
+        FieldValue::Str(v.to_string())
+    }
+}
+impl From<String> for FieldValue {
+    fn from(v: String) -> Self {
+        FieldValue::Str(v)
+    }
+}
+
+/// One structured event: something that happened at a virtual instant.
+///
+/// `kind` is a stable dotted identifier (`state.transition`,
+/// `attack.injection`, `detector.verdict`, `estop.latched`, …); see
+/// `docs/OBSERVABILITY.md` for the full taxonomy.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Event {
+    /// Virtual timestamp (never wall clock).
+    pub time: SimTime,
+    /// Emitting component (`control`, `detector`, `hw`, `attack`, `net`, …).
+    pub component: String,
+    /// Severity, also used by the `RAVEN_LOG` stream filter.
+    pub severity: Severity,
+    /// Stable dotted event identifier.
+    pub kind: String,
+    /// Ordered key/value payload (insertion order is part of the artifact).
+    pub fields: Vec<(String, FieldValue)>,
+}
+
+impl Event {
+    /// Creates an event with no fields.
+    pub fn new(
+        time: SimTime,
+        component: impl Into<String>,
+        severity: Severity,
+        kind: impl Into<String>,
+    ) -> Self {
+        Self { time, component: component.into(), severity, kind: kind.into(), fields: Vec::new() }
+    }
+
+    /// Appends a field (builder style).
+    #[must_use]
+    pub fn with(mut self, key: impl Into<String>, value: impl Into<FieldValue>) -> Self {
+        self.fields.push((key.into(), value.into()));
+        self
+    }
+
+    /// Looks up a field by key.
+    pub fn field(&self, key: &str) -> Option<&FieldValue> {
+        self.fields.iter().find(|(k, _)| k == key).map(|(_, v)| v)
+    }
+}
+
+impl fmt::Display for Event {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{} {}", self.time, self.kind)?;
+        for (k, v) in &self.fields {
+            write!(f, " {k}={v}")?;
+        }
+        Ok(())
+    }
+}
+
+/// Bounded ring of [`Event`]s: the black-box recorder's memory.
+///
+/// When full, the oldest event is evicted and counted in [`dropped`].
+/// Everything in here is derived from virtual time and deterministic state,
+/// so serializing the log is reproducible bit-for-bit given the same seed.
+///
+/// [`dropped`]: EventLog::dropped
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct EventLog {
+    capacity: usize,
+    events: VecDeque<Event>,
+    dropped: u64,
+}
+
+impl EventLog {
+    /// Default ring capacity used by the simulation.
+    pub const DEFAULT_CAPACITY: usize = 1024;
+
+    /// Creates an empty ring holding at most `capacity` events (min 1).
+    pub fn new(capacity: usize) -> Self {
+        Self { capacity: capacity.max(1), events: VecDeque::new(), dropped: 0 }
+    }
+
+    /// Appends an event, evicting the oldest when full.
+    pub fn push(&mut self, event: Event) {
+        if self.events.len() == self.capacity {
+            self.events.pop_front();
+            self.dropped += 1;
+        }
+        self.events.push_back(event);
+    }
+
+    /// Number of events currently retained.
+    pub fn len(&self) -> usize {
+        self.events.len()
+    }
+
+    /// `true` when no events are retained.
+    pub fn is_empty(&self) -> bool {
+        self.events.is_empty()
+    }
+
+    /// Ring capacity.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+
+    /// Number of events evicted so far.
+    pub fn dropped(&self) -> u64 {
+        self.dropped
+    }
+
+    /// Iterates retained events, oldest first.
+    pub fn iter(&self) -> impl Iterator<Item = &Event> {
+        self.events.iter()
+    }
+
+    /// The most recent event, if any.
+    pub fn last(&self) -> Option<&Event> {
+        self.events.back()
+    }
+
+    /// Counts retained events of one kind.
+    pub fn count_kind(&self, kind: &str) -> usize {
+        self.events.iter().filter(|e| e.kind == kind).count()
+    }
+
+    /// Clones the retained events, oldest first.
+    pub fn snapshot(&self) -> Vec<Event> {
+        self.events.iter().cloned().collect()
+    }
+
+    /// Drops all retained events (capacity and drop count are kept).
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+}
+
+impl Default for EventLog {
+    fn default() -> Self {
+        Self::new(Self::DEFAULT_CAPACITY)
+    }
+}
+
+/// Default histogram buckets: upper bounds in the unit of the observed
+/// value (cycles for detection latency, packets for bursts, …).
+pub const DEFAULT_BUCKETS: [f64; 10] =
+    [1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0, 1000.0];
+
+/// Fixed-bucket histogram with count/sum/min/max.
+///
+/// `counts[i]` holds observations `v <= bounds[i]` (and `> bounds[i-1]`);
+/// `counts[bounds.len()]` is the overflow bucket. Bounds are fixed at
+/// creation so sweep-level merges are well-defined.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Histogram {
+    /// Inclusive upper bucket bounds, strictly increasing.
+    pub bounds: Vec<f64>,
+    /// Per-bucket counts; one extra trailing overflow bucket.
+    pub counts: Vec<u64>,
+    /// Total finite observations.
+    pub count: u64,
+    /// Sum of finite observations.
+    pub sum: f64,
+    /// Smallest observation (0 when empty).
+    pub min: f64,
+    /// Largest observation (0 when empty).
+    pub max: f64,
+    /// Non-finite observations, excluded from every other field.
+    pub nonfinite: u64,
+}
+
+impl Histogram {
+    /// Creates an empty histogram over the given bucket bounds.
+    pub fn new(bounds: &[f64]) -> Self {
+        Self {
+            bounds: bounds.to_vec(),
+            counts: vec![0; bounds.len() + 1],
+            count: 0,
+            sum: 0.0,
+            min: 0.0,
+            max: 0.0,
+            nonfinite: 0,
+        }
+    }
+
+    /// Records one observation. Non-finite values are tallied separately
+    /// (they would serialize as JSON `null` and break round-trips).
+    pub fn observe(&mut self, v: f64) {
+        if !v.is_finite() {
+            self.nonfinite += 1;
+            return;
+        }
+        let bucket = self.bounds.iter().position(|b| v <= *b).unwrap_or(self.bounds.len());
+        self.counts[bucket] += 1;
+        if self.count == 0 {
+            self.min = v;
+            self.max = v;
+        } else {
+            self.min = self.min.min(v);
+            self.max = self.max.max(v);
+        }
+        self.count += 1;
+        self.sum += v;
+    }
+
+    /// Mean of the finite observations (0 when empty).
+    pub fn mean(&self) -> f64 {
+        if self.count == 0 {
+            0.0
+        } else {
+            self.sum / self.count as f64
+        }
+    }
+
+    /// Merges another histogram with identical bounds into this one.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the bucket bounds differ.
+    pub fn merge(&mut self, other: &Histogram) {
+        assert_eq!(self.bounds, other.bounds, "histogram merge requires identical bounds");
+        for (a, b) in self.counts.iter_mut().zip(&other.counts) {
+            *a += b;
+        }
+        if other.count > 0 {
+            if self.count == 0 {
+                self.min = other.min;
+                self.max = other.max;
+            } else {
+                self.min = self.min.min(other.min);
+                self.max = self.max.max(other.max);
+            }
+        }
+        self.count += other.count;
+        self.sum += other.sum;
+        self.nonfinite += other.nonfinite;
+    }
+}
+
+/// Registry of named counters, gauges, and histograms.
+///
+/// Names are stable dotted identifiers (`detector.assessments`,
+/// `net.packets_dropped`, `estop.count.watchdog_timeout`, …); the full list
+/// lives in `docs/OBSERVABILITY.md`. `BTreeMap` storage keeps serialization
+/// order independent of insertion order.
+#[derive(Debug, Clone, Default, PartialEq, Serialize, Deserialize)]
+pub struct Metrics {
+    /// Monotonic counters.
+    pub counters: BTreeMap<String, u64>,
+    /// Last-write-wins values.
+    pub gauges: BTreeMap<String, f64>,
+    /// Fixed-bucket distributions.
+    pub histograms: BTreeMap<String, Histogram>,
+}
+
+impl Metrics {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Increments a counter by 1.
+    pub fn inc(&mut self, name: &str) {
+        self.add(name, 1);
+    }
+
+    /// Increments a counter by `n`.
+    pub fn add(&mut self, name: &str, n: u64) {
+        *self.counters.entry(name.to_string()).or_insert(0) += n;
+    }
+
+    /// Current counter value (0 if never incremented).
+    pub fn counter(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Sets a gauge. Non-finite values are clamped to 0 (JSON-safety).
+    pub fn set_gauge(&mut self, name: &str, v: f64) {
+        self.gauges.insert(name.to_string(), if v.is_finite() { v } else { 0.0 });
+    }
+
+    /// Current gauge value, if set.
+    pub fn gauge(&self, name: &str) -> Option<f64> {
+        self.gauges.get(name).copied()
+    }
+
+    /// Records an observation into a histogram with [`DEFAULT_BUCKETS`].
+    pub fn observe(&mut self, name: &str, v: f64) {
+        self.observe_with(name, &DEFAULT_BUCKETS, v);
+    }
+
+    /// Records an observation into a histogram, creating it with the given
+    /// bounds on first use (later observations reuse the existing bounds).
+    pub fn observe_with(&mut self, name: &str, bounds: &[f64], v: f64) {
+        self.histograms
+            .entry(name.to_string())
+            .or_insert_with(|| Histogram::new(bounds))
+            .observe(v);
+    }
+
+    /// Looks up a histogram by name.
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// `true` when nothing has been recorded.
+    pub fn is_empty(&self) -> bool {
+        self.counters.is_empty() && self.gauges.is_empty() && self.histograms.is_empty()
+    }
+
+    /// Merges another registry into this one: counters add, gauges
+    /// last-write-wins (other overwrites), histograms merge per name.
+    pub fn merge(&mut self, other: &Metrics) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k.clone()).or_insert(0) += v;
+        }
+        for (k, v) in &other.gauges {
+            self.gauges.insert(k.clone(), *v);
+        }
+        for (k, h) in &other.histograms {
+            match self.histograms.get_mut(k) {
+                Some(mine) => mine.merge(h),
+                None => {
+                    self.histograms.insert(k.clone(), h.clone());
+                }
+            }
+        }
+    }
+}
+
+/// Shared observer: the event ring and metric registry one simulation
+/// writes into, handed out to every instrumented component.
+#[derive(Debug, Clone, Default)]
+pub struct Observer {
+    /// Structured event ring.
+    pub events: EventLog,
+    /// Metric registry.
+    pub metrics: Metrics,
+}
+
+impl Observer {
+    /// Creates an observer with the given event-ring capacity.
+    pub fn new(event_capacity: usize) -> Self {
+        Self { events: EventLog::new(event_capacity), metrics: Metrics::new() }
+    }
+
+    /// Records an event, streaming it to stderr when `RAVEN_LOG=debug`.
+    pub fn event(&mut self, event: Event) {
+        if log::enabled(Severity::Debug) {
+            log::emit(event.severity, &event.component, &event.to_string());
+        }
+        self.events.push(event);
+    }
+}
+
+/// An [`Observer`] behind `Arc<Mutex<..>>`, shareable across the console,
+/// controller, interceptor chain, and hardware rig of one simulation.
+pub type SharedObserver = Arc<Mutex<Observer>>;
+
+/// Creates a fresh [`SharedObserver`].
+pub fn shared_observer(event_capacity: usize) -> SharedObserver {
+    Arc::new(Mutex::new(Observer::new(event_capacity)))
+}
+
+/// Wall-clock statistics of one profiled stage, in microseconds.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct StageStats {
+    /// Stage name, in first-recorded order.
+    pub name: String,
+    /// Number of recorded executions.
+    pub count: u64,
+    /// Mean execution time.
+    pub mean_us: f64,
+    /// Fastest execution.
+    pub min_us: f64,
+    /// Slowest execution.
+    pub max_us: f64,
+    /// 99th percentile over the retained sample window.
+    pub p99_us: f64,
+}
+
+#[derive(Debug, Clone)]
+struct StageAcc {
+    name: String,
+    count: u64,
+    sum_ns: u64,
+    min_ns: u64,
+    max_ns: u64,
+    // Bounded sample ring for the p99 estimate.
+    samples: Vec<u64>,
+    next: usize,
+}
+
+/// Wall-clock profiler for the stages of `Simulation::step`.
+///
+/// **Nondeterministic by nature** — wall time varies run to run — so its
+/// output must never be folded into an [`EventLog`], [`Metrics`], or any
+/// other artifact that is compared byte-for-byte across runs. It reports
+/// through [`report`] only.
+///
+/// [`report`]: StageProfiler::report
+#[derive(Debug, Clone)]
+pub struct StageProfiler {
+    enabled: bool,
+    stages: Vec<StageAcc>,
+}
+
+impl StageProfiler {
+    /// Retained samples per stage for the p99 estimate.
+    const SAMPLE_WINDOW: usize = 512;
+
+    /// Creates an enabled profiler.
+    pub fn new() -> Self {
+        Self { enabled: true, stages: Vec::new() }
+    }
+
+    /// Creates a disabled profiler: `begin` returns `None` and nothing is
+    /// recorded, so the hot loop pays only a branch.
+    pub fn disabled() -> Self {
+        Self { enabled: false, stages: Vec::new() }
+    }
+
+    /// `true` when the profiler records timings.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Starts timing a stage (returns `None` when disabled).
+    pub fn begin(&self) -> Option<Instant> {
+        if self.enabled {
+            Some(Instant::now())
+        } else {
+            None
+        }
+    }
+
+    /// Finishes timing a stage started with [`begin`](StageProfiler::begin).
+    pub fn end(&mut self, stage: &str, started: Option<Instant>) {
+        if let Some(t0) = started {
+            let ns = u64::try_from(t0.elapsed().as_nanos()).unwrap_or(u64::MAX);
+            self.record_ns(stage, ns);
+        }
+    }
+
+    /// Records one execution of `stage` lasting `ns` nanoseconds.
+    pub fn record_ns(&mut self, stage: &str, ns: u64) {
+        let acc = match self.stages.iter_mut().find(|s| s.name == stage) {
+            Some(acc) => acc,
+            None => {
+                self.stages.push(StageAcc {
+                    name: stage.to_string(),
+                    count: 0,
+                    sum_ns: 0,
+                    min_ns: u64::MAX,
+                    max_ns: 0,
+                    samples: Vec::new(),
+                    next: 0,
+                });
+                self.stages.last_mut().expect("just pushed")
+            }
+        };
+        acc.count += 1;
+        acc.sum_ns = acc.sum_ns.saturating_add(ns);
+        acc.min_ns = acc.min_ns.min(ns);
+        acc.max_ns = acc.max_ns.max(ns);
+        if acc.samples.len() < Self::SAMPLE_WINDOW {
+            acc.samples.push(ns);
+        } else {
+            acc.samples[acc.next] = ns;
+            acc.next = (acc.next + 1) % Self::SAMPLE_WINDOW;
+        }
+    }
+
+    /// Per-stage statistics, in first-recorded (pipeline) order.
+    pub fn report(&self) -> Vec<StageStats> {
+        self.stages
+            .iter()
+            .map(|acc| {
+                let mut sorted = acc.samples.clone();
+                sorted.sort_unstable();
+                let p99 = if sorted.is_empty() {
+                    0.0
+                } else {
+                    let idx = ((sorted.len() - 1) as f64 * 0.99).round() as usize;
+                    sorted[idx] as f64 / 1_000.0
+                };
+                StageStats {
+                    name: acc.name.clone(),
+                    count: acc.count,
+                    mean_us: if acc.count == 0 {
+                        0.0
+                    } else {
+                        acc.sum_ns as f64 / acc.count as f64 / 1_000.0
+                    },
+                    min_us: if acc.count == 0 { 0.0 } else { acc.min_ns as f64 / 1_000.0 },
+                    max_us: acc.max_ns as f64 / 1_000.0,
+                    p99_us: p99,
+                }
+            })
+            .collect()
+    }
+
+    /// Renders the report as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::from("stage                count    mean_us     p99_us     max_us\n");
+        for s in self.report() {
+            out.push_str(&format!(
+                "{:<20} {:>6} {:>10.2} {:>10.2} {:>10.2}\n",
+                s.name, s.count, s.mean_us, s.p99_us, s.max_us
+            ));
+        }
+        out
+    }
+}
+
+impl Default for StageProfiler {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+/// Leveled stderr logging filtered by the `RAVEN_LOG` environment variable.
+///
+/// Levels: `debug` (alias `trace`), `info`, `warn` (alias `warning`),
+/// `error`, `off` (alias `none`). When the variable is unset or unparsable,
+/// a process-wide default applies — `warn` unless a front end raises it via
+/// [`log::set_default_level`] (the `raven-sim` CLI defaults to `info` so sweep
+/// progress stays visible). `cargo test` therefore runs silent: nothing in
+/// the library logs above `warn` on the happy path.
+pub mod log {
+    use std::sync::atomic::{AtomicU8, Ordering};
+    use std::sync::OnceLock;
+
+    use super::Severity;
+
+    /// Environment variable holding the level filter.
+    pub const LOG_ENV: &str = "RAVEN_LOG";
+
+    const OFF: u8 = 4;
+    static DEFAULT_THRESHOLD: AtomicU8 = AtomicU8::new(2); // warn
+    static ENV_THRESHOLD: OnceLock<Option<u8>> = OnceLock::new();
+
+    fn parse_threshold(s: &str) -> Option<u8> {
+        match s.trim().to_ascii_lowercase().as_str() {
+            "debug" | "trace" => Some(0),
+            "info" => Some(1),
+            "warn" | "warning" => Some(2),
+            "error" => Some(3),
+            "off" | "none" => Some(OFF),
+            _ => None,
+        }
+    }
+
+    /// Parses a level name (`debug`/`info`/`warn`/`error`); `None` for
+    /// `off`, `none`, or anything unrecognized.
+    pub fn parse_level(s: &str) -> Option<Severity> {
+        match parse_threshold(s) {
+            Some(0) => Some(Severity::Debug),
+            Some(1) => Some(Severity::Info),
+            Some(2) => Some(Severity::Warn),
+            Some(3) => Some(Severity::Error),
+            _ => None,
+        }
+    }
+
+    fn threshold() -> u8 {
+        let env = *ENV_THRESHOLD
+            .get_or_init(|| std::env::var(LOG_ENV).ok().and_then(|v| parse_threshold(&v)));
+        env.unwrap_or_else(|| DEFAULT_THRESHOLD.load(Ordering::Relaxed))
+    }
+
+    /// Sets the process-wide default level used when `RAVEN_LOG` is unset.
+    pub fn set_default_level(level: Severity) {
+        DEFAULT_THRESHOLD.store(level.rank(), Ordering::Relaxed);
+    }
+
+    /// `true` when a message at this severity would be printed.
+    pub fn enabled(severity: Severity) -> bool {
+        severity.rank() >= threshold()
+    }
+
+    /// Prints `[level] component: message` to stderr when enabled.
+    pub fn emit(severity: Severity, component: &str, message: &str) {
+        if enabled(severity) {
+            eprintln!("[{severity:>5}] {component}: {message}");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::time::SimDuration;
+
+    fn t(ms: u64) -> SimTime {
+        SimTime::ZERO + SimDuration::from_millis(ms)
+    }
+
+    #[test]
+    fn event_builder_and_lookup() {
+        let e = Event::new(t(5), "detector", Severity::Warn, "detector.verdict")
+            .with("alarm", true)
+            .with("ee_step_mm", 2.5)
+            .with("cause", "threshold");
+        assert_eq!(e.field("alarm"), Some(&FieldValue::Bool(true)));
+        assert_eq!(e.field("missing"), None);
+        let s = e.to_string();
+        assert!(s.contains("detector.verdict"), "display lists the kind: {s}");
+        assert!(s.contains("ee_step_mm=2.5"), "display lists fields: {s}");
+    }
+
+    #[test]
+    fn event_log_ring_evicts_oldest() {
+        let mut log = EventLog::new(3);
+        for i in 0..5u64 {
+            log.push(Event::new(t(i), "c", Severity::Info, format!("k{i}")));
+        }
+        assert_eq!(log.len(), 3);
+        assert_eq!(log.dropped(), 2);
+        let kinds: Vec<&str> = log.iter().map(|e| e.kind.as_str()).collect();
+        assert_eq!(kinds, vec!["k2", "k3", "k4"]);
+        assert_eq!(log.last().map(|e| e.kind.as_str()), Some("k4"));
+        assert_eq!(log.count_kind("k3"), 1);
+    }
+
+    #[test]
+    fn event_log_round_trips_through_json() {
+        let mut log = EventLog::new(8);
+        log.push(
+            Event::new(t(1), "hw", Severity::Error, "estop.latched")
+                .with("cause", "watchdog_timeout")
+                .with("seq", 42u64),
+        );
+        let json = serde_json::to_string(&log).expect("serialize event log");
+        let back: EventLog = serde_json::from_str(&json).expect("deserialize event log");
+        assert_eq!(back, log);
+    }
+
+    #[test]
+    fn histogram_buckets_and_stats() {
+        let mut h = Histogram::new(&[1.0, 10.0]);
+        for v in [0.5, 3.0, 7.0, 100.0] {
+            h.observe(v);
+        }
+        h.observe(f64::NAN);
+        assert_eq!(h.counts, vec![1, 2, 1]);
+        assert_eq!(h.count, 4);
+        assert_eq!(h.nonfinite, 1);
+        assert_eq!(h.min, 0.5);
+        assert_eq!(h.max, 100.0);
+        assert!((h.mean() - 27.625).abs() < 1e-12);
+    }
+
+    #[test]
+    fn histogram_merge_combines_and_checks_bounds() {
+        let mut a = Histogram::new(&[1.0, 10.0]);
+        a.observe(0.5);
+        let mut b = Histogram::new(&[1.0, 10.0]);
+        b.observe(5.0);
+        b.observe(50.0);
+        a.merge(&b);
+        assert_eq!(a.count, 3);
+        assert_eq!(a.counts, vec![1, 1, 1]);
+        assert_eq!(a.min, 0.5);
+        assert_eq!(a.max, 50.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "identical bounds")]
+    fn histogram_merge_rejects_different_bounds() {
+        let mut a = Histogram::new(&[1.0]);
+        a.merge(&Histogram::new(&[2.0]));
+    }
+
+    #[test]
+    fn metrics_counters_gauges_histograms() {
+        let mut m = Metrics::new();
+        m.inc("detector.assessments");
+        m.add("detector.assessments", 2);
+        m.set_gauge("detector.threshold_mm", 1.25);
+        m.set_gauge("bad", f64::INFINITY);
+        m.observe("detector.detection_latency_cycles", 3.0);
+        assert_eq!(m.counter("detector.assessments"), 3);
+        assert_eq!(m.counter("never"), 0);
+        assert_eq!(m.gauge("detector.threshold_mm"), Some(1.25));
+        assert_eq!(m.gauge("bad"), Some(0.0));
+        assert_eq!(m.histogram("detector.detection_latency_cycles").unwrap().count, 1);
+        assert!(!m.is_empty());
+    }
+
+    #[test]
+    fn metrics_merge_is_order_sensitive_only_for_gauges() {
+        let mut a = Metrics::new();
+        a.inc("c");
+        a.set_gauge("g", 1.0);
+        a.observe("h", 2.0);
+        let mut b = Metrics::new();
+        b.add("c", 4);
+        b.set_gauge("g", 9.0);
+        b.observe("h", 700.0);
+        b.observe("h2", 1.0);
+        a.merge(&b);
+        assert_eq!(a.counter("c"), 5);
+        assert_eq!(a.gauge("g"), Some(9.0));
+        assert_eq!(a.histogram("h").unwrap().count, 2);
+        assert_eq!(a.histogram("h2").unwrap().count, 1);
+    }
+
+    #[test]
+    fn metrics_serialization_is_insertion_order_independent() {
+        let mut a = Metrics::new();
+        a.inc("z");
+        a.inc("a");
+        let mut b = Metrics::new();
+        b.inc("a");
+        b.inc("z");
+        let ja = serde_json::to_string(&a).expect("serialize a");
+        let jb = serde_json::to_string(&b).expect("serialize b");
+        assert_eq!(ja, jb);
+    }
+
+    #[test]
+    fn profiler_records_and_reports_in_pipeline_order() {
+        let mut p = StageProfiler::new();
+        p.record_ns("console", 1_000);
+        p.record_ns("plant", 3_000);
+        p.record_ns("console", 2_000);
+        let report = p.report();
+        assert_eq!(report.len(), 2);
+        assert_eq!(report[0].name, "console");
+        assert_eq!(report[0].count, 2);
+        assert!((report[0].mean_us - 1.5).abs() < 1e-9);
+        assert!((report[0].min_us - 1.0).abs() < 1e-9);
+        assert!((report[0].max_us - 2.0).abs() < 1e-9);
+        assert_eq!(report[1].name, "plant");
+        let rendered = p.render();
+        assert!(rendered.contains("console"), "render lists stages: {rendered}");
+    }
+
+    #[test]
+    fn disabled_profiler_records_nothing() {
+        let mut p = StageProfiler::disabled();
+        assert!(p.begin().is_none());
+        p.end("x", p.begin());
+        assert!(p.report().is_empty());
+    }
+
+    #[test]
+    fn profiler_timing_via_begin_end() {
+        let mut p = StageProfiler::new();
+        let t0 = p.begin();
+        assert!(t0.is_some());
+        p.end("stage", t0);
+        let report = p.report();
+        assert_eq!(report[0].count, 1);
+        assert!(report[0].max_us >= 0.0);
+    }
+
+    #[test]
+    fn log_level_parsing() {
+        assert_eq!(log::parse_level("debug"), Some(Severity::Debug));
+        assert_eq!(log::parse_level("TRACE"), Some(Severity::Debug));
+        assert_eq!(log::parse_level(" info "), Some(Severity::Info));
+        assert_eq!(log::parse_level("warning"), Some(Severity::Warn));
+        assert_eq!(log::parse_level("error"), Some(Severity::Error));
+        assert_eq!(log::parse_level("off"), None);
+        assert_eq!(log::parse_level("bogus"), None);
+    }
+
+    #[test]
+    fn severity_orders_debug_to_error() {
+        assert!(Severity::Debug < Severity::Info);
+        assert!(Severity::Info < Severity::Warn);
+        assert!(Severity::Warn < Severity::Error);
+    }
+
+    #[test]
+    fn shared_observer_collects_events_and_metrics() {
+        let obs = shared_observer(16);
+        {
+            let mut o = obs.lock();
+            o.event(Event::new(t(0), "test", Severity::Info, "unit.test"));
+            o.metrics.inc("unit.count");
+        }
+        let o = obs.lock();
+        assert_eq!(o.events.len(), 1);
+        assert_eq!(o.metrics.counter("unit.count"), 1);
+    }
+}

@@ -5,10 +5,34 @@
 //! robot trajectories (Fig. 8) or plots USB packet bytes over a run (Fig. 5).
 
 use std::collections::BTreeMap;
+use std::fmt;
 
 use serde::{Deserialize, Serialize};
 
 use crate::time::SimTime;
+
+/// A sample violated its signal's time ordering.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct OutOfOrder {
+    /// Signal the sample was destined for.
+    pub signal: String,
+    /// Timestamp of the signal's latest accepted sample.
+    pub last: SimTime,
+    /// Timestamp of the rejected sample.
+    pub attempted: SimTime,
+}
+
+impl fmt::Display for OutOfOrder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "trace for {} must be recorded in time order (last sample at {}, got {})",
+            self.signal, self.last, self.attempted
+        )
+    }
+}
+
+impl std::error::Error for OutOfOrder {}
 
 /// One sample of a named signal.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -46,17 +70,44 @@ impl TraceRecorder {
     ///
     /// # Panics
     ///
-    /// Panics in debug builds if samples for one signal go backwards in time.
+    /// Panics — in **all** builds — if samples for one signal go backwards
+    /// in time. A time-reversed trace would silently corrupt every
+    /// downstream statistic (`max_abs_step`, the detector thresholds, the
+    /// flight-recorder window), so it is a hard error; use
+    /// [`try_record`](Self::try_record) to handle it without panicking.
     pub fn record(&mut self, signal: &str, time: SimTime, value: f64) {
+        if let Err(e) = self.try_record(signal, time, value) {
+            panic!("{e}");
+        }
+    }
+
+    /// Appends a sample to a signal, rejecting time-reversed samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`OutOfOrder`] (and records nothing) when `time` precedes the
+    /// signal's latest sample.
+    pub fn try_record(
+        &mut self,
+        signal: &str,
+        time: SimTime,
+        value: f64,
+    ) -> Result<(), OutOfOrder> {
         let series = match self.signals.get_mut(signal) {
             Some(s) => s,
             None => self.signals.entry(signal.to_string()).or_default(),
         };
-        debug_assert!(
-            series.last().is_none_or(|s| s.time <= time),
-            "trace for {signal} must be recorded in time order"
-        );
+        if let Some(last) = series.last() {
+            if last.time > time {
+                return Err(OutOfOrder {
+                    signal: signal.to_string(),
+                    last: last.time,
+                    attempted: time,
+                });
+            }
+        }
         series.push(Sample { time, value });
+        Ok(())
     }
 
     /// All samples of a signal, in time order. Empty if never recorded.
@@ -132,6 +183,19 @@ impl TraceRecorder {
         out
     }
 
+    /// Extracts, per signal, the samples at or after `from` — the flight
+    /// recorder's "last N ms" window. Signals with no samples in the window
+    /// map to empty vectors.
+    pub fn window_from(&self, from: SimTime) -> BTreeMap<String, Vec<Sample>> {
+        self.signals
+            .iter()
+            .map(|(name, series)| {
+                let start = series.partition_point(|s| s.time < from);
+                (name.clone(), series[start..].to_vec())
+            })
+            .collect()
+    }
+
     /// Merges another recorder's signals into this one.
     ///
     /// # Panics
@@ -205,6 +269,46 @@ mod tests {
         b.record("y", t(0), 2.0);
         a.merge(b);
         assert_eq!(a.signal_names(), vec!["x", "y"]);
+    }
+
+    #[test]
+    fn try_record_rejects_time_reversal_and_keeps_series_intact() {
+        let mut tr = TraceRecorder::new();
+        tr.record("x", t(5), 1.0);
+        let err = tr.try_record("x", t(3), 2.0).unwrap_err();
+        assert_eq!(err.signal, "x");
+        assert_eq!(err.last, t(5));
+        assert_eq!(err.attempted, t(3));
+        assert!(err.to_string().contains("time order"));
+        // The rejected sample was not recorded; the series still accepts
+        // in-order samples (equal timestamps included).
+        assert_eq!(tr.len("x"), 1);
+        tr.try_record("x", t(5), 3.0).expect("equal timestamp is in order");
+        tr.try_record("x", t(6), 4.0).expect("later timestamp is in order");
+        assert_eq!(tr.values("x"), vec![1.0, 3.0, 4.0]);
+        // Ordering is per signal: an earlier time on another signal is fine.
+        tr.try_record("y", t(0), 0.0).expect("fresh signal starts anywhere");
+    }
+
+    #[test]
+    #[should_panic(expected = "time order")]
+    fn record_panics_on_time_reversal_in_all_builds() {
+        let mut tr = TraceRecorder::new();
+        tr.record("x", t(5), 1.0);
+        tr.record("x", t(3), 2.0);
+    }
+
+    #[test]
+    fn window_from_slices_every_signal() {
+        let mut tr = TraceRecorder::new();
+        for ms in 0..10 {
+            tr.record("a", t(ms), ms as f64);
+        }
+        tr.record("b", t(1), 1.0);
+        let window = tr.window_from(t(7));
+        assert_eq!(window["a"].len(), 3);
+        assert_eq!(window["a"][0].time, t(7));
+        assert!(window["b"].is_empty());
     }
 
     #[test]
