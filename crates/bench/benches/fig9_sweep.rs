@@ -68,4 +68,12 @@ fn main() {
     assert!(small_short.p_adverse <= 0.1, "small/short must be harmless");
     assert!(big_long.p_adverse >= 0.5, "big/long must hurt");
     assert!(big_long.p_model >= big_long.p_raven, "model dominates RAVEN");
+
+    // Stage-timing sidecar: one representative full session, profiled.
+    // Wall-clock output, so it goes through save_profile (gitignored), never
+    // into the deterministic fig9_sweep.json record above.
+    let mut sim = raven_core::Simulation::new(raven_core::SimConfig::standard(21));
+    sim.boot();
+    let _ = sim.run_session();
+    bench::save_profile("fig9_sweep", sim.profiler());
 }

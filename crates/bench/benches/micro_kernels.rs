@@ -99,7 +99,7 @@ fn bench_guard_assess(c: &mut Criterion) {
         det.sync_measurement(coupling.joints_to_motors(&j));
         det.assess(&[200, 150, -100]);
     }
-    det.arm();
+    det.arm().expect("bench warm-up fed fault-free samples");
     let mpos = coupling.joints_to_motors(&JointState::new(0.05, 1.38, 0.26));
     c.bench_function("guard_sync_and_assess", |b| {
         b.iter(|| {

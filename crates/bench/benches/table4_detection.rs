@@ -57,4 +57,12 @@ fn main() {
             s.scenario
         );
     }
+
+    // Stage-timing sidecar: one representative full session, profiled.
+    // Wall-clock output, so it goes through save_profile (gitignored), never
+    // into the deterministic table4_detection.json record above.
+    let mut sim = raven_core::Simulation::new(raven_core::SimConfig::standard(9));
+    sim.boot();
+    let _ = sim.run_session();
+    bench::save_profile("table4_detection", sim.profiler());
 }

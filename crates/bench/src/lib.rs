@@ -4,6 +4,8 @@
 //! scale, prints the reproduced rows/series, and persists a JSON record
 //! under `results/` at the workspace root (consumed by EXPERIMENTS.md).
 
+#![forbid(unsafe_code)]
+
 use std::path::PathBuf;
 
 /// Directory where experiment records are persisted.
@@ -32,6 +34,27 @@ pub fn save_json<T: serde::Serialize>(name: &str, value: &T) {
     println!("\n[saved {}]", path.display());
 }
 
+/// Persists a [`simbus::StageProfiler`] report as a **non-deterministic
+/// sidecar** at `results/profile_<name>.json`.
+///
+/// Wall-clock stage timings vary run to run, so these files are gitignored
+/// and must never be byte-compared or folded into the deterministic
+/// experiment records written by [`save_json`] (lint rule R1 allowlists the
+/// profiler exactly because its output stays out of those artifacts).
+///
+/// # Panics
+///
+/// Panics if the results directory cannot be created or the file cannot be
+/// written.
+pub fn save_profile(name: &str, profiler: &simbus::StageProfiler) {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir).expect("create results dir");
+    let path = dir.join(format!("profile_{name}.json"));
+    let json = serde_json::to_string_pretty(&profiler.report()).expect("serialize stage profile");
+    std::fs::write(&path, json).expect("write stage profile");
+    println!("[profile sidecar {}]", path.display());
+}
+
 /// Paper-scale toggle: set `RAVEN_BENCH_QUICK=1` to run reduced sizes (used
 /// by CI smoke runs); default is paper scale.
 pub fn quick_mode() -> bool {
@@ -47,6 +70,19 @@ mod tests {
         let d = results_dir();
         assert!(d.ends_with("results"));
         assert!(d.parent().unwrap().join("Cargo.toml").exists());
+    }
+
+    #[test]
+    fn save_profile_writes_sidecar() {
+        let mut p = simbus::StageProfiler::new();
+        p.record_ns("stage_a", 1_000);
+        p.record_ns("stage_a", 3_000);
+        save_profile("_selftest", &p);
+        let path = results_dir().join("profile__selftest.json");
+        let text = std::fs::read_to_string(&path).unwrap();
+        assert!(text.contains("stage_a"));
+        assert!(text.contains("mean_us"));
+        std::fs::remove_file(path).unwrap();
     }
 
     #[test]

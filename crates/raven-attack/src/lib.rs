@@ -16,6 +16,8 @@
 //! * [`campaign`] — fault-injection campaign configuration (value ×
 //!   activation-period grids for Fig. 9, run counts for Table IV).
 
+#![forbid(unsafe_code)]
+
 pub mod analysis;
 pub mod campaign;
 pub mod feedback;

@@ -28,6 +28,8 @@
 //! assert_eq!(packet.state, raven_hw::RobotState::Init);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod chain;
 pub mod controller;
 pub mod pid;

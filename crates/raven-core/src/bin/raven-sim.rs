@@ -26,6 +26,8 @@
 //! * `RAVEN_LOG=<debug|info|warn|error|off>` — stderr log threshold
 //!   (the CLI defaults to `info`; library callers default to `warn`).
 
+#![forbid(unsafe_code)]
+
 use raven_core::experiments::{
     run_fig5, run_fig6, run_fig8, run_fig9_with, run_fusion_ablation_with,
     run_lookahead_ablation_with, run_mitigation_ablation_with, run_table1, run_table2,
@@ -247,7 +249,7 @@ fn main() {
                 "thresholds from {} runs ({} samples):\n{}",
                 report.runs,
                 report.samples,
-                report.thresholds.to_json()
+                report.thresholds.to_json().expect("thresholds serialize")
             );
         }
         "table4" => {

@@ -10,6 +10,8 @@
 //! * [`experiments`] — one module per paper artifact: Table I, Table II,
 //!   Table IV, Figures 5, 6, 8, 9.
 
+#![forbid(unsafe_code)]
+
 pub mod campaign;
 pub mod dual;
 pub mod experiments;

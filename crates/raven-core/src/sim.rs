@@ -20,7 +20,9 @@ use raven_teleop::{
     WithTremor,
 };
 use serde::{Deserialize, Serialize};
-use simbus::obs::{shared_observer, Event, EventLog, Metrics, Severity, SharedObserver};
+use simbus::obs::{
+    names, shared_observer, Event, EventKind, EventLog, Metrics, Severity, SharedObserver,
+};
 use simbus::rng::derive_seed;
 use simbus::{LinkConfig, SimClock, SimDuration, SimLink, SimTime, StageProfiler};
 
@@ -417,7 +419,7 @@ impl Simulation {
     pub fn install_attack(&mut self, attack: &AttackSetup) {
         if !matches!(attack, AttackSetup::None) {
             self.observer.lock().event(
-                Event::new(self.clock.now(), "attack", Severity::Info, "attack.installed")
+                Event::new(self.clock.now(), "attack", Severity::Info, EventKind::AttackInstalled)
                     .with("setup", format!("{attack:?}")),
             );
         }
@@ -690,51 +692,51 @@ impl Simulation {
         {
             let mut obs = self.observer.lock();
             if state != self.prev_state {
-                obs.metrics.inc("control.transitions");
+                obs.metrics.inc(names::CONTROL_TRANSITIONS);
                 obs.event(
-                    Event::new(now, "control", Severity::Info, "state.transition")
+                    Event::new(now, "control", Severity::Info, EventKind::StateTransition)
                         .with("from", format!("{:?}", self.prev_state))
                         .with("to", format!("{state:?}")),
                 );
             }
             if fault != self.prev_fault {
                 if let Some(reason) = fault {
-                    obs.metrics.inc(&format!("fault.count.{}", reason.slug()));
+                    obs.metrics.inc(&names::fault_count(reason.slug()));
                     obs.event(
-                        Event::new(now, "control", Severity::Error, "control.fault")
+                        Event::new(now, "control", Severity::Error, EventKind::ControlFault)
                             .with("reason", reason.slug()),
                     );
                 }
             }
             if mutations > self.prev_mutations {
                 let delta = mutations - self.prev_mutations;
-                obs.metrics.add("attack.injections", delta);
+                obs.metrics.add(names::ATTACK_INJECTIONS, delta);
                 obs.event(
-                    Event::new(now, "attack", Severity::Warn, "attack.injection")
+                    Event::new(now, "attack", Severity::Warn, EventKind::AttackInjection)
                         .with("vector", "usb")
                         .with("count", delta),
                 );
             }
             if corrupted > self.prev_corrupted {
                 let delta = corrupted - self.prev_corrupted;
-                obs.metrics.add("attack.injections", delta);
+                obs.metrics.add(names::ATTACK_INJECTIONS, delta);
                 obs.event(
-                    Event::new(now, "attack", Severity::Warn, "attack.injection")
+                    Event::new(now, "attack", Severity::Warn, EventKind::AttackInjection)
                         .with("vector", "itp")
                         .with("count", delta),
                 );
             }
             if lost > self.prev_lost {
-                obs.metrics.add("net.packets_dropped", lost - self.prev_lost);
+                obs.metrics.add(names::NET_PACKETS_DROPPED, lost - self.prev_lost);
             }
             if alarmed && !self.prev_alarmed {
                 if let Some((_, Some(first))) = det_sample {
-                    obs.metrics.set_gauge("detector.first_alarm_assessment", first as f64);
+                    obs.metrics.set_gauge(names::DETECTOR_FIRST_ALARM_ASSESSMENT, first as f64);
                     if let Some(delay) = self.attack_delay_packets {
                         // The paper's detection latency: armed assessments
                         // between injection onset and the first alarm.
                         obs.metrics.observe(
-                            "detector.detection_latency_cycles",
+                            names::DETECTOR_DETECTION_LATENCY_CYCLES,
                             first.saturating_sub(delay) as f64,
                         );
                     }

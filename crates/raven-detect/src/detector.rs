@@ -17,7 +17,7 @@ use raven_hw::channel::{WriteAction, WriteContext, WriteInterceptor};
 use raven_hw::{RobotState, UsbCommandPacket};
 use raven_kinematics::{ArmConfig, MotorState, NUM_AXES};
 use serde::{Deserialize, Serialize};
-use simbus::obs::{Event, Severity, SharedObserver};
+use simbus::obs::{names, Event, EventKind, Severity, SharedObserver};
 
 use crate::features::InstantFeatures;
 use crate::thresholds::{DetectionThresholds, ThresholdLearner};
@@ -124,6 +124,29 @@ pub enum DetectorMode {
     Armed,
 }
 
+/// Attempted to arm a detector that never saw a fault-free sample — there
+/// is nothing to learn thresholds from (the paper's protocol trains on 600
+/// fault-free runs first).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct NoFaultFreeSamples;
+
+impl std::fmt::Display for NoFaultFreeSamples {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str("cannot arm: no fault-free samples observed")
+    }
+}
+
+impl std::error::Error for NoFaultFreeSamples {}
+
+/// Internal mode representation: armed *means* having thresholds, so the
+/// armed assessment path is infallible by construction (no `Option` to
+/// unwrap inside the control cycle — lint rule R3).
+#[derive(Debug, Clone, Copy)]
+enum ModeState {
+    Learning,
+    Armed(DetectionThresholds),
+}
+
 /// The detector core: real-time model + measurement tracking + thresholds.
 ///
 /// Share it between the harness (which feeds encoder measurements each
@@ -134,8 +157,7 @@ pub struct DynamicDetector {
     arm: ArmConfig,
     model: RtModel,
     config: DetectorConfig,
-    mode: DetectorMode,
-    thresholds: Option<DetectionThresholds>,
+    mode: ModeState,
     learner: ThresholdLearner,
     tracked: Option<PlantState>,
     last_mpos: Option<MotorState>,
@@ -163,8 +185,7 @@ impl DynamicDetector {
             arm,
             model,
             config,
-            mode: DetectorMode::Learning,
-            thresholds: None,
+            mode: ModeState::Learning,
             learner: ThresholdLearner::new(),
             tracked: None,
             last_mpos: None,
@@ -181,7 +202,10 @@ impl DynamicDetector {
 
     /// Current mode.
     pub fn mode(&self) -> DetectorMode {
-        self.mode
+        match self.mode {
+            ModeState::Learning => DetectorMode::Learning,
+            ModeState::Armed(_) => DetectorMode::Armed,
+        }
     }
 
     /// The configuration.
@@ -191,7 +215,10 @@ impl DynamicDetector {
 
     /// Learned thresholds, once armed.
     pub fn thresholds(&self) -> Option<&DetectionThresholds> {
-        self.thresholds.as_ref()
+        match &self.mode {
+            ModeState::Learning => None,
+            ModeState::Armed(t) => Some(t),
+        }
     }
 
     /// The threshold learner (for inspection and the 600-run protocol).
@@ -285,13 +312,11 @@ impl DynamicDetector {
             features.ee_step = features.ee_step.max(start.distance(end));
         }
         match self.mode {
-            DetectorMode::Learning => {
+            ModeState::Learning => {
                 self.learner.observe(&features);
                 Some(Assessment { features, threshold_alarm: false, ee_alarm: false })
             }
-            DetectorMode::Armed => {
-                let thresholds =
-                    self.thresholds.as_ref().expect("armed detector must have thresholds");
+            ModeState::Armed(thresholds) => {
                 let threshold_alarm = match self.config.fusion {
                     FusionRule::AllThree => thresholds.fused_alarm(&features),
                     FusionRule::AnyOne => thresholds.any_alarm(&features),
@@ -320,21 +345,21 @@ impl DynamicDetector {
     /// Finalizes learning: computes thresholds at the configured percentile
     /// band and arms the detector.
     ///
-    /// # Panics
+    /// # Errors
     ///
-    /// Panics if no fault-free samples were observed.
-    pub fn arm(&mut self) {
+    /// Returns [`NoFaultFreeSamples`] when no fault-free samples were
+    /// observed — there is nothing to learn from.
+    pub fn arm(&mut self) -> Result<(), NoFaultFreeSamples> {
         let (lo, hi) = self.config.percentile_band;
-        let thresholds =
-            self.learner.learn(lo, hi).expect("cannot arm: no fault-free samples observed");
+        let thresholds = self.learner.learn(lo, hi).ok_or(NoFaultFreeSamples)?;
         self.arm_with(thresholds);
+        Ok(())
     }
 
     /// Arms with externally supplied thresholds (e.g. deserialized from a
     /// previous training campaign).
     pub fn arm_with(&mut self, thresholds: DetectionThresholds) {
-        self.thresholds = Some(thresholds);
-        self.mode = DetectorMode::Armed;
+        self.mode = ModeState::Armed(thresholds);
     }
 
     /// Clears per-session alarm state (between campaign runs).
@@ -415,10 +440,10 @@ impl WriteInterceptor for GuardInterceptor {
         let Some(assessment) = det.assess(&dac3) else {
             return WriteAction::Forward;
         };
-        let armed = det.mode == DetectorMode::Armed;
+        let armed = matches!(det.mode, ModeState::Armed(_));
         if armed {
             if let Some(obs) = &self.observer {
-                obs.lock().metrics.inc("detector.assessments");
+                obs.lock().metrics.inc(names::DETECTOR_ASSESSMENTS);
             }
         }
         let holding = det.hold_cooldown > 0;
@@ -461,17 +486,17 @@ impl WriteInterceptor for GuardInterceptor {
         if let Some(obs) = &self.observer {
             let mut obs = obs.lock();
             if blocked {
-                obs.metrics.inc("detector.blocked_commands");
+                obs.metrics.inc(names::DETECTOR_BLOCKED_COMMANDS);
             }
             if assessment.alarm() {
-                obs.metrics.inc("detector.alarms");
-                let action_label = match (action, blocked) {
-                    (WriteAction::Drop, _) => "drop",
-                    (WriteAction::Forward, true) => "hold",
-                    (WriteAction::Forward, false) => "observe",
+                obs.metrics.inc(names::DETECTOR_ALARMS);
+                let action_label = match action {
+                    WriteAction::Drop => "drop",
+                    WriteAction::Forward if blocked => "hold",
+                    WriteAction::Forward => "observe",
                 };
                 obs.event(
-                    Event::new(ctx.time, "detector", Severity::Warn, "detector.verdict")
+                    Event::new(ctx.time, "detector", Severity::Warn, EventKind::DetectorVerdict)
                         .with("assessment", det.assessments)
                         .with("seq", ctx.seq)
                         .with("threshold_alarm", assessment.threshold_alarm)
@@ -521,7 +546,7 @@ mod tests {
             d.assess(&[200, 150, -100]);
         }
         d.end_learning_run();
-        d.arm();
+        d.arm().expect("training fed fault-free samples");
     }
 
     /// Feeds a measurement showing the shoulder motor running away
@@ -667,10 +692,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "no fault-free samples")]
-    fn arming_without_samples_panics() {
+    fn arming_without_samples_errors() {
         let (det, _) = setup(Mitigation::EStop);
-        det.lock().arm();
+        assert_eq!(det.lock().arm(), Err(NoFaultFreeSamples));
+        assert_eq!(det.lock().mode(), DetectorMode::Learning);
     }
 
     #[test]

@@ -20,13 +20,15 @@
 //! `raven-hw::plc`; the experiment runners in `raven-core` score both
 //! against the same ground truth.
 
+#![forbid(unsafe_code)]
+
 pub mod detector;
 pub mod features;
 pub mod thresholds;
 
 pub use detector::{
     shared, Assessment, DetectorConfig, DetectorMode, DynamicDetector, FusionRule,
-    GuardInterceptor, Mitigation, SharedDetector,
+    GuardInterceptor, Mitigation, NoFaultFreeSamples, SharedDetector,
 };
 pub use features::InstantFeatures;
 pub use thresholds::{DetectionThresholds, ThresholdLearner};

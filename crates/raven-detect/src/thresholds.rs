@@ -29,8 +29,13 @@ impl DetectionThresholds {
     /// Serializes the thresholds to pretty JSON — training campaigns are
     /// expensive (the paper's protocol is 600 runs), so deployments persist
     /// the result.
-    pub fn to_json(&self) -> String {
-        serde_json::to_string_pretty(self).expect("thresholds are always serializable")
+    ///
+    /// # Errors
+    ///
+    /// Propagates the serializer's error instead of panicking: this type
+    /// lives in a hot-path crate where lint rule R3 bans `expect`.
+    pub fn to_json(&self) -> Result<String, serde_json::Error> {
+        serde_json::to_string_pretty(self)
     }
 
     /// Loads thresholds from JSON.

@@ -95,7 +95,7 @@ proptest! {
             learner.observe(s);
         }
         let t = learner.learn(80.0, 90.0).unwrap();
-        let back = DetectionThresholds::from_json(&t.to_json()).unwrap();
+        let back = DetectionThresholds::from_json(&t.to_json().unwrap()).unwrap();
         // Decisions survive serialization even if the last ULP does not.
         prop_assert_eq!(t.fused_alarm(&f), back.fused_alarm(&f));
     }

@@ -34,6 +34,8 @@
 //! assert!(plant.state().motor_vel()[0] > 0.0);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod cable;
 pub mod estimator;
 pub mod link;

@@ -16,6 +16,8 @@
 //! * [`rig`] — the assembled hardware: channel → board → PLC/motor
 //!   controllers → plant → encoders → read path.
 
+#![forbid(unsafe_code)]
+
 pub mod bitw;
 pub mod board;
 pub mod channel;

@@ -10,7 +10,7 @@
 use raven_dynamics::plant::EncoderReading;
 use raven_dynamics::{PlantParams, RavenPlant};
 use raven_kinematics::{MotorState, WRIST_AXES};
-use simbus::obs::{Event, Severity, SharedObserver};
+use simbus::obs::{names, Event, EventKind, Severity, SharedObserver};
 use simbus::SimTime;
 
 use crate::bitw::{BitwCodec, BitwPlacement};
@@ -111,14 +111,14 @@ impl HardwareRig {
         let mut obs = observer.lock();
         match current {
             Some(cause) => {
-                obs.metrics.inc(&format!("estop.count.{}", cause.slug()));
+                obs.metrics.inc(&names::estop_count(cause.slug()));
                 obs.event(
-                    Event::new(now, "hw", Severity::Error, "estop.latched")
+                    Event::new(now, "hw", Severity::Error, EventKind::EstopLatched)
                         .with("cause", cause.slug()),
                 );
             }
             None => {
-                obs.event(Event::new(now, "hw", Severity::Info, "estop.cleared"));
+                obs.event(Event::new(now, "hw", Severity::Info, EventKind::EstopCleared));
             }
         }
         self.reported_estop = current;

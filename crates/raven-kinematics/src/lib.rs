@@ -37,6 +37,8 @@
 //! # Ok::<(), raven_kinematics::IkError>(())
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod config;
 pub mod coupling;
 pub mod jacobian;

@@ -1,0 +1,106 @@
+//! `cargo run -p raven-lint` — audits the workspace against
+//! `raven-lint.toml` and exits nonzero on any unallowlisted finding.
+//!
+//! Flags: `--json` emits the findings as a JSON array; `--root <dir>`
+//! overrides workspace-root discovery (the nearest ancestor containing
+//! `raven-lint.toml`).
+
+#![forbid(unsafe_code)]
+
+use raven_lint::{run, Config};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let mut json = false;
+    let mut root_override: Option<PathBuf> = None;
+    let mut args = std::env::args().skip(1);
+    while let Some(arg) = args.next() {
+        match arg.as_str() {
+            "--json" => json = true,
+            "--root" => match args.next() {
+                Some(dir) => root_override = Some(PathBuf::from(dir)),
+                None => return usage("--root needs a directory"),
+            },
+            "--help" | "-h" => {
+                eprintln!("usage: raven-lint [--json] [--root <workspace-dir>]");
+                return ExitCode::SUCCESS;
+            }
+            other => return usage(&format!("unknown flag `{other}`")),
+        }
+    }
+
+    let root = match root_override.or_else(discover_root) {
+        Some(r) => r,
+        None => {
+            eprintln!("raven-lint: no raven-lint.toml found in this directory or any ancestor");
+            return ExitCode::from(2);
+        }
+    };
+    let config_text = match std::fs::read_to_string(root.join("raven-lint.toml")) {
+        Ok(t) => t,
+        Err(e) => {
+            eprintln!("raven-lint: cannot read raven-lint.toml: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let cfg = match Config::parse(&config_text) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("raven-lint: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    let report = match run(&root, &cfg) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("raven-lint: audit failed: {e}");
+            return ExitCode::from(2);
+        }
+    };
+
+    if json {
+        match serde_json::to_string_pretty(&report.findings) {
+            Ok(s) => println!("{s}"),
+            Err(e) => {
+                eprintln!("raven-lint: serialization failed: {e}");
+                return ExitCode::from(2);
+            }
+        }
+    } else {
+        for f in &report.findings {
+            println!("{}:{}: [{} {}] {}", f.path, f.line, f.rule, f.name, f.snippet);
+            println!("    hint: {}", f.hint);
+        }
+        eprintln!(
+            "raven-lint: {} file(s) scanned, {} finding(s), {} allowlisted exception(s)",
+            report.files_scanned,
+            report.findings.len(),
+            report.allowed
+        );
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
+fn usage(msg: &str) -> ExitCode {
+    eprintln!("raven-lint: {msg}");
+    eprintln!("usage: raven-lint [--json] [--root <workspace-dir>]");
+    ExitCode::from(2)
+}
+
+/// Nearest ancestor of the current directory holding `raven-lint.toml`.
+fn discover_root() -> Option<PathBuf> {
+    let mut dir = std::env::current_dir().ok()?;
+    loop {
+        if dir.join("raven-lint.toml").is_file() {
+            return Some(dir);
+        }
+        if !dir.pop() {
+            return None;
+        }
+    }
+}

@@ -1,0 +1,735 @@
+//! The six audit rules. Each returns [`Finding`]s; the engine applies the
+//! allowlist afterwards so rules stay pure functions of the source.
+
+use crate::config::{Config, WatchedEnum};
+use crate::lexer::{find_token, SourceFile};
+use serde::Serialize;
+
+/// One rule violation, serializable for `--json` consumers.
+#[derive(Debug, Clone, Serialize, PartialEq, Eq, PartialOrd, Ord)]
+pub struct Finding {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line.
+    pub line: usize,
+    /// Rule id (`R1`..`R6`, or `CONFIG` for allowlist hygiene).
+    pub rule: String,
+    /// Short rule name.
+    pub name: String,
+    /// The offending source line, trimmed.
+    pub snippet: String,
+    /// How to fix it.
+    pub hint: String,
+}
+
+impl Finding {
+    fn at(file: &SourceFile, offset: usize, rule: &str, name: &str, hint: String) -> Self {
+        let line = file.line_of(offset);
+        Finding {
+            path: file.path.clone(),
+            line,
+            rule: rule.to_string(),
+            name: name.to_string(),
+            snippet: file.line_text(line).to_string(),
+            hint,
+        }
+    }
+}
+
+/// R1/R2/R3 share a shape: a token list that must not appear outside test
+/// code. `crates` empty means "every crate".
+pub fn token_rule(
+    file: &SourceFile,
+    tokens: &[String],
+    rule: &str,
+    name: &str,
+    hint: &str,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for token in tokens {
+        for offset in find_token(&file.scrubbed, token) {
+            if file.is_test_line(file.line_of(offset)) {
+                continue;
+            }
+            out.push(Finding::at(file, offset, rule, name, format!("`{token}` {hint}")));
+        }
+    }
+    out
+}
+
+/// R4: wildcard `_` arms in `match`es that mention a watched enum.
+pub fn exhaustive_safety_match(file: &SourceFile, enums: &[WatchedEnum]) -> Vec<Finding> {
+    let s = &file.scrubbed;
+    // Bare variants only count when the enum is glob-imported here.
+    let starred: Vec<&WatchedEnum> =
+        enums.iter().filter(|e| s.contains(&format!("{}::*", e.name))).collect();
+    let mut out = Vec::new();
+    for m in find_token(s, "match") {
+        if file.is_test_line(file.line_of(m)) {
+            continue;
+        }
+        let Some(body) = match_body(s, m + "match".len()) else {
+            continue;
+        };
+        let arms = split_arms(s, body);
+        let watched = arms.iter().any(|&(start, end)| {
+            let pattern = strip_guard(&s[start..end]);
+            enums.iter().any(|e| !find_token(pattern, &format!("{}::", e.name)).is_empty())
+                || starred
+                    .iter()
+                    .any(|e| e.variants.iter().any(|v| !find_token(pattern, v).is_empty()))
+        });
+        if !watched {
+            continue;
+        }
+        for &(start, end) in &arms {
+            let pattern = strip_guard(&s[start..end]);
+            if !find_token(pattern, "_").is_empty() {
+                out.push(Finding::at(
+                    file,
+                    start,
+                    "R4",
+                    "exhaustive-safety-match",
+                    "spell out every variant of the safety-critical enum; a new state must \
+                     not fall through a wildcard silently"
+                        .to_string(),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Finds the `{` opening a match body, given the offset just past the
+/// `match` keyword. Returns `(open, close)` byte offsets.
+fn match_body(s: &str, from: usize) -> Option<(usize, usize)> {
+    let b = s.as_bytes();
+    let mut depth = 0i32;
+    let mut i = from;
+    while i < b.len() {
+        match b[i] {
+            b'(' | b'[' => depth += 1,
+            b')' | b']' => depth -= 1,
+            b'{' if depth == 0 => return brace_close(s, i).map(|c| (i, c)),
+            b'{' => depth += 1,
+            b'}' => depth -= 1,
+            b';' if depth == 0 => return None,
+            _ => {}
+        }
+        if depth < 0 {
+            return None;
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Offset of the `}` matching the `{` at `open`.
+fn brace_close(s: &str, open: usize) -> Option<usize> {
+    let b = s.as_bytes();
+    let mut depth = 0usize;
+    for (i, &c) in b.iter().enumerate().skip(open) {
+        match c {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(i);
+                }
+            }
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Splits a match body into arm patterns: `(pattern_start, pattern_end)`
+/// pairs where `pattern_end` points at the `=>`.
+fn split_arms(s: &str, (open, close): (usize, usize)) -> Vec<(usize, usize)> {
+    let b = s.as_bytes();
+    let mut arms = Vec::new();
+    let mut i = open + 1;
+    'outer: while i < close {
+        while i < close && (b[i].is_ascii_whitespace() || b[i] == b',') {
+            i += 1;
+        }
+        if i >= close {
+            break;
+        }
+        let start = i;
+        // Scan to the arm's `=>` at bracket depth 0.
+        let mut depth = 0i32;
+        let fat = loop {
+            if i >= close {
+                break 'outer;
+            }
+            match b[i] {
+                b'(' | b'[' | b'{' => depth += 1,
+                b')' | b']' | b'}' => depth -= 1,
+                b'=' if depth == 0 && b.get(i + 1) == Some(&b'>') => break i,
+                _ => {}
+            }
+            i += 1;
+        };
+        arms.push((start, fat));
+        // Skip the arm body: a braced block, or an expression up to `,`.
+        i = fat + 2;
+        while i < close && b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if i < close && b[i] == b'{' {
+            i = brace_close(s, i).map(|c| c + 1).unwrap_or(close);
+        } else {
+            let mut depth = 0i32;
+            while i < close {
+                match b[i] {
+                    b'(' | b'[' | b'{' => depth += 1,
+                    b')' | b']' | b'}' => depth -= 1,
+                    b',' if depth == 0 => break,
+                    _ => {}
+                }
+                i += 1;
+            }
+        }
+    }
+    arms
+}
+
+/// Drops a ` if guard` clause from an arm pattern (depth-0 `if` token).
+fn strip_guard(pattern: &str) -> &str {
+    let b = pattern.as_bytes();
+    let mut depth = 0i32;
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => depth -= 1,
+            b'i' if depth == 0
+                && pattern[i..].starts_with("if")
+                && (i == 0 || !is_ident(b[i - 1]))
+                && !b.get(i + 2).copied().is_some_and(is_ident) =>
+            {
+                return &pattern[..i];
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    pattern
+}
+
+fn is_ident(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_'
+}
+
+/// The machine-readable observability registry extracted from
+/// `simbus::obs`: event kinds (`EventKind::X => "a.b"` arms) and metric
+/// names (`pub const X: &str = "a.b"`, `*_PREFIX` consts being families).
+#[derive(Debug, Default, Clone)]
+pub struct Registry {
+    /// `(variant, dotted-name)` pairs.
+    pub event_kinds: Vec<(String, String)>,
+    /// Exact metric names.
+    pub metrics: Vec<String>,
+    /// Metric-family prefixes (e.g. `fault.count.`).
+    pub families: Vec<String>,
+}
+
+/// Parses the registry out of the ORIGINAL (unscrubbed) source — the
+/// string literals are the payload here. Metric constants are read only
+/// from inside the `pub mod names` block, so unrelated `&str` constants
+/// elsewhere in the file (e.g. env-var names) don't join the registry.
+pub fn parse_registry(src: &str) -> Registry {
+    let mut reg = Registry::default();
+    let mut from = 0;
+    while let Some(rel) = src[from..].find("EventKind::") {
+        let mut i = from + rel + "EventKind::".len();
+        let b = src.as_bytes();
+        let vstart = i;
+        while i < b.len() && is_ident(b[i]) {
+            i += 1;
+        }
+        let variant = src[vstart..i].to_string();
+        from = i;
+        while i < b.len() && b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if !src[i..].starts_with("=>") {
+            continue;
+        }
+        i += 2;
+        while i < b.len() && b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if let Some(name) = leading_string(&src[i..]) {
+            if !variant.is_empty() {
+                reg.event_kinds.push((variant, name));
+            }
+        }
+    }
+    // Bound the const scan to the `pub mod names { ... }` block (located
+    // on the scrubbed text so commented-out braces can't skew it).
+    let scrubbed = crate::lexer::scrub(src);
+    let names_span = scrubbed.find("pub mod names").and_then(|at| {
+        let open = at + scrubbed[at..].find('{')?;
+        Some((open, brace_close(&scrubbed, open)?))
+    });
+    let Some((mod_open, mod_close)) = names_span else {
+        return reg;
+    };
+    let mut from = mod_open;
+    while let Some(rel) = src[from..mod_close].find("pub const ") {
+        let mut i = from + rel + "pub const ".len();
+        let b = src.as_bytes();
+        let cstart = i;
+        while i < b.len() && is_ident(b[i]) {
+            i += 1;
+        }
+        let cname = src[cstart..i].to_string();
+        from = i;
+        let rest = &src[i..];
+        let Some(after_type) = rest.trim_start().strip_prefix(": &str") else {
+            continue;
+        };
+        let Some(after_eq) = after_type.trim_start().strip_prefix('=') else {
+            continue;
+        };
+        if let Some(value) = leading_string(after_eq.trim_start()) {
+            if cname.ends_with("_PREFIX") {
+                reg.families.push(value);
+            } else {
+                reg.metrics.push(value);
+            }
+        }
+    }
+    reg
+}
+
+/// The content of a `"..."` literal at the start of `s`, if present.
+fn leading_string(s: &str) -> Option<String> {
+    let rest = s.strip_prefix('"')?;
+    rest.find('"').map(|end| rest[..end].to_string())
+}
+
+/// Names extracted from one `docs/OBSERVABILITY.md` table column.
+#[derive(Debug, Default, Clone)]
+pub struct DocNames {
+    pub kinds: Vec<String>,
+    pub metrics: Vec<String>,
+}
+
+/// Reads the first backticked name of each row of the `kind` and `metric`
+/// tables. `fault.count.<slug>`-style rows normalize to their family
+/// prefix (`fault.count.`).
+pub fn parse_doc(doc: &str) -> DocNames {
+    #[derive(PartialEq)]
+    enum Mode {
+        None,
+        Kinds,
+        Metrics,
+    }
+    let mut mode = Mode::None;
+    let mut out = DocNames::default();
+    for line in doc.lines() {
+        let line = line.trim();
+        if !line.starts_with('|') {
+            mode = Mode::None;
+            continue;
+        }
+        let first_cell = line.trim_matches('|').split('|').next().unwrap_or("").trim().to_string();
+        if first_cell.starts_with("---") {
+            continue;
+        }
+        match first_cell.as_str() {
+            "kind" => {
+                mode = Mode::Kinds;
+                continue;
+            }
+            "metric" => {
+                mode = Mode::Metrics;
+                continue;
+            }
+            _ => {}
+        }
+        let Some(name) = first_cell.strip_prefix('`').and_then(|s| s.split('`').next()) else {
+            continue;
+        };
+        let name = match name.find('<') {
+            Some(angle) => name[..angle].to_string(),
+            None => name.to_string(),
+        };
+        match mode {
+            Mode::Kinds => out.kinds.push(name),
+            Mode::Metrics => out.metrics.push(name),
+            Mode::None => {}
+        }
+    }
+    out
+}
+
+/// R5: registry ↔ doc cross-check plus the point-of-use check (registered
+/// names must be emitted through the registry constants, not raw string
+/// literals).
+pub fn doc_drift(
+    cfg: &Config,
+    registry_src: &str,
+    doc_src: &str,
+    files: &[SourceFile],
+) -> Vec<Finding> {
+    let reg = parse_registry(registry_src);
+    let doc = parse_doc(doc_src);
+    let mut out = Vec::new();
+    let drift = |line: usize, path: &str, snippet: &str, hint: String| Finding {
+        path: path.to_string(),
+        line,
+        rule: "R5".to_string(),
+        name: "doc-code-drift".to_string(),
+        snippet: snippet.to_string(),
+        hint,
+    };
+    for (variant, name) in &reg.event_kinds {
+        if !doc.kinds.contains(name) {
+            out.push(drift(
+                1,
+                &cfg.doc_path,
+                name,
+                format!(
+                    "event kind `{name}` (EventKind::{variant}) is registered in \
+                     `{}` but missing from the kind table",
+                    cfg.registry_path
+                ),
+            ));
+        }
+    }
+    for name in &doc.kinds {
+        if !reg.event_kinds.iter().any(|(_, n)| n == name) {
+            out.push(drift(
+                1,
+                &cfg.registry_path,
+                name,
+                format!(
+                    "event kind `{name}` is documented in `{}` but has no \
+                     EventKind variant",
+                    cfg.doc_path
+                ),
+            ));
+        }
+    }
+    let registered_metric = |name: &str| {
+        reg.metrics.iter().any(|m| m == name) || reg.families.iter().any(|f| f == name)
+    };
+    for name in reg.metrics.iter().chain(reg.families.iter()) {
+        if !doc.metrics.contains(name) {
+            out.push(drift(
+                1,
+                &cfg.doc_path,
+                name,
+                format!(
+                    "metric `{name}` is registered in `{}` but missing from the \
+                     metric table",
+                    cfg.registry_path
+                ),
+            ));
+        }
+    }
+    for name in &doc.metrics {
+        if !registered_metric(name) {
+            out.push(drift(
+                1,
+                &cfg.registry_path,
+                name,
+                format!(
+                    "metric `{name}` is documented in `{}` but has no `names` \
+                     constant",
+                    cfg.doc_path
+                ),
+            ));
+        }
+    }
+    // Point of use: a registered dotted name as a raw literal outside the
+    // registry (and outside tests) bypasses the registry — rename drift
+    // would then silently fork the taxonomy.
+    for file in files {
+        if file.path == cfg.registry_path {
+            continue;
+        }
+        for (offset, literal) in string_literals(&file.original) {
+            if file.is_test_line(file.line_of(offset)) {
+                continue;
+            }
+            let hit = reg.event_kinds.iter().any(|(_, n)| n == &literal)
+                || reg.metrics.iter().any(|m| m == &literal)
+                || reg.families.iter().any(|f| literal.starts_with(f.as_str()));
+            if hit {
+                out.push(Finding::at(
+                    file,
+                    offset,
+                    "R5",
+                    "doc-code-drift",
+                    format!(
+                        "`\"{literal}\"` is a registered observability name; emit it \
+                         through `simbus::obs` (EventKind / names::*) so renames \
+                         cannot drift"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// `(offset, content)` of every plain `"..."` literal, skipping comments
+/// and raw strings (raw strings hold fixtures/JSON, not metric names).
+fn string_literals(src: &str) -> Vec<(usize, String)> {
+    let b = src.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i < b.len() {
+        match b[i] {
+            b'/' if b.get(i + 1) == Some(&b'/') => {
+                while i < b.len() && b[i] != b'\n' {
+                    i += 1;
+                }
+            }
+            b'/' if b.get(i + 1) == Some(&b'*') => {
+                let mut depth = 1usize;
+                i += 2;
+                while i < b.len() && depth > 0 {
+                    if src[i..].starts_with("/*") {
+                        depth += 1;
+                        i += 2;
+                    } else if src[i..].starts_with("*/") {
+                        depth -= 1;
+                        i += 2;
+                    } else {
+                        i += 1;
+                    }
+                }
+            }
+            b'r' | b'b' if !(i > 0 && is_ident(b[i - 1])) => {
+                // Raw string: skip it entirely.
+                let mut j = i;
+                if b[j] == b'b' {
+                    j += 1;
+                }
+                if b.get(j) == Some(&b'r') {
+                    j += 1;
+                    let mut hashes = 0usize;
+                    while b.get(j) == Some(&b'#') {
+                        hashes += 1;
+                        j += 1;
+                    }
+                    if b.get(j) == Some(&b'"') {
+                        j += 1;
+                        let closer = format!("\"{}", "#".repeat(hashes));
+                        match src[j..].find(&closer) {
+                            Some(rel) => i = j + rel + closer.len(),
+                            None => i = b.len(),
+                        }
+                        continue;
+                    }
+                }
+                i += 1;
+            }
+            b'"' => {
+                let start = i;
+                i += 1;
+                let mut content = String::new();
+                while i < b.len() {
+                    match b[i] {
+                        b'\\' => i += 2,
+                        b'"' => break,
+                        c => {
+                            content.push(c as char);
+                            i += 1;
+                        }
+                    }
+                }
+                i += 1;
+                out.push((start, content));
+            }
+            b'\'' => {
+                // Char literal or lifetime; skip conservatively.
+                if b.get(i + 1) == Some(&b'\\') {
+                    i += 2;
+                    while i < b.len() && b[i] != b'\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                } else if b.get(i + 2) == Some(&b'\'') {
+                    i += 3;
+                } else {
+                    i += 1;
+                }
+            }
+            _ => i += 1,
+        }
+    }
+    out
+}
+
+/// R6: `unsafe` requires an allowlisted file and a `// SAFETY:` comment in
+/// the three preceding lines.
+pub fn unsafe_audit(file: &SourceFile, unsafe_files: &[String]) -> Vec<Finding> {
+    let mut out = Vec::new();
+    for offset in find_token(&file.scrubbed, "unsafe") {
+        let line = file.line_of(offset);
+        if !unsafe_files.iter().any(|f| f == &file.path) {
+            out.push(Finding::at(
+                file,
+                offset,
+                "R6",
+                "unsafe-audit",
+                "this file is not allowlisted for `unsafe`; remove the block or add \
+                 the file to [rules.unsafe_audit] with a justification"
+                    .to_string(),
+            ));
+            continue;
+        }
+        let has_safety = (line.saturating_sub(3)..line)
+            .filter(|&l| l >= 1)
+            .any(|l| file.line_text(l).contains("SAFETY:"));
+        if !has_safety {
+            out.push(Finding::at(
+                file,
+                offset,
+                "R6",
+                "unsafe-audit",
+                "add a `// SAFETY:` comment immediately above explaining why the \
+                 invariants hold"
+                    .to_string(),
+            ));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::parse("x.rs", src, false)
+    }
+
+    #[test]
+    fn token_rule_skips_tests_and_strings() {
+        let src = "fn a() { let t = Instant::now(); }\n\
+                   fn b() { let s = \"Instant::now\"; }\n\
+                   #[cfg(test)]\nmod t { fn c() { let t = Instant::now(); } }\n";
+        let f = file(src);
+        let hits = token_rule(&f, &["Instant::now".into()], "R1", "no-wall-clock", "x");
+        assert_eq!(hits.len(), 1);
+        assert_eq!(hits[0].line, 1);
+    }
+
+    #[test]
+    fn r4_flags_wildcard_in_watched_match() {
+        let enums = vec![WatchedEnum {
+            name: "RobotState".into(),
+            variants: vec!["Init".into(), "EStop".into()],
+        }];
+        let src = "fn f(s: RobotState) -> u8 { match s { RobotState::Init => 0, _ => 1 } }";
+        let hits = exhaustive_safety_match(&file(src), &enums);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        let ok = "fn f(s: RobotState) -> u8 { match s { RobotState::Init => 0, RobotState::EStop => 1 } }";
+        assert!(exhaustive_safety_match(&file(ok), &enums).is_empty());
+        let unwatched = "fn f(x: Option<u8>) -> u8 { match x { Some(v) => v, _ => 0 } }";
+        assert!(exhaustive_safety_match(&file(unwatched), &enums).is_empty());
+    }
+
+    #[test]
+    fn r4_sees_bare_variants_under_glob_import_and_strips_guards() {
+        let enums = vec![WatchedEnum {
+            name: "ControlEvent".into(),
+            variants: vec!["Start".into(), "Fault".into()],
+        }];
+        let src = "use ControlEvent::*;\n\
+                   fn f(e: ControlEvent, n: u8) -> u8 {\n\
+                   match (e, n) { (Start, k) if k > 0 => k, (_, _) => 0 } }";
+        let hits = exhaustive_safety_match(&file(src), &enums);
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].line, 3);
+    }
+
+    #[test]
+    fn r4_ignores_matches_macro_and_test_code() {
+        let enums = vec![WatchedEnum { name: "RobotState".into(), variants: vec!["Init".into()] }];
+        let src = "fn f(s: RobotState) -> bool { matches!(s, RobotState::Init) }\n\
+                   #[cfg(test)]\nmod t { fn g(s: RobotState) -> u8 { match s { _ => 0 } } }";
+        assert!(exhaustive_safety_match(&file(src), &enums).is_empty());
+    }
+
+    #[test]
+    fn registry_and_doc_parse() {
+        let reg_src = r#"
+            impl EventKind {
+                pub fn as_str(self) -> &'static str {
+                    match self {
+                        EventKind::EstopLatched => "estop.latched",
+                        EventKind::EstopCleared => "estop.cleared",
+                    }
+                }
+            }
+            pub mod names {
+                pub const DETECTOR_ALARMS: &str = "detector.alarms";
+                pub const FAULT_COUNT_PREFIX: &str = "fault.count.";
+            }
+        "#;
+        let reg = parse_registry(reg_src);
+        assert_eq!(reg.event_kinds.len(), 2);
+        assert_eq!(reg.metrics, vec!["detector.alarms"]);
+        assert_eq!(reg.families, vec!["fault.count."]);
+        let doc = parse_doc(
+            "| kind | x |\n|---|---|\n| `estop.latched` | a |\n\n\
+             | metric | type |\n|---|---|\n| `detector.alarms` | counter |\n\
+             | `fault.count.<slug>` | counter |\n",
+        );
+        assert_eq!(doc.kinds, vec!["estop.latched"]);
+        assert_eq!(doc.metrics, vec!["detector.alarms", "fault.count."]);
+    }
+
+    #[test]
+    fn doc_drift_both_directions_and_point_of_use() {
+        let cfg = Config {
+            registry_path: "obs.rs".into(),
+            doc_path: "doc.md".into(),
+            ..Config::default()
+        };
+        let reg_src = r#"
+            EventKind::EstopLatched => "estop.latched",
+            pub mod names {
+                pub const DETECTOR_ALARMS: &str = "detector.alarms";
+            }
+        "#;
+        let doc_src = "| kind | x |\n|---|---|\n| `estop.latched` | a |\n| `ghost.kind` | b |\n\n\
+                       | metric | t |\n|---|---|\n";
+        let emit =
+            SourceFile::parse("emit.rs", "fn f(m: &mut M) { m.inc(\"detector.alarms\"); }", false);
+        let hits = doc_drift(&cfg, reg_src, doc_src, std::slice::from_ref(&emit));
+        // ghost.kind documented-but-unregistered, detector.alarms
+        // registered-but-undocumented, and one raw-literal emit site.
+        assert_eq!(hits.len(), 3, "{hits:?}");
+        assert!(hits.iter().any(|h| h.hint.contains("ghost.kind")));
+        assert!(hits.iter().any(|h| h.path == "emit.rs"));
+    }
+
+    #[test]
+    fn unsafe_audit_requires_allowlist_and_safety_comment() {
+        let src = "fn f() { unsafe { core::hint::unreachable_unchecked() } }";
+        let hits = unsafe_audit(&file(src), &[]);
+        assert_eq!(hits.len(), 1);
+        let allowed_src =
+            "fn f() {\n    // SAFETY: guarded by the check above.\n    unsafe { x() }\n}";
+        let f2 = file(allowed_src);
+        assert!(unsafe_audit(&f2, &["x.rs".into()]).is_empty());
+        let no_comment = "fn f() { unsafe { x() } }";
+        assert_eq!(unsafe_audit(&file(no_comment), &["x.rs".into()]).len(), 1);
+    }
+
+    #[test]
+    fn forbid_attribute_is_not_an_unsafe_token() {
+        let src = "#![forbid(unsafe_code)]\nfn f() {}";
+        assert!(unsafe_audit(&file(src), &[]).is_empty());
+    }
+}

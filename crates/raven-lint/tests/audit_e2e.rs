@@ -1,0 +1,53 @@
+//! End-to-end binary tests: the mini fixture workspace (one seeded
+//! violation per rule) must fail the audit with every rule represented,
+//! and the real workspace must pass it — this is the tier-1 guard that
+//! keeps `cargo test -q` equivalent to `cargo run -p raven-lint`.
+
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+fn manifest_dir() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+fn run_lint(root: &Path) -> (bool, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_raven-lint"))
+        .args(["--json", "--root"])
+        .arg(root)
+        .output()
+        .expect("spawn raven-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    (out.status.success(), format!("{stdout}\n{stderr}"))
+}
+
+#[test]
+fn seeded_violations_fail_with_every_rule_represented() {
+    let ws = manifest_dir().join("tests/fixtures/ws");
+    let (ok, output) = run_lint(&ws);
+    assert!(!ok, "seeded workspace must fail the audit:\n{output}");
+    for rule in ["R1", "R2", "R3", "R4", "R5", "R6"] {
+        assert!(
+            output.contains(&format!("\"rule\": \"{rule}\"")),
+            "rule {rule} missing from findings:\n{output}"
+        );
+    }
+    // The deliberately stale allowlist entry must surface as CONFIG.
+    assert!(
+        output.contains("\"rule\": \"CONFIG\""),
+        "stale allowlist entry not reported:\n{output}"
+    );
+}
+
+#[test]
+fn real_workspace_passes_the_audit() {
+    // crates/raven-lint -> the workspace root two levels up.
+    let root: PathBuf = manifest_dir().ancestors().nth(2).expect("workspace root").to_path_buf();
+    assert!(
+        root.join("raven-lint.toml").is_file(),
+        "expected raven-lint.toml at {}",
+        root.display()
+    );
+    let (ok, output) = run_lint(&root);
+    assert!(ok, "workspace audit must be clean:\n{output}");
+}

@@ -1,0 +1,99 @@
+//! Per-rule positive/negative coverage over the fixture corpus in
+//! `tests/fixtures/cases/`. Every rule must fire on its `_bad` fixture and
+//! stay silent on its `_ok` counterpart.
+
+use raven_lint::config::WatchedEnum;
+use raven_lint::rules;
+use raven_lint::SourceFile;
+use std::path::Path;
+
+fn fixture(name: &str) -> SourceFile {
+    let path = Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/cases").join(name);
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("fixture {name}: {e}"));
+    SourceFile::parse(name, &src, false)
+}
+
+fn watched() -> Vec<WatchedEnum> {
+    vec![
+        WatchedEnum {
+            name: "RobotState".into(),
+            variants: vec!["EStop".into(), "Init".into(), "PedalUp".into(), "PedalDown".into()],
+        },
+        WatchedEnum {
+            name: "ControlEvent".into(),
+            variants: vec![
+                "StartPressed".into(),
+                "HomingComplete".into(),
+                "PedalPressed".into(),
+                "PedalReleased".into(),
+                "Fault".into(),
+            ],
+        },
+    ]
+}
+
+#[test]
+fn r1_wall_clock_positive_and_negative() {
+    let tokens = vec!["Instant::now".to_string(), "SystemTime".to_string()];
+    let bad =
+        rules::token_rule(&fixture("r1_wall_clock_bad.rs"), &tokens, "R1", "no-wall-clock", "h");
+    assert_eq!(bad.len(), 3, "{bad:?}"); // use-decl SystemTime + two call sites
+    assert!(bad.iter().all(|f| f.rule == "R1"));
+    let ok =
+        rules::token_rule(&fixture("r1_wall_clock_ok.rs"), &tokens, "R1", "no-wall-clock", "h");
+    assert!(ok.is_empty(), "{ok:?}");
+}
+
+#[test]
+fn r2_unordered_positive_and_negative() {
+    let tokens = vec!["HashMap".to_string(), "HashSet".to_string()];
+    let bad = rules::token_rule(
+        &fixture("r2_unordered_bad.rs"),
+        &tokens,
+        "R2",
+        "no-unordered-iteration",
+        "h",
+    );
+    assert!(bad.len() >= 2, "{bad:?}");
+    let ok = rules::token_rule(
+        &fixture("r2_unordered_ok.rs"),
+        &tokens,
+        "R2",
+        "no-unordered-iteration",
+        "h",
+    );
+    assert!(ok.is_empty(), "{ok:?}");
+}
+
+#[test]
+fn r3_panic_positive_and_negative() {
+    let tokens: Vec<String> =
+        [".unwrap(", ".expect(", "panic!("].iter().map(|s| s.to_string()).collect();
+    let bad =
+        rules::token_rule(&fixture("r3_panic_bad.rs"), &tokens, "R3", "no-panic-in-hot-path", "h");
+    assert_eq!(bad.len(), 3, "{bad:?}");
+    let ok =
+        rules::token_rule(&fixture("r3_panic_ok.rs"), &tokens, "R3", "no-panic-in-hot-path", "h");
+    assert!(ok.is_empty(), "unwraps in #[cfg(test)] must not fire: {ok:?}");
+}
+
+#[test]
+fn r4_match_positive_and_negative() {
+    let enums = watched();
+    let bad = rules::exhaustive_safety_match(&fixture("r4_match_bad.rs"), &enums);
+    assert_eq!(bad.len(), 2, "{bad:?}"); // `_ => true` and `(s, _) => s`
+    let ok = rules::exhaustive_safety_match(&fixture("r4_match_ok.rs"), &enums);
+    assert!(ok.is_empty(), "{ok:?}");
+}
+
+#[test]
+fn r6_unsafe_positive_and_negative() {
+    let bad = rules::unsafe_audit(&fixture("r6_unsafe_bad.rs"), &[]);
+    assert_eq!(bad.len(), 1, "{bad:?}");
+    // The ok fixture is clean only when its file is allowlisted.
+    let ok = rules::unsafe_audit(&fixture("r6_unsafe_ok.rs"), &["r6_unsafe_ok.rs".to_string()]);
+    assert!(ok.is_empty(), "{ok:?}");
+    // Same file without the allowlist entry: one finding.
+    let unlisted = rules::unsafe_audit(&fixture("r6_unsafe_ok.rs"), &[]);
+    assert_eq!(unlisted.len(), 1);
+}

@@ -1,0 +1,8 @@
+//! R1 positive: wall-clock reads in production code.
+use std::time::{Instant, SystemTime};
+
+pub fn stamp() -> u128 {
+    let t = Instant::now(); // violation
+    let _ = SystemTime::now(); // violation (token `SystemTime`)
+    t.elapsed().as_nanos()
+}

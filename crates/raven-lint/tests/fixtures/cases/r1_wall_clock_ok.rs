@@ -1,0 +1,16 @@
+//! R1 negative: the forbidden tokens appear only in prose, strings, and
+//! test code — none of which may fire.
+//
+// Instant::now() in a comment is fine.
+
+pub fn describe() -> &'static str {
+    "calling Instant::now here would be a bug, but this is a string"
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn timing_in_tests_is_fine() {
+        let _ = std::time::Instant::now();
+    }
+}

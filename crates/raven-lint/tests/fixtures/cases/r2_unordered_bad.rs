@@ -1,0 +1,11 @@
+//! R2 positive: hash collections in a crate that serializes results.
+use std::collections::{HashMap, HashSet};
+
+pub fn tally(xs: &[u32]) -> Vec<(u32, usize)> {
+    let mut counts: HashMap<u32, usize> = HashMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    let _dedup: HashSet<u32> = xs.iter().copied().collect();
+    counts.into_iter().collect() // iteration order is hash order: nondeterministic
+}

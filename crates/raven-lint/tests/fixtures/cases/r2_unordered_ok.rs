@@ -1,0 +1,11 @@
+//! R2 negative: ordered collections serialize deterministically.
+use std::collections::{BTreeMap, BTreeSet};
+
+pub fn tally(xs: &[u32]) -> Vec<(u32, usize)> {
+    let mut counts: BTreeMap<u32, usize> = BTreeMap::new();
+    for &x in xs {
+        *counts.entry(x).or_insert(0) += 1;
+    }
+    let _dedup: BTreeSet<u32> = xs.iter().copied().collect();
+    counts.into_iter().collect()
+}

@@ -1,0 +1,10 @@
+//! R3 positive: panics inside hot-path code.
+
+pub fn decode(buf: &[u8]) -> u16 {
+    let head: [u8; 2] = buf[..2].try_into().unwrap(); // violation
+    if head[0] == 0xFF {
+        panic!("bad header"); // violation
+    }
+    let v = std::str::from_utf8(&buf[2..]).expect("utf8"); // violation
+    v.len() as u16
+}

@@ -1,0 +1,24 @@
+//! R3 negative: the same logic with typed errors, plus asserting panics
+//! in tests (allowed: a test panic is an assertion, not a hot-path hazard).
+
+#[derive(Debug)]
+pub struct BadHeader;
+
+pub fn decode(buf: &[u8]) -> Result<u16, BadHeader> {
+    let head: [u8; 2] = buf.get(..2).and_then(|s| s.try_into().ok()).ok_or(BadHeader)?;
+    if head[0] == 0xFF {
+        return Err(BadHeader);
+    }
+    Ok(u16::from(head[1]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rejects_short_input() {
+        assert!(decode(&[1]).is_err());
+        decode(&[1, 2, 3]).unwrap();
+    }
+}

@@ -1,0 +1,15 @@
+//! R4 positive: wildcard arms in matches over safety-critical enums.
+
+pub fn brakes_engaged(s: RobotState) -> bool {
+    match s {
+        RobotState::PedalDown => false,
+        _ => true, // violation: a new state would silently engage brakes
+    }
+}
+
+pub fn preempts(e: ControlEvent, s: RobotState) -> RobotState {
+    match (s, e) {
+        (RobotState::EStop, ControlEvent::StartPressed) => RobotState::Init,
+        (s, _) => s, // violation: tuple wildcard swallows new events
+    }
+}

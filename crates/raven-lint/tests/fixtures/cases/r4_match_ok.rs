@@ -1,0 +1,22 @@
+//! R4 negative: exhaustive matches over watched enums, wildcards over
+//! unwatched types, guards, and the `matches!` macro.
+
+pub fn brakes_engaged(s: RobotState) -> bool {
+    match s {
+        RobotState::EStop => true,
+        RobotState::Init => true,
+        RobotState::PedalUp => true,
+        RobotState::PedalDown => false,
+    }
+}
+
+pub fn unwatched(x: Option<u8>) -> u8 {
+    match x {
+        Some(v) if v > 3 => v,
+        _ => 0, // fine: Option is not a watched enum
+    }
+}
+
+pub fn is_stopped(s: RobotState) -> bool {
+    matches!(s, RobotState::EStop)
+}

@@ -1,0 +1,6 @@
+//! R6 positive: `unsafe` in a file that is not allowlisted (and without a
+//! SAFETY comment).
+
+pub fn reinterpret(x: &u32) -> &[u8; 4] {
+    unsafe { &*(x as *const u32 as *const [u8; 4]) } // violation
+}

@@ -1,0 +1,8 @@
+//! R6 negative (when this file is allowlisted): the block carries a
+//! SAFETY comment within the preceding three lines.
+
+pub fn reinterpret(x: &u32) -> &[u8; 4] {
+    // SAFETY: u32 and [u8; 4] have identical size and alignment, and the
+    // lifetime is tied to the borrow of `x`.
+    unsafe { &*(x as *const u32 as *const [u8; 4]) }
+}

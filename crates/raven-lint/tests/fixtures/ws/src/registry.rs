@@ -1,0 +1,20 @@
+//! Mini observability registry with seeded doc drift: `guard.verdicts`
+//! and `undocumented.metric` are registered but OBS.md documents neither;
+//! OBS.md documents `phantom.kind` which has no variant here.
+
+pub enum EventKind {
+    GuardVerdict,
+}
+
+impl EventKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::GuardVerdict => "guard.verdict",
+        }
+    }
+}
+
+pub mod names {
+    pub const GUARD_VERDICTS: &str = "guard.verdicts";
+    pub const UNDOCUMENTED_METRIC: &str = "undocumented.metric";
+}

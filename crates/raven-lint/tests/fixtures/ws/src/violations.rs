@@ -1,0 +1,34 @@
+//! One seeded violation per rule, for the exit-code end-to-end test.
+use std::collections::HashMap; // R2
+use std::time::Instant;
+
+pub fn r1() -> std::time::Instant {
+    Instant::now() // R1
+}
+
+pub fn r2(xs: &[u32]) -> usize {
+    let mut m = HashMap::new(); // R2
+    for &x in xs {
+        m.insert(x, ());
+    }
+    m.len()
+}
+
+pub fn r3(buf: &[u8]) -> u8 {
+    *buf.first().unwrap() // R3
+}
+
+pub fn r4(s: RobotState) -> bool {
+    match s {
+        RobotState::EStop => true,
+        _ => false, // R4
+    }
+}
+
+pub fn r5(m: &mut Metrics) {
+    m.inc("guard.verdicts"); // R5: registered name as a raw literal
+}
+
+pub fn r6(x: &u32) -> u32 {
+    unsafe { *(x as *const u32) } // R6: file not allowlisted
+}

@@ -31,6 +31,8 @@
 //! assert!((x[0] - (-1.0_f64).exp()).abs() < 1e-3);
 //! ```
 
+#![forbid(unsafe_code)]
+
 pub mod angles;
 pub mod mat3;
 pub mod ode;

@@ -11,6 +11,8 @@
 //! * [`console`] — the master console emulator of §IV.A, with foot-pedal
 //!   schedules.
 
+#![forbid(unsafe_code)]
+
 pub mod console;
 pub mod itp;
 pub mod recorded;

@@ -19,6 +19,8 @@
 //! [`time::SimClock`] explicitly, so runs are bit-for-bit reproducible — a
 //! property the detection-accuracy experiments (Table IV, Fig. 9) rely on.
 
+#![forbid(unsafe_code)]
+
 pub mod bus;
 pub mod net;
 pub mod obs;
@@ -29,8 +31,8 @@ pub mod trace;
 pub use bus::{Bus, Subscription};
 pub use net::{LinkConfig, SimLink};
 pub use obs::{
-    shared_observer, Event, EventLog, FieldValue, Histogram, Metrics, Observer, Severity,
-    SharedObserver, StageProfiler, StageStats,
+    shared_observer, Event, EventKind, EventLog, FieldValue, Histogram, Metrics, Observer,
+    Severity, SharedObserver, StageProfiler, StageStats,
 };
 pub use time::{SimClock, SimDuration, SimTime, CONTROL_PERIOD};
 pub use trace::TraceRecorder;

@@ -138,6 +138,130 @@ impl From<String> for FieldValue {
     }
 }
 
+/// The closed set of event kinds the workspace may emit.
+///
+/// This enum — together with [`names`] — is the observability registry:
+/// `raven-lint` (rule R5) parses the `as_str` arms below and cross-checks
+/// them against the tables in `docs/OBSERVABILITY.md`, both directions, so
+/// the taxonomy cannot drift from its documentation. Emit sites must go
+/// through these variants rather than raw string literals (also enforced
+/// by R5): a rename then touches exactly one `match` arm and one doc row.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Serialize, Deserialize)]
+pub enum EventKind {
+    /// `install_attack` armed a malicious interceptor on a channel.
+    AttackInstalled,
+    /// The software state machine changed state.
+    StateTransition,
+    /// The fault latch engaged with a new reason.
+    ControlFault,
+    /// Malware mutated packets this cycle (USB wrapper or ITP MITM).
+    AttackInjection,
+    /// The armed guard raised an alarm on a Pedal-Down command.
+    DetectorVerdict,
+    /// The PLC E-STOP latch engaged.
+    EstopLatched,
+    /// The start button released the E-STOP latch.
+    EstopCleared,
+}
+
+impl EventKind {
+    /// Every kind, for exhaustive iteration in tests and tooling.
+    pub const ALL: [EventKind; 7] = [
+        EventKind::AttackInstalled,
+        EventKind::StateTransition,
+        EventKind::ControlFault,
+        EventKind::AttackInjection,
+        EventKind::DetectorVerdict,
+        EventKind::EstopLatched,
+        EventKind::EstopCleared,
+    ];
+
+    /// The stable dotted identifier serialized into event logs.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            EventKind::AttackInstalled => "attack.installed",
+            EventKind::StateTransition => "state.transition",
+            EventKind::ControlFault => "control.fault",
+            EventKind::AttackInjection => "attack.injection",
+            EventKind::DetectorVerdict => "detector.verdict",
+            EventKind::EstopLatched => "estop.latched",
+            EventKind::EstopCleared => "estop.cleared",
+        }
+    }
+}
+
+impl From<EventKind> for String {
+    fn from(k: EventKind) -> Self {
+        k.as_str().to_string()
+    }
+}
+
+impl fmt::Display for EventKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// The metric-name registry: every counter/gauge/histogram name the
+/// workspace emits, as constants.
+///
+/// Like [`EventKind`], this is machine-parsed by `raven-lint` R5 and
+/// cross-checked against `docs/OBSERVABILITY.md`. `*_PREFIX` constants
+/// declare metric *families* — names completed with a slug at runtime
+/// (e.g. `fault.count.dac_limit`); use [`fault_count`]/[`estop_count`]
+/// to build them.
+///
+/// [`fault_count`]: names::fault_count
+/// [`estop_count`]: names::estop_count
+pub mod names {
+    /// Armed per-packet assessments performed by the guard (counter).
+    pub const DETECTOR_ASSESSMENTS: &str = "detector.assessments";
+    /// Alarm edges raised by the guard (counter).
+    pub const DETECTOR_ALARMS: &str = "detector.alarms";
+    /// Commands dropped or substituted by the mitigation policy (counter).
+    pub const DETECTOR_BLOCKED_COMMANDS: &str = "detector.blocked_commands";
+    /// Assessment index of the first alarm (gauge).
+    pub const DETECTOR_FIRST_ALARM_ASSESSMENT: &str = "detector.first_alarm_assessment";
+    /// Armed assessments between injection onset and first alarm
+    /// (histogram).
+    pub const DETECTOR_DETECTION_LATENCY_CYCLES: &str = "detector.detection_latency_cycles";
+    /// Packets actually mutated — USB wrapper + ITP MITM (counter).
+    pub const ATTACK_INJECTIONS: &str = "attack.injections";
+    /// ITP link losses (counter).
+    pub const NET_PACKETS_DROPPED: &str = "net.packets_dropped";
+    /// Software state-machine transitions (counter).
+    pub const CONTROL_TRANSITIONS: &str = "control.transitions";
+    /// Family: fault latches by `FaultReason` slug.
+    pub const FAULT_COUNT_PREFIX: &str = "fault.count.";
+    /// Family: PLC E-STOP latches by `EStopCause` slug.
+    pub const ESTOP_COUNT_PREFIX: &str = "estop.count.";
+
+    /// Every exact (non-family) metric name.
+    pub const ALL: [&str; 8] = [
+        DETECTOR_ASSESSMENTS,
+        DETECTOR_ALARMS,
+        DETECTOR_BLOCKED_COMMANDS,
+        DETECTOR_FIRST_ALARM_ASSESSMENT,
+        DETECTOR_DETECTION_LATENCY_CYCLES,
+        ATTACK_INJECTIONS,
+        NET_PACKETS_DROPPED,
+        CONTROL_TRANSITIONS,
+    ];
+
+    /// Every family prefix.
+    pub const FAMILIES: [&str; 2] = [FAULT_COUNT_PREFIX, ESTOP_COUNT_PREFIX];
+
+    /// `fault.count.<slug>` for a `FaultReason` slug.
+    pub fn fault_count(slug: &str) -> String {
+        format!("{FAULT_COUNT_PREFIX}{slug}")
+    }
+
+    /// `estop.count.<slug>` for an `EStopCause` slug.
+    pub fn estop_count(slug: &str) -> String {
+        format!("{ESTOP_COUNT_PREFIX}{slug}")
+    }
+}
+
 /// One structured event: something that happened at a virtual instant.
 ///
 /// `kind` is a stable dotted identifier (`state.transition`,

@@ -3,4 +3,6 @@
 //! This crate exists to host the runnable examples (`examples/`) and the
 //! cross-crate integration tests (`tests/`). The actual library surface lives
 //! in [`raven_core`] and the per-subsystem crates it re-exports.
+
+#![forbid(unsafe_code)]
 pub use raven_core as core;

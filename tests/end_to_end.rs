@@ -250,7 +250,7 @@ fn console_silence_stops_the_robot() {
 fn telemetry_bus_and_threshold_persistence() {
     // Train once, persist, reload — the production workflow.
     let trained = quick_thresholds(37);
-    let json = trained.to_json();
+    let json = trained.to_json().expect("thresholds serialize");
     let reloaded = raven_detect::DetectionThresholds::from_json(&json).unwrap();
     // JSON float formatting may lose the final ULP; verify to full printed
     // precision rather than bit equality.

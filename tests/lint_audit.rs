@@ -1,0 +1,41 @@
+//! Tier-1 guard for the static audit: the workspace must pass
+//! `cargo run -p raven-lint`, and the seeded fixture workspace must fail
+//! it with every rule represented. This keeps the audit inside the plain
+//! `cargo test -q` gate (the per-rule fixture suite lives in
+//! `crates/raven-lint/tests/` and runs with the workspace tests).
+
+use std::path::Path;
+use std::process::Command;
+
+fn run_lint(root: &Path) -> (bool, String) {
+    let out = Command::new(env!("CARGO"))
+        .args(["run", "-q", "-p", "raven-lint", "--", "--json", "--root"])
+        .arg(root)
+        .current_dir(env!("CARGO_MANIFEST_DIR"))
+        .output()
+        .expect("spawn cargo run -p raven-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    (out.status.success(), format!("{stdout}\n{stderr}"))
+}
+
+#[test]
+fn workspace_passes_its_own_audit() {
+    let root = Path::new(env!("CARGO_MANIFEST_DIR"));
+    assert!(root.join("raven-lint.toml").is_file());
+    let (ok, output) = run_lint(root);
+    assert!(ok, "the workspace must pass its own static audit:\n{output}");
+}
+
+#[test]
+fn seeded_violations_fail_the_audit() {
+    let ws = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/raven-lint/tests/fixtures/ws");
+    let (ok, output) = run_lint(&ws);
+    assert!(!ok, "the seeded fixture workspace must fail the audit:\n{output}");
+    for rule in ["R1", "R2", "R3", "R4", "R5", "R6", "CONFIG"] {
+        assert!(
+            output.contains(&format!("\"rule\": \"{rule}\"")),
+            "rule {rule} missing from findings:\n{output}"
+        );
+    }
+}
