@@ -103,3 +103,28 @@ proptest! {
         prop_assert!(checker.check_cycle(&joints, &m, &m, &dac).is_err());
     }
 }
+
+// ---------------------------------------------------------------------------
+// Minimizer fixture: an event log that trips the property shrinks to a
+// single fault, and `prop_oneof!` backs it into its earliest failing arm.
+
+#[test]
+fn minimizer_reduces_event_logs_to_a_single_first_fault() {
+    use proptest::test_runner::run_reporting;
+    let cfg = ProptestConfig::with_cases(64);
+    let strat = (prop::collection::vec(any_event(), 0..50),);
+    let failure = run_reporting("ctl_minimizer_fixture", &cfg, &strat, |(events,)| {
+        if events.iter().any(|e| matches!(e, ControlEvent::Fault(_))) {
+            Err(TestCaseError::fail("a fault occurred"))
+        } else {
+            Ok(())
+        }
+    })
+    .expect_err("property was constructed to fail");
+    let (events,) = failure.minimized;
+    assert_eq!(events.len(), 1, "{events:?}");
+    assert!(
+        matches!(events[0], ControlEvent::Fault(FaultReason::DacLimit)),
+        "prop_oneof! shrinks to the earliest failing arm: {events:?}"
+    );
+}

@@ -14,6 +14,7 @@
 //! enforce anyway.
 
 use serde::{Deserialize, Serialize};
+use simbus::obs::{Event, Metrics};
 use simbus::rng::derive_seed;
 
 use crate::scenario::AttackSetup;
@@ -28,13 +29,23 @@ pub enum Arm {
     Green,
 }
 
-/// Outcome of a dual-arm session.
+/// Outcome of a dual-arm session. Each arm's observability registry is
+/// carried separately — an attack on one arm must never leak into the
+/// other arm's metrics or event log.
 #[derive(Debug, Clone, Serialize, Deserialize)]
 pub struct DualOutcome {
     /// Gold-arm outcome.
     pub gold: SessionOutcome,
     /// Green-arm outcome.
     pub green: SessionOutcome,
+    /// Gold-arm metrics registry snapshot.
+    pub gold_metrics: Metrics,
+    /// Green-arm metrics registry snapshot.
+    pub green_metrics: Metrics,
+    /// Gold-arm event log snapshot.
+    pub gold_events: Vec<Event>,
+    /// Green-arm event log snapshot.
+    pub green_events: Vec<Event>,
 }
 
 impl DualOutcome {
@@ -44,6 +55,33 @@ impl DualOutcome {
             Arm::Gold => &self.gold,
             Arm::Green => &self.green,
         }
+    }
+
+    /// One arm's metrics registry.
+    pub fn metrics(&self, arm: Arm) -> &Metrics {
+        match arm {
+            Arm::Gold => &self.gold_metrics,
+            Arm::Green => &self.green_metrics,
+        }
+    }
+
+    /// One arm's event log.
+    pub fn events(&self, arm: Arm) -> &[Event] {
+        match arm {
+            Arm::Gold => &self.gold_events,
+            Arm::Green => &self.green_events,
+        }
+    }
+
+    /// Both registries merged in run order (gold steps before green on
+    /// every tick, so gold merges first). The merge is deterministic —
+    /// counters add, gauges last-write-wins, histograms merge
+    /// bucket-wise — so serializing the result is byte-identical across
+    /// runs, exactly like the sweep-level run-order merge.
+    pub fn merged(&self) -> Metrics {
+        let mut merged = self.gold_metrics.clone();
+        merged.merge(&self.green_metrics);
+        merged
     }
 
     /// Did *any* arm suffer adverse impact?
@@ -121,6 +159,10 @@ impl DualArmSession {
         DualOutcome {
             gold: self.gold.run_session_outcome_only(),
             green: self.green.run_session_outcome_only(),
+            gold_metrics: self.gold.metrics(),
+            green_metrics: self.green.metrics(),
+            gold_events: self.gold.events(),
+            green_events: self.green.events(),
         }
     }
 }
@@ -167,5 +209,56 @@ mod tests {
         assert!(out.arm(Arm::Gold).adverse, "attacked arm must jump: {out:?}");
         assert!(!out.arm(Arm::Green).adverse, "untouched arm must stay clean: {out:?}");
         assert_eq!(out.green.final_state, "Pedal Down");
+    }
+
+    fn attacked_dual_outcome(seed: u64) -> DualOutcome {
+        let mut dual =
+            DualArmSession::new(SimConfig { session_ms: 3_000, ..SimConfig::standard(seed) });
+        dual.install_attack(
+            Arm::Gold,
+            &AttackSetup::ScenarioB {
+                dac_delta: 30_000,
+                channel: 0,
+                delay_packets: 400,
+                duration_packets: 256,
+            },
+        );
+        dual.boot();
+        dual.run_session(3_000)
+    }
+
+    #[test]
+    fn per_arm_registries_isolate_attack_evidence() {
+        let out = attacked_dual_outcome(63);
+
+        // The attacked arm's registry records the injections; the clean
+        // arm's registry must not see a single one.
+        assert!(out.metrics(Arm::Gold).counter("attack.injections") > 0, "{out:?}");
+        assert_eq!(out.metrics(Arm::Green).counter("attack.injections"), 0);
+        assert!(out.events(Arm::Gold).iter().any(|e| e.kind == "attack.injection"));
+        assert!(
+            out.events(Arm::Green).iter().all(|e| e.kind != "attack.injection"),
+            "gold-arm attack events leaked into the green arm's registry"
+        );
+
+        // The merged registry is the per-arm registries combined in run
+        // order: counters add across arms.
+        let merged = out.merged();
+        assert_eq!(
+            merged.counter("attack.injections"),
+            out.metrics(Arm::Gold).counter("attack.injections")
+        );
+        assert_eq!(
+            merged.counter("control.transitions"),
+            out.metrics(Arm::Gold).counter("control.transitions")
+                + out.metrics(Arm::Green).counter("control.transitions")
+        );
+    }
+
+    #[test]
+    fn merged_registry_serializes_byte_identically_across_runs() {
+        let a = serde_json::to_string(&attacked_dual_outcome(63).merged()).unwrap();
+        let b = serde_json::to_string(&attacked_dual_outcome(63).merged()).unwrap();
+        assert_eq!(a, b, "run-order merge must be byte-identical across identical runs");
     }
 }

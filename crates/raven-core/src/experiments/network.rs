@@ -12,6 +12,7 @@
 //! can do.
 
 use serde::{Deserialize, Serialize};
+use simbus::obs::channels;
 use simbus::rng::derive_seed;
 use simbus::{LinkConfig, SimDuration};
 
@@ -117,9 +118,11 @@ fn run_condition(
     let b = reference.trace();
     let mut sum_sq = 0.0;
     let mut n = 0u64;
-    for (sa, sb) in a.samples("ee_x_mm").iter().zip(b.samples("ee_x_mm")) {
-        let dy = a.samples("ee_y_mm")[n as usize].value - b.samples("ee_y_mm")[n as usize].value;
-        let dz = a.samples("ee_z_mm")[n as usize].value - b.samples("ee_z_mm")[n as usize].value;
+    for (sa, sb) in a.samples(channels::EE_X_MM).iter().zip(b.samples(channels::EE_X_MM)) {
+        let dy = a.samples(channels::EE_Y_MM)[n as usize].value
+            - b.samples(channels::EE_Y_MM)[n as usize].value;
+        let dz = a.samples(channels::EE_Z_MM)[n as usize].value
+            - b.samples(channels::EE_Z_MM)[n as usize].value;
         let dx = sa.value - sb.value;
         sum_sq += dx * dx + dy * dy + dz * dz;
         n += 1;

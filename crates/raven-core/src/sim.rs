@@ -21,7 +21,7 @@ use raven_teleop::{
 };
 use serde::{Deserialize, Serialize};
 use simbus::obs::{
-    names, shared_observer, Event, EventKind, EventLog, Metrics, Severity, SharedObserver,
+    channels, names, shared_observer, Event, EventKind, EventLog, Metrics, Severity, SharedObserver,
 };
 use simbus::rng::derive_seed;
 use simbus::{LinkConfig, SimClock, SimDuration, SimLink, SimTime, StageProfiler};
@@ -457,9 +457,10 @@ impl Simulation {
             }
             AttackSetup::DropItp => {
                 // Port change: the control software never receives console
-                // packets (implemented as 100% loss on the ITP link).
-                self.itp_link =
-                    SimLink::new(LinkConfig { loss_probability: 1.0, ..self.config.link }, 0);
+                // packets (implemented as 100% loss on the ITP link). The
+                // live link is degraded in place so loss accounting stays
+                // cumulative and packets already in flight still arrive.
+                self.itp_link.set_loss_probability(1.0);
             }
         }
     }
@@ -657,12 +658,12 @@ impl Simulation {
             let arm = self.controller.chain().arm();
             let ee = arm.forward(&state.joint_pos()).position;
             let j = state.joint_pos().to_array();
-            self.trace.record("ee_x_mm", now, ee.x * 1e3);
-            self.trace.record("ee_y_mm", now, ee.y * 1e3);
-            self.trace.record("ee_z_mm", now, ee.z * 1e3);
-            self.trace.record("jpos1", now, j[0]);
-            self.trace.record("jpos2", now, j[1]);
-            self.trace.record("jpos3", now, j[2]);
+            self.trace.record(channels::EE_X_MM, now, ee.x * 1e3);
+            self.trace.record(channels::EE_Y_MM, now, ee.y * 1e3);
+            self.trace.record(channels::EE_Z_MM, now, ee.z * 1e3);
+            self.trace.record(channels::JPOS1, now, j[0]);
+            self.trace.record(channels::JPOS2, now, j[1]);
+            self.trace.record(channels::JPOS3, now, j[2]);
         }
         self.profiler.end("plant", t_stage);
 

@@ -111,3 +111,32 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Minimizer fixture: a failing sweep property shrinks to the smallest
+// sweep that still trips it, scheduled on a single worker.
+
+#[test]
+fn minimizer_pins_the_smallest_failing_sweep() {
+    use proptest::test_runner::run_reporting;
+    let cfg = ProptestConfig::with_cases(64);
+    let strat = (1usize..12, 0usize..48);
+    let failure = run_reporting("campaign_minimizer_fixture", &cfg, &strat, |(workers, n)| {
+        let result = run_sweep(
+            "fixture",
+            n,
+            &ExecutorConfig::with_workers(workers),
+            |i| derive_seed(5, &format!("fixture-{i}")),
+            |i, seed| (i, seed),
+        );
+        if result.stats.runs >= 10 {
+            Err(TestCaseError::fail("sweep large enough to trip the fixture"))
+        } else {
+            Ok(())
+        }
+    })
+    .expect_err("property was constructed to fail");
+    let (workers, n) = failure.minimized;
+    assert_eq!(workers, 1, "worker count shrinks to the range start");
+    assert_eq!(n, 10, "sweep size lands exactly on the threshold");
+}

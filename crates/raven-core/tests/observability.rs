@@ -113,3 +113,31 @@ fn clean_session_trips_nothing_and_counts_transitions() {
     // Boot walks E-STOP -> Init -> Pedal Up -> Pedal Down.
     assert!(metrics.counter("control.transitions") >= 3);
 }
+
+#[test]
+fn drop_itp_mid_session_keeps_loss_accounting_cumulative() {
+    // Regression: installing `DropItp` used to replace the live ITP link
+    // with a fresh one, zeroing its counters (so `net.packets_dropped`
+    // under-reported everything before the install) and vaporizing
+    // packets already in flight. The fix degrades the link in place.
+    let mut sim = Simulation::new(SimConfig {
+        session_ms: 3_000,
+        link: simbus::LinkConfig::lossy_wan(0.3),
+        ..SimConfig::standard(7)
+    });
+    sim.boot();
+    for _ in 0..500 {
+        sim.step();
+    }
+    let before = sim.metrics().counter("net.packets_dropped");
+    assert!(before > 0, "the lossy pre-attack phase must drop some packets");
+
+    sim.install_attack(&AttackSetup::DropItp);
+    for _ in 0..200 {
+        sim.step();
+    }
+    // Every post-install send is lost (probability 1.0), and the loss
+    // counter keeps the pre-attack history: one packet per step.
+    let after = sim.metrics().counter("net.packets_dropped");
+    assert_eq!(after, before + 200, "losses must accumulate across the attack install");
+}

@@ -127,3 +127,28 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Minimizer fixture: the feature vector shrinks to all-zero kinematics
+// with the end-effector step pinned just past the failure threshold.
+
+#[test]
+fn minimizer_pins_the_smallest_alarming_ee_step() {
+    use proptest::test_runner::run_reporting;
+    let cfg = ProptestConfig::with_cases(64);
+    let strat = (features(),);
+    let failure = run_reporting("det_minimizer_fixture", &cfg, &strat, |(f,)| {
+        if f.ee_step > 0.005 {
+            Err(TestCaseError::fail("end-effector step beyond the fixture bound"))
+        } else {
+            Ok(())
+        }
+    })
+    .expect_err("property was constructed to fail");
+    let f = failure.minimized.0;
+    assert!(f.ee_step > 0.005 && f.ee_step < 0.005 + 1e-6, "threshold pinned: {f:?}");
+    assert!(
+        f.motor_accel.iter().chain(&f.motor_vel).chain(&f.joint_vel).all(|&v| v == 0.0),
+        "irrelevant features reach their range start: {f:?}"
+    );
+}

@@ -83,3 +83,29 @@ proptest! {
         prop_assert!(err <= 0.5 / params.encoder_counts_per_rad + 1e-12);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Minimizer fixture: of three DAC words, only the one carrying the
+// failure survives above the threshold — and lands exactly on it.
+
+#[test]
+fn minimizer_isolates_a_single_hot_dac_word() {
+    use proptest::test_runner::run_reporting;
+    let cfg = ProptestConfig::with_cases(64);
+    let strat = (small_dac(),);
+    let failure = run_reporting("dyn_minimizer_fixture", &cfg, &strat, |(dac,)| {
+        if dac.iter().any(|&d| d >= 1000) {
+            Err(TestCaseError::fail("hot DAC word"))
+        } else {
+            Ok(())
+        }
+    })
+    .expect_err("property was constructed to fail");
+    let dac = failure.minimized.0;
+    let hot: Vec<i16> = dac.iter().copied().filter(|&d| d >= 1000).collect();
+    assert_eq!(hot, vec![1000], "exactly one word, exactly at the threshold: {dac:?}");
+    assert!(
+        dac.iter().filter(|&&d| d < 1000).all(|&d| d == -3000),
+        "cold words reach the range start: {dac:?}"
+    );
+}

@@ -2,7 +2,7 @@
 //! the parsers sit directly on attacker-controlled input.
 
 use proptest::prelude::*;
-use raven_hw::{BitwCodec, UsbBoard, UsbCommandPacket, UsbFeedbackPacket};
+use raven_hw::{BitwCodec, UsbBoard, UsbCommandPacket, UsbFeedbackPacket, COMMAND_PACKET_LEN};
 
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(512))]
@@ -66,4 +66,26 @@ proptest! {
         let mut rx = BitwCodec::new(k2);
         prop_assert!(rx.open(&tx.seal(&msg)).is_none());
     }
+}
+
+// ---------------------------------------------------------------------------
+// Minimizer fixture: byte soup long enough to decode shrinks to exactly
+// the boundary length, all zeros.
+
+#[test]
+fn minimizer_pins_the_exact_decodable_length() {
+    use proptest::test_runner::run_reporting;
+    let cfg = ProptestConfig::with_cases(64);
+    let strat = (prop::collection::vec(any::<u8>(), 0..64),);
+    let failure = run_reporting("fuzz_minimizer_fixture", &cfg, &strat, |(bytes,)| {
+        if bytes.len() >= COMMAND_PACKET_LEN {
+            Err(TestCaseError::fail("long enough to decode"))
+        } else {
+            Ok(())
+        }
+    })
+    .expect_err("property was constructed to fail");
+    let (bytes,) = failure.minimized;
+    assert_eq!(bytes.len(), COMMAND_PACKET_LEN, "removal stops at the exact boundary");
+    assert!(bytes.iter().all(|&b| b == 0), "payload bytes shrink to zero: {bytes:?}");
 }

@@ -88,3 +88,28 @@ proptest! {
         prop_assert_eq!(b0 & 0xE0, 0);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Minimizer fixture: a failing command packet shrinks to the first
+// selectable state, a cleared watchdog, and a single ±1 DAC word.
+
+#[test]
+fn minimizer_reduces_command_packets_to_one_unit_dac_word() {
+    use proptest::test_runner::run_reporting;
+    let cfg = ProptestConfig::with_cases(64);
+    let strat = (any_command(),);
+    let failure = run_reporting("hw_minimizer_fixture", &cfg, &strat, |(pkt,)| {
+        if pkt.dac.iter().any(|&d| d != 0) {
+            Err(TestCaseError::fail("nonzero DAC word"))
+        } else {
+            Ok(())
+        }
+    })
+    .expect_err("property was constructed to fail");
+    let pkt = failure.minimized.0;
+    assert_eq!(pkt.state, RobotState::all()[0], "select shrinks to the first option");
+    assert!(!pkt.watchdog, "bools shrink to false");
+    let nonzero: Vec<i16> = pkt.dac.iter().copied().filter(|&d| d != 0).collect();
+    assert_eq!(nonzero.len(), 1, "{:?}", pkt.dac);
+    assert_eq!(nonzero[0].abs(), 1, "smallest failing magnitude: {:?}", pkt.dac);
+}

@@ -80,3 +80,29 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Minimizer fixture: the shrunk counterexample parks every joint at its
+// range start except the one that carries the failure, which lands on
+// the threshold.
+
+#[test]
+fn minimizer_pins_the_shallowest_overdeep_insertion() {
+    use proptest::test_runner::run_reporting;
+    let l = JointLimits::raven_ii();
+    let deep = (l.insertion.0 + l.insertion.1) / 2.0;
+    let cfg = ProptestConfig::with_cases(64);
+    let strat = (in_limit_joints(),);
+    let failure = run_reporting("kin_minimizer_fixture", &cfg, &strat, |(j,)| {
+        if j.insertion > deep {
+            Err(TestCaseError::fail("insertion beyond the fixture bound"))
+        } else {
+            Ok(())
+        }
+    })
+    .expect_err("property was constructed to fail");
+    let j = failure.minimized.0;
+    assert_eq!(j.shoulder, l.shoulder.0, "irrelevant joints reach their range start: {j:?}");
+    assert_eq!(j.elbow, l.elbow.0, "irrelevant joints reach their range start: {j:?}");
+    assert!(j.insertion > deep && j.insertion < deep + 1e-6, "threshold pinned: {j:?}");
+}

@@ -13,7 +13,7 @@ use std::fmt;
 /// the allowlist cannot silently outlive the code it excuses.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct AllowEntry {
-    /// Rule id: `R1`..`R6`.
+    /// Rule id: `R1`..`R7`.
     pub rule: String,
     /// Workspace-relative file path, or a directory prefix ending in `/`.
     pub path: String,
@@ -69,6 +69,9 @@ pub struct Config {
     pub doc_path: String,
     /// R6: files allowed to contain `unsafe` (with `// SAFETY:`).
     pub unsafe_files: Vec<String>,
+    /// R7: crates where float `==`/`!=` against literals is forbidden
+    /// (the merged-artifact crates, same stakes as R2).
+    pub float_cmp_crates: Vec<String>,
     /// The audited exception list.
     pub allows: Vec<AllowEntry>,
 }
@@ -184,6 +187,9 @@ impl Config {
                 (Open::None, "rules.unsafe_audit", "files") => {
                     cfg.unsafe_files = value.arr(lineno)?
                 }
+                (Open::None, "rules.float_cmp", "crates") => {
+                    cfg.float_cmp_crates = value.arr(lineno)?
+                }
                 (Open::Enum, _, "name") => {
                     cfg.watched_enums.last_mut().expect("open enum").name = value.str(lineno)?
                 }
@@ -215,11 +221,11 @@ impl Config {
     }
 
     fn validate(&self) -> Result<(), ConfigError> {
-        const RULES: [&str; 6] = ["R1", "R2", "R3", "R4", "R5", "R6"];
+        const RULES: [&str; 7] = ["R1", "R2", "R3", "R4", "R5", "R6", "R7"];
         for (i, a) in self.allows.iter().enumerate() {
             let at = |msg: String| err(0, format!("[[allow]] entry #{}: {msg}", i + 1));
             if !RULES.contains(&a.rule.as_str()) {
-                return Err(at(format!("rule must be one of R1..R6, got `{}`", a.rule)));
+                return Err(at(format!("rule must be one of R1..R7, got `{}`", a.rule)));
             }
             if a.path.is_empty() {
                 return Err(at("missing `path`".into()));
@@ -353,6 +359,9 @@ tokens = ["Instant::now", "SystemTime"]
 registry = "crates/simbus/src/obs.rs"
 doc = "docs/OBSERVABILITY.md"
 
+[rules.float_cmp]
+crates = ["simbus", "raven-core"]
+
 [[rules.exhaustive_safety_match.enums]]
 name = "RobotState"
 variants = ["Init", "EStop"]
@@ -376,6 +385,7 @@ reason = "illegal events are ignored by design (paper Fig. 1c)"
         assert_eq!(cfg.exclude.len(), 2);
         assert_eq!(cfg.wall_clock_tokens, vec!["Instant::now", "SystemTime"]);
         assert_eq!(cfg.registry_path, "crates/simbus/src/obs.rs");
+        assert_eq!(cfg.float_cmp_crates, vec!["simbus", "raven-core"]);
         assert_eq!(cfg.watched_enums.len(), 1);
         assert_eq!(cfg.watched_enums[0].variants, vec!["Init", "EStop"]);
         assert_eq!(cfg.allows.len(), 2);

@@ -77,6 +77,9 @@ pub fn run(root: &Path, cfg: &Config) -> io::Result<AuditReport> {
         }
         raw.extend(rules::exhaustive_safety_match(file, &cfg.watched_enums));
         raw.extend(rules::unsafe_audit(file, &cfg.unsafe_files));
+        if cfg.float_cmp_crates.iter().any(|c| c == krate) {
+            raw.extend(rules::float_cmp(file));
+        }
     }
 
     if !cfg.registry_path.is_empty() {

@@ -1,5 +1,5 @@
-//! The six audit rules. Each returns [`Finding`]s; the engine applies the
-//! allowlist afterwards so rules stay pure functions of the source.
+//! The seven audit rules. Each returns [`Finding`]s; the engine applies
+//! the allowlist afterwards so rules stay pure functions of the source.
 
 use crate::config::{Config, WatchedEnum};
 use crate::lexer::{find_token, SourceFile};
@@ -12,7 +12,7 @@ pub struct Finding {
     pub path: String,
     /// 1-based line.
     pub line: usize,
-    /// Rule id (`R1`..`R6`, or `CONFIG` for allowlist hygiene).
+    /// Rule id (`R1`..`R7`, or `CONFIG` for allowlist hygiene).
     pub rule: String,
     /// Short rule name.
     pub name: String,
@@ -223,8 +223,10 @@ fn is_ident(b: u8) -> bool {
 }
 
 /// The machine-readable observability registry extracted from
-/// `simbus::obs`: event kinds (`EventKind::X => "a.b"` arms) and metric
-/// names (`pub const X: &str = "a.b"`, `*_PREFIX` consts being families).
+/// `simbus::obs`: event kinds (`EventKind::X => "a.b"` arms), metric
+/// names (`pub const X: &str = "a.b"` in `pub mod names`, `*_PREFIX`
+/// consts being families), and flight-recorder channel names
+/// (`pub const X: &str = "..."` in `pub mod channels`).
 #[derive(Debug, Default, Clone)]
 pub struct Registry {
     /// `(variant, dotted-name)` pairs.
@@ -233,12 +235,15 @@ pub struct Registry {
     pub metrics: Vec<String>,
     /// Metric-family prefixes (e.g. `fault.count.`).
     pub families: Vec<String>,
+    /// Flight-recorder trace channel names.
+    pub channels: Vec<String>,
 }
 
 /// Parses the registry out of the ORIGINAL (unscrubbed) source — the
 /// string literals are the payload here. Metric constants are read only
-/// from inside the `pub mod names` block, so unrelated `&str` constants
-/// elsewhere in the file (e.g. env-var names) don't join the registry.
+/// from inside the `pub mod names` block and channel constants only from
+/// inside `pub mod channels`, so unrelated `&str` constants elsewhere in
+/// the file (e.g. env-var names) don't join the registry.
 pub fn parse_registry(src: &str) -> Registry {
     let mut reg = Registry::default();
     let mut from = 0;
@@ -267,15 +272,31 @@ pub fn parse_registry(src: &str) -> Registry {
             }
         }
     }
-    // Bound the const scan to the `pub mod names { ... }` block (located
-    // on the scrubbed text so commented-out braces can't skew it).
     let scrubbed = crate::lexer::scrub(src);
-    let names_span = scrubbed.find("pub mod names").and_then(|at| {
+    for (cname, value) in module_str_consts(src, &scrubbed, "pub mod names") {
+        if cname.ends_with("_PREFIX") {
+            reg.families.push(value);
+        } else {
+            reg.metrics.push(value);
+        }
+    }
+    for (_, value) in module_str_consts(src, &scrubbed, "pub mod channels") {
+        reg.channels.push(value);
+    }
+    reg
+}
+
+/// `(const-name, value)` pairs of every `pub const X: &str = "..."` inside
+/// the module block opened by `header` (e.g. `pub mod names`). The block
+/// is located on the scrubbed text so commented-out braces can't skew it.
+fn module_str_consts(src: &str, scrubbed: &str, header: &str) -> Vec<(String, String)> {
+    let mut out = Vec::new();
+    let span = scrubbed.find(header).and_then(|at| {
         let open = at + scrubbed[at..].find('{')?;
-        Some((open, brace_close(&scrubbed, open)?))
+        Some((open, brace_close(scrubbed, open)?))
     });
-    let Some((mod_open, mod_close)) = names_span else {
-        return reg;
+    let Some((mod_open, mod_close)) = span else {
+        return out;
     };
     let mut from = mod_open;
     while let Some(rel) = src[from..mod_close].find("pub const ") {
@@ -295,14 +316,10 @@ pub fn parse_registry(src: &str) -> Registry {
             continue;
         };
         if let Some(value) = leading_string(after_eq.trim_start()) {
-            if cname.ends_with("_PREFIX") {
-                reg.families.push(value);
-            } else {
-                reg.metrics.push(value);
-            }
+            out.push((cname, value));
         }
     }
-    reg
+    out
 }
 
 /// The content of a `"..."` literal at the start of `s`, if present.
@@ -316,17 +333,19 @@ fn leading_string(s: &str) -> Option<String> {
 pub struct DocNames {
     pub kinds: Vec<String>,
     pub metrics: Vec<String>,
+    pub channels: Vec<String>,
 }
 
-/// Reads the first backticked name of each row of the `kind` and `metric`
-/// tables. `fault.count.<slug>`-style rows normalize to their family
-/// prefix (`fault.count.`).
+/// Reads the first backticked name of each row of the `kind`, `metric`,
+/// and `channel` tables. `fault.count.<slug>`-style rows normalize to
+/// their family prefix (`fault.count.`).
 pub fn parse_doc(doc: &str) -> DocNames {
     #[derive(PartialEq)]
     enum Mode {
         None,
         Kinds,
         Metrics,
+        Channels,
     }
     let mut mode = Mode::None;
     let mut out = DocNames::default();
@@ -349,6 +368,10 @@ pub fn parse_doc(doc: &str) -> DocNames {
                 mode = Mode::Metrics;
                 continue;
             }
+            "channel" => {
+                mode = Mode::Channels;
+                continue;
+            }
             _ => {}
         }
         let Some(name) = first_cell.strip_prefix('`').and_then(|s| s.split('`').next()) else {
@@ -361,6 +384,7 @@ pub fn parse_doc(doc: &str) -> DocNames {
         match mode {
             Mode::Kinds => out.kinds.push(name),
             Mode::Metrics => out.metrics.push(name),
+            Mode::Channels => out.channels.push(name),
             Mode::None => {}
         }
     }
@@ -446,6 +470,34 @@ pub fn doc_drift(
             ));
         }
     }
+    for name in &reg.channels {
+        if !doc.channels.contains(name) {
+            out.push(drift(
+                1,
+                &cfg.doc_path,
+                name,
+                format!(
+                    "flight-recorder channel `{name}` is registered in `{}` but \
+                     missing from the channel table",
+                    cfg.registry_path
+                ),
+            ));
+        }
+    }
+    for name in &doc.channels {
+        if !reg.channels.contains(name) {
+            out.push(drift(
+                1,
+                &cfg.registry_path,
+                name,
+                format!(
+                    "flight-recorder channel `{name}` is documented in `{}` but \
+                     has no `channels` constant",
+                    cfg.doc_path
+                ),
+            ));
+        }
+    }
     // Point of use: a registered dotted name as a raw literal outside the
     // registry (and outside tests) bypasses the registry — rename drift
     // would then silently fork the taxonomy.
@@ -459,6 +511,7 @@ pub fn doc_drift(
             }
             let hit = reg.event_kinds.iter().any(|(_, n)| n == &literal)
                 || reg.metrics.iter().any(|m| m == &literal)
+                || reg.channels.iter().any(|c| c == &literal)
                 || reg.families.iter().any(|f| literal.starts_with(f.as_str()));
             if hit {
                 out.push(Finding::at(
@@ -468,8 +521,8 @@ pub fn doc_drift(
                     "doc-code-drift",
                     format!(
                         "`\"{literal}\"` is a registered observability name; emit it \
-                         through `simbus::obs` (EventKind / names::*) so renames \
-                         cannot drift"
+                         through `simbus::obs` (EventKind / names::* / channels::*) \
+                         so renames cannot drift"
                     ),
                 ));
             }
@@ -566,6 +619,109 @@ fn string_literals(src: &str) -> Vec<(usize, String)> {
         }
     }
     out
+}
+
+/// R7: direct `==`/`!=` where an operand is a floating-point literal, in
+/// crates whose outputs are serialized or merged. Exact float equality is
+/// how byte-identity quietly breaks: a refactor that reorders arithmetic
+/// flips the comparison without failing any test. The rule is lexical —
+/// it cannot type-infer `a == b` — so it keys on the unambiguous case, a
+/// float literal on either side. Bit-exact checks go through
+/// `f64::to_bits`; tolerance checks through an epsilon helper; sanctioned
+/// sites (e.g. an exact-sentinel compare) get an audited `[[allow]]`.
+pub fn float_cmp(file: &SourceFile) -> Vec<Finding> {
+    let s = &file.scrubbed;
+    let b = s.as_bytes();
+    let mut out = Vec::new();
+    let mut i = 0;
+    while i + 1 < b.len() {
+        let op = match (b[i], b[i + 1]) {
+            (b'=', b'=') => "==",
+            (b'!', b'=') => "!=",
+            _ => {
+                i += 1;
+                continue;
+            }
+        };
+        // `<=`/`>=`/`=>` never match the two-byte patterns above; the
+        // guards below only reject degenerate runs like `===`.
+        if b.get(i + 2) == Some(&b'=') || (i > 0 && matches!(b[i - 1], b'=' | b'!' | b'<' | b'>')) {
+            i += 2;
+            continue;
+        }
+        if file.is_test_line(file.line_of(i)) {
+            i += 2;
+            continue;
+        }
+        if is_float_literal(token_before(s, i)) || is_float_literal(token_after(s, i + 2)) {
+            out.push(Finding::at(
+                file,
+                i,
+                "R7",
+                "no-float-eq",
+                format!(
+                    "`{op}` compares a float for exact equality in a merged-artifact \
+                     crate; compare `f64::to_bits` for intentional bit-exact checks \
+                     or use an epsilon tolerance, and allowlist the site if \
+                     exactness is the point"
+                ),
+            ));
+        }
+        i += 2;
+    }
+    out
+}
+
+/// The identifier-ish token ending just before `at` (scanning back over
+/// whitespace): chars in `[A-Za-z0-9_.]`.
+fn token_before(s: &str, at: usize) -> &str {
+    let b = s.as_bytes();
+    let mut end = at;
+    while end > 0 && b[end - 1].is_ascii_whitespace() {
+        end -= 1;
+    }
+    let mut start = end;
+    while start > 0 && (is_ident(b[start - 1]) || b[start - 1] == b'.') {
+        start -= 1;
+    }
+    &s[start..end]
+}
+
+/// The identifier-ish token starting at or after `at` (scanning forward
+/// over whitespace and one unary `-`): chars in `[A-Za-z0-9_.]`.
+fn token_after(s: &str, at: usize) -> &str {
+    let b = s.as_bytes();
+    let mut start = at;
+    while start < b.len() && b[start].is_ascii_whitespace() {
+        start += 1;
+    }
+    let tok_start = start;
+    if start < b.len() && b[start] == b'-' {
+        start += 1;
+    }
+    let mut end = start;
+    while end < b.len() && (is_ident(b[end]) || b[end] == b'.') {
+        end += 1;
+    }
+    &s[tok_start..end]
+}
+
+/// Is `tok` a floating-point literal (`1.0`, `2.`, `1e3`, `0.5f64`,
+/// `-3.25`)? Integer literals, hex/octal/binary, and field/method chains
+/// like `0.5f64.to_bits` are not.
+fn is_float_literal(tok: &str) -> bool {
+    let t = tok.strip_prefix('-').unwrap_or(tok);
+    if !t.chars().next().is_some_and(|c| c.is_ascii_digit()) {
+        return false;
+    }
+    if t.starts_with("0x") || t.starts_with("0o") || t.starts_with("0b") {
+        return false;
+    }
+    if let Some(body) = t.strip_suffix("f32").or_else(|| t.strip_suffix("f64")) {
+        return body.bytes().all(|c| c.is_ascii_digit() || matches!(c, b'.' | b'_' | b'e' | b'E'));
+    }
+    (t.contains('.') || t.contains('e') || t.contains('E'))
+        && t.bytes().all(|c| c.is_ascii_digit() || matches!(c, b'.' | b'_' | b'e' | b'E'))
 }
 
 /// R6: `unsafe` requires an allowlisted file and a `// SAFETY:` comment in
@@ -675,18 +831,25 @@ mod tests {
                 pub const DETECTOR_ALARMS: &str = "detector.alarms";
                 pub const FAULT_COUNT_PREFIX: &str = "fault.count.";
             }
+            pub mod channels {
+                pub const EE_X_MM: &str = "ee_x_mm";
+                pub const JPOS1: &str = "jpos1";
+            }
         "#;
         let reg = parse_registry(reg_src);
         assert_eq!(reg.event_kinds.len(), 2);
         assert_eq!(reg.metrics, vec!["detector.alarms"]);
         assert_eq!(reg.families, vec!["fault.count."]);
+        assert_eq!(reg.channels, vec!["ee_x_mm", "jpos1"]);
         let doc = parse_doc(
             "| kind | x |\n|---|---|\n| `estop.latched` | a |\n\n\
              | metric | type |\n|---|---|\n| `detector.alarms` | counter |\n\
-             | `fault.count.<slug>` | counter |\n",
+             | `fault.count.<slug>` | counter |\n\n\
+             | channel | unit |\n|---|---|\n| `ee_x_mm` | mm |\n| `jpos1` | rad |\n",
         );
         assert_eq!(doc.kinds, vec!["estop.latched"]);
         assert_eq!(doc.metrics, vec!["detector.alarms", "fault.count."]);
+        assert_eq!(doc.channels, vec!["ee_x_mm", "jpos1"]);
     }
 
     #[test]
@@ -712,6 +875,65 @@ mod tests {
         assert_eq!(hits.len(), 3, "{hits:?}");
         assert!(hits.iter().any(|h| h.hint.contains("ghost.kind")));
         assert!(hits.iter().any(|h| h.path == "emit.rs"));
+    }
+
+    #[test]
+    fn channel_drift_both_directions_and_point_of_use() {
+        let cfg = Config {
+            registry_path: "obs.rs".into(),
+            doc_path: "doc.md".into(),
+            ..Config::default()
+        };
+        let reg_src = r#"
+            pub mod channels {
+                pub const EE_X_MM: &str = "ee_x_mm";
+                pub const JPOS1: &str = "jpos1";
+            }
+        "#;
+        // `jpos1` registered but undocumented; `ghost_chan` documented but
+        // unregistered; one raw-literal record site.
+        let doc_src = "| channel | unit |\n|---|---|\n| `ee_x_mm` | mm |\n| `ghost_chan` | ? |\n";
+        let emit = SourceFile::parse(
+            "emit.rs",
+            "fn f(t: &mut Trace) { t.record(\"ee_x_mm\", now, v); }",
+            false,
+        );
+        let hits = doc_drift(&cfg, reg_src, doc_src, std::slice::from_ref(&emit));
+        assert_eq!(hits.len(), 3, "{hits:?}");
+        assert!(hits.iter().any(|h| h.hint.contains("`jpos1`") && h.path == "doc.md"));
+        assert!(hits.iter().any(|h| h.hint.contains("`ghost_chan`") && h.path == "obs.rs"));
+        assert!(hits.iter().any(|h| h.path == "emit.rs"));
+    }
+
+    #[test]
+    fn r7_flags_float_literal_equality_only() {
+        let bad = "fn a(x: f64) -> bool { x == 0.0 }\n\
+                   fn b(g: f32) -> bool { 1.5f32 != g }\n\
+                   fn c(x: f64) -> bool { x == -2.5 }\n\
+                   fn d(x: f64) -> bool { x != 1e3 }\n";
+        let hits = float_cmp(&file(bad));
+        assert_eq!(hits.len(), 4, "{hits:?}");
+        assert!(hits.iter().all(|h| h.rule == "R7"));
+
+        let ok = "fn a(n: u32) -> bool { n == 3 }\n\
+                  fn b(x: f64) -> bool { x <= 0.5 && x >= -0.5 }\n\
+                  fn c(x: f64) -> bool { x.to_bits() == 0.25f64.to_bits() }\n\
+                  fn d(x: f64, y: f64) -> bool { (x - y).abs() < 1e-9 }\n\
+                  fn e(s: &str) -> bool { s == \"1.5\" }\n\
+                  fn f() -> impl Fn() -> f64 { || 0.5 }\n\
+                  #[cfg(test)]\nmod t { fn g(x: f64) -> bool { x == 0.0 } }\n";
+        let clean = float_cmp(&file(ok));
+        assert!(clean.is_empty(), "{clean:?}");
+    }
+
+    #[test]
+    fn float_literal_classifier() {
+        for yes in ["0.0", "1.", "2.5", "-3.25", "1e3", "1_000.5", "0.5f64", "1f32", "2.5e3f64"] {
+            assert!(is_float_literal(yes), "{yes}");
+        }
+        for no in ["", "x", "3", "42u64", "0x1e", "0b10", "x.y", "0.5f64.to_bits", "1degree"] {
+            assert!(!is_float_literal(no), "{no}");
+        }
     }
 
     #[test]

@@ -26,7 +26,7 @@ fn seeded_violations_fail_with_every_rule_represented() {
     let ws = manifest_dir().join("tests/fixtures/ws");
     let (ok, output) = run_lint(&ws);
     assert!(!ok, "seeded workspace must fail the audit:\n{output}");
-    for rule in ["R1", "R2", "R3", "R4", "R5", "R6"] {
+    for rule in ["R1", "R2", "R3", "R4", "R5", "R6", "R7"] {
         assert!(
             output.contains(&format!("\"rule\": \"{rule}\"")),
             "rule {rule} missing from findings:\n{output}"

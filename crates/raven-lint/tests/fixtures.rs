@@ -87,6 +87,15 @@ fn r4_match_positive_and_negative() {
 }
 
 #[test]
+fn r7_float_cmp_positive_and_negative() {
+    let bad = rules::float_cmp(&fixture("r7_float_cmp_bad.rs"));
+    assert_eq!(bad.len(), 4, "{bad:?}");
+    assert!(bad.iter().all(|f| f.rule == "R7" && f.name == "no-float-eq"));
+    let ok = rules::float_cmp(&fixture("r7_float_cmp_ok.rs"));
+    assert!(ok.is_empty(), "{ok:?}");
+}
+
+#[test]
 fn r6_unsafe_positive_and_negative() {
     let bad = rules::unsafe_audit(&fixture("r6_unsafe_bad.rs"), &[]);
     assert_eq!(bad.len(), 1, "{bad:?}");

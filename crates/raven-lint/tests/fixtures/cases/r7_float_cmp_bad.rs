@@ -1,0 +1,18 @@
+//! R7 fixture: exact float equality against literals — every comparison
+//! here must fire.
+
+pub fn converged(err: f64) -> bool {
+    err == 0.0 // R7
+}
+
+pub fn non_default_gain(gain: f32) -> bool {
+    1.5f32 != gain // R7
+}
+
+pub fn at_sentinel(x: f64) -> bool {
+    x == -273.15 // R7: negative literal on the right
+}
+
+pub fn big(x: f64) -> bool {
+    x != 1e6 // R7: exponent form without a dot
+}

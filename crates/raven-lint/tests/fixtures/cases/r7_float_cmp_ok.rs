@@ -1,0 +1,29 @@
+//! R7 negative fixture: sanctioned comparisons that must not fire.
+
+pub fn integer_equality(n: u32) -> bool {
+    n == 3 // integer literal: not a float compare
+}
+
+pub fn ordered_comparisons(x: f64) -> bool {
+    x <= 0.5 && x >= -0.5 // ordering against floats is fine
+}
+
+pub fn bit_exact(x: f64) -> bool {
+    x.to_bits() == 0.25f64.to_bits() // the sanctioned exact check
+}
+
+pub fn tolerance(x: f64, y: f64) -> bool {
+    (x - y).abs() < 1e-9 // epsilon compare
+}
+
+pub fn string_that_looks_like_a_float(s: &str) -> bool {
+    s == "1.5" // string literal, not a float
+}
+
+#[cfg(test)]
+mod tests {
+    // Test code may assert exact floats (deterministic fixtures).
+    pub fn exact_in_test(x: f64) -> bool {
+        x == 0.125
+    }
+}

@@ -1,6 +1,8 @@
 //! Mini observability registry with seeded doc drift: `guard.verdicts`
 //! and `undocumented.metric` are registered but OBS.md documents neither;
-//! OBS.md documents `phantom.kind` which has no variant here.
+//! OBS.md documents `phantom.kind` which has no variant here. The channel
+//! registry drifts both ways too: `undocumented_chan` is registered but
+//! not in OBS.md, and OBS.md's `phantom_chan` has no constant here.
 
 pub enum EventKind {
     GuardVerdict,
@@ -17,4 +19,9 @@ impl EventKind {
 pub mod names {
     pub const GUARD_VERDICTS: &str = "guard.verdicts";
     pub const UNDOCUMENTED_METRIC: &str = "undocumented.metric";
+}
+
+pub mod channels {
+    pub const EE_X_MM: &str = "ee_x_mm";
+    pub const UNDOCUMENTED_CHAN: &str = "undocumented_chan";
 }

@@ -29,6 +29,14 @@ pub fn r5(m: &mut Metrics) {
     m.inc("guard.verdicts"); // R5: registered name as a raw literal
 }
 
+pub fn r5_channel(t: &mut Trace) {
+    t.record("ee_x_mm", 0, 0.0); // R5: registered channel as a raw literal
+}
+
 pub fn r6(x: &u32) -> u32 {
     unsafe { *(x as *const u32) } // R6: file not allowlisted
+}
+
+pub fn r7(err: f64) -> bool {
+    err == 0.0 // R7: exact float equality in a merged-artifact crate
 }

@@ -144,3 +144,27 @@ proptest! {
         prop_assert!((sr[0] - exact).abs() <= (se[0] - exact).abs() + 1e-12);
     }
 }
+
+// ---------------------------------------------------------------------------
+// Minimizer fixture: a deliberately failing property, driven through the
+// reporting runner, pins the shape of the shrunk counterexample.
+
+#[test]
+fn minimizer_pins_the_smallest_out_of_band_angle() {
+    use proptest::test_runner::run_reporting;
+    let cfg = ProptestConfig::with_cases(64);
+    let strat = (0.0f64..10.0,);
+    let failure = run_reporting("math_minimizer_fixture", &cfg, &strat, |(x,)| {
+        if wrap_to_pi(x).abs() >= 1.0 {
+            Err(TestCaseError::fail("wrapped angle left the claimed band"))
+        } else {
+            Ok(())
+        }
+    })
+    .expect_err("property was constructed to fail");
+    // The failing set starts at exactly 1.0; the bisection walks down to
+    // the boundary from whichever sample tripped first.
+    let min = failure.minimized.0;
+    assert!((1.0..1.0 + 1e-6).contains(&min), "minimized to the band edge, got {min}");
+    assert!(failure.original.0 >= min, "{failure:?}");
+}

@@ -88,3 +88,28 @@ proptest! {
         }
     }
 }
+
+// ---------------------------------------------------------------------------
+// Minimizer fixture: a packet that trips on its E-STOP bit shrinks every
+// other field to its simplest value while the bit itself survives.
+
+#[test]
+fn minimizer_strips_a_failing_packet_down_to_the_estop_bit() {
+    use proptest::test_runner::run_reporting;
+    let cfg = ProptestConfig::with_cases(64);
+    let strat = (any_packet(),);
+    let failure = run_reporting("teleop_minimizer_fixture", &cfg, &strat, |(pkt,)| {
+        if pkt.estop {
+            Err(TestCaseError::fail("E-STOP requested"))
+        } else {
+            Ok(())
+        }
+    })
+    .expect_err("property was constructed to fail");
+    let pkt = failure.minimized.0;
+    assert!(pkt.estop, "the failing bit survives shrinking");
+    assert_eq!(pkt.seq, 0);
+    assert!(!pkt.pedal);
+    assert_eq!((pkt.delta_pos.x, pkt.delta_pos.y, pkt.delta_pos.z), (-0.05, -0.05, -0.05));
+    assert_eq!(pkt.wrist, [-3.0; 4]);
+}

@@ -135,6 +135,19 @@ impl<T> SimLink<T> {
         &self.config
     }
 
+    /// Changes the loss probability of a live link in place, preserving
+    /// the `sent`/`lost`/`delivered` counters, the RNG stream, and any
+    /// packets already in flight (they still arrive on schedule). This
+    /// is how mid-session attacks degrade a link without rewriting its
+    /// history — replacing the link wholesale would zero the accounting.
+    pub fn set_loss_probability(&mut self, loss_probability: f64) {
+        assert!(
+            (0.0..=1.0).contains(&loss_probability),
+            "loss probability must be in [0, 1], got {loss_probability}"
+        );
+        self.config.loss_probability = loss_probability;
+    }
+
     /// Sends a payload at virtual time `now`. The packet may be dropped
     /// (per the configured loss probability) or delayed.
     pub fn send(&mut self, now: SimTime, payload: T) {
@@ -279,6 +292,49 @@ mod tests {
         let mut sorted = got.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn set_loss_probability_preserves_counters_and_in_flight_packets() {
+        let cfg = LinkConfig {
+            delay: SimDuration::from_millis(5),
+            jitter: SimDuration::ZERO,
+            loss_probability: 0.5,
+        };
+        let mut link: SimLink<u32> = SimLink::new(cfg, 42);
+        for i in 0..100 {
+            link.send(SimTime::ZERO, i);
+        }
+        let lost_before = link.lost();
+        let in_flight_before = link.in_flight();
+        assert!(lost_before > 0 && in_flight_before > 0, "need both outcomes pre-switch");
+
+        // Mid-session attack: the link dies, but its history does not.
+        link.set_loss_probability(1.0);
+        assert_eq!(link.sent(), 100);
+        assert_eq!(link.lost(), lost_before, "counters survive the switch");
+        assert_eq!(link.in_flight(), in_flight_before, "in-flight packets survive the switch");
+
+        // Everything sent after the switch is lost — and accounted for
+        // cumulatively on top of the pre-switch losses.
+        for i in 0..50 {
+            link.send(at_ms(1), 1000 + i);
+        }
+        assert_eq!(link.lost(), lost_before + 50);
+        assert_eq!(link.sent(), 150);
+
+        // Packets in flight at switch time still arrive on schedule.
+        let got = link.poll(at_ms(100));
+        assert_eq!(got.len(), in_flight_before);
+        assert_eq!(link.delivered(), in_flight_before as u64);
+        assert!(got.iter().all(|&p| p < 100), "only pre-switch packets arrive");
+    }
+
+    #[test]
+    #[should_panic(expected = "loss probability")]
+    fn invalid_set_loss_probability_panics() {
+        let mut link: SimLink<u32> = SimLink::new(LinkConfig::ideal(), 0);
+        link.set_loss_probability(-0.1);
     }
 
     #[test]

@@ -262,6 +262,32 @@ pub mod names {
     }
 }
 
+/// The flight-recorder channel registry: every trace-signal name the
+/// simulation records, as constants.
+///
+/// Channel names key the `signals` map of an incident report and the
+/// in-memory trace buffer. Like [`names`], this module is machine-parsed
+/// by `raven-lint` R5 and cross-checked against the channel table in
+/// `docs/OBSERVABILITY.md`; production record/read sites must go through
+/// these constants, never raw string literals.
+pub mod channels {
+    /// End-effector X position (millimetres).
+    pub const EE_X_MM: &str = "ee_x_mm";
+    /// End-effector Y position (millimetres).
+    pub const EE_Y_MM: &str = "ee_y_mm";
+    /// End-effector Z position (millimetres).
+    pub const EE_Z_MM: &str = "ee_z_mm";
+    /// Joint 1 (shoulder) position (radians).
+    pub const JPOS1: &str = "jpos1";
+    /// Joint 2 (elbow) position (radians).
+    pub const JPOS2: &str = "jpos2";
+    /// Joint 3 (insertion) position (metres).
+    pub const JPOS3: &str = "jpos3";
+
+    /// Every registered channel name.
+    pub const ALL: [&str; 6] = [EE_X_MM, EE_Y_MM, EE_Z_MM, JPOS1, JPOS2, JPOS3];
+}
+
 /// One structured event: something that happened at a virtual instant.
 ///
 /// `kind` is a stable dotted identifier (`state.transition`,
@@ -739,8 +765,11 @@ impl StageProfiler {
                 let p99 = if sorted.is_empty() {
                     0.0
                 } else {
-                    let idx = ((sorted.len() - 1) as f64 * 0.99).round() as usize;
-                    sorted[idx] as f64 / 1_000.0
+                    // Nearest-rank: the smallest sample with at least 99%
+                    // of the window at or below it (rounding the rank
+                    // down instead would under-report on small windows).
+                    let rank = (sorted.len() as f64 * 0.99).ceil() as usize;
+                    sorted[rank.clamp(1, sorted.len()) - 1] as f64 / 1_000.0
                 };
                 StageStats {
                     name: acc.name.clone(),
@@ -993,6 +1022,32 @@ mod tests {
         assert_eq!(report[1].name, "plant");
         let rendered = p.render();
         assert!(rendered.contains("console"), "render lists stages: {rendered}");
+    }
+
+    #[test]
+    fn profiler_p99_uses_nearest_rank() {
+        // Nearest-rank: for N samples, p99 is the ceil(0.99 * N)-th
+        // smallest. With 1..=67 microseconds the rank is ceil(66.33) = 67,
+        // i.e. the maximum — the old round-down formula reported 66 µs.
+        let mut p = StageProfiler::new();
+        for us in 1..=67u64 {
+            p.record_ns("stage", us * 1_000);
+        }
+        let report = p.report();
+        assert!((report[0].p99_us - 67.0).abs() < 1e-9, "p99 = {}", report[0].p99_us);
+
+        // Degenerate windows: a single sample is its own p99.
+        let mut single = StageProfiler::new();
+        single.record_ns("s", 5_000);
+        assert!((single.report()[0].p99_us - 5.0).abs() < 1e-9);
+
+        // Small windows must never report below the true 99th percentile:
+        // with 10 samples the rank is ceil(9.9) = 10, the maximum.
+        let mut small = StageProfiler::new();
+        for us in [1u64, 2, 3, 4, 5, 6, 7, 8, 9, 100] {
+            small.record_ns("s", us * 1_000);
+        }
+        assert!((small.report()[0].p99_us - 100.0).abs() < 1e-9);
     }
 
     #[test]

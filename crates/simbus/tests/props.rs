@@ -111,3 +111,29 @@ proptest! {
         prop_assert_ne!(splitmix64(a), splitmix64(b));
     }
 }
+
+// ---------------------------------------------------------------------------
+// Minimizer fixture: bus traffic that delivers an oversized message
+// shrinks to a single message at the smallest failing value.
+
+#[test]
+fn minimizer_reduces_bus_traffic_to_the_smallest_oversized_message() {
+    use proptest::test_runner::run_reporting;
+    let cfg = ProptestConfig::with_cases(64);
+    let strat = (prop::collection::vec(any::<u32>(), 0..200),);
+    let failure = run_reporting("simbus_minimizer_fixture", &cfg, &strat, |(msgs,)| {
+        let bus: Bus<u32> = Bus::new("fixture");
+        let mut sub = bus.subscribe();
+        for &m in &msgs {
+            bus.publish(m);
+        }
+        if sub.drain().iter().any(|&m| m > 1000) {
+            Err(TestCaseError::fail("oversized message delivered"))
+        } else {
+            Ok(())
+        }
+    })
+    .expect_err("property was constructed to fail");
+    let (msgs,) = failure.minimized;
+    assert_eq!(msgs, vec![1001], "single element, smallest failing value");
+}

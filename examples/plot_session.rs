@@ -10,6 +10,7 @@
 
 use raven_core::viz::{line_chart, trace_chart, Series};
 use raven_core::{AttackSetup, SimConfig, Simulation, Workload};
+use simbus::obs::channels;
 
 fn run(attack: Option<AttackSetup>, seed: u64) -> Simulation {
     let mut sim = Simulation::new(SimConfig {
@@ -41,7 +42,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         42,
     );
 
-    let signals = [("ee_x_mm", "#c0392b"), ("ee_y_mm", "#2980b9"), ("ee_z_mm", "#27ae60")];
+    let signals = [
+        (channels::EE_X_MM, "#c0392b"),
+        (channels::EE_Y_MM, "#2980b9"),
+        (channels::EE_Z_MM, "#27ae60"),
+    ];
     std::fs::write(
         out_dir.join("session_clean.svg"),
         trace_chart("clean teleoperation: end-effector (mm)", clean.trace(), &signals),
@@ -61,9 +66,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         color,
         points: sim
             .trace()
-            .samples("ee_x_mm")
+            .samples(channels::EE_X_MM)
             .iter()
-            .zip(sim.trace().samples("ee_y_mm"))
+            .zip(sim.trace().samples(channels::EE_Y_MM))
             .map(|(x, y)| (x.value, y.value))
             .collect(),
     };

@@ -32,7 +32,7 @@ fn seeded_violations_fail_the_audit() {
     let ws = Path::new(env!("CARGO_MANIFEST_DIR")).join("crates/raven-lint/tests/fixtures/ws");
     let (ok, output) = run_lint(&ws);
     assert!(!ok, "the seeded fixture workspace must fail the audit:\n{output}");
-    for rule in ["R1", "R2", "R3", "R4", "R5", "R6", "CONFIG"] {
+    for rule in ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "CONFIG"] {
         assert!(
             output.contains(&format!("\"rule\": \"{rule}\"")),
             "rule {rule} missing from findings:\n{output}"

@@ -6,541 +6,36 @@
 //! `prop::array::uniform{3,4,8}`, `prop::sample::select`, and the
 //! `prop_assert*`/`prop_assume!` assertion macros.
 //!
-//! Unlike real proptest there is no shrinking: a failing case reports the
-//! test name, case index, and the deterministic per-test seed, which is
-//! enough to reproduce (seeds derive from the test name, so runs are
-//! stable across invocations and machines).
+//! Like real proptest, strategies produce [`ValueTree`]s with
+//! integrated shrinking: a failing case is minimized by a bounded
+//! binary-search shrink loop (`ProptestConfig::max_shrink_iters`) and
+//! reported together with the original input, the case index, and the
+//! deterministic replay seed (seeds derive from the test name, so runs
+//! are stable across invocations and machines; replay an explicit seed
+//! with `ProptestConfig::with_seed`).
+//!
+//! Generation for passing cases consumes the vendored-rand stream
+//! exactly as the pre-shrinking stub did — shrinking only manipulates
+//! trees already in hand (plus RNG forks captured at build time), so
+//! enabling it cannot move any byte-identical artifact.
 
-use std::fmt;
+mod macros;
+mod runner;
+mod strategy;
+mod tree;
 
-use rand::rngs::SmallRng;
-use rand::{Rng, SeedableRng};
+pub use runner::{Failure, ProptestConfig, TestCaseError, TestRng};
+pub use strategy::{
+    any, array, collection, sample, Any, Arbitrary, BoxedStrategy, Filter, Just, Map, Strategy,
+    Union,
+};
+pub use tree::{BoolTree, FloatTree, IntTree, NoShrink, ValueTree};
 
-/// Deterministic RNG handed to strategies while sampling.
-pub struct TestRng(SmallRng);
-
-impl TestRng {
-    fn from_seed(seed: u64) -> Self {
-        TestRng(SmallRng::seed_from_u64(seed))
-    }
-
-    /// Returns the next 64 uniformly random bits.
-    pub fn next_u64(&mut self) -> u64 {
-        self.0.gen::<u64>()
-    }
-
-    /// Uniform `f64` in `[0, 1)`.
-    pub fn unit_f64(&mut self) -> f64 {
-        self.0.gen::<f64>()
-    }
-
-    /// Uniform draw from an integer/float range (delegates to the rand stub).
-    pub fn in_range<T, S: rand::SampleRange<T>>(&mut self, range: S) -> T {
-        self.0.gen_range(range)
-    }
-}
-
-/// Why a test case did not pass.
-#[derive(Debug, Clone)]
-pub enum TestCaseError {
-    /// Assertion failure — the property is violated.
-    Fail(String),
-    /// Input rejected by `prop_assume!` — resample, don't count as a case.
-    Reject(String),
-}
-
-impl TestCaseError {
-    /// Constructs a failure.
-    pub fn fail(msg: impl Into<String>) -> Self {
-        TestCaseError::Fail(msg.into())
-    }
-
-    /// Constructs a rejection.
-    pub fn reject(msg: impl Into<String>) -> Self {
-        TestCaseError::Reject(msg.into())
-    }
-}
-
-impl fmt::Display for TestCaseError {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        match self {
-            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
-            TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
-        }
-    }
-}
-
-/// Runner configuration.
-#[derive(Debug, Clone)]
-pub struct ProptestConfig {
-    /// Number of accepted cases to run per test.
-    pub cases: u32,
-}
-
-impl ProptestConfig {
-    /// Config running `cases` accepted cases.
-    pub fn with_cases(cases: u32) -> Self {
-        ProptestConfig { cases }
-    }
-}
-
-impl Default for ProptestConfig {
-    fn default() -> Self {
-        // Real proptest defaults to 256; 64 keeps the offline suite quick
-        // while still exercising each property broadly.
-        ProptestConfig { cases: 64 }
-    }
-}
-
-/// Test-runner internals used by the `proptest!` macro expansion.
+/// Test-runner internals used by the `proptest!` macro expansion and by
+/// fixture tests that inspect minimized counterexamples directly.
 pub mod test_runner {
-    pub use super::{ProptestConfig, TestCaseError, TestRng};
-
-    fn seed_for(name: &str) -> u64 {
-        // FNV-1a over the test name: stable across runs and platforms.
-        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
-        for b in name.as_bytes() {
-            h ^= u64::from(*b);
-            h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        }
-        h
-    }
-
-    /// Runs `case` until `config.cases` accepted cases pass, panicking on
-    /// the first failure. Rejections (`prop_assume!`) are resampled with a
-    /// global budget so a too-strict assumption is reported, not spun on.
-    pub fn run(
-        name: &str,
-        config: &ProptestConfig,
-        mut case: impl FnMut(&mut TestRng) -> Result<(), TestCaseError>,
-    ) {
-        let seed = seed_for(name);
-        let mut rng = TestRng::from_seed(seed);
-        let mut accepted = 0u32;
-        let mut rejected = 0u32;
-        let reject_budget = config.cases.saturating_mul(16).max(1024);
-        while accepted < config.cases {
-            match case(&mut rng) {
-                Ok(()) => accepted += 1,
-                Err(TestCaseError::Reject(_)) => {
-                    rejected += 1;
-                    if rejected > reject_budget {
-                        panic!(
-                            "proptest `{name}`: too many rejected inputs \
-                             ({rejected} rejects for {accepted} accepted cases; seed {seed:#x})"
-                        );
-                    }
-                }
-                Err(TestCaseError::Fail(msg)) => {
-                    panic!("proptest `{name}` failed at case {accepted} (seed {seed:#x}): {msg}");
-                }
-            }
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Strategies
-// ---------------------------------------------------------------------------
-
-/// A generator of values of type `Value`.
-pub trait Strategy {
-    /// The type of value this strategy produces.
-    type Value;
-
-    /// Draws one value.
-    fn sample(&self, rng: &mut TestRng) -> Self::Value;
-
-    /// Maps sampled values through `f`.
-    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
-    where
-        Self: Sized,
-        F: Fn(Self::Value) -> O,
-    {
-        Map { inner: self, f }
-    }
-
-    /// Keeps only values for which `f` returns `true`, resampling others.
-    fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
-    where
-        Self: Sized,
-        F: Fn(&Self::Value) -> bool,
-    {
-        Filter { inner: self, reason, f }
-    }
-
-    /// Type-erases the strategy.
-    fn boxed(self) -> BoxedStrategy<Self::Value>
-    where
-        Self: Sized + 'static,
-    {
-        BoxedStrategy(Box::new(self))
-    }
-}
-
-/// A type-erased strategy.
-pub struct BoxedStrategy<V>(Box<dyn Strategy<Value = V>>);
-
-impl<V> Strategy for BoxedStrategy<V> {
-    type Value = V;
-
-    fn sample(&self, rng: &mut TestRng) -> V {
-        self.0.sample(rng)
-    }
-}
-
-/// Strategy that always yields a clone of one value.
-#[derive(Debug, Clone)]
-pub struct Just<T: Clone>(pub T);
-
-impl<T: Clone> Strategy for Just<T> {
-    type Value = T;
-
-    fn sample(&self, _rng: &mut TestRng) -> T {
-        self.0.clone()
-    }
-}
-
-/// Types with a canonical "any value" strategy.
-pub trait Arbitrary: Sized {
-    /// Draws an unconstrained value.
-    fn arbitrary(rng: &mut TestRng) -> Self;
-}
-
-macro_rules! impl_arbitrary_int {
-    ($($t:ty),*) => {$(
-        impl Arbitrary for $t {
-            fn arbitrary(rng: &mut TestRng) -> Self {
-                rng.next_u64() as $t
-            }
-        }
-    )*};
-}
-
-impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
-
-impl Arbitrary for bool {
-    fn arbitrary(rng: &mut TestRng) -> Self {
-        rng.next_u64() & 1 == 1
-    }
-}
-
-impl Arbitrary for f64 {
-    fn arbitrary(rng: &mut TestRng) -> Self {
-        // Finite, wide-range values; real proptest also generates specials,
-        // but the suites here only rely on "some spread of floats".
-        let mag = rng.in_range(-300.0..300.0);
-        let sig = rng.unit_f64() * 2.0 - 1.0;
-        sig * 10f64.powf(mag / 10.0)
-    }
-}
-
-/// Strategy wrapper returned by [`any`].
-pub struct Any<T>(std::marker::PhantomData<T>);
-
-impl<T: Arbitrary> Strategy for Any<T> {
-    type Value = T;
-
-    fn sample(&self, rng: &mut TestRng) -> T {
-        T::arbitrary(rng)
-    }
-}
-
-/// The "any value of `T`" strategy.
-pub fn any<T: Arbitrary>() -> Any<T> {
-    Any(std::marker::PhantomData)
-}
-
-/// [`Strategy::prop_map`] adapter.
-pub struct Map<S, F> {
-    inner: S,
-    f: F,
-}
-
-impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
-    type Value = O;
-
-    fn sample(&self, rng: &mut TestRng) -> O {
-        (self.f)(self.inner.sample(rng))
-    }
-}
-
-/// [`Strategy::prop_filter`] adapter (local rejection sampling).
-pub struct Filter<S, F> {
-    inner: S,
-    reason: &'static str,
-    f: F,
-}
-
-impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
-    type Value = S::Value;
-
-    fn sample(&self, rng: &mut TestRng) -> S::Value {
-        for _ in 0..10_000 {
-            let v = self.inner.sample(rng);
-            if (self.f)(&v) {
-                return v;
-            }
-        }
-        panic!("prop_filter `{}` rejected 10000 consecutive samples", self.reason);
-    }
-}
-
-macro_rules! impl_range_strategy {
-    ($($t:ty),*) => {$(
-        impl Strategy for std::ops::Range<$t> {
-            type Value = $t;
-            fn sample(&self, rng: &mut TestRng) -> $t {
-                rng.in_range(self.clone())
-            }
-        }
-        impl Strategy for std::ops::RangeInclusive<$t> {
-            type Value = $t;
-            fn sample(&self, rng: &mut TestRng) -> $t {
-                rng.in_range(self.clone())
-            }
-        }
-    )*};
-}
-
-impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f64, f32);
-
-macro_rules! impl_tuple_strategy {
-    ($(($($s:ident / $idx:tt),+))*) => {$(
-        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
-            type Value = ($($s::Value,)+);
-            fn sample(&self, rng: &mut TestRng) -> Self::Value {
-                ($(self.$idx.sample(rng),)+)
-            }
-        }
-    )*};
-}
-
-impl_tuple_strategy! {
-    (A/0)
-    (A/0, B/1)
-    (A/0, B/1, C/2)
-    (A/0, B/1, C/2, D/3)
-    (A/0, B/1, C/2, D/3, E/4)
-    (A/0, B/1, C/2, D/3, E/4, F/5)
-}
-
-/// Weighted-uniform choice among boxed alternatives (`prop_oneof!` support).
-pub struct Union<V> {
-    alternatives: Vec<BoxedStrategy<V>>,
-}
-
-impl<V> Union<V> {
-    /// Builds a union; panics if `alternatives` is empty.
-    pub fn new(alternatives: Vec<BoxedStrategy<V>>) -> Self {
-        assert!(!alternatives.is_empty(), "prop_oneof! needs at least one arm");
-        Union { alternatives }
-    }
-}
-
-impl<V> Strategy for Union<V> {
-    type Value = V;
-
-    fn sample(&self, rng: &mut TestRng) -> V {
-        let idx = rng.in_range(0..self.alternatives.len());
-        self.alternatives[idx].sample(rng)
-    }
-}
-
-/// `prop::collection`: containers of sampled elements.
-pub mod collection {
-    use super::{Strategy, TestRng};
-
-    /// Strategy for `Vec<T>` with a length drawn from `len`.
-    pub struct VecStrategy<S> {
-        element: S,
-        len: std::ops::Range<usize>,
-    }
-
-    /// Vector of `element` values with length in `len`.
-    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
-        VecStrategy { element, len }
-    }
-
-    impl<S: Strategy> Strategy for VecStrategy<S> {
-        type Value = Vec<S::Value>;
-
-        fn sample(&self, rng: &mut TestRng) -> Vec<S::Value> {
-            let n =
-                if self.len.is_empty() { self.len.start } else { rng.in_range(self.len.clone()) };
-            (0..n).map(|_| self.element.sample(rng)).collect()
-        }
-    }
-}
-
-/// `prop::array`: fixed-size arrays of sampled elements.
-pub mod array {
-    use super::{Strategy, TestRng};
-
-    /// Strategy for `[T; N]` sampling each element independently.
-    pub struct UniformArray<S, const N: usize>(S);
-
-    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
-        type Value = [S::Value; N];
-
-        fn sample(&self, rng: &mut TestRng) -> [S::Value; N] {
-            std::array::from_fn(|_| self.0.sample(rng))
-        }
-    }
-
-    /// `[T; 3]` with independent elements.
-    pub fn uniform3<S: Strategy>(element: S) -> UniformArray<S, 3> {
-        UniformArray(element)
-    }
-
-    /// `[T; 4]` with independent elements.
-    pub fn uniform4<S: Strategy>(element: S) -> UniformArray<S, 4> {
-        UniformArray(element)
-    }
-
-    /// `[T; 8]` with independent elements.
-    pub fn uniform8<S: Strategy>(element: S) -> UniformArray<S, 8> {
-        UniformArray(element)
-    }
-}
-
-/// `prop::sample`: choosing from concrete collections.
-pub mod sample {
-    use super::{Strategy, TestRng};
-
-    /// Strategy choosing uniformly from a fixed list.
-    pub struct Select<T: Clone>(Vec<T>);
-
-    /// Uniform choice from `options`; panics if empty.
-    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
-        assert!(!options.is_empty(), "prop::sample::select needs options");
-        Select(options)
-    }
-
-    impl<T: Clone> Strategy for Select<T> {
-        type Value = T;
-
-        fn sample(&self, rng: &mut TestRng) -> T {
-            let idx = rng.in_range(0..self.0.len());
-            self.0[idx].clone()
-        }
-    }
-}
-
-// ---------------------------------------------------------------------------
-// Macros
-// ---------------------------------------------------------------------------
-
-/// Defines property tests. Supports the forms used in this workspace:
-///
-/// ```ignore
-/// proptest! {
-///     #![proptest_config(ProptestConfig::with_cases(48))]
-///     #[test]
-///     fn my_property(x in any::<u64>(), v in prop::collection::vec(0u8..9, 0..16)) {
-///         prop_assert!(x == x);
-///     }
-/// }
-/// ```
-#[macro_export]
-macro_rules! proptest {
-    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
-        $crate::__proptest_body! { ($cfg) $($rest)* }
-    };
-    ($($rest:tt)*) => {
-        $crate::__proptest_body! {
-            (<$crate::ProptestConfig as ::std::default::Default>::default())
-            $($rest)*
-        }
-    };
-}
-
-/// Internal expansion helper for [`proptest!`] — not public API.
-#[doc(hidden)]
-#[macro_export]
-macro_rules! __proptest_body {
-    (($cfg:expr) $($(#[$attr:meta])* fn $name:ident($($arg:ident in $strat:expr),* $(,)?) $body:block)*) => {
-        $(
-            $(#[$attr])*
-            fn $name() {
-                let __config: $crate::ProptestConfig = $cfg;
-                $crate::test_runner::run(stringify!($name), &__config, |__rng| {
-                    $(let $arg = $crate::Strategy::sample(&($strat), __rng);)*
-                    let mut __case = || -> ::std::result::Result<(), $crate::TestCaseError> {
-                        $body
-                        Ok(())
-                    };
-                    __case()
-                });
-            }
-        )*
-    };
-}
-
-/// Fails the current case unless `cond` holds.
-#[macro_export]
-macro_rules! prop_assert {
-    ($cond:expr) => {
-        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
-    };
-    ($cond:expr, $($fmt:tt)+) => {
-        if !($cond) {
-            return ::std::result::Result::Err($crate::TestCaseError::fail(format!($($fmt)+)));
-        }
-    };
-}
-
-/// Fails the current case unless `left == right`.
-#[macro_export]
-macro_rules! prop_assert_eq {
-    ($left:expr, $right:expr $(,)?) => {{
-        let (l, r) = (&$left, &$right);
-        if !(*l == *r) {
-            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
-                "assertion failed: `{} == {}`\n  left: {:?}\n right: {:?}",
-                stringify!($left),
-                stringify!($right),
-                l,
-                r
-            )));
-        }
-    }};
-}
-
-/// Fails the current case unless `left != right`.
-#[macro_export]
-macro_rules! prop_assert_ne {
-    ($left:expr, $right:expr $(,)?) => {{
-        let (l, r) = (&$left, &$right);
-        if !(*l != *r) {
-            return ::std::result::Result::Err($crate::TestCaseError::fail(format!(
-                "assertion failed: `{} != {}`\n  both: {:?}",
-                stringify!($left),
-                stringify!($right),
-                l
-            )));
-        }
-    }};
-}
-
-/// Rejects the current inputs (resampled without counting as a case).
-#[macro_export]
-macro_rules! prop_assume {
-    ($cond:expr) => {
-        if !($cond) {
-            return ::std::result::Result::Err($crate::TestCaseError::reject(concat!(
-                "assumption failed: ",
-                stringify!($cond)
-            )));
-        }
-    };
-}
-
-/// Uniform choice among strategy arms with a common value type.
-#[macro_export]
-macro_rules! prop_oneof {
-    ($($arm:expr),+ $(,)?) => {
-        $crate::Union::new(vec![$($crate::Strategy::boxed($arm)),+])
+    pub use crate::runner::{
+        run, run_reporting, seed_for, Failure, ProptestConfig, TestCaseError, TestRng,
     };
 }
 
@@ -549,7 +44,7 @@ pub mod prelude {
     pub use crate as prop;
     pub use crate::{
         any, prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
-        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError,
+        Arbitrary, BoxedStrategy, Just, ProptestConfig, Strategy, TestCaseError, ValueTree,
     };
 }
 
@@ -561,16 +56,30 @@ mod tests {
     fn sampling_is_deterministic_per_name() {
         let cfg = ProptestConfig::with_cases(8);
         let mut first: Vec<u64> = Vec::new();
-        crate::test_runner::run("det", &cfg, |rng| {
-            first.push(crate::Strategy::sample(&any::<u64>(), rng));
+        crate::test_runner::run("det", &cfg, (any::<u64>(),), |(x,)| {
+            first.push(x);
             Ok(())
         });
         let mut second: Vec<u64> = Vec::new();
-        crate::test_runner::run("det", &cfg, |rng| {
-            second.push(crate::Strategy::sample(&any::<u64>(), rng));
+        crate::test_runner::run("det", &cfg, (any::<u64>(),), |(x,)| {
+            second.push(x);
             Ok(())
         });
         assert_eq!(first, second);
+    }
+
+    #[test]
+    fn sample_matches_new_tree_current() {
+        // The compatibility `sample` shim and `new_tree` must consume
+        // the same entropy and yield the same value.
+        let strat = crate::collection::vec(0u32..1000, 0..10);
+        let mut a = crate::TestRng::from_seed(42);
+        let mut b = crate::TestRng::from_seed(42);
+        let sampled = strat.sample(&mut a);
+        let tree = strat.new_tree(&mut b);
+        assert_eq!(sampled, tree.current());
+        // Both consumed identical draws: the streams stay in lockstep.
+        assert_eq!(a.next_u64(), b.next_u64());
     }
 
     proptest! {

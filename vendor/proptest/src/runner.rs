@@ -1,0 +1,237 @@
+//! The test runner: deterministic generation, and a bounded shrink
+//! loop that kicks in only after a failure is already in hand.
+//!
+//! RNG discipline: the per-test stream (seeded from the test name, or
+//! an explicit `ProptestConfig::with_seed`) is consumed *only* by tree
+//! construction for generated cases — exactly the draws the
+//! pre-shrinking `sample` runner made. Shrinking manipulates already
+//! built trees (plus RNG forks captured at build time), so a test that
+//! passes consumes a byte-identical stream with or without shrinking.
+
+use std::fmt;
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+use crate::strategy::Strategy;
+use crate::tree::ValueTree;
+
+/// Deterministic RNG handed to strategies while generating.
+pub struct TestRng(SmallRng);
+
+impl TestRng {
+    /// RNG for an explicit seed (used by the runner and by replay).
+    pub fn from_seed(seed: u64) -> Self {
+        TestRng(SmallRng::seed_from_u64(seed))
+    }
+
+    /// Returns the next 64 uniformly random bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0.gen::<u64>()
+    }
+
+    /// Uniform `f64` in `[0, 1)`.
+    pub fn unit_f64(&mut self) -> f64 {
+        self.0.gen::<f64>()
+    }
+
+    /// Uniform draw from an integer/float range (delegates to the rand stub).
+    pub fn in_range<T, S: rand::SampleRange<T>>(&mut self, range: S) -> T {
+        self.0.gen_range(range)
+    }
+
+    /// Snapshots the current stream state without consuming it. Used
+    /// by shrinkers (`Union`) that may need entropy after a failure;
+    /// forking draws nothing from the parent stream.
+    pub fn fork(&self) -> TestRng {
+        TestRng(self.0.clone())
+    }
+}
+
+/// Why a test case did not pass.
+#[derive(Debug, Clone)]
+pub enum TestCaseError {
+    /// Assertion failure — the property is violated.
+    Fail(String),
+    /// Input rejected by `prop_assume!` — resample, don't count as a case.
+    Reject(String),
+}
+
+impl TestCaseError {
+    /// Constructs a failure.
+    pub fn fail(msg: impl Into<String>) -> Self {
+        TestCaseError::Fail(msg.into())
+    }
+
+    /// Constructs a rejection.
+    pub fn reject(msg: impl Into<String>) -> Self {
+        TestCaseError::Reject(msg.into())
+    }
+}
+
+impl fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TestCaseError::Fail(m) => write!(f, "test case failed: {m}"),
+            TestCaseError::Reject(m) => write!(f, "input rejected: {m}"),
+        }
+    }
+}
+
+/// Runner configuration.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of accepted cases to run per test.
+    pub cases: u32,
+    /// Upper bound on `simplify` steps while minimizing a failure.
+    pub max_shrink_iters: u32,
+    /// Explicit stream seed; `None` derives one from the test name.
+    pub seed: Option<u64>,
+}
+
+impl ProptestConfig {
+    /// Config running `cases` accepted cases.
+    pub fn with_cases(cases: u32) -> Self {
+        ProptestConfig { cases, ..Self::default() }
+    }
+
+    /// Replaces the name-derived seed (replay a reported failure).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = Some(seed);
+        self
+    }
+
+    /// Replaces the shrink-iteration bound.
+    pub fn with_max_shrink_iters(mut self, max_shrink_iters: u32) -> Self {
+        self.max_shrink_iters = max_shrink_iters;
+        self
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        // Real proptest defaults to 256 cases; 64 keeps the offline
+        // suite quick while still exercising each property broadly.
+        ProptestConfig { cases: 64, max_shrink_iters: 1024, seed: None }
+    }
+}
+
+/// A minimized counterexample, as returned by [`run_reporting`].
+#[derive(Debug, Clone)]
+pub struct Failure<V> {
+    /// Index of the failing case (number of cases accepted before it).
+    pub case: u32,
+    /// Seed that reproduces the run (`ProptestConfig::with_seed`).
+    pub seed: u64,
+    /// The originally generated failing input.
+    pub original: V,
+    /// The input after shrinking (equals `original` if nothing simpler
+    /// still failed).
+    pub minimized: V,
+    /// Number of `simplify` steps the shrink loop performed.
+    pub shrink_iters: u32,
+    /// The assertion message from the minimized failure.
+    pub message: String,
+}
+
+/// FNV-1a over the test name: stable across runs and platforms.
+pub fn seed_for(name: &str) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for b in name.as_bytes() {
+        h ^= u64::from(*b);
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs `test` until `config.cases` accepted cases pass. On the first
+/// failure, drives the bounded shrink loop and returns the minimized
+/// counterexample instead of panicking (the panicking wrapper is
+/// [`run`]). Rejections (`prop_assume!`) are resampled with a global
+/// budget so a too-strict assumption is reported, not spun on.
+pub fn run_reporting<S: Strategy>(
+    name: &str,
+    config: &ProptestConfig,
+    strategy: &S,
+    mut test: impl FnMut(S::Value) -> Result<(), TestCaseError>,
+) -> Result<(), Failure<S::Value>> {
+    let seed = config.seed.unwrap_or_else(|| seed_for(name));
+    let mut rng = TestRng::from_seed(seed);
+    let mut accepted = 0u32;
+    let mut rejected = 0u32;
+    let reject_budget = config.cases.saturating_mul(16).max(1024);
+    while accepted < config.cases {
+        let mut tree = strategy.new_tree(&mut rng);
+        match test(tree.current()) {
+            Ok(()) => accepted += 1,
+            Err(TestCaseError::Reject(_)) => {
+                rejected += 1;
+                if rejected > reject_budget {
+                    panic!(
+                        "proptest `{name}`: too many rejected inputs \
+                         ({rejected} rejects for {accepted} accepted cases; seed {seed:#x})"
+                    );
+                }
+            }
+            Err(TestCaseError::Fail(msg)) => {
+                let original = tree.current();
+                let mut message = msg;
+                let mut iters = 0u32;
+                while iters < config.max_shrink_iters {
+                    if !tree.simplify() {
+                        break;
+                    }
+                    iters += 1;
+                    match test(tree.current()) {
+                        // Still failing: keep the simpler input (and
+                        // its message) and try to go simpler yet.
+                        Err(TestCaseError::Fail(m)) => message = m,
+                        // Passing or rejected: not a counterexample —
+                        // back off to the last failing input.
+                        Ok(()) | Err(TestCaseError::Reject(_)) => {
+                            if !tree.complicate() {
+                                break;
+                            }
+                        }
+                    }
+                }
+                return Err(Failure {
+                    case: accepted,
+                    seed,
+                    original,
+                    minimized: tree.current(),
+                    shrink_iters: iters,
+                    message,
+                });
+            }
+        }
+    }
+    Ok(())
+}
+
+/// Panicking wrapper over [`run_reporting`]: reports the minimized
+/// input, the original input, the case index, and the replay seed.
+pub fn run<S: Strategy>(
+    name: &str,
+    config: &ProptestConfig,
+    strategy: S,
+    test: impl FnMut(S::Value) -> Result<(), TestCaseError>,
+) where
+    S::Value: fmt::Debug,
+{
+    if let Err(f) = run_reporting(name, config, &strategy, test) {
+        panic!(
+            "proptest `{name}` failed at case {case} (seed {seed:#x}): {message}\n\
+             minimized input: {minimized:?}\n\
+             original input: {original:?}\n\
+             ({iters} shrink steps; replay with \
+             `ProptestConfig::with_seed({seed:#x})`)",
+            case = f.case,
+            seed = f.seed,
+            message = f.message,
+            minimized = f.minimized,
+            original = f.original,
+            iters = f.shrink_iters,
+        );
+    }
+}

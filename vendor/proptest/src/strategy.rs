@@ -1,0 +1,692 @@
+//! Strategies: generators that produce [`ValueTree`]s.
+//!
+//! `Strategy::new_tree` draws a value *and* captures the state needed to
+//! shrink it. The hard constraint honoured throughout this module is
+//! that building a tree consumes the RNG stream exactly as the old
+//! non-shrinking `sample` did — shrinking state is derived from the
+//! drawn value (or, for `Union`, from a zero-cost RNG fork) and never
+//! costs extra draws, so passing test runs are byte-identical to the
+//! pre-shrinking runner.
+
+use std::rc::Rc;
+
+use crate::runner::TestRng;
+use crate::tree::{BoolTree, FloatTree, IntTree, NoShrink, ValueTree};
+
+/// A generator of values of type `Value`, with integrated shrinking.
+pub trait Strategy {
+    /// The type of value this strategy produces.
+    type Value;
+
+    /// The value-tree type driving shrinking for this strategy.
+    type Tree: ValueTree<Value = Self::Value>;
+
+    /// Draws one value together with its shrink state.
+    fn new_tree(&self, rng: &mut TestRng) -> Self::Tree;
+
+    /// Draws one value, discarding the shrink state (compatibility
+    /// shim for the pre-shrinking API; consumes the same entropy).
+    fn sample(&self, rng: &mut TestRng) -> Self::Value
+    where
+        Self: Sized,
+    {
+        self.new_tree(rng).current()
+    }
+
+    /// Maps produced values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { inner: self, f: Rc::new(f) }
+    }
+
+    /// Keeps only values for which `f` returns `true`, resampling
+    /// others; the predicate is re-checked on every shrink step.
+    fn prop_filter<F>(self, reason: &'static str, f: F) -> Filter<Self, F>
+    where
+        Self: Sized,
+        F: Fn(&Self::Value) -> bool,
+    {
+        Filter { inner: self, reason, f: Rc::new(f) }
+    }
+
+    /// Type-erases the strategy (and its trees).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+        Self::Tree: 'static,
+    {
+        BoxedStrategy(Box::new(Boxer(self)))
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn Strategy<Value = V, Tree = Box<dyn ValueTree<Value = V>>>>);
+
+/// Adapter giving any strategy a boxed tree type.
+struct Boxer<S>(S);
+
+impl<S> Strategy for Boxer<S>
+where
+    S: Strategy,
+    S::Tree: 'static,
+{
+    type Value = S::Value;
+    type Tree = Box<dyn ValueTree<Value = S::Value>>;
+
+    fn new_tree(&self, rng: &mut TestRng) -> Self::Tree {
+        Box::new(self.0.new_tree(rng))
+    }
+}
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    type Tree = Box<dyn ValueTree<Value = V>>;
+
+    fn new_tree(&self, rng: &mut TestRng) -> Self::Tree {
+        self.0.new_tree(rng)
+    }
+}
+
+/// Strategy that always yields a clone of one value (never shrinks).
+#[derive(Debug, Clone)]
+pub struct Just<T: Clone>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    type Tree = NoShrink<T>;
+
+    fn new_tree(&self, _rng: &mut TestRng) -> NoShrink<T> {
+        NoShrink(self.0.clone())
+    }
+}
+
+/// Types with a canonical "any value" strategy.
+pub trait Arbitrary: Sized {
+    /// The value-tree type for unconstrained draws.
+    type Tree: ValueTree<Value = Self>;
+
+    /// Draws an unconstrained value with its shrink state.
+    fn arbitrary_tree(rng: &mut TestRng) -> Self::Tree;
+
+    /// Draws an unconstrained value (same entropy as `arbitrary_tree`).
+    fn arbitrary(rng: &mut TestRng) -> Self {
+        Self::arbitrary_tree(rng).current()
+    }
+}
+
+macro_rules! impl_arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            type Tree = IntTree<$t>;
+
+            fn arbitrary_tree(rng: &mut TestRng) -> IntTree<$t> {
+                IntTree::new(rng.next_u64() as $t, 0)
+            }
+        }
+    )*};
+}
+
+impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    type Tree = BoolTree;
+
+    fn arbitrary_tree(rng: &mut TestRng) -> BoolTree {
+        BoolTree::new(rng.next_u64() & 1 == 1)
+    }
+}
+
+impl Arbitrary for f64 {
+    type Tree = FloatTree<f64>;
+
+    fn arbitrary_tree(rng: &mut TestRng) -> FloatTree<f64> {
+        // Finite, wide-range values; real proptest also generates
+        // specials, but the suites here only rely on "some spread of
+        // floats". Shrinks toward zero.
+        let mag = rng.in_range(-300.0..300.0);
+        let sig = rng.unit_f64() * 2.0 - 1.0;
+        FloatTree::new(sig * 10f64.powf(mag / 10.0), 0.0)
+    }
+}
+
+/// Strategy wrapper returned by [`any`].
+pub struct Any<T>(std::marker::PhantomData<T>);
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    type Tree = T::Tree;
+
+    fn new_tree(&self, rng: &mut TestRng) -> T::Tree {
+        T::arbitrary_tree(rng)
+    }
+}
+
+/// The "any value of `T`" strategy.
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(std::marker::PhantomData)
+}
+
+/// [`Strategy::prop_map`] adapter.
+pub struct Map<S, F> {
+    inner: S,
+    f: Rc<F>,
+}
+
+/// Tree for [`Map`]: shrinks the inner tree, mapping on read.
+pub struct MapTree<T, F> {
+    inner: T,
+    f: Rc<F>,
+}
+
+impl<S: Strategy, O, F: Fn(S::Value) -> O> Strategy for Map<S, F> {
+    type Value = O;
+    type Tree = MapTree<S::Tree, F>;
+
+    fn new_tree(&self, rng: &mut TestRng) -> Self::Tree {
+        MapTree { inner: self.inner.new_tree(rng), f: Rc::clone(&self.f) }
+    }
+}
+
+impl<T: ValueTree, O, F: Fn(T::Value) -> O> ValueTree for MapTree<T, F> {
+    type Value = O;
+
+    fn current(&self) -> O {
+        (self.f)(self.inner.current())
+    }
+
+    fn simplify(&mut self) -> bool {
+        self.inner.simplify()
+    }
+
+    fn complicate(&mut self) -> bool {
+        self.inner.complicate()
+    }
+}
+
+/// [`Strategy::prop_filter`] adapter (local rejection sampling).
+pub struct Filter<S, F> {
+    inner: S,
+    reason: &'static str,
+    f: Rc<F>,
+}
+
+/// Tree for [`Filter`]: only commits simplifications whose value still
+/// satisfies the predicate; unacceptable candidates are undone via
+/// `complicate`, so `current()` always passes the predicate.
+pub struct FilterTree<T, F> {
+    inner: T,
+    f: Rc<F>,
+}
+
+impl<S: Strategy, F: Fn(&S::Value) -> bool> Strategy for Filter<S, F> {
+    type Value = S::Value;
+    type Tree = FilterTree<S::Tree, F>;
+
+    fn new_tree(&self, rng: &mut TestRng) -> Self::Tree {
+        for _ in 0..10_000 {
+            let tree = self.inner.new_tree(rng);
+            if (self.f)(&tree.current()) {
+                return FilterTree { inner: tree, f: Rc::clone(&self.f) };
+            }
+        }
+        panic!("prop_filter `{}` rejected 10000 consecutive samples", self.reason);
+    }
+}
+
+impl<T: ValueTree, F: Fn(&T::Value) -> bool> ValueTree for FilterTree<T, F> {
+    type Value = T::Value;
+
+    fn current(&self) -> T::Value {
+        self.inner.current()
+    }
+
+    fn simplify(&mut self) -> bool {
+        // Each rejected candidate is undone immediately, which also
+        // narrows the inner search space — the loop terminates because
+        // the inner tree's candidate space strictly shrinks (bounded
+        // defensively for exotic inner trees).
+        for _ in 0..10_000 {
+            if !self.inner.simplify() {
+                return false;
+            }
+            if (self.f)(&self.inner.current()) {
+                return true;
+            }
+            if !self.inner.complicate() {
+                return false;
+            }
+        }
+        false
+    }
+
+    fn complicate(&mut self) -> bool {
+        self.inner.complicate()
+    }
+}
+
+macro_rules! impl_int_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            type Tree = IntTree<$t>;
+
+            fn new_tree(&self, rng: &mut TestRng) -> IntTree<$t> {
+                IntTree::new(rng.in_range(self.clone()), self.start)
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            type Tree = IntTree<$t>;
+
+            fn new_tree(&self, rng: &mut TestRng) -> IntTree<$t> {
+                IntTree::new(rng.in_range(self.clone()), *self.start())
+            }
+        }
+    )*};
+}
+
+impl_int_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! impl_float_range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for std::ops::Range<$t> {
+            type Value = $t;
+            type Tree = FloatTree<$t>;
+
+            fn new_tree(&self, rng: &mut TestRng) -> FloatTree<$t> {
+                FloatTree::new(rng.in_range(self.clone()), self.start)
+            }
+        }
+
+        impl Strategy for std::ops::RangeInclusive<$t> {
+            type Value = $t;
+            type Tree = FloatTree<$t>;
+
+            fn new_tree(&self, rng: &mut TestRng) -> FloatTree<$t> {
+                FloatTree::new(rng.in_range(self.clone()), *self.start())
+            }
+        }
+    )*};
+}
+
+impl_float_range_strategy!(f64, f32);
+
+macro_rules! impl_tuple_strategy {
+    ($($tree:ident: ($($s:ident / $idx:tt),+))*) => {$(
+        /// Tree for a tuple strategy: shrinks components left to right.
+        pub struct $tree<$($s),+> {
+            trees: ($($s,)+),
+            cursor: usize,
+            last: Option<usize>,
+        }
+
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+            type Tree = $tree<$($s::Tree),+>;
+
+            fn new_tree(&self, rng: &mut TestRng) -> Self::Tree {
+                $tree {
+                    trees: ($(self.$idx.new_tree(rng),)+),
+                    cursor: 0,
+                    last: None,
+                }
+            }
+        }
+
+        impl<$($s: ValueTree),+> ValueTree for $tree<$($s),+> {
+            type Value = ($($s::Value,)+);
+
+            fn current(&self) -> Self::Value {
+                ($(self.trees.$idx.current(),)+)
+            }
+
+            fn simplify(&mut self) -> bool {
+                loop {
+                    match self.cursor {
+                        $(
+                            $idx => {
+                                if self.trees.$idx.simplify() {
+                                    self.last = Some($idx);
+                                    return true;
+                                }
+                                self.cursor += 1;
+                            }
+                        )+
+                        _ => return false,
+                    }
+                }
+            }
+
+            fn complicate(&mut self) -> bool {
+                match self.last.take() {
+                    $(Some($idx) => self.trees.$idx.complicate(),)+
+                    _ => false,
+                }
+            }
+        }
+    )*};
+}
+
+impl_tuple_strategy! {
+    Tuple1Tree: (A/0)
+    Tuple2Tree: (A/0, B/1)
+    Tuple3Tree: (A/0, B/1, C/2)
+    Tuple4Tree: (A/0, B/1, C/2, D/3)
+    Tuple5Tree: (A/0, B/1, C/2, D/3, E/4)
+    Tuple6Tree: (A/0, B/1, C/2, D/3, E/4, F/5)
+    Tuple7Tree: (A/0, B/1, C/2, D/3, E/4, F/5, G/6)
+    Tuple8Tree: (A/0, B/1, C/2, D/3, E/4, F/5, G/6, H/7)
+}
+
+/// Weighted-uniform choice among boxed alternatives (`prop_oneof!`
+/// support). Shrinks toward earlier alternatives, then within the
+/// chosen alternative's own tree.
+pub struct Union<V> {
+    alternatives: Rc<Vec<BoxedStrategy<V>>>,
+}
+
+impl<V> Union<V> {
+    /// Builds a union; panics if `alternatives` is empty.
+    pub fn new(alternatives: Vec<BoxedStrategy<V>>) -> Self {
+        assert!(!alternatives.is_empty(), "prop_oneof! needs at least one arm");
+        Union { alternatives: Rc::new(alternatives) }
+    }
+}
+
+/// Tree for [`Union`]. Earlier alternatives are built lazily from a
+/// forked RNG so that shrinking — which only runs after a failure is
+/// already in hand — never consumes the main generation stream.
+pub struct UnionTree<V> {
+    alts: Rc<Vec<BoxedStrategy<V>>>,
+    idx: usize,
+    tree: Box<dyn ValueTree<Value = V>>,
+    fork: TestRng,
+    prev: Option<(usize, Box<dyn ValueTree<Value = V>>)>,
+    alts_exhausted: bool,
+    last_was_switch: bool,
+}
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    type Tree = UnionTree<V>;
+
+    fn new_tree(&self, rng: &mut TestRng) -> UnionTree<V> {
+        let idx = rng.in_range(0..self.alternatives.len());
+        let tree = self.alternatives[idx].new_tree(rng);
+        UnionTree {
+            alts: Rc::clone(&self.alternatives),
+            idx,
+            tree,
+            fork: rng.fork(),
+            prev: None,
+            alts_exhausted: false,
+            last_was_switch: false,
+        }
+    }
+}
+
+impl<V> ValueTree for UnionTree<V> {
+    type Value = V;
+
+    fn current(&self) -> V {
+        self.tree.current()
+    }
+
+    fn simplify(&mut self) -> bool {
+        if !self.alts_exhausted && self.idx > 0 {
+            let mut rng = self.fork.fork();
+            let candidate = self.alts[self.idx - 1].new_tree(&mut rng);
+            let old = std::mem::replace(&mut self.tree, candidate);
+            self.prev = Some((self.idx, old));
+            self.idx -= 1;
+            self.last_was_switch = true;
+            return true;
+        }
+        if self.tree.simplify() {
+            self.last_was_switch = false;
+            return true;
+        }
+        false
+    }
+
+    fn complicate(&mut self) -> bool {
+        if self.last_was_switch {
+            self.last_was_switch = false;
+            match self.prev.take() {
+                Some((idx, tree)) => {
+                    self.idx = idx;
+                    self.tree = tree;
+                    self.alts_exhausted = true;
+                    true
+                }
+                None => false,
+            }
+        } else {
+            self.tree.complicate()
+        }
+    }
+}
+
+/// `prop::collection`: containers of generated elements.
+pub mod collection {
+    use super::{Strategy, TestRng, ValueTree};
+
+    /// Strategy for `Vec<T>` with a length drawn from `len`.
+    pub struct VecStrategy<S> {
+        element: S,
+        len: std::ops::Range<usize>,
+    }
+
+    /// Vector of `element` values with length in `len`.
+    pub fn vec<S: Strategy>(element: S, len: std::ops::Range<usize>) -> VecStrategy<S> {
+        VecStrategy { element, len }
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        type Tree = VecTree<S::Tree>;
+
+        fn new_tree(&self, rng: &mut TestRng) -> VecTree<S::Tree> {
+            let n =
+                if self.len.is_empty() { self.len.start } else { rng.in_range(self.len.clone()) };
+            let elems: Vec<S::Tree> = (0..n).map(|_| self.element.new_tree(rng)).collect();
+            VecTree {
+                included: vec![true; elems.len()],
+                elems,
+                min_len: self.len.start,
+                remove_cursor: 0,
+                elem_cursor: 0,
+                last: None,
+            }
+        }
+    }
+
+    /// What the last `simplify` on a [`VecTree`] did, for undo.
+    enum VecOp {
+        Removed(usize),
+        Shrunk(usize),
+    }
+
+    /// Tree for `vec`: first tries removing elements one at a time
+    /// (never below the strategy's minimum length), then shrinks the
+    /// surviving elements in place.
+    pub struct VecTree<T> {
+        elems: Vec<T>,
+        included: Vec<bool>,
+        min_len: usize,
+        remove_cursor: usize,
+        elem_cursor: usize,
+        last: Option<VecOp>,
+    }
+
+    impl<T: ValueTree> VecTree<T> {
+        fn included_count(&self) -> usize {
+            self.included.iter().filter(|i| **i).count()
+        }
+    }
+
+    impl<T: ValueTree> ValueTree for VecTree<T> {
+        type Value = Vec<T::Value>;
+
+        fn current(&self) -> Vec<T::Value> {
+            self.elems
+                .iter()
+                .zip(&self.included)
+                .filter(|(_, inc)| **inc)
+                .map(|(t, _)| t.current())
+                .collect()
+        }
+
+        fn simplify(&mut self) -> bool {
+            while self.remove_cursor < self.elems.len() {
+                if self.included[self.remove_cursor] && self.included_count() > self.min_len {
+                    self.included[self.remove_cursor] = false;
+                    self.last = Some(VecOp::Removed(self.remove_cursor));
+                    return true;
+                }
+                self.remove_cursor += 1;
+            }
+            while self.elem_cursor < self.elems.len() {
+                if self.included[self.elem_cursor] && self.elems[self.elem_cursor].simplify() {
+                    self.last = Some(VecOp::Shrunk(self.elem_cursor));
+                    return true;
+                }
+                self.elem_cursor += 1;
+            }
+            false
+        }
+
+        fn complicate(&mut self) -> bool {
+            match self.last.take() {
+                Some(VecOp::Removed(idx)) => {
+                    self.included[idx] = true;
+                    self.remove_cursor = idx + 1;
+                    true
+                }
+                Some(VecOp::Shrunk(idx)) => self.elems[idx].complicate(),
+                None => false,
+            }
+        }
+    }
+}
+
+/// `prop::array`: fixed-size arrays of generated elements.
+pub mod array {
+    use super::{Strategy, TestRng, ValueTree};
+
+    /// Strategy for `[T; N]` generating each element independently.
+    pub struct UniformArray<S, const N: usize>(S);
+
+    /// Tree for [`UniformArray`]: shrinks elements left to right.
+    pub struct ArrayTree<T, const N: usize> {
+        trees: [T; N],
+        cursor: usize,
+        last: Option<usize>,
+    }
+
+    impl<S: Strategy, const N: usize> Strategy for UniformArray<S, N> {
+        type Value = [S::Value; N];
+        type Tree = ArrayTree<S::Tree, N>;
+
+        fn new_tree(&self, rng: &mut TestRng) -> ArrayTree<S::Tree, N> {
+            ArrayTree {
+                trees: std::array::from_fn(|_| self.0.new_tree(rng)),
+                cursor: 0,
+                last: None,
+            }
+        }
+    }
+
+    impl<T: ValueTree, const N: usize> ValueTree for ArrayTree<T, N> {
+        type Value = [T::Value; N];
+
+        fn current(&self) -> [T::Value; N] {
+            std::array::from_fn(|i| self.trees[i].current())
+        }
+
+        fn simplify(&mut self) -> bool {
+            while self.cursor < N {
+                if self.trees[self.cursor].simplify() {
+                    self.last = Some(self.cursor);
+                    return true;
+                }
+                self.cursor += 1;
+            }
+            false
+        }
+
+        fn complicate(&mut self) -> bool {
+            match self.last.take() {
+                Some(idx) => self.trees[idx].complicate(),
+                None => false,
+            }
+        }
+    }
+
+    /// `[T; 3]` with independent elements.
+    pub fn uniform3<S: Strategy>(element: S) -> UniformArray<S, 3> {
+        UniformArray(element)
+    }
+
+    /// `[T; 4]` with independent elements.
+    pub fn uniform4<S: Strategy>(element: S) -> UniformArray<S, 4> {
+        UniformArray(element)
+    }
+
+    /// `[T; 8]` with independent elements.
+    pub fn uniform8<S: Strategy>(element: S) -> UniformArray<S, 8> {
+        UniformArray(element)
+    }
+}
+
+/// `prop::sample`: choosing from concrete collections.
+pub mod sample {
+    use super::{IntTree, Strategy, TestRng, ValueTree};
+    use std::rc::Rc;
+
+    /// Strategy choosing uniformly from a fixed list; shrinks toward
+    /// earlier options.
+    pub struct Select<T: Clone>(Rc<Vec<T>>);
+
+    /// Uniform choice from `options`; panics if empty.
+    pub fn select<T: Clone>(options: Vec<T>) -> Select<T> {
+        assert!(!options.is_empty(), "prop::sample::select needs options");
+        Select(Rc::new(options))
+    }
+
+    /// Tree for [`Select`]: binary-searches the option index toward 0.
+    pub struct SelectTree<T: Clone> {
+        options: Rc<Vec<T>>,
+        idx: IntTree<usize>,
+    }
+
+    impl<T: Clone> Strategy for Select<T> {
+        type Value = T;
+        type Tree = SelectTree<T>;
+
+        fn new_tree(&self, rng: &mut TestRng) -> SelectTree<T> {
+            let idx = rng.in_range(0..self.0.len());
+            SelectTree { options: Rc::clone(&self.0), idx: IntTree::new(idx, 0) }
+        }
+    }
+
+    impl<T: Clone> ValueTree for SelectTree<T> {
+        type Value = T;
+
+        fn current(&self) -> T {
+            self.options[self.idx.current()].clone()
+        }
+
+        fn simplify(&mut self) -> bool {
+            self.idx.simplify()
+        }
+
+        fn complicate(&mut self) -> bool {
+            self.idx.complicate()
+        }
+    }
+}

@@ -1,0 +1,303 @@
+//! Value trees: the shrinking half of the strategy architecture.
+//!
+//! A [`ValueTree`] is one sampled value plus the state needed to walk it
+//! toward a simpler one. The contract mirrors real proptest:
+//!
+//! * `current()` returns the candidate value under consideration;
+//! * `simplify()` moves `current` to a strictly simpler candidate and
+//!   returns `true`, or returns `false` (leaving `current` unchanged)
+//!   when no simpler candidate remains;
+//! * `complicate()` rejects the most recent simplification: it restores
+//!   `current` to the value it had before the last successful
+//!   `simplify()` and narrows the search space so that simplification
+//!   is not proposed again. It returns `false` when there is nothing
+//!   to undo.
+//!
+//! The restore-exactly semantics of `complicate()` are what let the
+//! runner (and the `Filter` combinator) treat the last failing value as
+//! always recoverable: after any rejected simplification the tree's
+//! `current()` is again a known-failing (or known-predicate-passing)
+//! value.
+
+use std::marker::PhantomData;
+
+/// One generated value and its shrink state. See the module docs for
+/// the `simplify`/`complicate` contract.
+pub trait ValueTree {
+    /// The type of value this tree yields.
+    type Value;
+
+    /// The candidate value under consideration.
+    fn current(&self) -> Self::Value;
+
+    /// Proposes a strictly simpler candidate; `false` when exhausted.
+    fn simplify(&mut self) -> bool;
+
+    /// Undoes the last simplification and narrows the search space;
+    /// `false` when there is no simplification to undo.
+    fn complicate(&mut self) -> bool;
+}
+
+/// Boxed value trees delegate, so `BoxedStrategy` can erase tree types.
+impl<V> ValueTree for Box<dyn ValueTree<Value = V>> {
+    type Value = V;
+
+    fn current(&self) -> V {
+        (**self).current()
+    }
+
+    fn simplify(&mut self) -> bool {
+        (**self).simplify()
+    }
+
+    fn complicate(&mut self) -> bool {
+        (**self).complicate()
+    }
+}
+
+/// A tree that never shrinks (used by `Just` and other constants).
+#[derive(Debug, Clone)]
+pub struct NoShrink<T: Clone>(pub T);
+
+impl<T: Clone> ValueTree for NoShrink<T> {
+    type Value = T;
+
+    fn current(&self) -> T {
+        self.0.clone()
+    }
+
+    fn simplify(&mut self) -> bool {
+        false
+    }
+
+    fn complicate(&mut self) -> bool {
+        false
+    }
+}
+
+/// Integer types an [`IntTree`] can shrink. All workspace integer types
+/// round-trip losslessly through `i128`, which is wide enough to hold
+/// the full `u64` and `i64` domains plus their magnitudes.
+pub trait IntValue: Copy {
+    /// Lossless widening conversion.
+    fn to_i128(self) -> i128;
+    /// Narrowing conversion; callers guarantee the value is in domain.
+    fn from_i128(v: i128) -> Self;
+}
+
+macro_rules! impl_int_value {
+    ($($t:ty),*) => {$(
+        impl IntValue for $t {
+            fn to_i128(self) -> i128 {
+                self as i128
+            }
+            fn from_i128(v: i128) -> Self {
+                v as $t
+            }
+        }
+    )*};
+}
+
+impl_int_value!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+/// Binary-search shrinker for integers: walks the candidate's distance
+/// from `target` (the range's low end, or zero for `any`) down via
+/// bisection. Internally everything is an `i128` magnitude, so the full
+/// `u64`/`i64` domains are handled without overflow.
+#[derive(Debug, Clone)]
+pub struct IntTree<T> {
+    target: i128,
+    /// +1 or -1: which side of `target` the original value sits on.
+    sign: i128,
+    /// Current candidate's magnitude (distance from `target`).
+    m_curr: i128,
+    /// Smallest magnitude not yet ruled out by a rejected candidate.
+    m_lo: i128,
+    /// Magnitude before the last `simplify`, for exact restore.
+    prev: Option<i128>,
+    _ty: PhantomData<T>,
+}
+
+impl<T: IntValue> IntTree<T> {
+    /// Tree shrinking `value` toward `target` (both in domain).
+    pub fn new(value: T, target: T) -> Self {
+        let d = value.to_i128() - target.to_i128();
+        IntTree {
+            target: target.to_i128(),
+            sign: if d < 0 { -1 } else { 1 },
+            m_curr: d.abs(),
+            m_lo: 0,
+            prev: None,
+            _ty: PhantomData,
+        }
+    }
+}
+
+impl<T: IntValue> ValueTree for IntTree<T> {
+    type Value = T;
+
+    fn current(&self) -> T {
+        T::from_i128(self.target + self.sign * self.m_curr)
+    }
+
+    fn simplify(&mut self) -> bool {
+        if self.m_lo >= self.m_curr {
+            return false;
+        }
+        let candidate = self.m_lo + (self.m_curr - self.m_lo) / 2;
+        self.prev = Some(self.m_curr);
+        self.m_curr = candidate;
+        true
+    }
+
+    fn complicate(&mut self) -> bool {
+        match self.prev.take() {
+            None => false,
+            Some(p) => {
+                // The rejected candidate (and everything at least as
+                // simple) is ruled out; restore the pre-simplify value.
+                self.m_lo = self.m_curr + 1;
+                self.m_curr = p;
+                true
+            }
+        }
+    }
+}
+
+/// Float types a [`FloatTree`] can shrink. `f32` routes through `f64`
+/// (every `f32` is exactly representable, and rounding a midpoint back
+/// to `f32` cannot leave the closed candidate interval).
+pub trait FloatValue: Copy {
+    /// Lossless widening conversion.
+    fn to_f64(self) -> f64;
+    /// Rounding narrowing conversion.
+    fn from_f64(v: f64) -> Self;
+}
+
+impl FloatValue for f64 {
+    fn to_f64(self) -> f64 {
+        self
+    }
+    fn from_f64(v: f64) -> Self {
+        v
+    }
+}
+
+impl FloatValue for f32 {
+    fn to_f64(self) -> f64 {
+        f64::from(self)
+    }
+    fn from_f64(v: f64) -> Self {
+        v as f32
+    }
+}
+
+/// Bisection shrinker for floats: candidates stay in the closed
+/// interval between `target` (the range's low end, or zero for `any`)
+/// and the original value. The first candidate is the target itself;
+/// after a rejection the search bisects, converging when midpoints
+/// stop moving.
+#[derive(Debug, Clone)]
+pub struct FloatTree<T> {
+    /// Boundary of the not-yet-ruled-out interval on the target side.
+    lo: f64,
+    /// Whether `lo` itself has already been tried and rejected.
+    lo_tried: bool,
+    curr: f64,
+    prev: Option<f64>,
+    _ty: PhantomData<T>,
+}
+
+impl<T: FloatValue> FloatTree<T> {
+    /// Tree shrinking `value` toward `target` (both finite, in domain).
+    pub fn new(value: T, target: T) -> Self {
+        FloatTree {
+            lo: target.to_f64(),
+            lo_tried: false,
+            curr: value.to_f64(),
+            prev: None,
+            _ty: PhantomData,
+        }
+    }
+}
+
+impl<T: FloatValue> ValueTree for FloatTree<T> {
+    type Value = T;
+
+    fn current(&self) -> T {
+        T::from_f64(self.curr)
+    }
+
+    fn simplify(&mut self) -> bool {
+        // Probe the target itself before bisecting: components that do
+        // not carry the failure collapse to `lo` in one step, instead
+        // of halving until the ulp underflows (which for a zero target
+        // would eat the whole shrink budget on a single component).
+        let candidate = if self.lo_tried { self.lo + (self.curr - self.lo) / 2.0 } else { self.lo };
+        if !candidate.is_finite() || candidate == self.curr {
+            return false;
+        }
+        if candidate == self.lo && self.lo_tried {
+            return false;
+        }
+        self.prev = Some(self.curr);
+        self.curr = candidate;
+        true
+    }
+
+    fn complicate(&mut self) -> bool {
+        match self.prev.take() {
+            None => false,
+            Some(p) => {
+                self.lo = self.curr;
+                self.lo_tried = true;
+                self.curr = p;
+                true
+            }
+        }
+    }
+}
+
+/// `true` shrinks to `false` exactly once.
+#[derive(Debug, Clone)]
+pub struct BoolTree {
+    curr: bool,
+    can_simplify: bool,
+    can_complicate: bool,
+}
+
+impl BoolTree {
+    /// Tree for a sampled boolean.
+    pub fn new(value: bool) -> Self {
+        BoolTree { curr: value, can_simplify: value, can_complicate: false }
+    }
+}
+
+impl ValueTree for BoolTree {
+    type Value = bool;
+
+    fn current(&self) -> bool {
+        self.curr
+    }
+
+    fn simplify(&mut self) -> bool {
+        if self.can_simplify {
+            self.curr = false;
+            self.can_simplify = false;
+            self.can_complicate = true;
+            true
+        } else {
+            false
+        }
+    }
+
+    fn complicate(&mut self) -> bool {
+        if self.can_complicate {
+            self.curr = true;
+            self.can_complicate = false;
+            true
+        } else {
+            false
+        }
+    }
+}

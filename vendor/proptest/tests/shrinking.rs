@@ -1,0 +1,213 @@
+//! Shrinking invariants for the vendored proptest: every shrink step
+//! stays inside the strategy's domain, shrinking terminates within
+//! `max_shrink_iters`, and the canonical seeded failure minimizes to a
+//! single-element vector that replays from the reported seed.
+
+use proptest::prelude::*;
+use proptest::test_runner::{run_reporting, Failure};
+use proptest::ValueTree;
+
+/// Drives a deliberately failing property and returns the failure
+/// report plus every input the runner actually tested (generation and
+/// shrink candidates alike), for domain-invariant assertions.
+fn drive<S, P>(
+    name: &str,
+    cfg: &ProptestConfig,
+    strat: &S,
+    mut fails: P,
+) -> (Failure<S::Value>, Vec<S::Value>)
+where
+    S: Strategy,
+    S::Value: Clone,
+    P: FnMut(&S::Value) -> bool,
+{
+    let mut seen: Vec<S::Value> = Vec::new();
+    let failure = run_reporting(name, cfg, strat, |v| {
+        seen.push(v.clone());
+        if fails(&v) {
+            Err(TestCaseError::fail("deliberate failure"))
+        } else {
+            Ok(())
+        }
+    })
+    .expect_err("property was constructed to fail");
+    (failure, seen)
+}
+
+#[test]
+fn canonical_vec_failure_minimizes_to_single_element() {
+    let cfg = ProptestConfig::with_cases(64);
+    let strat = (prop::collection::vec(any::<u32>(), 0..100),);
+    let fails = |(v,): &(Vec<u32>,)| v.iter().any(|&x| x > 1000);
+
+    let (failure, seen) = drive("canonical_vec", &cfg, &strat, fails);
+    let (min,) = failure.minimized.clone();
+    assert_eq!(min.len(), 1, "minimized to a single element: {min:?}");
+    assert_eq!(min[0], 1001, "binary search converges to the smallest failing element");
+    let (orig,) = failure.original.clone();
+    assert!(orig.iter().any(|&x| x > 1000), "original input must fail too");
+    assert!(failure.shrink_iters <= cfg.max_shrink_iters);
+    // Every candidate the runner tested respects the length bound.
+    assert!(seen.iter().all(|(v,)| v.len() < 100));
+
+    // Replaying the reported seed reproduces the identical failure.
+    let replay_cfg = ProptestConfig::with_cases(64).with_seed(failure.seed);
+    let (replayed, _) = drive("some_other_name", &replay_cfg, &strat, fails);
+    assert_eq!(replayed.minimized, failure.minimized);
+    assert_eq!(replayed.original, failure.original);
+    assert_eq!(replayed.case, failure.case);
+}
+
+#[test]
+fn int_range_candidates_stay_in_bounds_and_reach_the_low_end() {
+    let cfg = ProptestConfig::default();
+    let strat = (50i32..150,);
+    let (failure, seen) = drive("int_bounds", &cfg, &strat, |_| true);
+    assert!(seen.iter().all(|(x,)| (50..150).contains(x)), "{seen:?}");
+    assert_eq!(failure.minimized.0, 50, "an always-failing property minimizes to the range start");
+}
+
+#[test]
+fn inclusive_range_and_negative_targets_shrink_to_their_start() {
+    let cfg = ProptestConfig::default();
+    let (failure, seen) = drive("incl_bounds", &cfg, &(-20i64..=20,), |_| true);
+    assert!(seen.iter().all(|(x,)| (-20..=20).contains(x)));
+    assert_eq!(failure.minimized.0, -20);
+}
+
+#[test]
+fn float_range_candidates_stay_in_bounds_and_reach_the_low_end() {
+    let cfg = ProptestConfig::default();
+    let strat = (1.5f64..10.0,);
+    let (failure, seen) = drive("float_bounds", &cfg, &strat, |_| true);
+    assert!(seen.iter().all(|(x,)| (1.5..10.0).contains(x)), "{seen:?}");
+    assert_eq!(failure.minimized.0, 1.5);
+    assert!(failure.shrink_iters <= cfg.max_shrink_iters);
+}
+
+#[test]
+fn vec_length_never_dips_below_the_strategy_minimum() {
+    let cfg = ProptestConfig::default();
+    let strat = (prop::collection::vec(0u8..10, 3..8),);
+    let (failure, seen) = drive("vec_min_len", &cfg, &strat, |_| true);
+    assert!(seen.iter().all(|(v,)| (3..8).contains(&v.len())), "{seen:?}");
+    let (min,) = failure.minimized;
+    assert_eq!(min.len(), 3, "removal pass stops at the minimum length");
+    assert!(min.iter().all(|&x| x == 0), "element pass reaches each range start: {min:?}");
+}
+
+#[test]
+fn filter_predicate_holds_on_every_shrink_candidate() {
+    let cfg = ProptestConfig::default();
+    let strat = ((0i32..1000).prop_filter("must be even", |x| x % 2 == 0),);
+    let (failure, seen) = drive("filter_domain", &cfg, &strat, |(x,)| *x >= 100);
+    assert!(seen.iter().all(|(x,)| x % 2 == 0), "{seen:?}");
+    // A dense filter interacts with the bisection (a rejected odd
+    // midpoint prunes the evens below it), so the result is a local
+    // minimum: even, still failing, and no worse than the original.
+    let min = failure.minimized.0;
+    assert_eq!(min % 2, 0);
+    assert!(min >= 100 && min <= failure.original.0, "{failure:?}");
+}
+
+#[test]
+fn sparse_filter_still_reaches_the_exact_minimum() {
+    // A pinhole filter can only prune below the true minimum, so the
+    // bisection converges exactly.
+    let cfg = ProptestConfig::default();
+    let strat = ((0i32..1000).prop_filter("not 77", |x| *x != 77),);
+    let (failure, seen) = drive("filter_pinhole", &cfg, &strat, |(x,)| *x >= 100);
+    assert!(seen.iter().all(|(x,)| *x != 77));
+    assert_eq!(failure.minimized.0, 100, "smallest failing value outside the pinhole");
+}
+
+#[test]
+fn union_shrinks_toward_earlier_alternatives() {
+    let cfg = ProptestConfig::default();
+    let strat = (prop_oneof![Just(3u8), Just(2), Just(1)],);
+    let (failure, _) = drive("union_order", &cfg, &strat, |_| true);
+    assert_eq!(failure.minimized.0, 3, "the first prop_oneof! arm is the simplest");
+}
+
+#[test]
+fn tuples_and_arrays_shrink_every_component() {
+    let cfg = ProptestConfig::default();
+    let strat = (10u8..20, prop::array::uniform3(5i16..9), any::<bool>());
+    let (failure, seen) = drive("tuple_components", &cfg, &strat, |_| true);
+    assert!(seen
+        .iter()
+        .all(|(a, arr, _)| (10..20).contains(a) && arr.iter().all(|x| (5..9).contains(x))));
+    let (a, arr, b) = failure.minimized;
+    assert_eq!((a, arr, b), (10, [5, 5, 5], false));
+}
+
+#[test]
+fn shrinking_respects_a_tight_iteration_budget() {
+    let cfg = ProptestConfig::default().with_max_shrink_iters(5);
+    let strat = (prop::collection::vec(any::<u32>(), 0..100),);
+    let (failure, _) = drive("tight_budget", &cfg, &strat, |(v,)| v.iter().any(|&x| x > 1000));
+    assert!(failure.shrink_iters <= 5, "shrink loop exceeded its budget");
+    let (min,) = failure.minimized;
+    assert!(min.iter().any(|&x| x > 1000), "reported input must still fail");
+}
+
+#[test]
+fn zero_budget_reports_the_original_failure() {
+    let cfg = ProptestConfig::default().with_max_shrink_iters(0);
+    let strat = (0u64..1000,);
+    let (failure, _) = drive("zero_budget", &cfg, &strat, |_| true);
+    assert_eq!(failure.shrink_iters, 0);
+    assert_eq!(failure.minimized, failure.original);
+}
+
+#[test]
+fn complicate_restores_the_pre_simplify_value_exactly() {
+    // Unit-level check of the restore-and-narrow contract the runner
+    // and `Filter` rely on.
+    let mut tree = proptest::IntTree::new(100u32, 0);
+    assert_eq!(tree.current(), 100);
+    assert!(tree.simplify());
+    assert_eq!(tree.current(), 50);
+    assert!(tree.complicate(), "an undone simplification restores the previous value");
+    assert_eq!(tree.current(), 100);
+    assert!(tree.simplify());
+    assert_eq!(tree.current(), 75, "the rejected half of the interval is not retried");
+    assert!(!tree.complicate() || tree.current() != 50);
+}
+
+#[test]
+fn map_shrinks_through_the_mapping() {
+    let cfg = ProptestConfig::default();
+    let strat = ((0u32..500).prop_map(|x| x * 2),);
+    let (failure, seen) = drive("map_domain", &cfg, &strat, |(x,)| *x >= 100);
+    assert!(seen.iter().all(|(x,)| x % 2 == 0));
+    assert_eq!(failure.minimized.0, 100, "smallest doubled value still failing");
+}
+
+#[test]
+fn zero_target_floats_collapse_without_exhausting_the_budget() {
+    // Regression: a float component whose target is 0.0 used to halve
+    // until the ulp underflowed (~1070 steps), exhausting the budget on
+    // one component. The lo-probe collapses irrelevant components in a
+    // single step each.
+    let cfg = ProptestConfig::with_cases(64);
+    let strat = (prop::array::uniform3(0.0f64..1e5), 0.0f64..0.01);
+    let (failure, _) = drive("zero_target_floats", &cfg, &strat, |(_, step)| *step > 0.005);
+    let (arr, step) = failure.minimized;
+    assert_eq!(arr, [0.0; 3], "irrelevant components collapse to the target: {arr:?}");
+    assert!(step > 0.005 && step < 0.005 + 1e-6, "threshold pinned: {step}");
+    assert!(failure.shrink_iters < 200, "budget stays small: {}", failure.shrink_iters);
+}
+
+// A deliberately failing property, kept `#[ignore]`d as a live demo of
+// the failure report. Run it to see the original input, the minimized
+// counterexample, and the replay seed in the panic message:
+//
+//     cargo test -p proptest -- --ignored demo_minimized
+proptest! {
+    #[test]
+    #[ignore = "deliberately failing: demonstrates the minimized failure report"]
+    fn demo_minimized_failure_report(v in prop::collection::vec(any::<u32>(), 0..100)) {
+        prop_assert!(v.iter().all(|&x| x <= 1000), "an element exceeded 1000: {:?}", v);
+    }
+}
