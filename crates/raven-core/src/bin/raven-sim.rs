@@ -7,6 +7,7 @@
 //! raven-sim train [seed]           learn detection thresholds (parallel)
 //! raven-sim table1|table2|fig5|fig6|fig8   regenerate an artifact (quick sizes)
 //! raven-sim table4|fig9|ablations  Monte-Carlo sweeps (parallel campaign engine)
+//! raven-sim chaos [seed]           accidental-fault study (guarded loop under chaos)
 //! ```
 //!
 //! Sweep commands accept `--workers N` (default: all cores, or
@@ -29,9 +30,9 @@
 #![forbid(unsafe_code)]
 
 use raven_core::experiments::{
-    run_fig5, run_fig6, run_fig8, run_fig9_with, run_fusion_ablation_with,
+    run_chaos_study_with, run_fig5, run_fig6, run_fig8, run_fig9_with, run_fusion_ablation_with,
     run_lookahead_ablation_with, run_mitigation_ablation_with, run_table1, run_table2,
-    run_table4_with, Fig9Config, Table4Config,
+    run_table4_with, ChaosStudyConfig, Fig9Config, Table4Config,
 };
 use raven_core::training::{train_thresholds, train_thresholds_with, TrainingConfig};
 use raven_core::{AttackSetup, DetectorSetup, ExecutorConfig, SimConfig, Simulation};
@@ -73,6 +74,15 @@ fn parse_sweep_opts(args: &[String]) -> SweepOpts {
                     die::<u64>(&format!("unrecognized argument `{other}`"));
                 }
             },
+        }
+    }
+    if workers.is_none() {
+        // Surface a bad $RAVEN_WORKERS as a CLI error up front rather than
+        // a panic mid-sweep.
+        if let Ok(raw) = std::env::var(raven_core::WORKERS_ENV) {
+            if let Err(e) = raven_core::parse_workers(&raw) {
+                die::<()>(&format!("invalid {}: {e}", raven_core::WORKERS_ENV));
+            }
         }
     }
     SweepOpts { seed, paper, exec: ExecutorConfig { workers, progress: true }, metrics_json }
@@ -274,6 +284,17 @@ fn main() {
             print!("{}", result.render());
             dump_metrics(opts.metrics_json.as_ref(), &result.metrics);
         }
+        "chaos" => {
+            let opts = parse_sweep_opts(&args);
+            let config = if opts.paper {
+                ChaosStudyConfig::paper_scale(opts.seed)
+            } else {
+                ChaosStudyConfig::quick(opts.seed)
+            };
+            let result = run_chaos_study_with(&config, &opts.exec);
+            print!("{}", result.render());
+            dump_metrics(opts.metrics_json.as_ref(), &result.metrics);
+        }
         "ablations" => {
             let opts = parse_sweep_opts(&args);
             let runs = if opts.paper { 60 } else { 12 };
@@ -291,7 +312,7 @@ fn main() {
         _ => {
             eprintln!(
                 "usage: raven-sim <session|attack|defend|train|table1|table2|table4|\
-                 fig5|fig6|fig8|fig9|ablations> [seed] [--workers N] [--paper]\n\
+                 fig5|fig6|fig8|fig9|ablations|chaos> [seed] [--workers N] [--paper]\n\
                  \x20      [--metrics-json <path>] [--incident-dir <dir>]   (RAVEN_LOG=<level>)"
             );
             std::process::exit(2);

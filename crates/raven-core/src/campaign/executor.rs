@@ -36,8 +36,9 @@ pub const WORKERS_ENV: &str = "RAVEN_WORKERS";
 /// How a sweep is executed.
 #[derive(Debug, Clone, Default)]
 pub struct ExecutorConfig {
-    /// Worker threads. `None` resolves to `$RAVEN_WORKERS` if set, else
-    /// `std::thread::available_parallelism()`.
+    /// Worker threads. `None` resolves to `$RAVEN_WORKERS` if set (a
+    /// positive integer — anything else is an error, not a silent
+    /// fallback), else `std::thread::available_parallelism()`.
     pub workers: Option<usize>,
     /// Emit progress/throughput lines to stderr while running.
     pub progress: bool,
@@ -56,11 +57,34 @@ impl ExecutorConfig {
     }
 
     /// The worker count this config resolves to (≥ 1).
+    ///
+    /// # Panics
+    ///
+    /// Panics when `$RAVEN_WORKERS` is set but invalid (zero, negative,
+    /// or not a number): a silently ignored override would run the sweep
+    /// with an unintended worker count.
     pub fn resolved_workers(&self) -> usize {
-        self.workers
-            .or_else(|| std::env::var(WORKERS_ENV).ok().and_then(|v| v.trim().parse().ok()))
-            .unwrap_or_else(|| std::thread::available_parallelism().map(usize::from).unwrap_or(1))
-            .max(1)
+        if let Some(workers) = self.workers {
+            return workers.max(1);
+        }
+        match std::env::var(WORKERS_ENV) {
+            Ok(raw) => match parse_workers(&raw) {
+                Ok(workers) => workers,
+                Err(e) => panic!("invalid {WORKERS_ENV}: {e}"),
+            },
+            Err(_) => std::thread::available_parallelism().map(usize::from).unwrap_or(1),
+        }
+    }
+}
+
+/// Parses a worker-count override (the `$RAVEN_WORKERS` format): a
+/// positive integer, surrounding whitespace allowed.
+pub fn parse_workers(raw: &str) -> Result<usize, String> {
+    let trimmed = raw.trim();
+    match trimmed.parse::<usize>() {
+        Ok(0) => Err(format!("`{trimmed}` — worker count must be at least 1")),
+        Ok(n) => Ok(n),
+        Err(_) => Err(format!("`{trimmed}` — expected a positive integer worker count")),
     }
 }
 
@@ -425,5 +449,28 @@ mod tests {
         // Run 3 incremented its counter before panicking; the partial
         // registry must not leak into the aggregate.
         assert_eq!(r.stats.metrics.counter("runs.completed"), 7);
+    }
+
+    #[test]
+    fn parse_workers_accepts_positive_integers() {
+        assert_eq!(parse_workers("1"), Ok(1));
+        assert_eq!(parse_workers("16"), Ok(16));
+        assert_eq!(parse_workers("  4 \n"), Ok(4));
+    }
+
+    #[test]
+    fn parse_workers_rejects_zero_and_garbage() {
+        for raw in ["0", " 0 ", "-2", "two", "1.5", "", "4x"] {
+            let err = parse_workers(raw).expect_err(raw);
+            assert!(err.contains(raw.trim()), "error must echo the bad value: {err}");
+        }
+    }
+
+    #[test]
+    fn explicit_worker_count_bypasses_the_env_override() {
+        // `workers: Some(..)` must never consult `$RAVEN_WORKERS` — the
+        // serial baselines in the determinism tests depend on it.
+        assert_eq!(ExecutorConfig::serial().resolved_workers(), 1);
+        assert_eq!(ExecutorConfig::with_workers(3).resolved_workers(), 3);
     }
 }

@@ -8,6 +8,7 @@
 //! reduced sizes.
 
 pub mod ablations;
+pub mod chaos;
 pub mod fig5;
 pub mod fig6;
 pub mod fig8;
@@ -23,6 +24,7 @@ pub use ablations::{
     run_mitigation_ablation_with, BitwStudy, FusionAblation, HardenedBoardResult,
     LookaheadAblation, MitigationAblation,
 };
+pub use chaos::{run_chaos_study, run_chaos_study_with, ChaosStudy, ChaosStudyConfig};
 pub use fig5::{run_fig5, Fig5Result};
 pub use fig6::{run_fig6, Fig6Result};
 pub use fig8::{run_fig8, Fig8Result};

@@ -21,7 +21,8 @@ pub mod training;
 pub mod viz;
 
 pub use campaign::executor::{
-    run_sweep, run_sweep_observed, ExecutorConfig, RunError, SweepResult, SweepStats,
+    parse_workers, run_sweep, run_sweep_observed, ExecutorConfig, RunError, SweepResult,
+    SweepStats, WORKERS_ENV,
 };
 pub use campaign::{run_campaign, run_campaign_with, CampaignResult, CampaignRun, CampaignSummary};
 pub use dual::{Arm, DualArmSession, DualOutcome};

@@ -12,7 +12,8 @@ use raven_control::{
 };
 use raven_detect::{DetectorConfig, DynamicDetector, GuardInterceptor, SharedDetector};
 use raven_dynamics::{PlantParams, RtModel};
-use raven_hw::{EStopCause, HardwareRig, RobotState};
+use raven_hw::chaos::{ChaosEncoderBitFlip, ChaosFeedbackHold, ChaosFrameDrop, ChaosStuckEncoder};
+use raven_hw::{EStopCause, FaultWindow, HardwareRig, RobotState};
 use raven_kinematics::ArmConfig;
 use raven_math::Vec3;
 use raven_teleop::{
@@ -24,7 +25,10 @@ use simbus::obs::{
     channels, names, shared_observer, Event, EventKind, EventLog, Metrics, Severity, SharedObserver,
 };
 use simbus::rng::derive_seed;
-use simbus::{LinkConfig, SimClock, SimDuration, SimLink, SimTime, StageProfiler};
+use simbus::{
+    ChaosConfig, ChaosFault, ChaosFaultKind, ChaosSchedule, LinkConfig, SimClock, SimDuration,
+    SimLink, SimTime, StageProfiler,
+};
 
 use crate::scenario::AttackSetup;
 
@@ -159,6 +163,10 @@ pub struct SimConfig {
     pub record_cycles: bool,
     /// Optional link-encryption retrofit (paper §III.D's BITW discussion).
     pub bitw: Option<raven_hw::BitwPlacement>,
+    /// Event-ring capacity. Verification harnesses that reason over event
+    /// *counts* (the chaos oracles) need the whole session to fit without
+    /// eviction; campaign runs keep the default.
+    pub event_capacity: usize,
 }
 
 impl SimConfig {
@@ -177,6 +185,7 @@ impl SimConfig {
             controller: ControllerConfig::raven_ii(),
             record_cycles: false,
             bitw: None,
+            event_capacity: EventLog::DEFAULT_CAPACITY,
         }
     }
 }
@@ -231,6 +240,18 @@ pub struct IncidentReport {
     pub signals: std::collections::BTreeMap<String, Vec<simbus::trace::Sample>>,
 }
 
+/// Runtime state of an installed chaos schedule's link-level faults (the
+/// hardware-level faults become windowed interceptors at install time).
+#[derive(Debug)]
+struct ChaosState {
+    /// Pending link faults, time-ordered.
+    link: std::collections::VecDeque<ChaosFault>,
+    /// A console packet held back one tick by a reorder fault.
+    reorder_held: Option<Vec<u8>>,
+    /// End of an active 100%-loss burst, if one is running.
+    burst_until: Option<SimTime>,
+}
+
 /// The assembled simulation.
 pub struct Simulation {
     config: SimConfig,
@@ -252,6 +273,7 @@ pub struct Simulation {
     observer: SharedObserver,
     profiler: StageProfiler,
     incident: Option<IncidentReport>,
+    chaos: Option<ChaosState>,
     attack_delay_packets: Option<u64>,
     prev_state: RobotState,
     prev_fault: Option<FaultReason>,
@@ -270,11 +292,15 @@ impl Simulation {
     /// triggering cycle).
     const INCIDENT_WINDOW_MS: u64 = 250;
 
+    /// Virtual start of the chaos-fault window: after boot (< 2 s) and the
+    /// pedal press (2.5 s), so chaos exercises the teleoperation phase.
+    const CHAOS_START_MS: u64 = 2_800;
+
     /// Builds the clean system for a configuration (no attack installed).
     pub fn new(config: SimConfig) -> Self {
         let arm = ArmConfig::builder().coupling(config.plant.coupling()).build();
         let controller = RavenController::new(arm.clone(), config.controller);
-        let observer = shared_observer(EventLog::DEFAULT_CAPACITY);
+        let observer = shared_observer(config.event_capacity);
         let mut rig = HardwareRig::new(config.plant);
         rig.set_observer(std::sync::Arc::clone(&observer));
         // The robot powers up in a stowed pose, not at the homing target —
@@ -353,6 +379,7 @@ impl Simulation {
             observer,
             profiler: StageProfiler::new(),
             incident: None,
+            chaos: None,
             attack_delay_packets: None,
             prev_state,
             prev_fault: None,
@@ -465,6 +492,69 @@ impl Simulation {
         }
     }
 
+    /// Installs a deterministic chaos schedule (accidental faults, §V's
+    /// wider threat surface). Returns the number of scheduled faults.
+    ///
+    /// The schedule is drawn entirely at install time from the dedicated
+    /// `"chaos"` stream of the run seed over the window
+    /// `[CHAOS_START_MS, CHAOS_START_MS + session_ms)` — after boot and
+    /// pedal-down, so initialization stays clean. Hardware-level faults
+    /// become windowed interceptors on the USB paths immediately;
+    /// link-level faults are applied tick by tick in
+    /// [`Simulation::step`]'s console stage. Every applied fault is
+    /// attributed via a `chaos.injected` event and the `chaos.injections`
+    /// counter. A simulation that never calls this consumes zero chaos
+    /// RNG, and an all-off [`ChaosConfig`] schedules nothing.
+    pub fn install_chaos(&mut self, chaos: &ChaosConfig) -> usize {
+        let start = SimTime::ZERO + SimDuration::from_millis(Self::CHAOS_START_MS);
+        let span = SimDuration::from_millis(self.config.session_ms);
+        let schedule =
+            ChaosSchedule::generate(derive_seed(self.config.seed, "chaos"), chaos, start, span);
+        let scheduled = schedule.scheduled();
+        let mut link = std::collections::VecDeque::new();
+        for fault in schedule.pending() {
+            match fault.kind {
+                ChaosFaultKind::ReorderNext
+                | ChaosFaultKind::DuplicateNext
+                | ChaosFaultKind::CorruptPacket { .. }
+                | ChaosFaultKind::BurstLoss { .. } => link.push_back(*fault),
+                ChaosFaultKind::StuckEncoder { channel, ms } => {
+                    self.rig.channel.install_read(Box::new(ChaosStuckEncoder::new(
+                        channel as usize,
+                        FaultWindow::starting_at(fault.at, ms),
+                        Some(std::sync::Arc::clone(&self.observer)),
+                    )));
+                }
+                ChaosFaultKind::EncoderBitFlip { channel, bit, ms } => {
+                    self.rig.channel.install_read(Box::new(ChaosEncoderBitFlip::new(
+                        channel as usize,
+                        bit,
+                        FaultWindow::starting_at(fault.at, ms),
+                        Some(std::sync::Arc::clone(&self.observer)),
+                    )));
+                }
+                ChaosFaultKind::DropUsbFrames { ms } => {
+                    self.rig.channel.install(Box::new(ChaosFrameDrop::usb_frames(
+                        FaultWindow::starting_at(fault.at, ms),
+                        Some(std::sync::Arc::clone(&self.observer)),
+                    )));
+                }
+                ChaosFaultKind::BoardSilence { ms } => {
+                    let window = FaultWindow::starting_at(fault.at, ms);
+                    // The write half announces; the read half is silent so
+                    // the pair counts as one injected fault.
+                    self.rig.channel.install(Box::new(ChaosFrameDrop::board_silence(
+                        window,
+                        Some(std::sync::Arc::clone(&self.observer)),
+                    )));
+                    self.rig.channel.install_read(Box::new(ChaosFeedbackHold::new(window, None)));
+                }
+            }
+        }
+        self.chaos = Some(ChaosState { link, reorder_held: None, burst_until: None });
+        scheduled
+    }
+
     /// Read access to the shared detector (training protocols, metrics).
     pub fn detector(&self) -> Option<&SharedDetector> {
         self.detector.as_ref()
@@ -563,14 +653,15 @@ impl Simulation {
     pub fn step(&mut self) {
         let now = self.clock.now();
 
-        // 1. Console emits; scenario-A malware mutates; network carries.
+        // 1. Console emits; scenario-A malware mutates; chaos link faults
+        //    apply; network carries.
         let t_stage = self.profiler.begin();
         let pkt = self.console.emit(now);
         let mut bytes = pkt.encode().to_vec();
         if let Some(mitm) = &mut self.mitm {
             mitm.process(&mut bytes);
         }
-        self.itp_link.send(now, bytes);
+        self.send_console_bytes(now, bytes);
         self.profiler.end("console", t_stage);
 
         // 2. Control software ingests delivered packets. Position increments
@@ -669,6 +760,96 @@ impl Simulation {
 
         self.observe_cycle(now);
         self.clock.tick();
+    }
+
+    /// Carries one tick's console bytes onto the ITP link, applying any
+    /// link-level chaos faults due this tick. Without an installed chaos
+    /// schedule this is exactly `itp_link.send` — the clean path is
+    /// untouched and consumes no extra RNG.
+    fn send_console_bytes(&mut self, now: SimTime, bytes: Vec<u8>) {
+        let Some(chaos) = &mut self.chaos else {
+            self.itp_link.send(now, bytes);
+            return;
+        };
+
+        // An expired loss burst restores the configured loss first.
+        if chaos.burst_until.is_some_and(|until| now >= until) {
+            chaos.burst_until = None;
+            self.itp_link.set_loss_probability(self.config.link.loss_probability);
+        }
+
+        let mut bytes = bytes;
+        let mut hold_this_tick = false;
+        let mut duplicate = false;
+        while let Some(fault) = chaos.link.front().copied() {
+            if fault.at > now {
+                break;
+            }
+            chaos.link.pop_front();
+            let mut detail: Vec<(&'static str, i64)> = Vec::new();
+            let applied = match fault.kind {
+                ChaosFaultKind::ReorderNext => {
+                    // Ignore a reorder while already holding a packet: one
+                    // packet in flight backwards at a time.
+                    let apply = chaos.reorder_held.is_none() && !hold_this_tick;
+                    hold_this_tick |= apply;
+                    apply
+                }
+                ChaosFaultKind::DuplicateNext => {
+                    duplicate = true;
+                    true
+                }
+                ChaosFaultKind::CorruptPacket { byte, mask } => {
+                    if bytes.is_empty() {
+                        false
+                    } else {
+                        let i = byte as usize % bytes.len();
+                        bytes[i] ^= mask;
+                        detail.push(("byte", i as i64));
+                        detail.push(("mask", i64::from(mask)));
+                        true
+                    }
+                }
+                ChaosFaultKind::BurstLoss { ms } => {
+                    let until = now + SimDuration::from_millis(ms);
+                    chaos.burst_until =
+                        Some(chaos.burst_until.map_or(until, |prev| prev.max(until)));
+                    self.itp_link.set_loss_probability(1.0);
+                    detail.push(("window_ms", ms as i64));
+                    true
+                }
+                // Hardware-level faults were turned into interceptors at
+                // install time and never reach the link queue.
+                ChaosFaultKind::StuckEncoder { .. }
+                | ChaosFaultKind::EncoderBitFlip { .. }
+                | ChaosFaultKind::DropUsbFrames { .. }
+                | ChaosFaultKind::BoardSilence { .. } => false,
+            };
+            if applied {
+                let mut obs = self.observer.lock();
+                obs.metrics.inc(names::CHAOS_INJECTIONS);
+                let mut event = Event::new(now, "chaos", Severity::Warn, EventKind::ChaosInjected)
+                    .with("fault", fault.kind.slug());
+                for (key, value) in detail {
+                    event = event.with(key, value);
+                }
+                obs.event(event);
+            }
+        }
+
+        if hold_this_tick {
+            // The reorder: this tick's packet waits; it departs after the
+            // next tick's packet.
+            chaos.reorder_held = Some(bytes);
+            return;
+        }
+        if duplicate {
+            self.itp_link.send(now, bytes.clone());
+        }
+        self.itp_link.send(now, bytes);
+        if let Some(held) = chaos.reorder_held.take() {
+            self.itp_link.send(now, held);
+        }
     }
 
     /// End-of-cycle observation: diffs the safety-relevant state against
@@ -901,6 +1082,51 @@ mod tests {
             (out.max_ee_step_1ms, out.ticks)
         };
         assert_eq!(run(5), run(5));
+    }
+
+    #[test]
+    fn chaos_off_schedule_is_a_no_op() {
+        // Installing an all-off chaos config must leave the run byte-for-
+        // byte identical to never installing chaos: zero RNG consumed,
+        // zero events emitted.
+        let run = |install: bool| {
+            let mut sim =
+                Simulation::new(SimConfig { session_ms: 1_500, ..SimConfig::standard(23) });
+            if install {
+                assert_eq!(sim.install_chaos(&ChaosConfig::off()), 0);
+            }
+            sim.boot();
+            let out = sim.run_session();
+            (serde_json::to_string(&out).unwrap(), serde_json::to_string(&sim.metrics()).unwrap())
+        };
+        assert_eq!(run(false), run(true));
+    }
+
+    #[test]
+    fn chaos_standard_schedule_is_deterministic_and_attributed() {
+        let run = || {
+            let mut sim =
+                Simulation::new(SimConfig { session_ms: 2_500, ..SimConfig::standard(29) });
+            let scheduled = sim.install_chaos(&ChaosConfig::standard());
+            sim.boot();
+            let out = sim.run_session();
+            (scheduled, serde_json::to_string(&out).unwrap(), sim.metrics(), sim.events())
+        };
+        let (scheduled, out_a, metrics, events) = run();
+        let (_, out_b, metrics_b, _) = run();
+        assert_eq!(out_a, out_b, "chaos run must be replay-deterministic");
+        assert_eq!(
+            serde_json::to_string(&metrics).unwrap(),
+            serde_json::to_string(&metrics_b).unwrap()
+        );
+        assert!(scheduled > 0, "standard chaos over 2.5 s should schedule faults");
+        // Every applied fault is attributed: counter == event count <= scheduled.
+        let injected = metrics.counter(names::CHAOS_INJECTIONS);
+        let chaos_events =
+            events.iter().filter(|e| e.kind == EventKind::ChaosInjected.as_str()).count() as u64;
+        assert!(injected > 0, "no chaos fault applied out of {scheduled} scheduled");
+        assert_eq!(injected, chaos_events);
+        assert!(injected <= scheduled as u64);
     }
 
     #[test]

@@ -172,6 +172,9 @@ pub struct DynamicDetector {
     first_alarm_assessment: Option<u64>,
     estop_requested: bool,
     last_assessment: Option<Assessment>,
+    /// Installed kill-suite mutant, if any (`None` ⇒ production behavior).
+    #[cfg(feature = "mutant-hooks")]
+    mutation: Option<crate::mutants::DetectorMutation>,
 }
 
 impl DynamicDetector {
@@ -197,7 +200,22 @@ impl DynamicDetector {
             first_alarm_assessment: None,
             estop_requested: false,
             last_assessment: None,
+            #[cfg(feature = "mutant-hooks")]
+            mutation: None,
         }
+    }
+
+    /// Installs (or clears) a kill-suite mutant. Test-only: exists solely
+    /// for the `raven-verify` mutation kill-suite.
+    #[cfg(feature = "mutant-hooks")]
+    pub fn set_mutation(&mut self, mutation: Option<crate::mutants::DetectorMutation>) {
+        self.mutation = mutation;
+    }
+
+    /// The installed kill-suite mutant, if any.
+    #[cfg(feature = "mutant-hooks")]
+    pub fn mutation(&self) -> Option<crate::mutants::DetectorMutation> {
+        self.mutation
     }
 
     /// Current mode.
@@ -317,17 +335,15 @@ impl DynamicDetector {
                 Some(Assessment { features, threshold_alarm: false, ee_alarm: false })
             }
             ModeState::Armed(thresholds) => {
-                let threshold_alarm = match self.config.fusion {
-                    FusionRule::AllThree => thresholds.fused_alarm(&features),
-                    FusionRule::AnyOne => thresholds.any_alarm(&features),
-                };
-                let ee_alarm = features.ee_step > self.config.ee_step_limit;
+                let threshold_alarm = self.threshold_alarm_for(&thresholds, &features);
+                let ee_alarm = self.ee_alarm_for(&features);
                 let assessment = Assessment { features, threshold_alarm, ee_alarm };
                 self.assessments += 1;
                 if assessment.alarm() {
-                    self.alarms += 1;
-                    self.first_alarm_assessment.get_or_insert(self.assessments);
-                    if self.config.mitigation == Mitigation::EStop {
+                    self.count_alarm();
+                    let first = self.first_alarm_index();
+                    self.first_alarm_assessment.get_or_insert(first);
+                    if self.config.mitigation == Mitigation::EStop && self.estop_request_enabled() {
                         self.estop_requested = true;
                     }
                 }
@@ -389,6 +405,149 @@ impl DynamicDetector {
     /// The oldest remembered safe command, if any.
     fn held_safe(&self) -> Option<[i16; raven_hw::DAC_CHANNELS]> {
         self.safe_history.front().copied()
+    }
+
+    // ---- kill-suite hook points -------------------------------------
+    //
+    // Each decision the mutation kill-suite needs to sabotage routes
+    // through one of these `cfg`-paired helpers. The `not(mutant-hooks)`
+    // versions are the production logic, verbatim; the `mutant-hooks`
+    // versions reproduce it exactly when `self.mutation` is `None` and
+    // apply the seeded defect otherwise. See `crate::mutants`.
+
+    /// Fused threshold-exceedance decision for one assessment.
+    #[cfg(not(feature = "mutant-hooks"))]
+    fn threshold_alarm_for(
+        &self,
+        thresholds: &DetectionThresholds,
+        features: &InstantFeatures,
+    ) -> bool {
+        match self.config.fusion {
+            FusionRule::AllThree => thresholds.fused_alarm(features),
+            FusionRule::AnyOne => thresholds.any_alarm(features),
+        }
+    }
+
+    #[cfg(feature = "mutant-hooks")]
+    fn threshold_alarm_for(
+        &self,
+        thresholds: &DetectionThresholds,
+        features: &InstantFeatures,
+    ) -> bool {
+        use crate::mutants::DetectorMutation as M;
+        let mut f = *features;
+        match self.mutation {
+            Some(M::ThresholdsIgnored) => return false,
+            Some(M::FusionBecomesAnyOne) => return thresholds.any_alarm(&f),
+            Some(M::FusionDropsJointVel) => {
+                return (0..NUM_AXES).any(|i| {
+                    f.motor_accel[i] > thresholds.motor_accel[i]
+                        && f.motor_vel[i] > thresholds.motor_vel[i]
+                });
+            }
+            Some(M::SwappedVelAccel) => std::mem::swap(&mut f.motor_accel, &mut f.motor_vel),
+            _ => {}
+        }
+        match self.config.fusion {
+            FusionRule::AllThree => thresholds.fused_alarm(&f),
+            FusionRule::AnyOne => thresholds.any_alarm(&f),
+        }
+    }
+
+    /// Hard end-effector step-limit decision for one assessment.
+    #[cfg(not(feature = "mutant-hooks"))]
+    fn ee_alarm_for(&self, features: &InstantFeatures) -> bool {
+        features.ee_step > self.config.ee_step_limit
+    }
+
+    #[cfg(feature = "mutant-hooks")]
+    fn ee_alarm_for(&self, features: &InstantFeatures) -> bool {
+        use crate::mutants::DetectorMutation as M;
+        match self.mutation {
+            Some(M::EeCheckDisabled) => false,
+            Some(M::EeLimitTenfold) => features.ee_step > 10.0 * self.config.ee_step_limit,
+            _ => features.ee_step > self.config.ee_step_limit,
+        }
+    }
+
+    /// Bumps the session alarm counter on an alarming assessment.
+    #[cfg(not(feature = "mutant-hooks"))]
+    fn count_alarm(&mut self) {
+        self.alarms += 1;
+    }
+
+    #[cfg(feature = "mutant-hooks")]
+    fn count_alarm(&mut self) {
+        if self.mutation != Some(crate::mutants::DetectorMutation::AlarmCounterStuck) {
+            self.alarms += 1;
+        }
+    }
+
+    /// The 1-based assessment index recorded for the first alarm.
+    #[cfg(not(feature = "mutant-hooks"))]
+    fn first_alarm_index(&self) -> u64 {
+        self.assessments
+    }
+
+    #[cfg(feature = "mutant-hooks")]
+    fn first_alarm_index(&self) -> u64 {
+        if self.mutation == Some(crate::mutants::DetectorMutation::FirstAlarmOffByOne) {
+            self.assessments + 1
+        } else {
+            self.assessments
+        }
+    }
+
+    /// Whether the E-STOP mitigation is allowed to request the stop.
+    #[cfg(not(feature = "mutant-hooks"))]
+    fn estop_request_enabled(&self) -> bool {
+        true
+    }
+
+    #[cfg(feature = "mutant-hooks")]
+    fn estop_request_enabled(&self) -> bool {
+        self.mutation != Some(crate::mutants::DetectorMutation::EstopRequestDropped)
+    }
+
+    /// Whether the guard's block/substitute path is active at all.
+    #[cfg(not(feature = "mutant-hooks"))]
+    fn block_path_enabled(&self) -> bool {
+        true
+    }
+
+    #[cfg(feature = "mutant-hooks")]
+    fn block_path_enabled(&self) -> bool {
+        self.mutation != Some(crate::mutants::DetectorMutation::BlockPathDisabled)
+    }
+
+    /// Cooldown cycles loaded after an alarming block-and-hold cycle.
+    #[cfg(not(feature = "mutant-hooks"))]
+    fn cooldown_reload(&self) -> u32 {
+        self.config.hold_cooldown_cycles
+    }
+
+    #[cfg(feature = "mutant-hooks")]
+    fn cooldown_reload(&self) -> u32 {
+        if self.mutation == Some(crate::mutants::DetectorMutation::CooldownIgnored) {
+            0
+        } else {
+            self.config.hold_cooldown_cycles
+        }
+    }
+
+    /// The remembered safe command that block-and-hold substitutes.
+    #[cfg(not(feature = "mutant-hooks"))]
+    fn substitution_source(&self) -> Option<[i16; raven_hw::DAC_CHANNELS]> {
+        self.held_safe()
+    }
+
+    #[cfg(feature = "mutant-hooks")]
+    fn substitution_source(&self) -> Option<[i16; raven_hw::DAC_CHANNELS]> {
+        if self.mutation == Some(crate::mutants::DetectorMutation::HoldSubstitutesLatest) {
+            self.safe_history.back().copied()
+        } else {
+            self.held_safe()
+        }
     }
 }
 
@@ -453,32 +612,37 @@ impl WriteInterceptor for GuardInterceptor {
         }
         // "blocked" = the board does not receive the command verbatim
         // (dropped outright, or substituted with a safe hold).
-        let (action, blocked) = match det.config.mitigation {
-            Mitigation::Observe => (WriteAction::Forward, false),
-            Mitigation::EStop => (WriteAction::Drop, true),
-            Mitigation::BlockAndHold => {
-                // Substitute a zero-torque hold, keeping the incoming state
-                // byte (the watchdog must keep toggling or the PLC will
-                // independently E-STOP), and keep substituting through the
-                // cooldown window. Substituting the *last seen* command
-                // would be unsafe: the first packets of an injection pass
-                // before velocity builds and would be replayed forever.
-                if assessment.alarm() {
-                    det.hold_cooldown = det.config.hold_cooldown_cycles;
-                } else {
-                    det.hold_cooldown = det.hold_cooldown.saturating_sub(1);
-                }
-                match det.held_safe() {
-                    None => (WriteAction::Drop, true),
-                    Some(mut dac) => {
-                        // Wrist channels are positional set-points, not
-                        // torques — hold them at their freshly commanded
-                        // values.
-                        dac[3..].copy_from_slice(&pkt.dac[3..]);
-                        let replacement =
-                            UsbCommandPacket { state: pkt.state, watchdog: pkt.watchdog, dac };
-                        *buf = replacement.encode().to_vec();
-                        (WriteAction::Forward, true)
+        let (action, blocked) = if !det.block_path_enabled() {
+            (WriteAction::Forward, false)
+        } else {
+            match det.config.mitigation {
+                Mitigation::Observe => (WriteAction::Forward, false),
+                Mitigation::EStop => (WriteAction::Drop, true),
+                Mitigation::BlockAndHold => {
+                    // Substitute a zero-torque hold, keeping the incoming
+                    // state byte (the watchdog must keep toggling or the
+                    // PLC will independently E-STOP), and keep substituting
+                    // through the cooldown window. Substituting the *last
+                    // seen* command would be unsafe: the first packets of
+                    // an injection pass before velocity builds and would be
+                    // replayed forever.
+                    if assessment.alarm() {
+                        det.hold_cooldown = det.cooldown_reload();
+                    } else {
+                        det.hold_cooldown = det.hold_cooldown.saturating_sub(1);
+                    }
+                    match det.substitution_source() {
+                        None => (WriteAction::Drop, true),
+                        Some(mut dac) => {
+                            // Wrist channels are positional set-points, not
+                            // torques — hold them at their freshly
+                            // commanded values.
+                            dac[3..].copy_from_slice(&pkt.dac[3..]);
+                            let replacement =
+                                UsbCommandPacket { state: pkt.state, watchdog: pkt.watchdog, dac };
+                            *buf = replacement.encode().to_vec();
+                            (WriteAction::Forward, true)
+                        }
                     }
                 }
             }

@@ -24,6 +24,8 @@
 
 pub mod detector;
 pub mod features;
+#[cfg(feature = "mutant-hooks")]
+pub mod mutants;
 pub mod thresholds;
 
 pub use detector::{
@@ -31,4 +33,6 @@ pub use detector::{
     GuardInterceptor, Mitigation, NoFaultFreeSamples, SharedDetector,
 };
 pub use features::InstantFeatures;
+#[cfg(feature = "mutant-hooks")]
+pub use mutants::DetectorMutation;
 pub use thresholds::{DetectionThresholds, ThresholdLearner};

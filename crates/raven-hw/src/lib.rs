@@ -11,6 +11,9 @@
 //!   `raven-detect` both install here;
 //! * [`board`] — the 8-channel interface board (stock: no integrity check;
 //!   [`board::UsbBoard::hardened`] for the counterfactual);
+//! * [`chaos`] — windowed accidental-fault interceptors (stuck/bit-flipped
+//!   encoders, dropped USB frames, transient board silence) for the
+//!   chaos-testing harness;
 //! * [`plc`] — the PLC safety processor: watchdog monitor, fail-safe brakes,
 //!   E-STOP latch;
 //! * [`rig`] — the assembled hardware: channel → board → PLC/motor
@@ -21,6 +24,7 @@
 pub mod bitw;
 pub mod board;
 pub mod channel;
+pub mod chaos;
 pub mod packet;
 pub mod plc;
 pub mod rig;
@@ -28,6 +32,9 @@ pub mod rig;
 pub use bitw::{BitwCodec, BitwPlacement, BITW_OVERHEAD};
 pub use board::UsbBoard;
 pub use channel::{ReadInterceptor, UsbChannel, WriteAction, WriteContext, WriteInterceptor};
+pub use chaos::{
+    ChaosEncoderBitFlip, ChaosFeedbackHold, ChaosFrameDrop, ChaosStuckEncoder, FaultWindow,
+};
 pub use packet::{
     PacketError, RobotState, UsbCommandPacket, UsbFeedbackPacket, COMMAND_PACKET_LEN, DAC_CHANNELS,
     FEEDBACK_PACKET_LEN, WATCHDOG_BIT,

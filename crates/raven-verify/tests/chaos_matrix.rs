@@ -1,0 +1,109 @@
+//! The fixed-seed chaos matrix: the unmutated system must satisfy every
+//! safety oracle under seeded fault injection, and every chaos run must
+//! replay byte-identically.
+//!
+//! On an oracle failure the offending run's full report and the oracle
+//! verdicts are dumped as JSON under `chaos-artifacts/` at the workspace
+//! root (uploaded by CI), so a red matrix entry arrives with its evidence
+//! attached.
+
+use raven_verify::oracles::replay_determinism;
+use raven_verify::{run_chaos_session, run_oracles, suite_thresholds, Expectations, VerifySpec};
+use simbus::ChaosConfig;
+
+/// The CI chaos matrix seeds (fixed: the runs are fully deterministic).
+const MATRIX_SEEDS: [u64; 8] = [101, 102, 103, 104, 105, 106, 107, 108];
+
+fn artifact_dir() -> std::path::PathBuf {
+    std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../chaos-artifacts")
+}
+
+/// Judges one run; on failure, dumps evidence and panics.
+fn assert_oracles(spec: &VerifySpec, exp: &Expectations) {
+    let report = run_chaos_session(spec, suite_thresholds());
+    let oracles = run_oracles(&report, exp);
+    if !oracles.passed() {
+        let dir = artifact_dir();
+        let _ = std::fs::create_dir_all(&dir);
+        let stem = format!("{}-seed{}", report.name, report.seed);
+        let _ = std::fs::write(dir.join(format!("{stem}.report.json")), report.to_json());
+        if let Ok(json) = serde_json::to_string_pretty(&oracles) {
+            let _ = std::fs::write(dir.join(format!("{stem}.oracles.json")), json);
+        }
+        panic!(
+            "oracle failures for {} (evidence in {}):\n{}",
+            stem,
+            dir.display(),
+            oracles.failure_summary()
+        );
+    }
+}
+
+#[test]
+fn clean_sessions_under_standard_chaos_satisfy_every_oracle() {
+    for seed in MATRIX_SEEDS {
+        let spec = VerifySpec::clean(seed).with_chaos(ChaosConfig::standard());
+        assert_oracles(&spec, &Expectations { must_boot: true, ..Expectations::default() });
+    }
+}
+
+#[test]
+fn estop_defense_under_link_chaos_satisfies_every_oracle() {
+    for seed in MATRIX_SEEDS {
+        let spec = VerifySpec::estop_attack(seed).with_chaos(ChaosConfig::link_only());
+        assert_oracles(
+            &spec,
+            &Expectations {
+                must_boot: true,
+                must_detect: true,
+                must_estop: true,
+                must_not_be_adverse: true,
+                ..Expectations::default()
+            },
+        );
+    }
+}
+
+#[test]
+fn hold_defense_under_standard_chaos_satisfies_every_oracle() {
+    for seed in MATRIX_SEEDS {
+        let spec = VerifySpec::hold_attack(seed).with_chaos(ChaosConfig::standard());
+        assert_oracles(
+            &spec,
+            &Expectations { must_boot: true, must_detect: true, ..Expectations::default() },
+        );
+    }
+}
+
+#[test]
+fn chaos_free_guarded_sessions_stay_silent() {
+    for seed in MATRIX_SEEDS {
+        let spec = VerifySpec::clean(seed);
+        assert_oracles(
+            &spec,
+            &Expectations {
+                must_boot: true,
+                no_false_alarms: true,
+                must_not_be_adverse: true,
+                must_not_estop: true,
+                ..Expectations::default()
+            },
+        );
+    }
+}
+
+#[test]
+fn chaos_runs_replay_byte_identically() {
+    let thresholds = suite_thresholds();
+    for spec in [
+        VerifySpec::clean(101).with_chaos(ChaosConfig::standard()),
+        VerifySpec::estop_attack(102).with_chaos(ChaosConfig::standard()),
+        VerifySpec::hold_attack(103).with_chaos(ChaosConfig::link_only()),
+        VerifySpec::observe_attack(104).with_chaos(ChaosConfig::standard()),
+    ] {
+        let a = run_chaos_session(&spec, thresholds);
+        let b = run_chaos_session(&spec, thresholds);
+        let verdict = replay_determinism(&a, &b);
+        assert!(verdict.passed, "{} seed {}: {}", spec.name, spec.seed, verdict.detail);
+    }
+}

@@ -1,0 +1,100 @@
+//! The mutation kill-suite: proof the oracle/probe suite has teeth.
+//!
+//! `raven-detect` is compiled with the `mutant-hooks` feature, exposing
+//! twelve deliberately-seeded defects ([`DetectorMutation`]). The suite
+//! must *kill* every one of them — each mutant fails at least one
+//! conformance probe or end-to-end oracle — while the unmutated build
+//! passes everything. A surviving mutant means the oracles have a blind
+//! spot exactly where that defect lives.
+
+use raven_detect::DetectorMutation;
+use raven_verify::{
+    all_probes, run_mutated_chaos_session, run_oracles, suite_thresholds, Expectations, VerifySpec,
+};
+
+#[test]
+fn unmutated_build_passes_every_probe() {
+    for p in all_probes(None) {
+        assert!(p.result.is_ok(), "probe {} failed on production code: {:?}", p.probe, p.result);
+    }
+}
+
+#[test]
+fn every_mutant_is_killed_by_the_probe_suite() {
+    let mut survivors = Vec::new();
+    for mutant in DetectorMutation::ALL {
+        let kills: Vec<&str> = all_probes(Some(mutant))
+            .iter()
+            .filter(|p| p.result.is_err())
+            .map(|p| p.probe)
+            .collect();
+        if kills.is_empty() {
+            survivors.push(mutant.slug());
+        }
+    }
+    assert!(survivors.is_empty(), "mutants not killed by any probe: {survivors:?}");
+}
+
+/// Each probe kills exactly the mutants whose defect it pins down — the
+/// kill matrix is diagonal, not accidental.
+#[test]
+fn kill_matrix_matches_the_seeded_defects() {
+    let expected: [(DetectorMutation, &str); 12] = [
+        (DetectorMutation::EeLimitTenfold, "ee-limit"),
+        (DetectorMutation::EeCheckDisabled, "ee-limit"),
+        (DetectorMutation::FusionDropsJointVel, "fusion-rule"),
+        (DetectorMutation::SwappedVelAccel, "fusion-rule"),
+        (DetectorMutation::ThresholdsIgnored, "fusion-rule"),
+        (DetectorMutation::FusionBecomesAnyOne, "fusion-rule"),
+        (DetectorMutation::BlockPathDisabled, "guard-block-path"),
+        (DetectorMutation::EstopRequestDropped, "guard-block-path"),
+        (DetectorMutation::CooldownIgnored, "hold-semantics"),
+        (DetectorMutation::HoldSubstitutesLatest, "hold-semantics"),
+        (DetectorMutation::FirstAlarmOffByOne, "alarm-bookkeeping"),
+        (DetectorMutation::AlarmCounterStuck, "alarm-bookkeeping"),
+    ];
+    for (mutant, probe) in expected {
+        let failed: Vec<String> = all_probes(Some(mutant))
+            .iter()
+            .filter(|p| p.result.is_err())
+            .map(|p| p.probe.to_string())
+            .collect();
+        assert!(
+            failed.contains(&probe.to_string()),
+            "mutant {} must be killed by probe {probe}, but only {failed:?} failed",
+            mutant.slug()
+        );
+    }
+}
+
+/// End-to-end kills: mitigation- and bookkeeping-path mutants must also
+/// fail the black-box oracle suite over a full guarded attack session —
+/// the oracles do not need white-box access to notice these defects.
+#[test]
+fn mitigation_mutants_are_killed_end_to_end() {
+    let thresholds = suite_thresholds();
+    let spec = VerifySpec::estop_attack(41);
+    let exp = Expectations {
+        must_boot: true,
+        must_detect: true,
+        must_estop: true,
+        ..Expectations::default()
+    };
+
+    let control = run_oracles(&run_mutated_chaos_session(&spec, thresholds, None), &exp);
+    assert!(
+        control.passed(),
+        "unmutated control arm must pass every oracle:\n{}",
+        control.failure_summary()
+    );
+
+    for mutant in [
+        DetectorMutation::BlockPathDisabled,
+        DetectorMutation::EstopRequestDropped,
+        DetectorMutation::FirstAlarmOffByOne,
+        DetectorMutation::AlarmCounterStuck,
+    ] {
+        let report = run_oracles(&run_mutated_chaos_session(&spec, thresholds, Some(mutant)), &exp);
+        assert!(!report.passed(), "mutant {} survived the end-to-end oracle suite", mutant.slug());
+    }
+}

@@ -13,6 +13,8 @@
 //!   equivalent of the paper's logged robot runs);
 //! * [`obs`] — structured events, metrics, and wall-clock stage profiling
 //!   (the flight-recorder substrate; see `docs/OBSERVABILITY.md`);
+//! * [`chaos`] — seed-driven accidental-fault schedules (link corruption,
+//!   stuck encoders, board silence) for the chaos/oracle test harness;
 //! * [`rng`] — seed-derivation helpers so every experiment is reproducible.
 //!
 //! Everything here is single-threaded by design: experiments advance a
@@ -22,6 +24,7 @@
 #![forbid(unsafe_code)]
 
 pub mod bus;
+pub mod chaos;
 pub mod net;
 pub mod obs;
 pub mod rng;
@@ -29,6 +32,7 @@ pub mod time;
 pub mod trace;
 
 pub use bus::{Bus, Subscription};
+pub use chaos::{ChaosConfig, ChaosFault, ChaosFaultKind, ChaosSchedule};
 pub use net::{LinkConfig, SimLink};
 pub use obs::{
     shared_observer, Event, EventKind, EventLog, FieldValue, Histogram, Metrics, Observer,

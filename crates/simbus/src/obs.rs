@@ -162,11 +162,13 @@ pub enum EventKind {
     EstopLatched,
     /// The start button released the E-STOP latch.
     EstopCleared,
+    /// A scheduled chaos fault was applied (link or hardware level).
+    ChaosInjected,
 }
 
 impl EventKind {
     /// Every kind, for exhaustive iteration in tests and tooling.
-    pub const ALL: [EventKind; 7] = [
+    pub const ALL: [EventKind; 8] = [
         EventKind::AttackInstalled,
         EventKind::StateTransition,
         EventKind::ControlFault,
@@ -174,10 +176,11 @@ impl EventKind {
         EventKind::DetectorVerdict,
         EventKind::EstopLatched,
         EventKind::EstopCleared,
+        EventKind::ChaosInjected,
     ];
 
     /// The stable dotted identifier serialized into event logs.
-    pub fn as_str(self) -> &'static str {
+    pub const fn as_str(self) -> &'static str {
         match self {
             EventKind::AttackInstalled => "attack.installed",
             EventKind::StateTransition => "state.transition",
@@ -186,6 +189,7 @@ impl EventKind {
             EventKind::DetectorVerdict => "detector.verdict",
             EventKind::EstopLatched => "estop.latched",
             EventKind::EstopCleared => "estop.cleared",
+            EventKind::ChaosInjected => "chaos.injected",
         }
     }
 }
@@ -231,13 +235,15 @@ pub mod names {
     pub const NET_PACKETS_DROPPED: &str = "net.packets_dropped";
     /// Software state-machine transitions (counter).
     pub const CONTROL_TRANSITIONS: &str = "control.transitions";
+    /// Chaos faults applied by the schedule (counter).
+    pub const CHAOS_INJECTIONS: &str = "chaos.injections";
     /// Family: fault latches by `FaultReason` slug.
     pub const FAULT_COUNT_PREFIX: &str = "fault.count.";
     /// Family: PLC E-STOP latches by `EStopCause` slug.
     pub const ESTOP_COUNT_PREFIX: &str = "estop.count.";
 
     /// Every exact (non-family) metric name.
-    pub const ALL: [&str; 8] = [
+    pub const ALL: [&str; 9] = [
         DETECTOR_ASSESSMENTS,
         DETECTOR_ALARMS,
         DETECTOR_BLOCKED_COMMANDS,
@@ -246,6 +252,7 @@ pub mod names {
         ATTACK_INJECTIONS,
         NET_PACKETS_DROPPED,
         CONTROL_TRANSITIONS,
+        CHAOS_INJECTIONS,
     ];
 
     /// Every family prefix.

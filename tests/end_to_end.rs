@@ -308,3 +308,47 @@ fn guard_detects_encoder_feedback_attacks() {
         "phantom encoder jump must look like (and be treated as) unsafe motion: {out:?}"
     );
 }
+
+/// Dual-arm session, end to end: an attack on the gold arm is invisible in
+/// the green arm's registries, and the combined registry is exactly the
+/// per-arm registries merged in run order (gold first) — the same
+/// discipline the campaign executor uses across runs.
+#[test]
+fn dual_arm_attack_isolation_and_run_order_merge() {
+    use raven_core::{Arm, DualArmSession};
+
+    let mut dual = DualArmSession::new(SimConfig {
+        workload: Workload::Circle,
+        session_ms: 3_000,
+        ..SimConfig::standard(19)
+    });
+    dual.install_attack(
+        Arm::Gold,
+        &AttackSetup::ScenarioB {
+            dac_delta: 30_000,
+            channel: 0,
+            delay_packets: 400,
+            duration_packets: 256,
+        },
+    );
+    dual.boot();
+    let out = dual.run_session(3_000);
+
+    // Per-arm independence: every injection the attack landed is in the
+    // gold arm's registry, none in the green arm's.
+    assert!(out.arm(Arm::Gold).adverse, "attacked arm must jump: {out:?}");
+    assert!(!out.arm(Arm::Green).adverse, "clean arm must be untouched: {out:?}");
+    assert!(out.metrics(Arm::Gold).counter("attack.injections") > 0);
+    assert_eq!(out.metrics(Arm::Green).counter("attack.injections"), 0);
+    assert!(out.events(Arm::Green).iter().all(|e| e.kind != "attack.injection"));
+
+    // `merged()` must equal a manual gold-then-green run-order merge,
+    // byte for byte.
+    let mut manual = out.metrics(Arm::Gold).clone();
+    manual.merge(out.metrics(Arm::Green));
+    assert_eq!(
+        serde_json::to_string(&out.merged()).expect("serialize merged"),
+        serde_json::to_string(&manual).expect("serialize manual merge"),
+        "DualOutcome::merged() must be the run-order merge of the per-arm registries"
+    );
+}
