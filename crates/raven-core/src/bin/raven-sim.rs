@@ -148,15 +148,35 @@ fn dump_metrics(path: Option<&PathBuf>, metrics: &Metrics) {
 /// Flushes a single run's observability artifacts: metrics JSON, incident
 /// report (if the flight recorder tripped), and — at `RAVEN_LOG=debug` —
 /// the per-stage wall-clock profile.
+///
+/// Metrics are dumped *before* the incident sink runs: the sink's
+/// ledger bookkeeping must never leak into the run's deterministic
+/// metrics artifact.
 fn flush_run_artifacts(sim: &Simulation, opts: &RunOpts) {
     dump_metrics(opts.metrics_json.as_ref(), &sim.metrics());
     if let Some(dir) = &opts.incident_dir {
         if let Some(incident) = sim.incident() {
-            let json = serde_json::to_string_pretty(incident).expect("incident serialize");
-            write_json(
-                &dir.join(format!("incident-seed{}.json", opts.seed)),
-                &json,
-                "incident written",
+            // The sink writes a seq-suffixed file (unique across runs —
+            // a fixed name silently overwrote earlier incidents of the
+            // same seed) and appends its content address to the
+            // hash-chained ledger in the same directory.
+            let appended =
+                raven_core::IncidentSink::open(dir).and_then(|mut sink| sink.append(incident));
+            let receipt = match appended {
+                Ok(r) => r,
+                Err(e) => {
+                    die::<()>(&format!("cannot record incident in {}: {e}", dir.display()));
+                    return;
+                }
+            };
+            log::emit(
+                Severity::Info,
+                "raven-sim",
+                &format!(
+                    "incident written: {} (ledger seq {})",
+                    receipt.path.display(),
+                    receipt.record.seq
+                ),
             );
         } else {
             log::emit(Severity::Info, "raven-sim", "no incident: flight recorder never tripped");
@@ -304,6 +324,7 @@ fn main() {
             println!();
             print!("{}", run_lookahead_ablation_with(opts.seed, runs, &opts.exec).render());
         }
+        "ledger" => run_ledger_command(&args),
         "table1" => print!("{}", run_table1(31).render()),
         "table2" => print!("{}", run_table2(10_000).render()),
         "fig5" => print!("{}", run_fig5(3, 4_000).render()),
@@ -313,9 +334,175 @@ fn main() {
             eprintln!(
                 "usage: raven-sim <session|attack|defend|train|table1|table2|table4|\
                  fig5|fig6|fig8|fig9|ablations|chaos> [seed] [--workers N] [--paper]\n\
-                 \x20      [--metrics-json <path>] [--incident-dir <dir>]   (RAVEN_LOG=<level>)"
+                 \x20      [--metrics-json <path>] [--incident-dir <dir>]   (RAVEN_LOG=<level>)\n\
+                 \x20      raven-sim ledger verify <ledger.jsonl> [--sealed]\n\
+                 \x20      raven-sim ledger manifest [--root <dir>] [--update]"
             );
             std::process::exit(2);
+        }
+    }
+}
+
+/// `raven-sim ledger …`: the offline forensics verifier.
+///
+/// * `ledger verify <file> [--sealed]` — verify a hash-chained JSONL
+///   ledger. With `--sealed` the final seal record is mandatory;
+///   otherwise a `<file>.head` sidecar is used when present, and the
+///   check falls back to structural verification (which cannot see tail
+///   truncation) when neither pin exists.
+/// * `ledger manifest [--root <dir>] [--update]` — verify the signed
+///   golden-artifact manifest (`results/MANIFEST.json`) against the
+///   working tree, including completeness; `--update` re-hashes and
+///   re-signs it instead.
+///
+/// Exit status: 0 on success, 1 on a verification failure, 2 on usage
+/// errors.
+fn run_ledger_command(args: &[String]) {
+    match args.get(2).map(String::as_str) {
+        Some("verify") => {
+            let mut path = None;
+            let mut sealed = false;
+            for arg in &args[3..] {
+                match arg.as_str() {
+                    "--sealed" => sealed = true,
+                    other if path.is_none() => path = Some(PathBuf::from(other)),
+                    other => {
+                        die::<()>(&format!("unrecognized argument `{other}`"));
+                    }
+                }
+            }
+            let Some(path) = path else {
+                die::<()>("ledger verify needs a ledger file path");
+                return;
+            };
+            let text = match std::fs::read_to_string(&path) {
+                Ok(t) => t,
+                Err(e) => {
+                    die::<()>(&format!("cannot read {}: {e}", path.display()));
+                    return;
+                }
+            };
+            let head_path = raven_ledger::LedgerHead::path_for(&path);
+            let verified = if sealed {
+                raven_ledger::verify_sealed(&text)
+            } else if head_path.exists() {
+                let head_text = match std::fs::read_to_string(&head_path) {
+                    Ok(t) => t,
+                    Err(e) => {
+                        die::<()>(&format!("cannot read {}: {e}", head_path.display()));
+                        return;
+                    }
+                };
+                match raven_ledger::LedgerHead::from_json(&head_text) {
+                    Ok(head) => raven_ledger::verify_against_head(&text, &head),
+                    Err(e) => {
+                        die::<()>(&e);
+                        return;
+                    }
+                }
+            } else {
+                eprintln!(
+                    "raven-sim: note: no seal required and no {} sidecar — structural \
+                     verification only (tail truncation would be invisible)",
+                    head_path.display()
+                );
+                raven_ledger::verify_jsonl(&text)
+            };
+            match verified {
+                Ok(summary) => {
+                    println!(
+                        "ledger OK: {} records, head {}, {}",
+                        summary.records,
+                        summary.head_hash,
+                        if summary.sealed { "sealed" } else { "unsealed" }
+                    );
+                }
+                Err(e) => {
+                    eprintln!("raven-sim: {e}");
+                    std::process::exit(1);
+                }
+            }
+        }
+        Some("manifest") => {
+            let mut root = PathBuf::from(".");
+            let mut update = false;
+            let mut rest = args[3..].iter();
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--root" => {
+                        root = rest.next().map(PathBuf::from).unwrap_or_else(|| {
+                            die::<()>("--root needs a directory");
+                            unreachable!()
+                        });
+                    }
+                    "--update" => update = true,
+                    other => {
+                        die::<()>(&format!("unrecognized argument `{other}`"));
+                    }
+                }
+            }
+            let candidates = match raven_core::manifest_candidates(&root) {
+                Ok(c) => c,
+                Err(e) => {
+                    die::<()>(&format!("cannot scan {}: {e}", root.display()));
+                    return;
+                }
+            };
+            let manifest_path = root.join(raven_core::MANIFEST_REL_PATH);
+            if update {
+                let manifest = match raven_ledger::Manifest::from_files(&root, &candidates) {
+                    Ok(m) => m,
+                    Err(e) => {
+                        die::<()>(&format!("cannot hash artifacts: {e}"));
+                        return;
+                    }
+                };
+                write_json(&manifest_path, &manifest.to_json_pretty(), "manifest written");
+                return;
+            }
+            let text = match std::fs::read_to_string(&manifest_path) {
+                Ok(t) => t,
+                Err(e) => {
+                    die::<()>(&format!(
+                        "cannot read {}: {e} (run `raven-sim ledger manifest --update`?)",
+                        manifest_path.display()
+                    ));
+                    return;
+                }
+            };
+            let manifest = match raven_ledger::Manifest::from_json(&text) {
+                Ok(m) => m,
+                Err(e) => {
+                    die::<()>(&e);
+                    return;
+                }
+            };
+            let mut failed = false;
+            if let Err(e) = manifest.verify_files(&root) {
+                eprintln!("raven-sim: {e}");
+                failed = true;
+            }
+            for rel in &candidates {
+                if !manifest.entries.contains_key(rel) {
+                    eprintln!("raven-sim: {rel}: on disk but not pinned by the manifest");
+                    failed = true;
+                }
+            }
+            for rel in manifest.entries.keys() {
+                if !candidates.contains(rel) {
+                    eprintln!(
+                        "raven-sim: {rel}: pinned by the manifest but not an artifact on disk"
+                    );
+                    failed = true;
+                }
+            }
+            if failed {
+                std::process::exit(1);
+            }
+            println!("manifest OK: {} artifacts pinned, signature valid", manifest.entries.len());
+        }
+        _ => {
+            die::<()>("usage: raven-sim ledger <verify <file> [--sealed] | manifest [--root <dir>] [--update]>");
         }
     }
 }

@@ -1,0 +1,171 @@
+//! The forensics sink: tamper-evident persistence of flight-recorder
+//! incidents.
+//!
+//! [`IncidentSink`] owns an incident directory. Each captured
+//! [`IncidentReport`] is written as a pretty-JSON file with a
+//! **sequence-suffixed** name (`incident-seed<seed>-seq<NNN>.json`), and
+//! a record content-addressing that file (its SHA-256 and byte length)
+//! is appended to the hash-chained `ledger.jsonl` in the same directory
+//! (see `raven-ledger` and docs/FORENSICS.md). The sequence suffix is
+//! the ledger `seq` of that record, so names are unique across runs —
+//! previously `raven-sim --incident-dir` reused `incident-seed<seed>.json`
+//! and silently overwrote earlier incidents of the same seed.
+//!
+//! The sink keeps its own [`EventLog`]/[`Metrics`] pair
+//! (`ledger.appended` events, the `ledger.records` counter). It is
+//! deliberately **not** the simulation's registry: ledger bookkeeping is
+//! a property of where artifacts land, not of the run, and folding it
+//! into the run's metrics would break the byte-identity of
+//! `results/*.json` across environments with and without an incident
+//! directory.
+
+use crate::sim::IncidentReport;
+use raven_ledger::{sha256_hex, LedgerRecord, LedgerWriter};
+use simbus::obs::{names, Event, EventKind, EventLog, Metrics, Severity};
+use std::path::{Path, PathBuf};
+
+/// Ledger record kind for a persisted incident report.
+pub const INCIDENT_RECORD_KIND: &str = "incident.captured";
+
+/// File name of the ledger inside an incident directory.
+pub const LEDGER_FILE_NAME: &str = "ledger.jsonl";
+
+/// The seq-suffixed incident file name: `incident-seed<seed>-seq<NNN>.json`.
+/// `seq` is the ledger sequence number of the record pinning the file.
+pub fn incident_file_name(seed: u64, seq: u64) -> String {
+    format!("incident-seed{seed}-seq{seq:03}.json")
+}
+
+/// What one append produced: where the incident landed and the ledger
+/// record pinning it.
+#[derive(Debug, Clone)]
+pub struct AppendReceipt {
+    /// Path of the incident JSON file.
+    pub path: PathBuf,
+    /// The chained ledger record content-addressing that file.
+    pub record: LedgerRecord,
+}
+
+/// A tamper-evident incident directory: incident JSON files plus the
+/// hash-chained `ledger.jsonl` (with its `.head` sidecar) pinning them.
+#[derive(Debug)]
+pub struct IncidentSink {
+    dir: PathBuf,
+    ledger: LedgerWriter,
+    events: EventLog,
+    metrics: Metrics,
+}
+
+impl IncidentSink {
+    /// Opens (or creates) the sink at `dir`. Fails if an existing
+    /// ledger in `dir` does not verify — a tampered ledger must be
+    /// quarantined, not extended.
+    pub fn open(dir: &Path) -> std::io::Result<Self> {
+        std::fs::create_dir_all(dir)?;
+        let ledger = LedgerWriter::open(&dir.join(LEDGER_FILE_NAME))?;
+        Ok(Self {
+            dir: dir.to_path_buf(),
+            ledger,
+            events: EventLog::default(),
+            metrics: Metrics::new(),
+        })
+    }
+
+    /// The ledger file this sink appends to.
+    pub fn ledger_path(&self) -> PathBuf {
+        self.dir.join(LEDGER_FILE_NAME)
+    }
+
+    /// Records appended to the ledger so far (across all runs).
+    pub fn records(&self) -> u64 {
+        self.ledger.count()
+    }
+
+    /// Sink-side observability: `ledger.appended` events.
+    pub fn events(&self) -> Vec<Event> {
+        self.events.snapshot()
+    }
+
+    /// Sink-side observability: the `ledger.records` counter.
+    pub fn metrics(&self) -> &Metrics {
+        &self.metrics
+    }
+
+    /// Persists one incident: writes the seq-suffixed JSON file, then
+    /// appends the content-addressing record to the ledger.
+    pub fn append(&mut self, incident: &IncidentReport) -> std::io::Result<AppendReceipt> {
+        let seq = self.ledger.count();
+        let name = incident_file_name(incident.seed, seq);
+        let path = self.dir.join(&name);
+        let json = serde_json::to_string_pretty(incident)
+            .map_err(|e| std::io::Error::other(format!("incident serialize: {e:?}")))?;
+        std::fs::write(&path, &json)?;
+
+        let payload = incident_payload(incident, &name, json.as_bytes());
+        let record =
+            self.ledger.append(incident.time.as_nanos(), INCIDENT_RECORD_KIND, &payload)?;
+
+        self.events.push(
+            Event::new(incident.time, "forensics", Severity::Info, EventKind::LedgerAppended)
+                .with("file", name.as_str())
+                .with("seq", seq),
+        );
+        self.metrics.inc(names::LEDGER_RECORDS);
+        Ok(AppendReceipt { path, record })
+    }
+}
+
+/// Repo-relative path of the signed golden-artifact manifest.
+pub const MANIFEST_REL_PATH: &str = "results/MANIFEST.json";
+
+/// The deterministic, sorted list of artifacts the signed manifest must
+/// pin: every `results/*.json` except the manifest itself and the
+/// gitignored non-deterministic `profile_*.json` sidecars, plus the
+/// `tests/fixtures/golden_*.json` fixtures. Shared by the tier-1
+/// manifest guard, the CI drift job, and `raven-sim ledger manifest`.
+pub fn manifest_candidates(root: &Path) -> std::io::Result<Vec<String>> {
+    let mut rels = Vec::new();
+    for (dir, prefix_ok) in [("results", None), ("tests/fixtures", Some("golden_"))] {
+        let abs = root.join(dir);
+        if !abs.exists() {
+            continue;
+        }
+        for entry in std::fs::read_dir(&abs)? {
+            let entry = entry?;
+            let name = entry.file_name().to_string_lossy().into_owned();
+            if !name.ends_with(".json") {
+                continue;
+            }
+            if name == "MANIFEST.json" || name.starts_with("profile_") {
+                continue;
+            }
+            if let Some(prefix) = prefix_ok {
+                if !name.starts_with(prefix) {
+                    continue;
+                }
+            }
+            rels.push(format!("{dir}/{name}"));
+        }
+    }
+    rels.sort();
+    Ok(rels)
+}
+
+/// The canonical single-line payload of an incident ledger record:
+/// seed, virtual trip time, cause, and the content address (file name,
+/// SHA-256, byte length) of the incident JSON. Tampering with the
+/// incident file afterwards breaks the hash pinned here; tampering with
+/// this record breaks the chain.
+fn incident_payload(incident: &IncidentReport, file_name: &str, file_bytes: &[u8]) -> String {
+    let cause = serde_json::to_string(&incident.cause).expect("string serializes");
+    let file = serde_json::to_string(file_name).expect("string serializes");
+    format!(
+        "{{\"seed\":{},\"time_ns\":{},\"cause\":{},\"file\":{},\"sha256\":\"{}\",\"bytes\":{}}}",
+        incident.seed,
+        incident.time.as_nanos(),
+        cause,
+        file,
+        sha256_hex(file_bytes),
+        file_bytes.len()
+    )
+}

@@ -8,13 +8,16 @@
 //! * [`scenario`] — [`AttackSetup`]: the attacks a run can install;
 //! * [`training`] — the fault-free threshold-learning protocol (§IV.C);
 //! * [`experiments`] — one module per paper artifact: Table I, Table II,
-//!   Table IV, Figures 5, 6, 8, 9.
+//!   Table IV, Figures 5, 6, 8, 9;
+//! * [`forensics`] — the tamper-evident incident sink: seq-suffixed
+//!   incident files pinned by a hash-chained ledger (`raven-ledger`).
 
 #![forbid(unsafe_code)]
 
 pub mod campaign;
 pub mod dual;
 pub mod experiments;
+pub mod forensics;
 pub mod scenario;
 pub mod sim;
 pub mod training;
@@ -26,5 +29,8 @@ pub use campaign::executor::{
 };
 pub use campaign::{run_campaign, run_campaign_with, CampaignResult, CampaignRun, CampaignSummary};
 pub use dual::{Arm, DualArmSession, DualOutcome};
+pub use forensics::{
+    incident_file_name, manifest_candidates, AppendReceipt, IncidentSink, MANIFEST_REL_PATH,
+};
 pub use scenario::AttackSetup;
 pub use sim::{DetectorSetup, IncidentReport, SessionOutcome, SimConfig, Simulation, Workload};

@@ -1,0 +1,161 @@
+//! Integration tests for the forensics sink: seq-suffixed incident
+//! files (the `--incident-dir` overwrite bugfix), the hash-chained
+//! ledger pinning them, and the sink's refusal to extend tampered
+//! chains.
+
+use raven_core::{incident_file_name, IncidentReport, IncidentSink};
+use raven_ledger::{verify_against_head, LedgerHead, TamperKind};
+use simbus::obs::{names, EventKind};
+use simbus::SimTime;
+use std::path::PathBuf;
+
+/// A small synthetic incident: the sink only cares about the report's
+/// serialization, not how the flight recorder produced it.
+fn incident(seed: u64, time_ms: u64, cause: &str) -> IncidentReport {
+    IncidentReport {
+        time: SimTime::from_nanos(time_ms * 1_000_000),
+        cause: cause.to_string(),
+        seed,
+        window_ms: 250,
+        events: Vec::new(),
+        signals: std::collections::BTreeMap::new(),
+    }
+}
+
+fn temp_dir(tag: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("raven-forensics-{tag}-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&dir);
+    dir
+}
+
+/// The bugfix: appending two incidents with the same seed must produce
+/// two distinct files — the old fixed `incident-seed<seed>.json` name
+/// silently overwrote the first.
+#[test]
+fn same_seed_incidents_never_overwrite() {
+    let dir = temp_dir("overwrite");
+    let first = incident(5, 100, "estop: physical_button");
+    let second = incident(5, 300, "detector alarm");
+
+    // Two separate sink opens model two separate `raven-sim` runs.
+    let r1 = IncidentSink::open(&dir).expect("open").append(&first).expect("append 1");
+    let r2 = IncidentSink::open(&dir).expect("reopen").append(&second).expect("append 2");
+
+    assert_ne!(r1.path, r2.path, "distinct incidents must land in distinct files");
+    assert_eq!(r1.path.file_name().unwrap(), incident_file_name(5, 0).as_str());
+    assert_eq!(r2.path.file_name().unwrap(), incident_file_name(5, 1).as_str());
+    assert!(r1.path.exists() && r2.path.exists(), "both incident files must survive");
+
+    let parsed: IncidentReport =
+        serde_json::from_str(&std::fs::read_to_string(&r1.path).expect("read"))
+            .expect("incident round-trips");
+    assert_eq!(parsed, first, "the first incident's content must be intact");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// The ledger pins each incident file by content: the chain verifies
+/// against its `.head` sidecar, and editing an incident file afterwards
+/// is detectable through the recorded hash.
+#[test]
+fn ledger_content_addresses_incident_files() {
+    let dir = temp_dir("pin");
+    let mut sink = IncidentSink::open(&dir).expect("open");
+    let receipt = sink.append(&incident(7, 200, "fault: joint_limit")).expect("append");
+    drop(sink);
+
+    let ledger_path = dir.join("ledger.jsonl");
+    let text = std::fs::read_to_string(&ledger_path).expect("read ledger");
+    let head = LedgerHead::from_json(
+        &std::fs::read_to_string(LedgerHead::path_for(&ledger_path)).expect("read head"),
+    )
+    .expect("parse head");
+    let summary = verify_against_head(&text, &head).expect("chain verifies");
+    assert_eq!(summary.records, 1);
+
+    // The payload pins the file's exact bytes.
+    let payload = serde_json::value_from_str(&receipt.record.payload).expect("payload parses");
+    let pinned_hash = match payload.get("sha256") {
+        Some(serde::Content::Str(s)) => s.clone(),
+        other => panic!("payload lacks sha256: {other:?}"),
+    };
+    let on_disk = std::fs::read(&receipt.path).expect("read incident");
+    assert_eq!(raven_ledger::sha256_hex(&on_disk), pinned_hash);
+
+    // Tamper with the incident file: the chain still verifies (the
+    // ledger is intact) but the recorded content address now disagrees.
+    std::fs::write(&receipt.path, b"{}").expect("tamper");
+    let tampered = std::fs::read(&receipt.path).expect("read tampered");
+    assert_ne!(raven_ledger::sha256_hex(&tampered), pinned_hash, "tamper must be visible");
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// A tampered ledger must quarantine the directory: reopening the sink
+/// fails rather than extending a broken chain.
+#[test]
+fn sink_refuses_to_extend_tampered_ledger() {
+    let dir = temp_dir("quarantine");
+    IncidentSink::open(&dir)
+        .expect("open")
+        .append(&incident(9, 100, "detector alarm"))
+        .expect("append");
+
+    let ledger_path = dir.join("ledger.jsonl");
+    let text = std::fs::read_to_string(&ledger_path).expect("read");
+    let tampered = text.replace("detector alarm", "operator error");
+    assert_ne!(tampered, text);
+    std::fs::write(&ledger_path, tampered).expect("tamper");
+
+    let err = IncidentSink::open(&dir).expect_err("tampered ledger must refuse appends");
+    assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Sink-side observability: appends emit `ledger.appended` events and
+/// count `ledger.records` — in the sink's own registries, never the
+/// simulation's.
+#[test]
+fn sink_emits_ledger_observability() {
+    let dir = temp_dir("obs");
+    let mut sink = IncidentSink::open(&dir).expect("open");
+    sink.append(&incident(3, 100, "detector alarm")).expect("append 1");
+    sink.append(&incident(3, 200, "detector alarm")).expect("append 2");
+
+    let events = sink.events();
+    assert_eq!(events.len(), 2);
+    assert!(events.iter().all(|e| e.kind == EventKind::LedgerAppended.as_str()));
+    let counters = &sink.metrics().counters;
+    assert_eq!(counters.get(names::LEDGER_RECORDS), Some(&2));
+
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+/// Dropping a whole incident record from the ledger is diagnosed with
+/// the dropped record's sequence number.
+#[test]
+fn dropped_ledger_record_is_named() {
+    let dir = temp_dir("dropped");
+    let mut sink = IncidentSink::open(&dir).expect("open");
+    for i in 0..3 {
+        sink.append(&incident(11, 100 * (i + 1), "detector alarm")).expect("append");
+    }
+    drop(sink);
+
+    let ledger_path = dir.join("ledger.jsonl");
+    let text = std::fs::read_to_string(&ledger_path).expect("read");
+    let kept: Vec<&str> =
+        text.lines().enumerate().filter(|(i, _)| *i != 1).map(|(_, l)| l).collect();
+    let tampered = format!("{}\n", kept.join("\n"));
+    let head = LedgerHead::from_json(
+        &std::fs::read_to_string(LedgerHead::path_for(&ledger_path)).expect("read head"),
+    )
+    .expect("parse head");
+
+    let e = verify_against_head(&tampered, &head).expect_err("drop detected");
+    assert_eq!(e.kind, TamperKind::MissingRecord);
+    assert_eq!(e.first_bad_seq, 1);
+
+    let _ = std::fs::remove_dir_all(&dir);
+}

@@ -1,0 +1,423 @@
+//! The hash-chained incident ledger: append-only JSONL records, each
+//! bound to its predecessor by SHA-256.
+//!
+//! A ledger is a sequence of [`LedgerRecord`]s with
+//!
+//! * `seq` — dense record index starting at 0;
+//! * `time_ns` — the virtual [`SimTime`]-derived timestamp of the event,
+//!   non-decreasing along the chain (virtual time, never wall clock, so
+//!   ledgers are byte-identical across identical seeded runs);
+//! * `kind` — dotted event-kind name (`incident.captured`, `ledger.seal`, …);
+//! * `payload` — the event body as a *pre-serialized* canonical JSON
+//!   string. Storing the serialized form (rather than a nested object)
+//!   pins the exact bytes that were hashed, so verification never
+//!   depends on a re-serialization round-trip;
+//! * `prev_hash` — the `hash` of the previous record (64 zeros for the
+//!   genesis record);
+//! * `hash` — SHA-256 over the domain-separated preimage of the other
+//!   five fields (see [`record_hash`]).
+//!
+//! Flipping any byte of any field breaks that record's hash; re-hashing
+//! the tampered record breaks the next record's `prev_hash`; re-hashing
+//! the whole suffix moves the head hash, which is pinned by either a
+//! final seal record ([`Ledger::seal`]) or a `.head` sidecar file
+//! ([`LedgerWriter`]). See `docs/FORENSICS.md` for the spec and threat
+//! model.
+//!
+//! [`SimTime`]: https://example.invalid/simbus
+
+use serde::{Deserialize, Serialize};
+use std::io::Write;
+use std::path::{Path, PathBuf};
+
+use crate::sha256::sha256_hex;
+
+/// Domain-separation prefix for record preimages; bump on any change to
+/// the preimage layout.
+pub const LEDGER_DOMAIN: &str = "raven-ledger-v1";
+
+/// `prev_hash` of the genesis record: 64 hex zeros.
+pub const GENESIS_HASH: &str = "0000000000000000000000000000000000000000000000000000000000000000";
+
+/// Record kind of the closing seal appended by [`Ledger::seal`].
+pub const SEAL_KIND: &str = "ledger.seal";
+
+/// One chained ledger record (one JSONL line).
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LedgerRecord {
+    pub seq: u64,
+    pub time_ns: u64,
+    pub kind: String,
+    pub payload: String,
+    pub prev_hash: String,
+    pub hash: String,
+}
+
+impl LedgerRecord {
+    /// Serializes to the single JSONL line this record occupies
+    /// (no trailing newline).
+    pub fn to_line(&self) -> String {
+        serde_json::to_string(self).expect("ledger record serializes")
+    }
+
+    /// Recomputes the content hash from the record's own fields.
+    pub fn computed_hash(&self) -> String {
+        record_hash(self.seq, self.time_ns, &self.kind, &self.prev_hash, &self.payload)
+    }
+}
+
+/// The content hash binding one record to its chain position:
+/// SHA-256 over `"raven-ledger-v1\n{seq}\n{time_ns}\n{kind}\n{prev_hash}\n{payload}"`.
+///
+/// `kind` and `prev_hash` never contain `\n`; `payload` is a single-line
+/// canonical JSON string, so the preimage is unambiguous.
+pub fn record_hash(seq: u64, time_ns: u64, kind: &str, prev_hash: &str, payload: &str) -> String {
+    let preimage = format!("{LEDGER_DOMAIN}\n{seq}\n{time_ns}\n{kind}\n{prev_hash}\n{payload}");
+    sha256_hex(preimage.as_bytes())
+}
+
+/// Builds the canonical seal payload: `{"records":N,"head":"<hash>"}`.
+pub fn seal_payload(records: u64, head: &str) -> String {
+    format!("{{\"records\":{records},\"head\":\"{head}\"}}")
+}
+
+/// An in-memory append-only ledger. Used by the verification harness
+/// and by anything that wants to export a *sealed* ledger in one shot;
+/// for cross-process appendable files use [`LedgerWriter`].
+#[derive(Debug, Clone, Default)]
+pub struct Ledger {
+    records: Vec<LedgerRecord>,
+    sealed: bool,
+}
+
+impl Ledger {
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    pub fn records(&self) -> &[LedgerRecord] {
+        &self.records
+    }
+
+    pub fn len(&self) -> usize {
+        self.records.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.records.is_empty()
+    }
+
+    pub fn is_sealed(&self) -> bool {
+        self.sealed
+    }
+
+    /// The hash of the last record, or [`GENESIS_HASH`] when empty.
+    pub fn head_hash(&self) -> &str {
+        self.records.last().map_or(GENESIS_HASH, |r| r.hash.as_str())
+    }
+
+    /// Virtual time of the last record (0 when empty).
+    pub fn head_time_ns(&self) -> u64 {
+        self.records.last().map_or(0, |r| r.time_ns)
+    }
+
+    /// Appends a record. `payload` must be a single-line canonical JSON
+    /// string; `time_ns` must be `>=` the previous record's time
+    /// (virtual time is monotone by construction in the simulator).
+    ///
+    /// Panics on a sealed ledger, a multi-line payload, or a time
+    /// regression — all three are programming errors, not runtime
+    /// conditions.
+    pub fn append(&mut self, time_ns: u64, kind: &str, payload: &str) -> &LedgerRecord {
+        assert!(!self.sealed, "append to sealed ledger");
+        assert!(!payload.contains('\n'), "ledger payload must be single-line JSON");
+        assert!(!kind.contains('\n'), "ledger kind must be single-line");
+        assert!(
+            time_ns >= self.head_time_ns(),
+            "ledger virtual time regressed: {} < {}",
+            time_ns,
+            self.head_time_ns()
+        );
+        let seq = self.records.len() as u64;
+        let prev_hash = self.head_hash().to_string();
+        let hash = record_hash(seq, time_ns, kind, &prev_hash, payload);
+        self.records.push(LedgerRecord {
+            seq,
+            time_ns,
+            kind: kind.to_string(),
+            payload: payload.to_string(),
+            prev_hash,
+            hash,
+        });
+        self.records.last().expect("just pushed")
+    }
+
+    /// Appends the closing [`SEAL_KIND`] record, pinning the record
+    /// count and head hash inside the chain itself. After sealing the
+    /// ledger rejects further appends, and the verifier rejects any
+    /// file whose seal is missing, inconsistent, or not last.
+    pub fn seal(&mut self, time_ns: u64) -> &LedgerRecord {
+        let payload = seal_payload(self.records.len() as u64, self.head_hash());
+        self.append(time_ns, SEAL_KIND, &payload);
+        self.sealed = true;
+        self.records.last().expect("seal just appended")
+    }
+
+    /// The full ledger as JSONL (one record per line, trailing newline).
+    pub fn to_jsonl(&self) -> String {
+        let mut out = String::new();
+        for rec in &self.records {
+            out.push_str(&rec.to_line());
+            out.push('\n');
+        }
+        out
+    }
+}
+
+/// The `.head` sidecar pinning an *appendable* (unsealed) ledger file's
+/// length and head hash. A file-backed ledger grows across processes,
+/// so it cannot carry an in-chain seal; the sidecar plays that role —
+/// without it (or a seal), truncating the tail of a chain is
+/// undetectable, because every prefix of a valid chain is itself valid.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct LedgerHead {
+    pub count: u64,
+    pub head: String,
+}
+
+impl LedgerHead {
+    /// Sidecar path for a ledger file: `<path>.head`.
+    pub fn path_for(ledger_path: &Path) -> PathBuf {
+        let mut name =
+            ledger_path.file_name().map_or_else(String::new, |n| n.to_string_lossy().into_owned());
+        name.push_str(".head");
+        ledger_path.with_file_name(name)
+    }
+
+    pub fn to_json(&self) -> String {
+        serde_json::to_string(self).expect("ledger head serializes")
+    }
+
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text.trim()).map_err(|e| format!("bad ledger head: {e:?}"))
+    }
+}
+
+/// An append-only, file-backed ledger writer. Reopening an existing
+/// ledger verifies the whole chain (and the `.head` sidecar, if
+/// present) before accepting new records, so a tampered file is caught
+/// at the next write, not just at audit time. Every append flushes the
+/// record line and rewrites the sidecar.
+#[derive(Debug)]
+pub struct LedgerWriter {
+    path: PathBuf,
+    head_path: PathBuf,
+    count: u64,
+    head_hash: String,
+    head_time_ns: u64,
+}
+
+impl LedgerWriter {
+    /// Opens (or creates) the ledger at `path`.
+    pub fn open(path: &Path) -> std::io::Result<Self> {
+        let head_path = LedgerHead::path_for(path);
+        let mut writer = Self {
+            path: path.to_path_buf(),
+            head_path,
+            count: 0,
+            head_hash: GENESIS_HASH.to_string(),
+            head_time_ns: 0,
+        };
+        if path.exists() {
+            let text = std::fs::read_to_string(path)?;
+            let summary = if writer.head_path.exists() {
+                let head_text = std::fs::read_to_string(&writer.head_path)?;
+                let head = LedgerHead::from_json(&head_text)
+                    .map_err(|e| std::io::Error::new(std::io::ErrorKind::InvalidData, e))?;
+                crate::verify::verify_against_head(&text, &head)
+            } else {
+                crate::verify::verify_jsonl(&text)
+            }
+            .map_err(|e| {
+                std::io::Error::new(
+                    std::io::ErrorKind::InvalidData,
+                    format!("refusing to append to tampered ledger {}: {e}", path.display()),
+                )
+            })?;
+            writer.count = summary.records;
+            writer.head_hash = summary.head_hash;
+            writer.head_time_ns = summary.head_time_ns;
+        }
+        Ok(writer)
+    }
+
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    pub fn head_hash(&self) -> &str {
+        &self.head_hash
+    }
+
+    /// Appends one record, flushes it, and rewrites the `.head` sidecar.
+    pub fn append(
+        &mut self,
+        time_ns: u64,
+        kind: &str,
+        payload: &str,
+    ) -> std::io::Result<LedgerRecord> {
+        if payload.contains('\n') || kind.contains('\n') {
+            return Err(std::io::Error::new(
+                std::io::ErrorKind::InvalidInput,
+                "ledger kind/payload must be single-line",
+            ));
+        }
+        // Clamp rather than fail: distinct runs restart virtual time,
+        // but the chain's timestamps must stay monotone to keep
+        // `time_ns` a usable ordering key across the whole file.
+        let time_ns = time_ns.max(self.head_time_ns);
+        let seq = self.count;
+        let prev_hash = self.head_hash.clone();
+        let hash = record_hash(seq, time_ns, kind, &prev_hash, payload);
+        let rec = LedgerRecord {
+            seq,
+            time_ns,
+            kind: kind.to_string(),
+            payload: payload.to_string(),
+            prev_hash,
+            hash,
+        };
+
+        if let Some(parent) = self.path.parent() {
+            std::fs::create_dir_all(parent)?;
+        }
+        let mut file = std::fs::OpenOptions::new().create(true).append(true).open(&self.path)?;
+        file.write_all(rec.to_line().as_bytes())?;
+        file.write_all(b"\n")?;
+        file.flush()?;
+
+        self.count += 1;
+        self.head_hash = rec.hash.clone();
+        self.head_time_ns = rec.time_ns;
+        let head = LedgerHead { count: self.count, head: self.head_hash.clone() };
+        std::fs::write(&self.head_path, format!("{}\n", head.to_json()))?;
+        Ok(rec)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn chain_links_and_head_advance() {
+        let mut ledger = Ledger::new();
+        assert_eq!(ledger.head_hash(), GENESIS_HASH);
+        let h0 = ledger.append(10, "incident.captured", "{\"seed\":5}").hash.clone();
+        let r1 = ledger.append(20, "incident.captured", "{\"seed\":6}").clone();
+        assert_eq!(r1.prev_hash, h0);
+        assert_eq!(r1.seq, 1);
+        assert_eq!(ledger.head_hash(), r1.hash);
+        assert_eq!(r1.computed_hash(), r1.hash);
+    }
+
+    #[test]
+    fn seal_pins_count_and_head() {
+        let mut ledger = Ledger::new();
+        ledger.append(10, "a", "{}");
+        ledger.append(20, "b", "{}");
+        let head = ledger.head_hash().to_string();
+        let seal = ledger.seal(20).clone();
+        assert_eq!(seal.kind, SEAL_KIND);
+        assert_eq!(seal.payload, format!("{{\"records\":2,\"head\":\"{head}\"}}"));
+        assert!(ledger.is_sealed());
+    }
+
+    #[test]
+    #[should_panic(expected = "append to sealed ledger")]
+    fn sealed_ledger_rejects_append() {
+        let mut ledger = Ledger::new();
+        ledger.append(10, "a", "{}");
+        ledger.seal(10);
+        ledger.append(20, "b", "{}");
+    }
+
+    #[test]
+    #[should_panic(expected = "virtual time regressed")]
+    fn time_regression_rejected() {
+        let mut ledger = Ledger::new();
+        ledger.append(20, "a", "{}");
+        ledger.append(10, "b", "{}");
+    }
+
+    #[test]
+    fn jsonl_round_trips() {
+        let mut ledger = Ledger::new();
+        ledger.append(10, "a", "{\"k\":1}");
+        ledger.append(20, "b", "{\"k\":2}");
+        ledger.seal(20);
+        let text = ledger.to_jsonl();
+        assert_eq!(text.lines().count(), 3);
+        for (i, line) in text.lines().enumerate() {
+            let rec: LedgerRecord = serde_json::from_str(line).expect("line parses");
+            assert_eq!(rec.seq, i as u64);
+        }
+    }
+
+    #[test]
+    fn head_sidecar_path() {
+        assert_eq!(
+            LedgerHead::path_for(Path::new("/tmp/x/ledger.jsonl")),
+            PathBuf::from("/tmp/x/ledger.jsonl.head")
+        );
+    }
+
+    #[test]
+    fn writer_appends_across_reopens() {
+        let dir = std::env::temp_dir().join(format!("raven-ledger-test-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("ledger.jsonl");
+
+        let mut w = LedgerWriter::open(&path).expect("open fresh");
+        w.append(10, "a", "{\"run\":1}").expect("append");
+        drop(w);
+
+        let mut w = LedgerWriter::open(&path).expect("reopen");
+        assert_eq!(w.count(), 1);
+        w.append(5, "b", "{\"run\":2}").expect("append after reopen");
+        drop(w);
+
+        let text = std::fs::read_to_string(&path).expect("read ledger");
+        let head_text = std::fs::read_to_string(LedgerHead::path_for(&path)).expect("read head");
+        let head = LedgerHead::from_json(&head_text).expect("parse head");
+        assert_eq!(head.count, 2);
+        let summary = crate::verify::verify_against_head(&text, &head).expect("verifies");
+        assert_eq!(summary.records, 2);
+        // Second run's earlier virtual time was clamped to stay monotone.
+        let last: LedgerRecord =
+            serde_json::from_str(text.lines().last().expect("two lines")).expect("parses");
+        assert_eq!(last.time_ns, 10);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn writer_refuses_tampered_file() {
+        let dir = std::env::temp_dir().join(format!("raven-ledger-tamper-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        let path = dir.join("ledger.jsonl");
+
+        let mut w = LedgerWriter::open(&path).expect("open fresh");
+        w.append(10, "a", "{\"v\":1}").expect("append");
+        drop(w);
+
+        let text = std::fs::read_to_string(&path).expect("read");
+        let tampered = text.replace("\\\"v\\\":1", "\\\"v\\\":2");
+        assert_ne!(tampered, text, "tamper must change the text");
+        std::fs::write(&path, tampered).expect("tamper");
+        let err = LedgerWriter::open(&path).expect_err("tamper must be caught");
+        assert_eq!(err.kind(), std::io::ErrorKind::InvalidData);
+
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+}

@@ -1,0 +1,269 @@
+//! Content-addressed signed manifests for checked-in golden artifacts.
+//!
+//! `results/MANIFEST.json` pins every deterministic artifact
+//! (`results/*.json`, `tests/fixtures/golden_*.json`) by SHA-256 and
+//! byte length, plus an HMAC-SHA256 signature over the canonical entry
+//! list. CI and the tier-1 `manifest_guard` test verify it, so silent
+//! drift in a golden artifact — or in the manifest itself — fails the
+//! build; `RAVEN_UPDATE_GOLDEN=1` regeneration is the only sanctioned
+//! way to move it.
+//!
+//! **Threat model** (see docs/FORENSICS.md): the signing key is a
+//! constant embedded in this repo, so the signature is *tamper
+//! evidence*, not authentication — it forces an attacker to edit code
+//! in this crate (or re-sign with its key), turning a one-byte artifact
+//! edit into a reviewable code/manifest diff. Keeping the key external
+//! would require secret distribution this offline environment does not
+//! have; the paper's trust anchor for the teleop record has the same
+//! shape (an attacker with full repo control can always re-sign, but
+//! cannot do so *silently*).
+
+use crate::sha256::{hmac_sha256_hex, sha256_hex};
+use serde::{Deserialize, Serialize};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::path::Path;
+
+/// Manifest format version; bump on any change to the canonical
+/// signing body layout.
+pub const MANIFEST_VERSION: &str = "raven-manifest-v1";
+
+/// The embedded repo signing key (tamper evidence, not a secret — see
+/// the module docs).
+pub const MANIFEST_KEY: &[u8] = b"raven-guard golden-artifact manifest key v1";
+
+/// One pinned artifact: content hash and exact byte length.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct ManifestEntry {
+    pub sha256: String,
+    pub bytes: u64,
+}
+
+/// The signed manifest: sorted repo-relative paths -> entries, plus an
+/// HMAC-SHA256 signature over the canonical body.
+#[derive(Debug, Clone, PartialEq, Serialize, Deserialize)]
+pub struct Manifest {
+    pub version: String,
+    pub entries: BTreeMap<String, ManifestEntry>,
+    pub signature: String,
+}
+
+/// A manifest verification failure: every problem found, not just the
+/// first (an auditor wants the full drift picture in one pass).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ManifestError {
+    pub problems: Vec<String>,
+}
+
+impl fmt::Display for ManifestError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "manifest verification failed:")?;
+        for p in &self.problems {
+            write!(f, "\n  - {p}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for ManifestError {}
+
+impl Manifest {
+    /// Builds and signs a manifest from already-computed entries.
+    pub fn build(entries: BTreeMap<String, ManifestEntry>) -> Self {
+        let mut m =
+            Self { version: MANIFEST_VERSION.to_string(), entries, signature: String::new() };
+        m.signature = m.compute_signature();
+        m
+    }
+
+    /// Hashes `rel_paths` (repo-relative, resolved under `root`) and
+    /// builds a signed manifest over them.
+    pub fn from_files(root: &Path, rel_paths: &[String]) -> std::io::Result<Self> {
+        let mut entries = BTreeMap::new();
+        for rel in rel_paths {
+            let data = std::fs::read(root.join(rel))?;
+            entries.insert(
+                rel.clone(),
+                ManifestEntry { sha256: sha256_hex(&data), bytes: data.len() as u64 },
+            );
+        }
+        Ok(Self::build(entries))
+    }
+
+    /// The canonical signing body: version line, then one
+    /// `path\nsha256\nbytes\n` triple per entry in sorted path order.
+    /// Signing a fixed text layout (rather than serialized JSON) keeps
+    /// the signature independent of JSON formatting.
+    pub fn canonical_body(&self) -> String {
+        let mut body = format!("{}\n", self.version);
+        for (path, entry) in &self.entries {
+            body.push_str(&format!("{}\n{}\n{}\n", path, entry.sha256, entry.bytes));
+        }
+        body
+    }
+
+    fn compute_signature(&self) -> String {
+        hmac_sha256_hex(MANIFEST_KEY, self.canonical_body().as_bytes())
+    }
+
+    /// Whether the stored signature matches the canonical body.
+    pub fn signature_valid(&self) -> bool {
+        self.signature == self.compute_signature()
+    }
+
+    /// Full verification against the working tree: signature, version,
+    /// and every entry's existence, length, and content hash. Collects
+    /// all problems.
+    pub fn verify_files(&self, root: &Path) -> Result<(), ManifestError> {
+        let mut problems = Vec::new();
+        if self.version != MANIFEST_VERSION {
+            problems.push(format!(
+                "manifest version is `{}`, expected `{MANIFEST_VERSION}`",
+                self.version
+            ));
+        }
+        if !self.signature_valid() {
+            problems.push(
+                "signature does not match the canonical entry list (manifest edited without re-signing)"
+                    .to_string(),
+            );
+        }
+        for (rel, entry) in &self.entries {
+            let path = root.join(rel);
+            let data = match std::fs::read(&path) {
+                Ok(d) => d,
+                Err(e) => {
+                    problems.push(format!("{rel}: cannot read ({e})"));
+                    continue;
+                }
+            };
+            if data.len() as u64 != entry.bytes {
+                problems.push(format!(
+                    "{rel}: {} bytes on disk, manifest pins {}",
+                    data.len(),
+                    entry.bytes
+                ));
+                continue;
+            }
+            let actual = sha256_hex(&data);
+            if actual != entry.sha256 {
+                problems.push(format!(
+                    "{rel}: sha256 {actual} on disk, manifest pins {}",
+                    entry.sha256
+                ));
+            }
+        }
+        if problems.is_empty() {
+            Ok(())
+        } else {
+            Err(ManifestError { problems })
+        }
+    }
+
+    /// Pretty JSON (2-space indent, trailing newline) matching the
+    /// repo's artifact style.
+    pub fn to_json_pretty(&self) -> String {
+        let mut s = serde_json::to_string_pretty(self).expect("manifest serializes");
+        s.push('\n');
+        s
+    }
+
+    pub fn from_json(text: &str) -> Result<Self, String> {
+        serde_json::from_str(text.trim()).map_err(|e| format!("manifest does not parse: {e:?}"))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn temp_root(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("raven-manifest-{tag}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(dir.join("results")).expect("mkdir");
+        dir
+    }
+
+    #[test]
+    fn round_trip_and_verify() {
+        let root = temp_root("rt");
+        std::fs::write(root.join("results/a.json"), b"{\"x\":1}\n").expect("write");
+        std::fs::write(root.join("results/b.json"), b"{\"y\":2}\n").expect("write");
+        let m = Manifest::from_files(
+            &root,
+            &["results/a.json".to_string(), "results/b.json".to_string()],
+        )
+        .expect("build");
+        assert!(m.signature_valid());
+        m.verify_files(&root).expect("verifies clean");
+
+        let parsed = Manifest::from_json(&m.to_json_pretty()).expect("parses");
+        assert_eq!(parsed, m);
+        parsed.verify_files(&root).expect("parsed copy verifies");
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn content_drift_detected() {
+        let root = temp_root("drift");
+        std::fs::write(root.join("results/a.json"), b"{\"x\":1}\n").expect("write");
+        let m = Manifest::from_files(&root, &["results/a.json".to_string()]).expect("build");
+        std::fs::write(root.join("results/a.json"), b"{\"x\":2}\n").expect("drift");
+        let e = m.verify_files(&root).expect_err("drift caught");
+        assert!(e.problems[0].contains("sha256"), "unexpected problem: {}", e.problems[0]);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn length_drift_detected() {
+        let root = temp_root("len");
+        std::fs::write(root.join("results/a.json"), b"{\"x\":1}\n").expect("write");
+        let m = Manifest::from_files(&root, &["results/a.json".to_string()]).expect("build");
+        std::fs::write(root.join("results/a.json"), b"{\"x\":11}\n").expect("drift");
+        let e = m.verify_files(&root).expect_err("length drift caught");
+        assert!(e.problems[0].contains("bytes"), "unexpected problem: {}", e.problems[0]);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn missing_file_detected() {
+        let root = temp_root("missing");
+        std::fs::write(root.join("results/a.json"), b"{}\n").expect("write");
+        let m = Manifest::from_files(&root, &["results/a.json".to_string()]).expect("build");
+        std::fs::remove_file(root.join("results/a.json")).expect("rm");
+        let e = m.verify_files(&root).expect_err("missing caught");
+        assert!(e.problems[0].contains("cannot read"), "unexpected problem: {}", e.problems[0]);
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn edited_manifest_fails_signature() {
+        let root = temp_root("sig");
+        std::fs::write(root.join("results/a.json"), b"{\"x\":1}\n").expect("write");
+        let mut m = Manifest::from_files(&root, &["results/a.json".to_string()]).expect("build");
+        // Attacker edits the pinned hash to match a tampered artifact
+        // but cannot silently re-sign.
+        std::fs::write(root.join("results/a.json"), b"{\"x\":2}\n").expect("tamper");
+        let entry = m.entries.get_mut("results/a.json").expect("entry");
+        entry.sha256 = sha256_hex(b"{\"x\":2}\n");
+        let e = m.verify_files(&root).expect_err("signature catches manifest edit");
+        assert!(
+            e.problems.iter().any(|p| p.contains("signature")),
+            "expected a signature problem, got: {e}"
+        );
+        let _ = std::fs::remove_dir_all(&root);
+    }
+
+    #[test]
+    fn signature_is_deterministic() {
+        let mut entries = BTreeMap::new();
+        entries.insert(
+            "results/a.json".to_string(),
+            ManifestEntry { sha256: sha256_hex(b"payload"), bytes: 7 },
+        );
+        let m1 = Manifest::build(entries.clone());
+        let m2 = Manifest::build(entries);
+        assert_eq!(m1.signature, m2.signature);
+        assert_eq!(m1.to_json_pretty(), m2.to_json_pretty());
+    }
+}

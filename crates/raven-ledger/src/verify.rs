@@ -1,0 +1,459 @@
+//! Offline ledger verification with first-bad-sequence diagnosis.
+//!
+//! Three entry points, strongest first:
+//!
+//! * [`verify_sealed`] — structural checks plus a mandatory final
+//!   [`SEAL_KIND`] record; detects tail truncation of exported ledgers.
+//! * [`verify_against_head`] — structural checks plus an external
+//!   [`LedgerHead`] pin (the `.head` sidecar of appendable ledgers);
+//!   also detects tail truncation.
+//! * [`verify_jsonl`] — structural checks only (parse, dense monotone
+//!   `seq`, monotone `time_ns`, `prev_hash` chain, content hash). Every
+//!   prefix of a valid chain is itself structurally valid, so this
+//!   alone cannot see truncation — callers must say which pin they
+//!   hold.
+//!
+//! Every failure carries the **first bad sequence number**: the
+//! smallest `seq` at which the ledger stops being trustworthy. For a
+//! flipped byte that is the damaged record; for a dropped record, the
+//! missing `seq`; for a reordered pair, the earlier of the two; for a
+//! truncated tail, the first `seq` past the surviving records.
+
+use crate::ledger::{LedgerHead, LedgerRecord, GENESIS_HASH, SEAL_KIND};
+use std::fmt;
+
+/// What a verified ledger looks like from the outside.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerSummary {
+    /// Total records in the file (including any seal record).
+    pub records: u64,
+    /// Hash of the last record ([`GENESIS_HASH`] for an empty ledger).
+    pub head_hash: String,
+    /// Virtual time of the last record (0 for an empty ledger).
+    pub head_time_ns: u64,
+    /// Whether the ledger ends in a consistent seal record.
+    pub sealed: bool,
+}
+
+/// The tamper class a verification failure was diagnosed as.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TamperKind {
+    /// A line is not a well-formed ledger record.
+    Malformed,
+    /// A record's stored hash does not match its recomputed content
+    /// hash (e.g. a flipped byte in the payload).
+    HashMismatch,
+    /// A record's `prev_hash` does not match its predecessor's hash.
+    ChainBreak,
+    /// Sequence numbers are present but out of order (e.g. a reordered
+    /// pair), or virtual time regressed.
+    OutOfOrder,
+    /// A sequence number is absent from the file (a dropped record).
+    MissingRecord,
+    /// The tail of the ledger is missing relative to its seal or head
+    /// pin.
+    Truncated,
+    /// The seal record is inconsistent, not last, or missing where
+    /// required.
+    BadSeal,
+    /// The `.head` sidecar disagrees with the file.
+    HeadMismatch,
+}
+
+impl TamperKind {
+    pub fn as_str(self) -> &'static str {
+        match self {
+            TamperKind::Malformed => "malformed",
+            TamperKind::HashMismatch => "hash-mismatch",
+            TamperKind::ChainBreak => "chain-break",
+            TamperKind::OutOfOrder => "out-of-order",
+            TamperKind::MissingRecord => "missing-record",
+            TamperKind::Truncated => "truncated",
+            TamperKind::BadSeal => "bad-seal",
+            TamperKind::HeadMismatch => "head-mismatch",
+        }
+    }
+}
+
+/// A verification failure: the first bad sequence number, the tamper
+/// class, and a human-readable detail line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LedgerError {
+    pub first_bad_seq: u64,
+    pub kind: TamperKind,
+    pub detail: String,
+}
+
+impl fmt::Display for LedgerError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ledger {} at seq {}: {}", self.kind.as_str(), self.first_bad_seq, self.detail)
+    }
+}
+
+impl std::error::Error for LedgerError {}
+
+fn err(first_bad_seq: u64, kind: TamperKind, detail: impl Into<String>) -> LedgerError {
+    LedgerError { first_bad_seq, kind, detail: detail.into() }
+}
+
+/// Structural verification of a JSONL ledger (see module docs for what
+/// this can and cannot detect).
+pub fn verify_jsonl(text: &str) -> Result<LedgerSummary, LedgerError> {
+    walk(text, SealPolicy::Optional)
+}
+
+/// Structural verification plus a mandatory, consistent, final seal
+/// record.
+pub fn verify_sealed(text: &str) -> Result<LedgerSummary, LedgerError> {
+    walk(text, SealPolicy::Required)
+}
+
+/// Structural verification plus an external head pin: the file must
+/// hold exactly `head.count` records and end on `head.head`.
+pub fn verify_against_head(text: &str, head: &LedgerHead) -> Result<LedgerSummary, LedgerError> {
+    let summary = walk(text, SealPolicy::Optional)?;
+    if summary.records < head.count {
+        return Err(err(
+            summary.records,
+            TamperKind::Truncated,
+            format!(
+                "file holds {} records but head sidecar pins {}; tail truncated from seq {}",
+                summary.records, head.count, summary.records
+            ),
+        ));
+    }
+    if summary.records > head.count {
+        return Err(err(
+            head.count,
+            TamperKind::HeadMismatch,
+            format!(
+                "file holds {} records but head sidecar pins {}; records appended without updating the sidecar",
+                summary.records, head.count
+            ),
+        ));
+    }
+    if summary.head_hash != head.head {
+        return Err(err(
+            summary.records.saturating_sub(1),
+            TamperKind::HeadMismatch,
+            format!("head hash {} does not match sidecar pin {}", summary.head_hash, head.head),
+        ));
+    }
+    Ok(summary)
+}
+
+#[derive(Clone, Copy, PartialEq)]
+enum SealPolicy {
+    Optional,
+    Required,
+}
+
+/// Parses just the `seq` field out of a raw line, tolerating malformed
+/// lines (used only for the reorder-vs-drop look-ahead).
+fn peek_seq(line: &str) -> Option<u64> {
+    let rec: LedgerRecord = serde_json::from_str(line).ok()?;
+    Some(rec.seq)
+}
+
+fn walk(text: &str, seal: SealPolicy) -> Result<LedgerSummary, LedgerError> {
+    let lines: Vec<&str> = text.lines().collect();
+    let mut expected_seq = 0u64;
+    let mut prev_hash = GENESIS_HASH.to_string();
+    let mut prev_time = 0u64;
+    let mut sealed = false;
+
+    for (i, line) in lines.iter().enumerate() {
+        if line.trim().is_empty() {
+            return Err(err(
+                expected_seq,
+                TamperKind::Malformed,
+                format!("line {} is empty", i + 1),
+            ));
+        }
+        let rec: LedgerRecord = serde_json::from_str(line).map_err(|e| {
+            err(
+                expected_seq,
+                TamperKind::Malformed,
+                format!("line {} does not parse: {e:?}", i + 1),
+            )
+        })?;
+
+        if sealed {
+            return Err(err(
+                rec.seq,
+                TamperKind::BadSeal,
+                format!("record at seq {} appears after the seal; the seal must be last", rec.seq),
+            ));
+        }
+
+        if rec.seq != expected_seq {
+            if rec.seq < expected_seq {
+                return Err(err(
+                    rec.seq,
+                    TamperKind::OutOfOrder,
+                    format!("seq rewound to {} where {} was expected", rec.seq, expected_seq),
+                ));
+            }
+            // rec.seq > expected_seq: is the expected record merely
+            // displaced (reorder) or gone entirely (drop)?
+            let displaced =
+                lines[i + 1..].iter().filter_map(|l| peek_seq(l)).any(|s| s == expected_seq);
+            if displaced {
+                return Err(err(
+                    expected_seq,
+                    TamperKind::OutOfOrder,
+                    format!(
+                        "seq {} found where {} was expected; seq {} appears later in the file (records reordered)",
+                        rec.seq, expected_seq, expected_seq
+                    ),
+                ));
+            }
+            return Err(err(
+                expected_seq,
+                TamperKind::MissingRecord,
+                format!("record {} was dropped (next seq present is {})", expected_seq, rec.seq),
+            ));
+        }
+
+        if rec.time_ns < prev_time {
+            return Err(err(
+                rec.seq,
+                TamperKind::OutOfOrder,
+                format!(
+                    "virtual time regressed from {} to {} at seq {}",
+                    prev_time, rec.time_ns, rec.seq
+                ),
+            ));
+        }
+
+        if rec.prev_hash != prev_hash {
+            return Err(err(
+                rec.seq,
+                TamperKind::ChainBreak,
+                format!(
+                    "prev_hash {} does not match predecessor hash {} at seq {}",
+                    rec.prev_hash, prev_hash, rec.seq
+                ),
+            ));
+        }
+
+        let computed = rec.computed_hash();
+        if rec.hash != computed {
+            return Err(err(
+                rec.seq,
+                TamperKind::HashMismatch,
+                format!(
+                    "stored hash {} does not match recomputed content hash {} at seq {}",
+                    rec.hash, computed, rec.seq
+                ),
+            ));
+        }
+
+        if rec.kind == SEAL_KIND {
+            check_seal(&rec)?;
+            sealed = true;
+        }
+
+        prev_hash = rec.hash;
+        prev_time = rec.time_ns;
+        expected_seq += 1;
+    }
+
+    if seal == SealPolicy::Required && !sealed {
+        return Err(err(
+            expected_seq,
+            TamperKind::Truncated,
+            format!(
+                "no seal record: ledger ends at seq {} with the tail (at least the seal) truncated",
+                expected_seq.wrapping_sub(1)
+            ),
+        ));
+    }
+
+    Ok(LedgerSummary {
+        records: expected_seq,
+        head_hash: prev_hash,
+        head_time_ns: prev_time,
+        sealed,
+    })
+}
+
+/// A seal's payload must pin exactly the chain state it closes:
+/// `records` equals its own `seq` (the number of preceding records) and
+/// `head` equals its own `prev_hash`.
+fn check_seal(rec: &LedgerRecord) -> Result<(), LedgerError> {
+    let bad = |detail: String| err(rec.seq, TamperKind::BadSeal, detail);
+    let value = serde_json::value_from_str(&rec.payload)
+        .map_err(|e| bad(format!("seal payload does not parse: {e:?}")))?;
+    let records = match value.get("records") {
+        Some(serde::Content::U64(n)) => *n,
+        Some(serde::Content::I64(n)) if *n >= 0 => *n as u64,
+        _ => return Err(bad("seal payload lacks a numeric `records` field".to_string())),
+    };
+    let head = match value.get("head") {
+        Some(serde::Content::Str(s)) => s.clone(),
+        _ => return Err(bad("seal payload lacks a string `head` field".to_string())),
+    };
+    if records != rec.seq {
+        return Err(bad(format!("seal claims {} records but sits at seq {}", records, rec.seq)));
+    }
+    if head != rec.prev_hash {
+        return Err(bad(format!(
+            "seal head {} does not match its own prev_hash {}",
+            head, rec.prev_hash
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ledger::Ledger;
+
+    fn sample(n: u64) -> Ledger {
+        let mut ledger = Ledger::new();
+        for i in 0..n {
+            ledger.append(10 * (i + 1), "incident.captured", &format!("{{\"run\":{i}}}"));
+        }
+        ledger
+    }
+
+    #[test]
+    fn valid_unsealed_ledger_passes() {
+        let ledger = sample(4);
+        let summary = verify_jsonl(&ledger.to_jsonl()).expect("valid");
+        assert_eq!(summary.records, 4);
+        assert_eq!(summary.head_hash, ledger.head_hash());
+        assert_eq!(summary.head_time_ns, 40);
+        assert!(!summary.sealed);
+    }
+
+    #[test]
+    fn valid_sealed_ledger_passes() {
+        let mut ledger = sample(3);
+        ledger.seal(30);
+        let summary = verify_sealed(&ledger.to_jsonl()).expect("valid sealed");
+        assert_eq!(summary.records, 4);
+        assert!(summary.sealed);
+    }
+
+    #[test]
+    fn empty_ledger_is_structurally_valid() {
+        let summary = verify_jsonl("").expect("empty ok");
+        assert_eq!(summary.records, 0);
+        assert_eq!(summary.head_hash, GENESIS_HASH);
+    }
+
+    #[test]
+    fn flipped_byte_is_hash_mismatch_at_that_seq() {
+        let ledger = sample(4);
+        // Payloads are escaped inside the record's JSON line, so the
+        // raw bytes read `{\"run\":2}`.
+        let tampered = ledger.to_jsonl().replace("{\\\"run\\\":2}", "{\\\"run\\\":7}");
+        assert_ne!(tampered, ledger.to_jsonl(), "tamper must change the text");
+        let e = verify_jsonl(&tampered).expect_err("flip detected");
+        assert_eq!(e.kind, TamperKind::HashMismatch);
+        assert_eq!(e.first_bad_seq, 2);
+    }
+
+    #[test]
+    fn dropped_record_is_missing_at_that_seq() {
+        let ledger = sample(4);
+        let full = ledger.to_jsonl();
+        let lines: Vec<&str> = full.lines().collect();
+        let tampered = format!("{}\n{}\n{}\n", lines[0], lines[2], lines[3]);
+        let e = verify_jsonl(&tampered).expect_err("drop detected");
+        assert_eq!(e.kind, TamperKind::MissingRecord);
+        assert_eq!(e.first_bad_seq, 1);
+    }
+
+    #[test]
+    fn reordered_pair_is_out_of_order_at_earlier_seq() {
+        let ledger = sample(4);
+        let full = ledger.to_jsonl();
+        let lines: Vec<&str> = full.lines().collect();
+        let tampered = format!("{}\n{}\n{}\n{}\n", lines[0], lines[2], lines[1], lines[3]);
+        let e = verify_jsonl(&tampered).expect_err("reorder detected");
+        assert_eq!(e.kind, TamperKind::OutOfOrder);
+        assert_eq!(e.first_bad_seq, 1);
+    }
+
+    #[test]
+    fn truncated_tail_is_caught_by_seal() {
+        let mut ledger = sample(4);
+        ledger.seal(40);
+        let full = ledger.to_jsonl();
+        let lines: Vec<&str> = full.lines().collect();
+        // Cut the seal and the last content record.
+        let tampered = format!("{}\n{}\n{}\n", lines[0], lines[1], lines[2]);
+        let e = verify_sealed(&tampered).expect_err("truncation detected");
+        assert_eq!(e.kind, TamperKind::Truncated);
+        assert_eq!(e.first_bad_seq, 3);
+    }
+
+    #[test]
+    fn truncated_tail_is_caught_by_head_pin() {
+        let ledger = sample(4);
+        let head = LedgerHead { count: 4, head: ledger.head_hash().to_string() };
+        let full = ledger.to_jsonl();
+        let truncated: String = full.lines().take(2).map(|l| format!("{l}\n")).collect();
+        let e = verify_against_head(&truncated, &head).expect_err("truncation detected");
+        assert_eq!(e.kind, TamperKind::Truncated);
+        assert_eq!(e.first_bad_seq, 2);
+        // And the intact file passes against the same pin.
+        assert!(verify_against_head(&full, &head).is_ok());
+    }
+
+    #[test]
+    fn chain_break_detected_when_suffix_rehashed_without_link() {
+        // An attacker who rewrites record 1's payload *and* its hash
+        // still breaks record 2's prev_hash.
+        let ledger = sample(3);
+        let mut lines: Vec<String> = ledger.to_jsonl().lines().map(String::from).collect();
+        let mut rec: crate::ledger::LedgerRecord = serde_json::from_str(&lines[1]).expect("parse");
+        rec.payload = "{\"run\":99}".to_string();
+        rec.hash = rec.computed_hash();
+        lines[1] = rec.to_line();
+        let tampered = format!("{}\n", lines.join("\n"));
+        let e = verify_jsonl(&tampered).expect_err("chain break detected");
+        assert_eq!(e.kind, TamperKind::ChainBreak);
+        assert_eq!(e.first_bad_seq, 2);
+    }
+
+    #[test]
+    fn record_after_seal_rejected() {
+        let mut ledger = sample(2);
+        ledger.seal(20);
+        let mut extra = Ledger::new();
+        extra.append(30, "x", "{}");
+        let tampered = format!("{}{}", ledger.to_jsonl(), extra.to_jsonl());
+        let e = verify_jsonl(&tampered).expect_err("post-seal record rejected");
+        assert_eq!(e.kind, TamperKind::BadSeal);
+    }
+
+    #[test]
+    fn malformed_line_rejected() {
+        let ledger = sample(2);
+        let tampered = format!("{}not json\n", ledger.to_jsonl());
+        let e = verify_jsonl(&tampered).expect_err("malformed rejected");
+        assert_eq!(e.kind, TamperKind::Malformed);
+        assert_eq!(e.first_bad_seq, 2);
+    }
+
+    #[test]
+    fn unsealed_file_fails_seal_policy() {
+        let ledger = sample(2);
+        let e = verify_sealed(&ledger.to_jsonl()).expect_err("seal required");
+        assert_eq!(e.kind, TamperKind::Truncated);
+        assert_eq!(e.first_bad_seq, 2);
+    }
+
+    #[test]
+    fn stale_head_sidecar_detected() {
+        let ledger = sample(3);
+        let head = LedgerHead { count: 2, head: "not-the-head".to_string() };
+        let e = verify_against_head(&ledger.to_jsonl(), &head).expect_err("stale head");
+        assert_eq!(e.kind, TamperKind::HeadMismatch);
+    }
+}

@@ -44,6 +44,19 @@ pub struct WatchedEnum {
     pub variants: Vec<String>,
 }
 
+/// An R5 scoped doc: a second human-facing document that must agree with
+/// the registry for every name under `prefix` (both directions). Lets a
+/// subsystem spec — e.g. `docs/FORENSICS.md` for `ledger.*` — carry its
+/// own kind/metric tables without duplicating the whole observability
+/// catalogue.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ScopedDoc {
+    /// Workspace-relative markdown path.
+    pub doc: String,
+    /// Dotted-name prefix this doc owns, e.g. `ledger.`.
+    pub prefix: String,
+}
+
 /// Parsed `raven-lint.toml`.
 #[derive(Debug, Clone, Default)]
 pub struct Config {
@@ -67,6 +80,8 @@ pub struct Config {
     pub registry_path: String,
     /// R5: the human-facing doc the registry must agree with.
     pub doc_path: String,
+    /// R5: additional prefix-scoped docs (`[[rules.doc_drift.scoped]]`).
+    pub scoped_docs: Vec<ScopedDoc>,
     /// R6: files allowed to contain `unsafe` (with `// SAFETY:`).
     pub unsafe_files: Vec<String>,
     /// R7: crates where float `==`/`!=` against literals is forbidden
@@ -111,6 +126,7 @@ impl Config {
             None,
             Allow,
             Enum,
+            ScopedDoc,
         }
         let mut section = String::new();
         let mut open = Open::None;
@@ -138,6 +154,11 @@ impl Config {
                         cfg.watched_enums
                             .push(WatchedEnum { name: String::new(), variants: Vec::new() });
                         Open::Enum
+                    }
+                    "rules.doc_drift.scoped" => {
+                        cfg.scoped_docs
+                            .push(ScopedDoc { doc: String::new(), prefix: String::new() });
+                        Open::ScopedDoc
                     }
                     other => return Err(err(lineno, format!("unknown table array [[{other}]]"))),
                 };
@@ -196,6 +217,13 @@ impl Config {
                 (Open::Enum, _, "variants") => {
                     cfg.watched_enums.last_mut().expect("open enum").variants = value.arr(lineno)?
                 }
+                (Open::ScopedDoc, _, "doc") => {
+                    cfg.scoped_docs.last_mut().expect("open scoped doc").doc = value.str(lineno)?
+                }
+                (Open::ScopedDoc, _, "prefix") => {
+                    cfg.scoped_docs.last_mut().expect("open scoped doc").prefix =
+                        value.str(lineno)?
+                }
                 (Open::Allow, _, "rule") => {
                     cfg.allows.last_mut().expect("open allow").rule = value.str(lineno)?
                 }
@@ -240,6 +268,11 @@ impl Config {
         for e in &self.watched_enums {
             if e.name.is_empty() || e.variants.is_empty() {
                 return Err(err(0, "watched enum needs `name` and non-empty `variants`"));
+            }
+        }
+        for s in &self.scoped_docs {
+            if s.doc.is_empty() || s.prefix.is_empty() {
+                return Err(err(0, "[[rules.doc_drift.scoped]] needs `doc` and `prefix`"));
             }
         }
         Ok(())
@@ -359,6 +392,10 @@ tokens = ["Instant::now", "SystemTime"]
 registry = "crates/simbus/src/obs.rs"
 doc = "docs/OBSERVABILITY.md"
 
+[[rules.doc_drift.scoped]]
+doc = "docs/FORENSICS.md"
+prefix = "ledger."
+
 [rules.float_cmp]
 crates = ["simbus", "raven-core"]
 
@@ -385,6 +422,10 @@ reason = "illegal events are ignored by design (paper Fig. 1c)"
         assert_eq!(cfg.exclude.len(), 2);
         assert_eq!(cfg.wall_clock_tokens, vec!["Instant::now", "SystemTime"]);
         assert_eq!(cfg.registry_path, "crates/simbus/src/obs.rs");
+        assert_eq!(
+            cfg.scoped_docs,
+            vec![ScopedDoc { doc: "docs/FORENSICS.md".into(), prefix: "ledger.".into() }]
+        );
         assert_eq!(cfg.float_cmp_crates, vec!["simbus", "raven-core"]);
         assert_eq!(cfg.watched_enums.len(), 1);
         assert_eq!(cfg.watched_enums[0].variants, vec!["Init", "EStop"]);
@@ -397,6 +438,13 @@ reason = "illegal events are ignored by design (paper Fig. 1c)"
         let bad = "[[allow]]\nrule = \"R1\"\npath = \"x.rs\"\nreason = \"\"\n";
         let e = Config::parse(bad).unwrap_err();
         assert!(e.message.contains("reason"), "{e}");
+    }
+
+    #[test]
+    fn rejects_incomplete_scoped_doc() {
+        let bad = "[[rules.doc_drift.scoped]]\ndoc = \"docs/FORENSICS.md\"\n";
+        let e = Config::parse(bad).unwrap_err();
+        assert!(e.message.contains("prefix"), "{e}");
     }
 
     #[test]

@@ -86,6 +86,15 @@ pub fn run(root: &Path, cfg: &Config) -> io::Result<AuditReport> {
         let registry_src = fs::read_to_string(root.join(&cfg.registry_path))?;
         let doc_src = fs::read_to_string(root.join(&cfg.doc_path))?;
         raw.extend(rules::doc_drift(cfg, &registry_src, &doc_src, &files));
+        for scoped in &cfg.scoped_docs {
+            let scoped_src = fs::read_to_string(root.join(&scoped.doc))?;
+            raw.extend(rules::scoped_doc_drift(
+                scoped,
+                &cfg.registry_path,
+                &registry_src,
+                &scoped_src,
+            ));
+        }
     }
 
     // Allowlist pass: drop covered findings, remember which entries fired.

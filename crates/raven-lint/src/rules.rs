@@ -1,7 +1,7 @@
 //! The seven audit rules. Each returns [`Finding`]s; the engine applies
 //! the allowlist afterwards so rules stay pure functions of the source.
 
-use crate::config::{Config, WatchedEnum};
+use crate::config::{Config, ScopedDoc, WatchedEnum};
 use crate::lexer::{find_token, SourceFile};
 use serde::Serialize;
 
@@ -531,6 +531,110 @@ pub fn doc_drift(
     out
 }
 
+/// R5 (scoped): a subsystem doc must agree with the registry for every
+/// name under its prefix, both directions — a `ledger.*` kind or metric
+/// missing from `docs/FORENSICS.md` is drift, and so is a name the doc
+/// tables carry that the registry never registered (prefixed or not:
+/// a typo'd table row is drift wherever it points).
+pub fn scoped_doc_drift(
+    scoped: &ScopedDoc,
+    registry_path: &str,
+    registry_src: &str,
+    doc_src: &str,
+) -> Vec<Finding> {
+    let reg = parse_registry(registry_src);
+    let doc = parse_doc(doc_src);
+    let mut out = Vec::new();
+    let drift = |path: &str, snippet: &str, hint: String| Finding {
+        path: path.to_string(),
+        line: 1,
+        rule: "R5".to_string(),
+        name: "doc-code-drift".to_string(),
+        snippet: snippet.to_string(),
+        hint,
+    };
+    let scoped_to = |name: &str| name.starts_with(scoped.prefix.as_str());
+    for (variant, name) in &reg.event_kinds {
+        if scoped_to(name) && !doc.kinds.contains(name) {
+            out.push(drift(
+                &scoped.doc,
+                name,
+                format!(
+                    "event kind `{name}` (EventKind::{variant}) falls under the \
+                     `{}` scope but is missing from this doc's kind table",
+                    scoped.prefix
+                ),
+            ));
+        }
+    }
+    for name in reg.metrics.iter().chain(reg.families.iter()) {
+        if scoped_to(name) && !doc.metrics.contains(name) {
+            out.push(drift(
+                &scoped.doc,
+                name,
+                format!(
+                    "metric `{name}` falls under the `{}` scope but is missing \
+                     from this doc's metric table",
+                    scoped.prefix
+                ),
+            ));
+        }
+    }
+    for name in &reg.channels {
+        if scoped_to(name) && !doc.channels.contains(name) {
+            out.push(drift(
+                &scoped.doc,
+                name,
+                format!(
+                    "flight-recorder channel `{name}` falls under the `{}` scope \
+                     but is missing from this doc's channel table",
+                    scoped.prefix
+                ),
+            ));
+        }
+    }
+    for name in &doc.kinds {
+        if !reg.event_kinds.iter().any(|(_, n)| n == name) {
+            out.push(drift(
+                registry_path,
+                name,
+                format!(
+                    "event kind `{name}` is documented in `{}` but has no \
+                     EventKind variant",
+                    scoped.doc
+                ),
+            ));
+        }
+    }
+    for name in &doc.metrics {
+        if !reg.metrics.iter().any(|m| m == name) && !reg.families.iter().any(|f| f == name) {
+            out.push(drift(
+                registry_path,
+                name,
+                format!(
+                    "metric `{name}` is documented in `{}` but has no `names` \
+                     constant",
+                    scoped.doc
+                ),
+            ));
+        }
+    }
+    for name in &doc.channels {
+        if !reg.channels.contains(name) {
+            out.push(drift(
+                registry_path,
+                name,
+                format!(
+                    "flight-recorder channel `{name}` is documented in `{}` but \
+                     has no `channels` constant",
+                    scoped.doc
+                ),
+            ));
+        }
+    }
+    out
+}
+
 /// `(offset, content)` of every plain `"..."` literal, skipping comments
 /// and raw strings (raw strings hold fixtures/JSON, not metric names).
 fn string_literals(src: &str) -> Vec<(usize, String)> {
@@ -875,6 +979,38 @@ mod tests {
         assert_eq!(hits.len(), 3, "{hits:?}");
         assert!(hits.iter().any(|h| h.hint.contains("ghost.kind")));
         assert!(hits.iter().any(|h| h.path == "emit.rs"));
+    }
+
+    #[test]
+    fn scoped_doc_drift_checks_only_the_prefix_both_directions() {
+        let scoped = ScopedDoc { doc: "forensics.md".into(), prefix: "ledger.".into() };
+        let reg_src = r#"
+            EventKind::EstopLatched => "estop.latched",
+            EventKind::LedgerAppended => "ledger.appended",
+            pub mod names {
+                pub const DETECTOR_ALARMS: &str = "detector.alarms";
+                pub const LEDGER_RECORDS: &str = "ledger.records";
+            }
+        "#;
+
+        // Complete scoped doc: both ledger.* names present, plus one
+        // registered out-of-scope name for context — all clean. The
+        // unprefixed registry names don't have to appear here.
+        let good = "| kind | x |\n|---|---|\n| `ledger.appended` | a |\n\n\
+                    | metric | t |\n|---|---|\n| `ledger.records` | counter |\n\
+                    | `detector.alarms` | counter |\n";
+        assert!(scoped_doc_drift(&scoped, "obs.rs", reg_src, good).is_empty());
+
+        // Drift, both directions: `ledger.records` missing from the doc,
+        // and a `ledger.ghost` row with no registry constant.
+        let bad = "| kind | x |\n|---|---|\n| `ledger.appended` | a |\n\n\
+                   | metric | t |\n|---|---|\n| `ledger.ghost` | counter |\n";
+        let hits = scoped_doc_drift(&scoped, "obs.rs", reg_src, bad);
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert!(hits
+            .iter()
+            .any(|h| h.hint.contains("`ledger.records`") && h.path == "forensics.md"));
+        assert!(hits.iter().any(|h| h.hint.contains("`ledger.ghost`") && h.path == "obs.rs"));
     }
 
     #[test]

@@ -14,7 +14,9 @@
 //!   completed run: bounded end-effector motion while mitigation is
 //!   active, E-STOP latched within the paper's one-cycle lookahead of an
 //!   unsafe verdict, verdict/bookkeeping consistency, chaos-fault
-//!   attribution, and byte-identical replay.
+//!   attribution, tamper-evident forensic export (`raven-ledger`
+//!   chain verification plus four-way tamper diagnosis), and
+//!   byte-identical replay.
 //! * [`probes`] — white-box conformance checks that drive a
 //!   [`raven_detect::DynamicDetector`] and [`raven_detect::GuardInterceptor`]
 //!   directly with crafted thresholds, pinning down each decision the
@@ -37,5 +39,5 @@ pub mod probes;
 pub use harness::{
     run_chaos_session, run_mutated_chaos_session, suite_thresholds, ChaosRunReport, VerifySpec,
 };
-pub use oracles::{run_oracles, Expectations, OracleReport, OracleVerdict};
+pub use oracles::{run_ledger, run_oracles, Expectations, OracleReport, OracleVerdict};
 pub use probes::{all_probes, ProbeResult};

@@ -25,6 +25,11 @@
 //! * **chaos-attribution** — every applied chaos fault is counted and
 //!   logged, never more than were scheduled, and exactly zero when chaos
 //!   is off;
+//! * **ledger-integrity** — the run's forensic export (see
+//!   [`run_ledger`]) verifies as a sealed `raven-ledger` chain, and each
+//!   of the four tamper classes (flipped byte, dropped record, reordered
+//!   pair, truncated tail) is rejected with the correct first-bad
+//!   sequence diagnosis;
 //! * **replay-determinism** — two runs of the same spec serialize
 //!   byte-identically.
 
@@ -385,6 +390,98 @@ fn chaos_attribution(report: &ChaosRunReport) -> OracleVerdict {
     )
 }
 
+/// Builds the forensic export of a completed run: one chained record
+/// per event in the ring, a closing `run.outcome` record, and a seal.
+///
+/// This is the in-memory analogue of the `IncidentSink` ledger the CLI
+/// writes — the oracle suite uses it to prove, for every chaos run,
+/// that the honest export verifies and that tampering is detected.
+pub fn run_ledger(report: &ChaosRunReport) -> raven_ledger::Ledger {
+    let mut ledger = raven_ledger::Ledger::new();
+    for event in &report.events {
+        let payload = serde_json::to_string(event).expect("event serializes");
+        ledger.append(event.time.as_nanos(), &event.kind, &payload);
+    }
+    let outcome = serde_json::to_string(&report.outcome).expect("outcome serializes");
+    let end = ledger.head_time_ns();
+    ledger.append(end, "run.outcome", &outcome);
+    ledger.seal(end);
+    ledger
+}
+
+/// Oracle: the run's forensic export is a valid sealed chain, and every
+/// tamper class is rejected with the correct first-bad-seq diagnosis.
+fn ledger_integrity(report: &ChaosRunReport) -> OracleVerdict {
+    const NAME: &str = "ledger-integrity";
+    use raven_ledger::{verify_sealed, LedgerRecord, TamperKind};
+
+    let ledger = run_ledger(report);
+    let text = ledger.to_jsonl();
+    if let Err(e) = verify_sealed(&text) {
+        return OracleVerdict::fail(NAME, format!("honest export rejected: {e}"));
+    }
+
+    let lines: Vec<&str> = text.lines().collect();
+    let total = lines.len() as u64; // content records + seal
+    let content = total - 1;
+    let mid = content / 2;
+
+    // Flipped byte: payload of the middle record changes, stored hash
+    // kept — must be a hash mismatch at exactly that seq.
+    let mut rec: LedgerRecord = serde_json::from_str(lines[mid as usize]).expect("line parses");
+    rec.payload.push(' ');
+    let mut flipped: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+    flipped[mid as usize] = rec.to_line();
+    match verify_sealed(&format!("{}\n", flipped.join("\n"))) {
+        Err(e) if e.kind == TamperKind::HashMismatch && e.first_bad_seq == mid => {}
+        other => {
+            return OracleVerdict::fail(
+                NAME,
+                format!("flipped byte at seq {mid} misdiagnosed: {other:?}"),
+            )
+        }
+    }
+
+    // Dropped record: the middle record disappears — must name it.
+    let dropped: Vec<&str> =
+        lines.iter().enumerate().filter(|(i, _)| *i as u64 != mid).map(|(_, l)| *l).collect();
+    match verify_sealed(&format!("{}\n", dropped.join("\n"))) {
+        Err(e) if e.kind == TamperKind::MissingRecord && e.first_bad_seq == mid => {}
+        other => {
+            return OracleVerdict::fail(
+                NAME,
+                format!("dropped record at seq {mid} misdiagnosed: {other:?}"),
+            )
+        }
+    }
+
+    // Reordered pair: the first two records swap — must flag the
+    // earlier seq.
+    let mut swapped: Vec<&str> = lines.clone();
+    swapped.swap(0, 1);
+    match verify_sealed(&format!("{}\n", swapped.join("\n"))) {
+        Err(e) if e.kind == TamperKind::OutOfOrder && e.first_bad_seq == 0 => {}
+        other => {
+            return OracleVerdict::fail(NAME, format!("reordered pair misdiagnosed: {other:?}"))
+        }
+    }
+
+    // Truncated tail: the seal is cut — must report truncation at the
+    // first missing seq.
+    let truncated: String = lines[..lines.len() - 1].iter().map(|l| format!("{l}\n")).collect();
+    match verify_sealed(&truncated) {
+        Err(e) if e.kind == TamperKind::Truncated && e.first_bad_seq == content => {}
+        other => {
+            return OracleVerdict::fail(NAME, format!("truncated tail misdiagnosed: {other:?}"))
+        }
+    }
+
+    OracleVerdict::pass(
+        NAME,
+        format!("{content} records + seal verify; all four tamper classes diagnosed"),
+    )
+}
+
 /// Oracle: per-scenario outcome expectations.
 fn expectations_hold(report: &ChaosRunReport, exp: &Expectations) -> OracleVerdict {
     const NAME: &str = "expectations";
@@ -461,6 +558,7 @@ pub fn run_oracles(report: &ChaosRunReport, exp: &Expectations) -> OracleReport 
             verdict_monotonicity(report),
             verdict_consistency(report),
             chaos_attribution(report),
+            ledger_integrity(report),
             expectations_hold(report, exp),
         ],
     }

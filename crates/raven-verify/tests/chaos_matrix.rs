@@ -92,6 +92,35 @@ fn chaos_free_guarded_sessions_stay_silent() {
     }
 }
 
+/// Every chaos-matrix run exports a sealed forensic ledger that the
+/// verifier accepts — the same `verify_sealed` code path behind
+/// `raven-sim ledger verify --sealed`.
+#[test]
+fn matrix_runs_export_verifiable_sealed_ledgers() {
+    let thresholds = suite_thresholds();
+    for seed in MATRIX_SEEDS {
+        for spec in [
+            VerifySpec::clean(seed).with_chaos(ChaosConfig::standard()),
+            VerifySpec::estop_attack(seed).with_chaos(ChaosConfig::link_only()),
+        ] {
+            let report = run_chaos_session(&spec, thresholds);
+            let text = raven_verify::run_ledger(&report).to_jsonl();
+            let summary = raven_ledger::verify_sealed(&text).unwrap_or_else(|e| {
+                panic!("{} seed {seed}: exported ledger rejected: {e}", spec.name)
+            });
+            assert!(summary.sealed, "{} seed {seed}: ledger must carry a seal", spec.name);
+            // One record per retained event, plus the run-outcome record
+            // and the seal itself.
+            assert_eq!(
+                summary.records as usize,
+                report.events.len() + 2,
+                "{} seed {seed}: ledger must cover the whole event ring",
+                spec.name
+            );
+        }
+    }
+}
+
 #[test]
 fn chaos_runs_replay_byte_identically() {
     let thresholds = suite_thresholds();

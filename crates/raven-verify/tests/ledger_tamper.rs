@@ -1,0 +1,131 @@
+//! Checked-in tamper fixtures for the ledger verifier.
+//!
+//! `tests/fixtures/ledger/` holds a canonical sealed ledger plus four
+//! tampered variants — one per tamper class the ISSUE names: a flipped
+//! byte, a dropped record, a reordered pair, and a truncated tail. The
+//! verifier must accept the valid ledger and reject each variant with
+//! the **correct first bad sequence number**. Keeping the variants as
+//! files (rather than constructing them in memory) pins the on-disk
+//! format: a format change that silently invalidated old ledgers would
+//! show up here as a fixture diff.
+//!
+//! To regenerate after an intentional format change:
+//!
+//! ```text
+//! RAVEN_UPDATE_GOLDEN=1 cargo test -p raven-verify --test ledger_tamper
+//! ```
+
+use raven_ledger::{verify_sealed, Ledger, LedgerRecord, TamperKind};
+use std::path::PathBuf;
+
+fn fixture_path(name: &str) -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures/ledger").join(name)
+}
+
+/// The canonical fixture ledger: five deterministic incident-flavoured
+/// records plus the seal. Times and payloads are fixed so the fixture
+/// bytes are reproducible on any machine.
+fn canonical() -> Ledger {
+    let mut ledger = Ledger::new();
+    ledger.append(1_000_000, "incident.captured", r#"{"seed":101,"cause":"detector alarm"}"#);
+    ledger.append(
+        2_000_000,
+        "incident.captured",
+        r#"{"seed":102,"cause":"estop: software_command"}"#,
+    );
+    ledger.append(3_500_000, "incident.captured", r#"{"seed":103,"cause":"fault: joint_limit"}"#);
+    ledger.append(4_000_000, "incident.captured", r#"{"seed":104,"cause":"detector alarm"}"#);
+    ledger.append(
+        6_250_000,
+        "incident.captured",
+        r#"{"seed":105,"cause":"estop: physical_button"}"#,
+    );
+    ledger.seal(6_250_000);
+    ledger
+}
+
+/// The four tampered variants, each `(file name, text, expected kind,
+/// expected first bad seq)`.
+fn tampered_variants() -> Vec<(&'static str, String, TamperKind, u64)> {
+    let text = canonical().to_jsonl();
+    let lines: Vec<&str> = text.lines().collect();
+
+    // Flipped byte: seed 103 -> 108 inside seq 2's payload, stored hash
+    // untouched.
+    let mut rec: LedgerRecord = serde_json::from_str(lines[2]).expect("seq 2 parses");
+    rec.payload = rec.payload.replace("103", "108");
+    let mut flipped: Vec<String> = lines.iter().map(|l| l.to_string()).collect();
+    flipped[2] = rec.to_line();
+
+    // Dropped record: seq 1 removed.
+    let dropped: Vec<&str> =
+        lines.iter().enumerate().filter(|(i, _)| *i != 1).map(|(_, l)| *l).collect();
+
+    // Reordered pair: seq 2 and 3 swapped.
+    let mut swapped: Vec<&str> = lines.clone();
+    swapped.swap(2, 3);
+
+    // Truncated tail: the last content record and the seal cut off.
+    let truncated: Vec<&str> = lines[..4].to_vec();
+
+    vec![
+        ("flipped_byte.jsonl", format!("{}\n", flipped.join("\n")), TamperKind::HashMismatch, 2),
+        ("dropped_record.jsonl", format!("{}\n", dropped.join("\n")), TamperKind::MissingRecord, 1),
+        ("reordered_pair.jsonl", format!("{}\n", swapped.join("\n")), TamperKind::OutOfOrder, 2),
+        ("truncated_tail.jsonl", format!("{}\n", truncated.join("\n")), TamperKind::Truncated, 4),
+    ]
+}
+
+/// Compares `expected` against the named fixture, or rewrites the
+/// fixture when `RAVEN_UPDATE_GOLDEN=1` (same contract as the golden
+/// artifact guard).
+fn assert_fixture(name: &str, expected: &str) -> String {
+    let path = fixture_path(name);
+    if std::env::var_os("RAVEN_UPDATE_GOLDEN").is_some_and(|v| v == "1") {
+        std::fs::create_dir_all(path.parent().expect("fixture dir")).expect("mkdir fixtures");
+        std::fs::write(&path, expected).expect("write fixture");
+        return expected.to_string();
+    }
+    let on_disk = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!(
+            "missing ledger fixture {} ({e}); run with RAVEN_UPDATE_GOLDEN=1 to create it",
+            path.display()
+        )
+    });
+    assert_eq!(
+        on_disk, expected,
+        "{name} drifted from the in-code canonical construction; if the format change is \
+         intentional, regenerate with RAVEN_UPDATE_GOLDEN=1 and review the diff"
+    );
+    on_disk
+}
+
+#[test]
+fn valid_fixture_verifies_sealed() {
+    let text = assert_fixture("valid.jsonl", &canonical().to_jsonl());
+    let summary = verify_sealed(&text).expect("checked-in valid ledger must verify");
+    assert_eq!(summary.records, 6);
+    assert!(summary.sealed);
+}
+
+#[test]
+fn each_tamper_fixture_is_rejected_with_the_right_seq() {
+    for (name, expected, kind, first_bad_seq) in tampered_variants() {
+        let text = assert_fixture(name, &expected);
+        let e =
+            verify_sealed(&text).expect_err(&format!("{name} must be rejected by the verifier"));
+        assert_eq!(e.kind, kind, "{name}: wrong tamper class: {e}");
+        assert_eq!(e.first_bad_seq, first_bad_seq, "{name}: wrong first-bad-seq diagnosis: {e}");
+    }
+}
+
+/// The tampered fixtures must *stay* tampered: each differs from the
+/// valid ledger (a regeneration bug that wrote the valid text into a
+/// tamper fixture would silently vacuate the rejection test).
+#[test]
+fn tamper_fixtures_differ_from_valid() {
+    let valid = canonical().to_jsonl();
+    for (name, text, _, _) in tampered_variants() {
+        assert_ne!(text, valid, "{name} is byte-identical to the valid ledger");
+    }
+}

@@ -164,11 +164,14 @@ pub enum EventKind {
     EstopCleared,
     /// A scheduled chaos fault was applied (link or hardware level).
     ChaosInjected,
+    /// An incident report was appended to the tamper-evident ledger
+    /// (emitted by the forensics sink, never by the simulation itself).
+    LedgerAppended,
 }
 
 impl EventKind {
     /// Every kind, for exhaustive iteration in tests and tooling.
-    pub const ALL: [EventKind; 8] = [
+    pub const ALL: [EventKind; 9] = [
         EventKind::AttackInstalled,
         EventKind::StateTransition,
         EventKind::ControlFault,
@@ -177,6 +180,7 @@ impl EventKind {
         EventKind::EstopLatched,
         EventKind::EstopCleared,
         EventKind::ChaosInjected,
+        EventKind::LedgerAppended,
     ];
 
     /// The stable dotted identifier serialized into event logs.
@@ -190,6 +194,7 @@ impl EventKind {
             EventKind::EstopLatched => "estop.latched",
             EventKind::EstopCleared => "estop.cleared",
             EventKind::ChaosInjected => "chaos.injected",
+            EventKind::LedgerAppended => "ledger.appended",
         }
     }
 }
@@ -237,13 +242,17 @@ pub mod names {
     pub const CONTROL_TRANSITIONS: &str = "control.transitions";
     /// Chaos faults applied by the schedule (counter).
     pub const CHAOS_INJECTIONS: &str = "chaos.injections";
+    /// Incident records appended to the tamper-evident ledger (counter,
+    /// kept in the forensics sink's registry — never the simulation's,
+    /// so deterministic artifacts stay byte-identical).
+    pub const LEDGER_RECORDS: &str = "ledger.records";
     /// Family: fault latches by `FaultReason` slug.
     pub const FAULT_COUNT_PREFIX: &str = "fault.count.";
     /// Family: PLC E-STOP latches by `EStopCause` slug.
     pub const ESTOP_COUNT_PREFIX: &str = "estop.count.";
 
     /// Every exact (non-family) metric name.
-    pub const ALL: [&str; 9] = [
+    pub const ALL: [&str; 10] = [
         DETECTOR_ASSESSMENTS,
         DETECTOR_ALARMS,
         DETECTOR_BLOCKED_COMMANDS,
@@ -253,6 +262,7 @@ pub mod names {
         NET_PACKETS_DROPPED,
         CONTROL_TRANSITIONS,
         CHAOS_INJECTIONS,
+        LEDGER_RECORDS,
     ];
 
     /// Every family prefix.

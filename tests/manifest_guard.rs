@@ -1,0 +1,69 @@
+//! Signed-manifest guard: every golden artifact (`results/*.json`,
+//! `tests/fixtures/golden_*.json`) must match its content address in
+//! `results/MANIFEST.json`, the manifest's HMAC signature must verify,
+//! and the manifest must be *complete* — covering exactly the candidate
+//! set, no more, no less. Artifact drift, a stale manifest after adding
+//! a new result, or a hand-edited manifest all fail here.
+//!
+//! To re-seal after an intentional artifact change:
+//!
+//! ```text
+//! RAVEN_UPDATE_GOLDEN=1 cargo test --test manifest_guard
+//! # or: cargo run -p raven-core --bin raven-sim -- ledger manifest --update
+//! ```
+
+use raven_core::{manifest_candidates, MANIFEST_REL_PATH};
+use raven_ledger::Manifest;
+use std::path::Path;
+
+fn repo_root() -> &'static Path {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+}
+
+#[test]
+fn manifest_is_signed_complete_and_artifacts_match() {
+    let root = repo_root();
+    let path = root.join(MANIFEST_REL_PATH);
+    let candidates = manifest_candidates(root).expect("enumerate golden artifacts");
+
+    if std::env::var_os("RAVEN_UPDATE_GOLDEN").is_some_and(|v| v == "1") {
+        let manifest = Manifest::from_files(root, &candidates).expect("hash artifacts");
+        std::fs::write(&path, manifest.to_json_pretty()).expect("write manifest");
+        return;
+    }
+
+    let text = std::fs::read_to_string(&path).unwrap_or_else(|e| {
+        panic!("missing {} ({e}); run with RAVEN_UPDATE_GOLDEN=1 to create it", path.display())
+    });
+    let manifest = Manifest::from_json(&text).expect("manifest parses");
+
+    // Hashes, sizes, and the signature over the canonical body.
+    if let Err(e) = manifest.verify_files(root) {
+        panic!(
+            "manifest verification failed; if the artifact change is intentional, \
+             re-seal with RAVEN_UPDATE_GOLDEN=1 and review the diff:\n{e}"
+        );
+    }
+
+    // Completeness, both directions: a new golden artifact missing from
+    // the manifest is as much drift as a stale entry for a deleted one.
+    let listed: Vec<&str> = manifest.entries.keys().map(String::as_str).collect();
+    let expected: Vec<&str> = candidates.iter().map(String::as_str).collect();
+    assert_eq!(
+        listed, expected,
+        "manifest entry set disagrees with the golden-artifact candidates on disk; \
+         re-seal with RAVEN_UPDATE_GOLDEN=1"
+    );
+}
+
+/// The signature is load-bearing: re-signing a doctored manifest with
+/// the wrong key — or editing an entry without re-signing — must fail.
+#[test]
+fn edited_manifest_fails_signature_check() {
+    let root = repo_root();
+    let text = std::fs::read_to_string(root.join(MANIFEST_REL_PATH)).expect("read manifest");
+    let tampered_text = text.replacen("\"bytes\": ", "\"bytes\": 1", 1);
+    assert_ne!(tampered_text, text, "tamper edit must change the manifest");
+    let tampered = Manifest::from_json(&tampered_text).expect("tampered manifest still parses");
+    assert!(!tampered.signature_valid(), "an edited manifest must not carry a valid signature");
+}
