@@ -47,10 +47,25 @@ pub fn save_json<T: serde::Serialize>(name: &str, value: &T) {
 /// Panics if the results directory cannot be created or the file cannot be
 /// written.
 pub fn save_profile(name: &str, profiler: &simbus::StageProfiler) {
+    save_profile_stats(name, &profiler.report());
+}
+
+/// Persists any `Vec<StageStats>`-shaped timing report as a
+/// **non-deterministic sidecar** at `results/profile_<name>.json` — the
+/// one profile schema shared by the stage profiler, the span layer
+/// (`SpanHandle::stage_stats`), and the sweep-trace collector
+/// (`SweepTraceCollector::stage_stats`), so every producer and the
+/// `raven-sim --profile-json` flag write interchangeable files.
+///
+/// # Panics
+///
+/// Panics if the results directory cannot be created or the file cannot be
+/// written.
+pub fn save_profile_stats(name: &str, stats: &[simbus::obs::StageStats]) {
     let dir = results_dir();
     std::fs::create_dir_all(&dir).expect("create results dir");
     let path = dir.join(format!("profile_{name}.json"));
-    let json = serde_json::to_string_pretty(&profiler.report()).expect("serialize stage profile");
+    let json = serde_json::to_string_pretty(&stats).expect("serialize stage profile");
     std::fs::write(&path, json).expect("write stage profile");
     println!("[profile sidecar {}]", path.display());
 }

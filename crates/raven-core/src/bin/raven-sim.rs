@@ -20,12 +20,28 @@
 //!
 //! * `--metrics-json <path>` — write the run's (or sweep's) metrics
 //!   registry as JSON (counters, gauges, histograms);
+//! * `--trace-out <path>` — write a Chrome Trace Event JSON file
+//!   (loadable in Perfetto / `chrome://tracing`): pipeline-stage spans
+//!   for single-run commands, the per-worker `queued → running → merged`
+//!   sweep timeline for sweep commands;
+//! * `--profile-json <path>` — write span/sweep timing statistics in the
+//!   `bench::save_profile` sidecar schema (`Vec<StageStats>`);
 //! * `--incident-dir <dir>` — when a single-run command trips the flight
 //!   recorder (fault, detector alarm, or E-STOP), write the incident
 //!   report (event ring + last 250 ms of every trace signal) as JSON
 //!   into `<dir>`;
+//! * `raven-sim metrics export [seed] [--out <path>]` — OpenMetrics text
+//!   snapshot of every metric in the `names::` registry;
+//! * `raven-sim profile <fig9|table4|chaos>` — terminal report with
+//!   nearest-rank p50/p99 per span path plus a worker-utilization
+//!   summary (busy%, merge stall);
 //! * `RAVEN_LOG=<debug|info|warn|error|off>` — stderr log threshold
 //!   (the CLI defaults to `info`; library callers default to `warn`).
+//!
+//! Tracing is opt-in and wall-clock output is sidecar-only: without
+//! `--trace-out`/`--profile-json` no timestamps are taken, and the
+//! deterministic artifacts (`--metrics-json`, experiment records) are
+//! byte-identical either way.
 
 #![forbid(unsafe_code)]
 
@@ -35,18 +51,25 @@ use raven_core::experiments::{
     run_table4_with, ChaosStudyConfig, Fig9Config, Table4Config,
 };
 use raven_core::training::{train_thresholds, train_thresholds_with, TrainingConfig};
-use raven_core::{AttackSetup, DetectorSetup, ExecutorConfig, SimConfig, Simulation};
+use raven_core::{
+    AttackSetup, DetectorSetup, ExecutorConfig, SimConfig, Simulation, SweepTraceCollector,
+};
 use raven_detect::{DetectorConfig, Mitigation};
-use simbus::obs::{log, Metrics, Severity};
+use simbus::obs::{log, registry_template, Metrics, Severity};
+use simbus::ChromeTraceBuilder;
 use std::path::PathBuf;
+use std::sync::Arc;
 
 /// Options for the sweep commands:
-/// `[seed] [--workers N] [--paper] [--metrics-json <path>]`.
+/// `[seed] [--workers N] [--paper] [--metrics-json <path>]
+/// [--trace-out <path>] [--profile-json <path>]`.
 struct SweepOpts {
     seed: u64,
     paper: bool,
     exec: ExecutorConfig,
     metrics_json: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+    profile_json: Option<PathBuf>,
 }
 
 fn parse_sweep_opts(args: &[String]) -> SweepOpts {
@@ -54,6 +77,8 @@ fn parse_sweep_opts(args: &[String]) -> SweepOpts {
     let mut workers = None;
     let mut paper = false;
     let mut metrics_json = None;
+    let mut trace_out = None;
+    let mut profile_json = None;
     let mut rest = args[2..].iter();
     while let Some(arg) = rest.next() {
         match arg.as_str() {
@@ -67,6 +92,14 @@ fn parse_sweep_opts(args: &[String]) -> SweepOpts {
             "--metrics-json" => {
                 metrics_json =
                     rest.next().map(PathBuf::from).or_else(|| die("--metrics-json needs a path"));
+            }
+            "--trace-out" => {
+                trace_out =
+                    rest.next().map(PathBuf::from).or_else(|| die("--trace-out needs a path"));
+            }
+            "--profile-json" => {
+                profile_json =
+                    rest.next().map(PathBuf::from).or_else(|| die("--profile-json needs a path"));
             }
             other => match other.parse() {
                 Ok(s) => seed = s,
@@ -85,20 +118,43 @@ fn parse_sweep_opts(args: &[String]) -> SweepOpts {
             }
         }
     }
-    SweepOpts { seed, paper, exec: ExecutorConfig { workers, progress: true }, metrics_json }
+    // Only install a collector (and thus pay for timestamps) when a trace
+    // consumer asked for one.
+    let trace = (trace_out.is_some() || profile_json.is_some())
+        .then(|| Arc::new(SweepTraceCollector::new()));
+    SweepOpts {
+        seed,
+        paper,
+        exec: ExecutorConfig { workers, progress: true, trace },
+        metrics_json,
+        trace_out,
+        profile_json,
+    }
 }
 
 /// Options for the single-run commands:
-/// `[seed] [--metrics-json <path>] [--incident-dir <dir>]`.
+/// `[seed] [--metrics-json <path>] [--trace-out <path>]
+/// [--profile-json <path>] [--incident-dir <dir>]`.
 struct RunOpts {
     seed: u64,
     metrics_json: Option<PathBuf>,
+    trace_out: Option<PathBuf>,
+    profile_json: Option<PathBuf>,
     incident_dir: Option<PathBuf>,
+}
+
+impl RunOpts {
+    /// Whether any consumer needs the span recorder turned on.
+    fn wants_tracing(&self) -> bool {
+        self.trace_out.is_some() || self.profile_json.is_some()
+    }
 }
 
 fn parse_run_opts(args: &[String]) -> RunOpts {
     let mut seed = 42u64;
     let mut metrics_json = None;
+    let mut trace_out = None;
+    let mut profile_json = None;
     let mut incident_dir = None;
     let mut rest = args[2..].iter();
     while let Some(arg) = rest.next() {
@@ -106,6 +162,14 @@ fn parse_run_opts(args: &[String]) -> RunOpts {
             "--metrics-json" => {
                 metrics_json =
                     rest.next().map(PathBuf::from).or_else(|| die("--metrics-json needs a path"));
+            }
+            "--trace-out" => {
+                trace_out =
+                    rest.next().map(PathBuf::from).or_else(|| die("--trace-out needs a path"));
+            }
+            "--profile-json" => {
+                profile_json =
+                    rest.next().map(PathBuf::from).or_else(|| die("--profile-json needs a path"));
             }
             "--incident-dir" => {
                 incident_dir = rest
@@ -121,7 +185,7 @@ fn parse_run_opts(args: &[String]) -> RunOpts {
             },
         }
     }
-    RunOpts { seed, metrics_json, incident_dir }
+    RunOpts { seed, metrics_json, trace_out, profile_json, incident_dir }
 }
 
 fn write_json(path: &std::path::Path, json: &str, what: &str) {
@@ -154,6 +218,21 @@ fn dump_metrics(path: Option<&PathBuf>, metrics: &Metrics) {
 /// metrics artifact.
 fn flush_run_artifacts(sim: &Simulation, opts: &RunOpts) {
     dump_metrics(opts.metrics_json.as_ref(), &sim.metrics());
+    if opts.wants_tracing() {
+        sim.spans().finish();
+        if let Some(path) = &opts.trace_out {
+            let mut trace = ChromeTraceBuilder::new();
+            trace.set_process_name(1, "session");
+            trace.set_thread_name(1, 1, "pipeline");
+            sim.spans().chrome_events(1, 1, &mut trace);
+            write_json(path, &trace.build(), "trace written");
+        }
+        if let Some(path) = &opts.profile_json {
+            let json = serde_json::to_string_pretty(&sim.spans().stage_stats())
+                .expect("span profile serialize");
+            write_json(path, &json, "profile written");
+        }
+    }
     if let Some(dir) = &opts.incident_dir {
         if let Some(incident) = sim.incident() {
             // The sink writes a seq-suffixed file (unique across runs —
@@ -184,6 +263,22 @@ fn flush_run_artifacts(sim: &Simulation, opts: &RunOpts) {
     }
     if log::enabled(Severity::Debug) {
         eprint!("{}", sim.profiler().render());
+    }
+}
+
+/// Flushes a sweep's trace artifacts from the collector installed by
+/// `parse_sweep_opts` (a no-op when tracing was not requested).
+fn flush_sweep_trace(opts: &SweepOpts) {
+    let Some(collector) = &opts.exec.trace else { return };
+    if let Some(path) = &opts.trace_out {
+        let mut trace = ChromeTraceBuilder::new();
+        collector.chrome_events(&mut trace);
+        write_json(path, &trace.build(), "trace written");
+    }
+    if let Some(path) = &opts.profile_json {
+        let json = serde_json::to_string_pretty(&collector.stage_stats())
+            .expect("sweep profile serialize");
+        write_json(path, &json, "profile written");
     }
 }
 
@@ -225,6 +320,9 @@ fn main() {
                 record_cycles: opts.incident_dir.is_some(),
                 ..SimConfig::standard(opts.seed)
             });
+            if opts.wants_tracing() {
+                sim.enable_span_recorder();
+            }
             sim.boot();
             print_outcome("clean session", &sim.run_session());
             flush_run_artifacts(&sim, &opts);
@@ -236,6 +334,9 @@ fn main() {
                 record_cycles: opts.incident_dir.is_some(),
                 ..SimConfig::standard(opts.seed)
             });
+            if opts.wants_tracing() {
+                sim.enable_span_recorder();
+            }
             sim.install_attack(&attack());
             sim.boot();
             print_outcome("undefended under scenario-B injection", &sim.run_session());
@@ -262,6 +363,9 @@ fn main() {
                 }),
                 ..SimConfig::standard(opts.seed)
             });
+            if opts.wants_tracing() {
+                sim.enable_span_recorder();
+            }
             sim.install_attack(&attack());
             sim.boot();
             print_outcome("guarded under scenario-B injection", &sim.run_session());
@@ -281,6 +385,7 @@ fn main() {
                 report.samples,
                 report.thresholds.to_json().expect("thresholds serialize")
             );
+            flush_sweep_trace(&opts);
         }
         "table4" => {
             let opts = parse_sweep_opts(&args);
@@ -292,6 +397,7 @@ fn main() {
             let result = run_table4_with(&config, &opts.exec);
             print!("{}", result.render());
             dump_metrics(opts.metrics_json.as_ref(), &result.metrics);
+            flush_sweep_trace(&opts);
         }
         "fig9" => {
             let opts = parse_sweep_opts(&args);
@@ -303,6 +409,7 @@ fn main() {
             let result = run_fig9_with(&config, &opts.exec);
             print!("{}", result.render());
             dump_metrics(opts.metrics_json.as_ref(), &result.metrics);
+            flush_sweep_trace(&opts);
         }
         "chaos" => {
             let opts = parse_sweep_opts(&args);
@@ -314,6 +421,7 @@ fn main() {
             let result = run_chaos_study_with(&config, &opts.exec);
             print!("{}", result.render());
             dump_metrics(opts.metrics_json.as_ref(), &result.metrics);
+            flush_sweep_trace(&opts);
         }
         "ablations" => {
             let opts = parse_sweep_opts(&args);
@@ -323,8 +431,11 @@ fn main() {
             print!("{}", run_mitigation_ablation_with(opts.seed, runs / 2, &opts.exec).render());
             println!();
             print!("{}", run_lookahead_ablation_with(opts.seed, runs, &opts.exec).render());
+            flush_sweep_trace(&opts);
         }
         "ledger" => run_ledger_command(&args),
+        "metrics" => run_metrics_command(&args),
+        "profile" => run_profile_command(&args),
         "table1" => print!("{}", run_table1(31).render()),
         "table2" => print!("{}", run_table2(10_000).render()),
         "fig5" => print!("{}", run_fig5(3, 4_000).render()),
@@ -334,13 +445,136 @@ fn main() {
             eprintln!(
                 "usage: raven-sim <session|attack|defend|train|table1|table2|table4|\
                  fig5|fig6|fig8|fig9|ablations|chaos> [seed] [--workers N] [--paper]\n\
-                 \x20      [--metrics-json <path>] [--incident-dir <dir>]   (RAVEN_LOG=<level>)\n\
+                 \x20      [--metrics-json <path>] [--trace-out <path>] [--profile-json <path>]\n\
+                 \x20      [--incident-dir <dir>]   (RAVEN_LOG=<level>)\n\
+                 \x20      raven-sim metrics export [seed] [--out <path>]\n\
+                 \x20      raven-sim profile <fig9|table4|chaos> [seed] [--workers N] [--paper]\n\
                  \x20      raven-sim ledger verify <ledger.jsonl> [--sealed]\n\
                  \x20      raven-sim ledger manifest [--root <dir>] [--update]"
             );
             std::process::exit(2);
         }
     }
+}
+
+/// `raven-sim metrics export [seed] [--out <path>]`: OpenMetrics snapshot.
+///
+/// Runs one guarded session (learning-mode detector, so the detector
+/// family is exercised) and renders its metric registry — merged over the
+/// zeroed [`registry_template`] so **every** metric in the `names::`
+/// catalogue appears, touched or not — as OpenMetrics text. Without
+/// `--out` the exposition goes to stdout.
+fn run_metrics_command(args: &[String]) {
+    match args.get(2).map(String::as_str) {
+        Some("export") => {
+            let mut seed = 42u64;
+            let mut out: Option<PathBuf> = None;
+            let mut rest = args[3..].iter();
+            while let Some(arg) = rest.next() {
+                match arg.as_str() {
+                    "--out" => {
+                        out = rest.next().map(PathBuf::from).or_else(|| die("--out needs a path"));
+                    }
+                    other => match other.parse() {
+                        Ok(s) => seed = s,
+                        Err(_) => {
+                            die::<u64>(&format!("unrecognized argument `{other}`"));
+                        }
+                    },
+                }
+            }
+            let mut sim = Simulation::new(SimConfig {
+                detector: Some(DetectorSetup::default()),
+                ..SimConfig::standard(seed)
+            });
+            sim.boot();
+            sim.run_session();
+            let mut metrics = registry_template();
+            metrics.merge(&sim.metrics());
+            let text = metrics.to_openmetrics();
+            match &out {
+                Some(path) => write_json(path, &text, "openmetrics written"),
+                None => print!("{text}"),
+            }
+        }
+        _ => {
+            die::<()>("usage: raven-sim metrics export [seed] [--out <path>]");
+        }
+    }
+}
+
+/// `raven-sim profile <fig9|table4|chaos> …`: span + executor profiling.
+///
+/// Runs the named sweep under a [`SweepTraceCollector`] and one traced
+/// representative guarded session, then prints nearest-rank p50/p99 per
+/// span path followed by the per-worker utilization summary. Accepts the
+/// usual sweep options; `--trace-out`/`--profile-json` additionally
+/// export the sweep timeline.
+fn run_profile_command(args: &[String]) {
+    let Some(exp) = args.get(2).cloned() else {
+        die::<()>("profile needs an experiment: fig9 | table4 | chaos");
+        return;
+    };
+    // Re-use the sweep option grammar for everything after the experiment.
+    let mut shifted = args.to_vec();
+    shifted.remove(2);
+    let mut opts = parse_sweep_opts(&shifted);
+    let collector = match &opts.exec.trace {
+        Some(c) => Arc::clone(c),
+        None => {
+            let c = Arc::new(SweepTraceCollector::new());
+            opts.exec.trace = Some(Arc::clone(&c));
+            c
+        }
+    };
+    match exp.as_str() {
+        "fig9" => {
+            let config = if opts.paper {
+                Fig9Config::paper_scale(opts.seed)
+            } else {
+                Fig9Config::quick(opts.seed)
+            };
+            run_fig9_with(&config, &opts.exec);
+        }
+        "table4" => {
+            let config = if opts.paper {
+                Table4Config::paper_scale(opts.seed)
+            } else {
+                Table4Config::quick(opts.seed)
+            };
+            run_table4_with(&config, &opts.exec);
+        }
+        "chaos" => {
+            let config = if opts.paper {
+                ChaosStudyConfig::paper_scale(opts.seed)
+            } else {
+                ChaosStudyConfig::quick(opts.seed)
+            };
+            run_chaos_study_with(&config, &opts.exec);
+        }
+        other => {
+            die::<()>(&format!("unknown profile experiment `{other}` (fig9 | table4 | chaos)"));
+        }
+    }
+    // One traced session for the span-path percentiles (the sweep's runs
+    // stay untraced — per-run span recording would serialize the pool on
+    // one shared recorder).
+    let mut sim = Simulation::new(SimConfig {
+        detector: Some(DetectorSetup::default()),
+        ..SimConfig::standard(opts.seed)
+    });
+    sim.enable_span_recorder();
+    sim.boot();
+    sim.run_session();
+    sim.spans().finish();
+    println!("span paths (representative guarded session, seed {}):", opts.seed);
+    println!("  {:<52} {:>7} {:>10} {:>10}", "path", "count", "p50 (us)", "p99 (us)");
+    for s in sim.spans().path_stats() {
+        println!("  {:<52} {:>7} {:>10.1} {:>10.1}", s.path, s.count, s.p50_us, s.p99_us);
+    }
+    println!();
+    print!("{}", collector.render());
+    flush_sweep_trace(&opts);
 }
 
 /// `raven-sim ledger …`: the offline forensics verifier.

@@ -24,11 +24,14 @@
 
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
 use std::time::Instant;
 
 use parking_lot::Mutex;
 use serde::{Deserialize, Serialize};
 use simbus::obs::{log, Metrics, Severity};
+
+use super::trace::{RunLifecycle, SweepSegment, SweepTraceCollector};
 
 /// Environment variable overriding the default worker count.
 pub const WORKERS_ENV: &str = "RAVEN_WORKERS";
@@ -42,18 +45,30 @@ pub struct ExecutorConfig {
     pub workers: Option<usize>,
     /// Emit progress/throughput lines to stderr while running.
     pub progress: bool,
+    /// Optional sweep-trace collector recording each run's
+    /// `queued → running → merged` lifecycle (see [`SweepTraceCollector`]).
+    /// `None` (the default) takes no timestamps at all, keeping the
+    /// executor's artifact output byte-identical to untraced runs.
+    pub trace: Option<Arc<SweepTraceCollector>>,
 }
 
 impl ExecutorConfig {
     /// Serial execution (one worker, no progress output). The baseline the
     /// parallel output must be byte-identical to.
     pub fn serial() -> Self {
-        ExecutorConfig { workers: Some(1), progress: false }
+        ExecutorConfig { workers: Some(1), progress: false, trace: None }
     }
 
     /// A fixed worker count.
     pub fn with_workers(workers: usize) -> Self {
-        ExecutorConfig { workers: Some(workers), progress: false }
+        ExecutorConfig { workers: Some(workers), progress: false, trace: None }
+    }
+
+    /// This config with `collector` recording every sweep's lifecycle.
+    #[must_use]
+    pub fn traced(mut self, collector: Arc<SweepTraceCollector>) -> Self {
+        self.trace = Some(collector);
+        self
     }
 
     /// The worker count this config resolves to (≥ 1).
@@ -209,38 +224,51 @@ where
     S: Fn(usize) -> u64 + Sync,
     F: Fn(usize, u64, &mut Metrics) -> T + Sync,
 {
-    // One run's slot: its outcome plus its private metrics registry.
-    type RunSlot<T> = (Result<T, RunError>, Metrics);
+    // One run's wall-clock lifecycle stamp (all zeros when untraced).
+    struct RunStamp {
+        seed: u64,
+        worker: usize,
+        started_ns: u64,
+        finished_ns: u64,
+    }
+    // One run's slot: its outcome, private metrics registry, and stamp.
+    type RunSlot<T> = (Result<T, RunError>, Metrics, RunStamp);
 
     let workers = config.resolved_workers().min(n.max(1));
     let started = Instant::now();
     let progress = Progress::new(label, n, config.progress);
+    let trace = config.trace.clone();
+    let now_ns = |t: &Option<Arc<SweepTraceCollector>>| t.as_ref().map_or(0, |c| c.now_ns());
+    let sweep_begin_ns = now_ns(&trace);
 
-    let run_one = |i: usize| -> RunSlot<T> {
+    let run_one = |i: usize, worker: usize| -> RunSlot<T> {
         let seed = seed_of(i);
+        let started_ns = now_ns(&trace);
         let mut metrics = Metrics::new();
         let outcome = catch_unwind(AssertUnwindSafe(|| job(i, seed, &mut metrics)))
             .map_err(|payload| RunError { index: i, seed, message: panic_text(&*payload) });
         if outcome.is_err() {
             metrics = Metrics::new();
         }
+        let finished_ns = now_ns(&trace);
         progress.completed();
-        (outcome, metrics)
+        (outcome, metrics, RunStamp { seed, worker, started_ns, finished_ns })
     };
 
     let slotted: Vec<RunSlot<T>> = if workers <= 1 {
-        (0..n).map(run_one).collect()
+        (0..n).map(|i| run_one(i, 0)).collect()
     } else {
         let slots: Vec<Mutex<Option<RunSlot<T>>>> = (0..n).map(|_| Mutex::new(None)).collect();
         let next = AtomicUsize::new(0);
+        let (slots_ref, next_ref, run_one_ref) = (&slots, &next, &run_one);
         crossbeam::thread::scope(|scope| {
-            for _ in 0..workers {
-                scope.spawn(|_| loop {
-                    let i = next.fetch_add(1, Ordering::Relaxed);
+            for worker in 0..workers {
+                scope.spawn(move |_| loop {
+                    let i = next_ref.fetch_add(1, Ordering::Relaxed);
                     if i >= n {
                         break;
                     }
-                    *slots[i].lock() = Some(run_one(i));
+                    *slots_ref[i].lock() = Some(run_one_ref(i, worker));
                 });
             }
         })
@@ -252,11 +280,37 @@ where
             .collect()
     };
 
+    let merge_begin_ns = now_ns(&trace);
     let mut metrics = Metrics::new();
     let mut outcomes = Vec::with_capacity(n);
-    for (outcome, run_metrics) in slotted {
+    let mut lifecycles = Vec::with_capacity(if trace.is_some() { n } else { 0 });
+    for (outcome, run_metrics, stamp) in slotted {
         metrics.merge(&run_metrics);
+        if let Some(collector) = &trace {
+            lifecycles.push(RunLifecycle {
+                index: lifecycles.len(),
+                seed: stamp.seed,
+                worker: stamp.worker,
+                queued_ns: sweep_begin_ns,
+                started_ns: stamp.started_ns,
+                finished_ns: stamp.finished_ns,
+                merged_ns: collector.now_ns(),
+                ok: outcome.is_ok(),
+            });
+        }
         outcomes.push(outcome);
+    }
+    if let Some(collector) = &trace {
+        let end_ns = collector.now_ns();
+        collector.record_segment(SweepSegment {
+            label: label.to_string(),
+            workers,
+            begin_ns: sweep_begin_ns,
+            end_ns,
+            merge_begin_ns,
+            merge_end_ns: end_ns,
+            runs: lifecycles,
+        });
     }
 
     let elapsed_s = started.elapsed().as_secs_f64();
@@ -464,6 +518,53 @@ mod tests {
             let err = parse_workers(raw).expect_err(raw);
             assert!(err.contains(raw.trim()), "error must echo the bad value: {err}");
         }
+    }
+
+    #[test]
+    fn traced_sweep_records_a_full_lifecycle_per_run() {
+        for workers in [1, 4] {
+            let collector = Arc::new(SweepTraceCollector::new());
+            let config = ExecutorConfig::with_workers(workers).traced(Arc::clone(&collector));
+            let result = run_sweep("traced", 12, &config, seeds, |i, _seed| {
+                assert!(i != 7, "poisoned run");
+                i
+            });
+            assert_eq!(result.stats.errors, 1);
+            let segments = collector.segments();
+            assert_eq!(segments.len(), 1, "workers={workers}");
+            let seg = &segments[0];
+            assert_eq!(seg.label, "traced");
+            assert_eq!(seg.workers, workers);
+            assert_eq!(seg.runs.len(), 12);
+            for (i, run) in seg.runs.iter().enumerate() {
+                assert_eq!(run.index, i);
+                assert_eq!(run.seed, seeds(i));
+                assert!(run.worker < workers);
+                assert_eq!(run.ok, i != 7);
+                // Monotone lifecycle within the segment envelope.
+                assert!(run.queued_ns >= seg.begin_ns);
+                assert!(run.started_ns >= run.queued_ns);
+                assert!(run.finished_ns >= run.started_ns);
+                assert!(run.merged_ns >= run.finished_ns);
+                assert!(run.merged_ns <= seg.end_ns);
+            }
+            assert!(seg.merge_begin_ns <= seg.merge_end_ns);
+            assert!(seg.merge_end_ns <= seg.end_ns);
+            // Every worker row shows up in the utilization report.
+            let util = collector.utilization();
+            assert_eq!(util[0].per_worker.len(), workers);
+        }
+    }
+
+    #[test]
+    fn untraced_sweep_results_match_traced_ones() {
+        let job = |i: usize, seed: u64| (i, seed.rotate_left(11));
+        let plain =
+            run_sweep("t", 24, &ExecutorConfig::with_workers(3), seeds, job).expect_all("plain");
+        let collector = Arc::new(SweepTraceCollector::new());
+        let traced_cfg = ExecutorConfig::with_workers(3).traced(collector);
+        let traced = run_sweep("t", 24, &traced_cfg, seeds, job).expect_all("traced");
+        assert_eq!(plain, traced, "tracing must not perturb sweep results");
     }
 
     #[test]

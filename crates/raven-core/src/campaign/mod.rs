@@ -16,10 +16,12 @@ use crate::scenario::AttackSetup;
 use crate::sim::{DetectorSetup, SessionOutcome, SimConfig, Simulation, Workload};
 
 pub mod executor;
+pub mod trace;
 
 pub use executor::{
     run_sweep, run_sweep_observed, ExecutorConfig, RunError, SweepResult, SweepStats,
 };
+pub use trace::{RunLifecycle, SegmentUtilization, SweepSegment, SweepTraceCollector};
 
 /// One campaign run's record.
 #[derive(Debug, Clone, Serialize, Deserialize)]

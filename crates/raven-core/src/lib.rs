@@ -27,6 +27,7 @@ pub use campaign::executor::{
     parse_workers, run_sweep, run_sweep_observed, ExecutorConfig, RunError, SweepResult,
     SweepStats, WORKERS_ENV,
 };
+pub use campaign::trace::{RunLifecycle, SegmentUtilization, SweepSegment, SweepTraceCollector};
 pub use campaign::{run_campaign, run_campaign_with, CampaignResult, CampaignRun, CampaignSummary};
 pub use dual::{Arm, DualArmSession, DualOutcome};
 pub use forensics::{

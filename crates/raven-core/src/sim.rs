@@ -22,12 +22,13 @@ use raven_teleop::{
 };
 use serde::{Deserialize, Serialize};
 use simbus::obs::{
-    channels, names, shared_observer, Event, EventKind, EventLog, Metrics, Severity, SharedObserver,
+    channels, names, shared_observer, spans, Event, EventKind, EventLog, Metrics, Severity,
+    SharedObserver,
 };
 use simbus::rng::derive_seed;
 use simbus::{
     ChaosConfig, ChaosFault, ChaosFaultKind, ChaosSchedule, LinkConfig, SimClock, SimDuration,
-    SimLink, SimTime, StageProfiler,
+    SimLink, SimTime, SpanHandle, StageProfiler,
 };
 
 use crate::scenario::AttackSetup;
@@ -272,6 +273,7 @@ pub struct Simulation {
     telemetry_bus: simbus::Bus<CycleTelemetry>,
     observer: SharedObserver,
     profiler: StageProfiler,
+    spans: SpanHandle,
     incident: Option<IncidentReport>,
     chaos: Option<ChaosState>,
     attack_delay_packets: Option<u64>,
@@ -378,6 +380,7 @@ impl Simulation {
             telemetry_bus: simbus::Bus::new("raven/telemetry"),
             observer,
             profiler: StageProfiler::new(),
+            spans: SpanHandle::default(),
             incident: None,
             chaos: None,
             attack_delay_packets: None,
@@ -440,6 +443,24 @@ impl Simulation {
     /// never part of serialized artifacts.
     pub fn profiler(&self) -> &StageProfiler {
         &self.profiler
+    }
+
+    /// The session's span handle (disabled unless
+    /// [`Simulation::enable_span_recorder`] was called).
+    pub fn spans(&self) -> &SpanHandle {
+        &self.spans
+    }
+
+    /// Turns on hierarchical span tracing for this session and threads the
+    /// shared recorder through the rig and the detector. Off by default:
+    /// a disabled handle consumes no RNG and perturbs no serialized
+    /// artifact, so golden/manifest guards stay byte-identical.
+    pub fn enable_span_recorder(&mut self) {
+        self.spans = SpanHandle::recording();
+        self.rig.set_span_handle(self.spans.clone());
+        if let Some(det) = &self.detector {
+            det.lock().set_span_handle(self.spans.clone());
+        }
     }
 
     /// Installs an attack before the session starts.
@@ -602,6 +623,7 @@ impl Simulation {
     /// Boots and reports whether Pedal Up was reached (homing-failure
     /// experiments expect `false`).
     pub fn boot_expecting_failure(&mut self) -> bool {
+        let _boot = self.spans.begin(spans::SESSION_BOOT);
         // The control software runs (and writes idle USB packets) before the
         // operator presses the start button — the E-STOP phase visible at
         // the left edge of the paper's Figs. 5–6.
@@ -630,6 +652,7 @@ impl Simulation {
 
     /// Runs the teleoperation session and returns the outcome.
     pub fn run_session(&mut self) -> SessionOutcome {
+        let _session = self.spans.begin(spans::SESSION_RUN);
         let target_ticks = self.config.session_ms;
         let mut ran = 0;
         for _ in 0..target_ticks {
@@ -652,16 +675,20 @@ impl Simulation {
     /// [`IncidentReport`] on the first trip.
     pub fn step(&mut self) {
         let now = self.clock.now();
+        self.spans.set_time(now);
+        let _cycle = self.spans.begin(spans::CYCLE);
 
         // 1. Console emits; scenario-A malware mutates; chaos link faults
         //    apply; network carries.
         let t_stage = self.profiler.begin();
+        let span_stage = self.spans.begin(spans::STAGE_CONSOLE);
         let pkt = self.console.emit(now);
-        let mut bytes = pkt.encode().to_vec();
+        let mut bytes = pkt.encode_traced(&self.spans).to_vec();
         if let Some(mitm) = &mut self.mitm {
             mitm.process(&mut bytes);
         }
         self.send_console_bytes(now, bytes);
+        drop(span_stage);
         self.profiler.end("console", t_stage);
 
         // 2. Control software ingests delivered packets. Position increments
@@ -670,10 +697,11 @@ impl Simulation {
         //    to "up" if the console goes silent too long — losing the
         //    operator must stop the robot, not freeze it mid-command.
         let t_stage = self.profiler.begin();
+        let span_stage = self.spans.begin(spans::STAGE_LINK);
         let mut accumulated = Vec3::ZERO;
         let mut got_packet = false;
         for raw in self.itp_link.poll(now) {
-            if let Ok(decoded) = ItpPacket::decode(&raw) {
+            if let Ok(decoded) = ItpPacket::decode_traced(&raw, &self.spans) {
                 accumulated += decoded.delta_pos;
                 got_packet = true;
                 self.last_input = Some(OperatorInput {
@@ -693,20 +721,24 @@ impl Simulation {
                 input.pedal = false;
             }
         }
+        drop(span_stage);
         self.profiler.end("link", t_stage);
 
         // 3. Feedback read; detector measurement sync.
         let t_stage = self.profiler.begin();
+        let span_stage = self.spans.begin(spans::STAGE_FEEDBACK);
         let feedback = self.rig.read_feedback(now);
         if let Some(det) = &self.detector {
             let mpos = self.rig.decode_motor_positions(&feedback);
             det.lock().sync_measurement(mpos);
         }
+        drop(span_stage);
         self.profiler.end("feedback", t_stage);
 
         // 4. Control cycle; command write through the interceptor chain
         //    (malware wrappers first, the dynamic-model guard last).
         let t_stage = self.profiler.begin();
+        let span_stage = self.spans.begin(spans::STAGE_CONTROLLER);
         let input = self.last_input;
         let cmd = self.controller.cycle(input.as_ref(), &feedback);
         if self.telemetry_bus.subscriber_count() > 0 {
@@ -714,14 +746,18 @@ impl Simulation {
                 self.telemetry_bus.publish(*t);
             }
         }
+        drop(span_stage);
         self.profiler.end("controller", t_stage);
         let t_stage = self.profiler.begin();
+        let span_stage = self.spans.begin(spans::STAGE_INTERCEPTORS);
         self.rig.deliver_command(&cmd, now);
+        drop(span_stage);
         self.profiler.end("interceptors", t_stage);
 
         // 5. Guard-driven E-STOP (the trusted hardware module acts on both
         //    the software and the PLC).
         let t_stage = self.profiler.begin();
+        let span_stage = self.spans.begin(spans::STAGE_DETECTOR);
         if let Some(det) = &self.detector {
             if det.lock().estop_requested()
                 && self.controller.state_machine().fault() != Some(FaultReason::GuardStop)
@@ -731,10 +767,12 @@ impl Simulation {
                 self.rig.press_estop();
             }
         }
+        drop(span_stage);
         self.profiler.end("detector", t_stage);
 
         // 6. Physics.
         let t_stage = self.profiler.begin();
+        let span_stage = self.spans.begin(spans::STAGE_PLANT);
         self.rig.step(now);
         self.record_ee();
         if self.config.record_cycles {
@@ -756,6 +794,7 @@ impl Simulation {
             self.trace.record(channels::JPOS2, now, j[1]);
             self.trace.record(channels::JPOS3, now, j[2]);
         }
+        drop(span_stage);
         self.profiler.end("plant", t_stage);
 
         self.observe_cycle(now);
@@ -939,6 +978,7 @@ impl Simulation {
                 } else {
                     "detector alarm".to_string()
                 };
+                let _capture = self.spans.begin(spans::FLIGHT_RECORDER_CAPTURE);
                 let window = SimDuration::from_millis(Self::INCIDENT_WINDOW_MS);
                 let from = SimTime::from_nanos(now.as_nanos().saturating_sub(window.as_nanos()));
                 let obs = self.observer.lock();

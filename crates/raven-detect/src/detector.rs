@@ -17,7 +17,8 @@ use raven_hw::channel::{WriteAction, WriteContext, WriteInterceptor};
 use raven_hw::{RobotState, UsbCommandPacket};
 use raven_kinematics::{ArmConfig, MotorState, NUM_AXES};
 use serde::{Deserialize, Serialize};
-use simbus::obs::{names, Event, EventKind, Severity, SharedObserver};
+use simbus::obs::{names, spans, Event, EventKind, Severity, SharedObserver};
+use simbus::{SpanGuard, SpanHandle};
 
 use crate::features::InstantFeatures;
 use crate::thresholds::{DetectionThresholds, ThresholdLearner};
@@ -172,6 +173,10 @@ pub struct DynamicDetector {
     first_alarm_assessment: Option<u64>,
     estop_requested: bool,
     last_assessment: Option<Assessment>,
+    spans: SpanHandle,
+    /// Open `span.mitigation.window` guard: opened on the first alarm,
+    /// closed when the hold cooldown drains (or at session reset/teardown).
+    mitigation_span: Option<SpanGuard>,
     /// Installed kill-suite mutant, if any (`None` ⇒ production behavior).
     #[cfg(feature = "mutant-hooks")]
     mutation: Option<crate::mutants::DetectorMutation>,
@@ -200,9 +205,23 @@ impl DynamicDetector {
             first_alarm_assessment: None,
             estop_requested: false,
             last_assessment: None,
+            spans: SpanHandle::default(),
+            mitigation_span: None,
             #[cfg(feature = "mutant-hooks")]
             mutation: None,
         }
+    }
+
+    /// Installs a span handle so every assessment runs under a
+    /// `span.detector.verdict` span and alarms open the
+    /// `span.mitigation.window` span. Disabled handles cost nothing.
+    pub fn set_span_handle(&mut self, handle: SpanHandle) {
+        self.spans = handle;
+    }
+
+    /// Closes the mitigation-window span, if one is open.
+    pub fn close_mitigation_window(&mut self) {
+        self.mitigation_span = None;
     }
 
     /// Installs (or clears) a kill-suite mutant. Test-only: exists solely
@@ -316,6 +335,7 @@ impl DynamicDetector {
     /// rolled out over the horizon and the *cumulative* end-effector
     /// displacement is checked against the limit.
     pub fn assess(&mut self, dac: &[i16; NUM_AXES]) -> Option<Assessment> {
+        let _verdict = self.spans.begin(spans::DETECTOR_VERDICT);
         let current = self.tracked?;
         let predicted = self.model.predict(&current, dac);
         let mut features =
@@ -345,6 +365,10 @@ impl DynamicDetector {
                     self.first_alarm_assessment.get_or_insert(first);
                     if self.config.mitigation == Mitigation::EStop && self.estop_request_enabled() {
                         self.estop_requested = true;
+                    }
+                    if self.spans.is_enabled() && self.mitigation_span.is_none() {
+                        self.mitigation_span =
+                            Some(self.spans.begin_floating(spans::MITIGATION_WINDOW));
                     }
                 }
                 self.last_assessment = Some(assessment);
@@ -390,6 +414,7 @@ impl DynamicDetector {
         self.last_jpos = None;
         self.safe_history.clear();
         self.hold_cooldown = 0;
+        self.mitigation_span = None;
     }
 
     /// Depth of the safe-command history (cycles).
@@ -630,6 +655,9 @@ impl WriteInterceptor for GuardInterceptor {
                         det.hold_cooldown = det.cooldown_reload();
                     } else {
                         det.hold_cooldown = det.hold_cooldown.saturating_sub(1);
+                        if det.hold_cooldown == 0 {
+                            det.close_mitigation_window();
+                        }
                     }
                     match det.substitution_source() {
                         None => (WriteAction::Drop, true),

@@ -10,8 +10,8 @@
 use raven_dynamics::plant::EncoderReading;
 use raven_dynamics::{PlantParams, RavenPlant};
 use raven_kinematics::{MotorState, WRIST_AXES};
-use simbus::obs::{names, Event, EventKind, Severity, SharedObserver};
-use simbus::SimTime;
+use simbus::obs::{names, spans, Event, EventKind, Severity, SharedObserver};
+use simbus::{SimTime, SpanHandle};
 
 use crate::bitw::{BitwCodec, BitwPlacement};
 use crate::board::UsbBoard;
@@ -60,6 +60,7 @@ pub struct HardwareRig {
     last_encoder: Option<[i32; 3]>,
     bitw: Option<Bitw>,
     observer: Option<SharedObserver>,
+    spans: SpanHandle,
     reported_estop: Option<EStopCause>,
 }
 
@@ -87,6 +88,7 @@ impl HardwareRig {
             last_encoder: None,
             bitw: None,
             observer: None,
+            spans: SpanHandle::default(),
             reported_estop,
         }
     }
@@ -95,6 +97,12 @@ impl HardwareRig {
     /// as `estop.latched` / `estop.cleared` events and per-cause counters.
     pub fn set_observer(&mut self, observer: SharedObserver) {
         self.observer = Some(observer);
+    }
+
+    /// Attaches a span handle: [`HardwareRig::step`] runs under a
+    /// `span.hw.board_cycle` span (no-op when the handle is disabled).
+    pub fn set_span_handle(&mut self, handle: SpanHandle) {
+        self.spans = handle;
     }
 
     /// Reports E-STOP latch edges since the last check. The PLC itself has
@@ -199,6 +207,7 @@ impl HardwareRig {
     /// check, brake actuation, motor torques from the latched DAC words,
     /// plant integration.
     pub fn step(&mut self, now: SimTime) {
+        let _cycle = self.spans.begin(spans::HW_BOARD_CYCLE);
         self.plc.tick(now);
         if self.plc.brakes_released() {
             self.plant.release_brakes();

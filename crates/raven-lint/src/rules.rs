@@ -225,8 +225,9 @@ fn is_ident(b: u8) -> bool {
 /// The machine-readable observability registry extracted from
 /// `simbus::obs`: event kinds (`EventKind::X => "a.b"` arms), metric
 /// names (`pub const X: &str = "a.b"` in `pub mod names`, `*_PREFIX`
-/// consts being families), and flight-recorder channel names
-/// (`pub const X: &str = "..."` in `pub mod channels`).
+/// consts being families), flight-recorder channel names
+/// (`pub const X: &str = "..."` in `pub mod channels`), and span names
+/// (`pub const X: &str = "span...."` in `pub mod spans`).
 #[derive(Debug, Default, Clone)]
 pub struct Registry {
     /// `(variant, dotted-name)` pairs.
@@ -237,6 +238,8 @@ pub struct Registry {
     pub families: Vec<String>,
     /// Flight-recorder trace channel names.
     pub channels: Vec<String>,
+    /// Span names from the tracing registry.
+    pub spans: Vec<String>,
 }
 
 /// Parses the registry out of the ORIGINAL (unscrubbed) source — the
@@ -282,6 +285,9 @@ pub fn parse_registry(src: &str) -> Registry {
     }
     for (_, value) in module_str_consts(src, &scrubbed, "pub mod channels") {
         reg.channels.push(value);
+    }
+    for (_, value) in module_str_consts(src, &scrubbed, "pub mod spans") {
+        reg.spans.push(value);
     }
     reg
 }
@@ -334,11 +340,12 @@ pub struct DocNames {
     pub kinds: Vec<String>,
     pub metrics: Vec<String>,
     pub channels: Vec<String>,
+    pub spans: Vec<String>,
 }
 
 /// Reads the first backticked name of each row of the `kind`, `metric`,
-/// and `channel` tables. `fault.count.<slug>`-style rows normalize to
-/// their family prefix (`fault.count.`).
+/// `channel`, and `span` tables. `fault.count.<slug>`-style rows
+/// normalize to their family prefix (`fault.count.`).
 pub fn parse_doc(doc: &str) -> DocNames {
     #[derive(PartialEq)]
     enum Mode {
@@ -346,6 +353,7 @@ pub fn parse_doc(doc: &str) -> DocNames {
         Kinds,
         Metrics,
         Channels,
+        Spans,
     }
     let mut mode = Mode::None;
     let mut out = DocNames::default();
@@ -372,6 +380,10 @@ pub fn parse_doc(doc: &str) -> DocNames {
                 mode = Mode::Channels;
                 continue;
             }
+            "span" => {
+                mode = Mode::Spans;
+                continue;
+            }
             _ => {}
         }
         let Some(name) = first_cell.strip_prefix('`').and_then(|s| s.split('`').next()) else {
@@ -385,6 +397,7 @@ pub fn parse_doc(doc: &str) -> DocNames {
             Mode::Kinds => out.kinds.push(name),
             Mode::Metrics => out.metrics.push(name),
             Mode::Channels => out.channels.push(name),
+            Mode::Spans => out.spans.push(name),
             Mode::None => {}
         }
     }
@@ -498,6 +511,34 @@ pub fn doc_drift(
             ));
         }
     }
+    for name in &reg.spans {
+        if !doc.spans.contains(name) {
+            out.push(drift(
+                1,
+                &cfg.doc_path,
+                name,
+                format!(
+                    "span `{name}` is registered in `{}` but missing from the \
+                     span table",
+                    cfg.registry_path
+                ),
+            ));
+        }
+    }
+    for name in &doc.spans {
+        if !reg.spans.contains(name) {
+            out.push(drift(
+                1,
+                &cfg.registry_path,
+                name,
+                format!(
+                    "span `{name}` is documented in `{}` but has no `spans` \
+                     constant",
+                    cfg.doc_path
+                ),
+            ));
+        }
+    }
     // Point of use: a registered dotted name as a raw literal outside the
     // registry (and outside tests) bypasses the registry — rename drift
     // would then silently fork the taxonomy.
@@ -512,6 +553,7 @@ pub fn doc_drift(
             let hit = reg.event_kinds.iter().any(|(_, n)| n == &literal)
                 || reg.metrics.iter().any(|m| m == &literal)
                 || reg.channels.iter().any(|c| c == &literal)
+                || reg.spans.iter().any(|s| s == &literal)
                 || reg.families.iter().any(|f| literal.starts_with(f.as_str()));
             if hit {
                 out.push(Finding::at(
@@ -593,6 +635,19 @@ pub fn scoped_doc_drift(
             ));
         }
     }
+    for name in &reg.spans {
+        if scoped_to(name) && !doc.spans.contains(name) {
+            out.push(drift(
+                &scoped.doc,
+                name,
+                format!(
+                    "span `{name}` falls under the `{}` scope but is missing \
+                     from this doc's span table",
+                    scoped.prefix
+                ),
+            ));
+        }
+    }
     for name in &doc.kinds {
         if !reg.event_kinds.iter().any(|(_, n)| n == name) {
             out.push(drift(
@@ -627,6 +682,19 @@ pub fn scoped_doc_drift(
                 format!(
                     "flight-recorder channel `{name}` is documented in `{}` but \
                      has no `channels` constant",
+                    scoped.doc
+                ),
+            ));
+        }
+    }
+    for name in &doc.spans {
+        if !reg.spans.contains(name) {
+            out.push(drift(
+                registry_path,
+                name,
+                format!(
+                    "span `{name}` is documented in `{}` but has no `spans` \
+                     constant",
                     scoped.doc
                 ),
             ));
@@ -1039,6 +1107,71 @@ mod tests {
         assert!(hits.iter().any(|h| h.hint.contains("`jpos1`") && h.path == "doc.md"));
         assert!(hits.iter().any(|h| h.hint.contains("`ghost_chan`") && h.path == "obs.rs"));
         assert!(hits.iter().any(|h| h.path == "emit.rs"));
+    }
+
+    #[test]
+    fn span_registry_and_doc_parse() {
+        let reg_src = r#"
+            pub mod spans {
+                pub const CYCLE: &str = "span.cycle";
+                pub const STAGE_CONSOLE: &str = "span.stage.console";
+                pub const ALL: [&str; 2] = [CYCLE, STAGE_CONSOLE];
+            }
+        "#;
+        let reg = parse_registry(reg_src);
+        // The `ALL` array is not a `&str` const and stays out.
+        assert_eq!(reg.spans, vec!["span.cycle", "span.stage.console"]);
+        let doc = parse_doc(
+            "| span | opened by |\n|---|---|\n| `span.cycle` | step |\n\
+             | `span.stage.console` | step |\n",
+        );
+        assert_eq!(doc.spans, vec!["span.cycle", "span.stage.console"]);
+    }
+
+    #[test]
+    fn span_drift_both_directions_and_point_of_use() {
+        let cfg = Config {
+            registry_path: "obs.rs".into(),
+            doc_path: "doc.md".into(),
+            ..Config::default()
+        };
+        let reg_src = r#"
+            pub mod spans {
+                pub const CYCLE: &str = "span.cycle";
+                pub const STAGE_LINK: &str = "span.stage.link";
+            }
+        "#;
+        // `span.stage.link` registered but undocumented; `span.ghost`
+        // documented but unregistered; one raw-literal begin site.
+        let doc_src = "| span | x |\n|---|---|\n| `span.cycle` | a |\n| `span.ghost` | b |\n";
+        let emit = SourceFile::parse(
+            "emit.rs",
+            "fn f(h: &SpanHandle) { h.begin(\"span.cycle\"); }",
+            false,
+        );
+        let hits = doc_drift(&cfg, reg_src, doc_src, std::slice::from_ref(&emit));
+        assert_eq!(hits.len(), 3, "{hits:?}");
+        assert!(hits.iter().any(|h| h.hint.contains("`span.stage.link`") && h.path == "doc.md"));
+        assert!(hits.iter().any(|h| h.hint.contains("`span.ghost`") && h.path == "obs.rs"));
+        assert!(hits.iter().any(|h| h.path == "emit.rs"));
+    }
+
+    #[test]
+    fn scoped_span_drift_checks_the_prefix_both_directions() {
+        let scoped = ScopedDoc { doc: "obs.md".into(), prefix: "span.".into() };
+        let reg_src = r#"
+            pub mod spans {
+                pub const CYCLE: &str = "span.cycle";
+                pub const EXEC_RUN: &str = "span.exec.run";
+            }
+        "#;
+        let good = "| span | x |\n|---|---|\n| `span.cycle` | a |\n| `span.exec.run` | b |\n";
+        assert!(scoped_doc_drift(&scoped, "obs.rs", reg_src, good).is_empty());
+        let bad = "| span | x |\n|---|---|\n| `span.cycle` | a |\n| `span.ghost` | b |\n";
+        let hits = scoped_doc_drift(&scoped, "obs.rs", reg_src, bad);
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert!(hits.iter().any(|h| h.hint.contains("`span.exec.run`") && h.path == "obs.md"));
+        assert!(hits.iter().any(|h| h.hint.contains("`span.ghost`") && h.path == "obs.rs"));
     }
 
     #[test]

@@ -21,6 +21,8 @@
 
 use raven_math::Vec3;
 use serde::{Deserialize, Serialize};
+use simbus::obs::spans;
+use simbus::SpanHandle;
 
 /// Wire length of an ITP packet.
 pub const ITP_PACKET_LEN: usize = 29;
@@ -95,6 +97,13 @@ impl ItpPacket {
         buf
     }
 
+    /// [`ItpPacket::encode`] under a `span.teleop.encode` span (a no-op
+    /// wrapper when the handle is disabled).
+    pub fn encode_traced(&self, handle: &SpanHandle) -> [u8; ITP_PACKET_LEN] {
+        let _span = handle.begin(spans::TELEOP_ENCODE);
+        self.encode()
+    }
+
     /// Decodes the wire format, verifying header and checksum (the control
     /// software does validate *network* input — the attack the paper
     /// demonstrates therefore mutates fields while keeping the packet
@@ -133,6 +142,17 @@ impl ItpPacket {
             *w = f64::from(counts) * WRIST_UNIT;
         }
         Ok(ItpPacket { seq, pedal, estop, delta_pos: Vec3::new(d[0], d[1], d[2]), wrist })
+    }
+
+    /// [`ItpPacket::decode`] under a `span.teleop.decode` span (a no-op
+    /// wrapper when the handle is disabled).
+    ///
+    /// # Errors
+    ///
+    /// [`ItpError`] on malformed input.
+    pub fn decode_traced(buf: &[u8], handle: &SpanHandle) -> Result<ItpPacket, ItpError> {
+        let _span = handle.begin(spans::TELEOP_DECODE);
+        Self::decode(buf)
     }
 }
 

@@ -13,6 +13,9 @@
 //!   equivalent of the paper's logged robot runs);
 //! * [`obs`] — structured events, metrics, and wall-clock stage profiling
 //!   (the flight-recorder substrate; see `docs/OBSERVABILITY.md`);
+//! * [`span`] — hierarchical span tracing with virtual-time boundaries and
+//!   Chrome Trace / Perfetto export (disabled by default; sidecar-only
+//!   wall clock, same contract as the stage profiler);
 //! * [`chaos`] — seed-driven accidental-fault schedules (link corruption,
 //!   stuck encoders, board silence) for the chaos/oracle test harness;
 //! * [`rng`] — seed-derivation helpers so every experiment is reproducible.
@@ -28,6 +31,7 @@ pub mod chaos;
 pub mod net;
 pub mod obs;
 pub mod rng;
+pub mod span;
 pub mod time;
 pub mod trace;
 
@@ -37,6 +41,9 @@ pub use net::{LinkConfig, SimLink};
 pub use obs::{
     shared_observer, Event, EventKind, EventLog, FieldValue, Histogram, Metrics, Observer,
     Severity, SharedObserver, StageProfiler, StageStats,
+};
+pub use span::{
+    ChromeTraceBuilder, SpanGuard, SpanHandle, SpanPathStats, SpanRecord, SpanRecorder,
 };
 pub use time::{SimClock, SimDuration, SimTime, CONTROL_PERIOD};
 pub use trace::TraceRecorder;

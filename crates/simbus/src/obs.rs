@@ -279,6 +279,83 @@ pub mod names {
     }
 }
 
+/// The span-name registry: every hierarchical tracing span the workspace
+/// may open, as constants.
+///
+/// Span names key the [`crate::span::SpanRecorder`] tree and the Chrome
+/// Trace / profile exports built from it. Like [`names`] and
+/// [`channels`], this module is machine-parsed by `raven-lint` R5 and
+/// cross-checked against the span table in `docs/OBSERVABILITY.md`;
+/// production begin sites must go through these constants, never raw
+/// string literals.
+pub mod spans {
+    /// One full `Simulation::step` control cycle.
+    pub const CYCLE: &str = "span.cycle";
+    /// Pipeline stage: console emit + ITP encode + MITM + send.
+    pub const STAGE_CONSOLE: &str = "span.stage.console";
+    /// Pipeline stage: ITP link poll + decode.
+    pub const STAGE_LINK: &str = "span.stage.link";
+    /// Pipeline stage: feedback read + detector measurement sync.
+    pub const STAGE_FEEDBACK: &str = "span.stage.feedback";
+    /// Pipeline stage: controller cycle + telemetry.
+    pub const STAGE_CONTROLLER: &str = "span.stage.controller";
+    /// Pipeline stage: interceptor-chain command delivery.
+    pub const STAGE_INTERCEPTORS: &str = "span.stage.interceptors";
+    /// Pipeline stage: guard-driven E-STOP check.
+    pub const STAGE_DETECTOR: &str = "span.stage.detector";
+    /// Pipeline stage: plant step + trace recording.
+    pub const STAGE_PLANT: &str = "span.stage.plant";
+    /// ITP packet encode (console side).
+    pub const TELEOP_ENCODE: &str = "span.teleop.encode";
+    /// ITP packet decode (control side).
+    pub const TELEOP_DECODE: &str = "span.teleop.decode";
+    /// One armed (or learning) detector assessment.
+    pub const DETECTOR_VERDICT: &str = "span.detector.verdict";
+    /// Open from the first alarm edge until the session ends (the window
+    /// in which the mitigation policy is active).
+    pub const MITIGATION_WINDOW: &str = "span.mitigation.window";
+    /// Flight-recorder incident capture (event ring + trace window).
+    pub const FLIGHT_RECORDER_CAPTURE: &str = "span.flight_recorder.capture";
+    /// Boot sequence: idle cycles, start press, homing to Pedal Up.
+    pub const SESSION_BOOT: &str = "span.session.boot";
+    /// The teleoperation session proper (Pedal-Down cycles).
+    pub const SESSION_RUN: &str = "span.session.run";
+    /// USB board + PLC + plant hardware cycle inside the plant stage.
+    pub const HW_BOARD_CYCLE: &str = "span.hw.board_cycle";
+    /// Executor: one whole sweep on the campaign executor.
+    pub const EXEC_SWEEP: &str = "span.exec.sweep";
+    /// Executor: a run waiting for a worker slot.
+    pub const EXEC_QUEUED: &str = "span.exec.queued";
+    /// Executor: a run executing on its worker.
+    pub const EXEC_RUN: &str = "span.exec.run";
+    /// Executor: the run-order merge of worker results.
+    pub const EXEC_MERGE: &str = "span.exec.merge";
+
+    /// Every registered span name.
+    pub const ALL: [&str; 20] = [
+        CYCLE,
+        STAGE_CONSOLE,
+        STAGE_LINK,
+        STAGE_FEEDBACK,
+        STAGE_CONTROLLER,
+        STAGE_INTERCEPTORS,
+        STAGE_DETECTOR,
+        STAGE_PLANT,
+        TELEOP_ENCODE,
+        TELEOP_DECODE,
+        DETECTOR_VERDICT,
+        MITIGATION_WINDOW,
+        FLIGHT_RECORDER_CAPTURE,
+        SESSION_BOOT,
+        SESSION_RUN,
+        HW_BOARD_CYCLE,
+        EXEC_SWEEP,
+        EXEC_QUEUED,
+        EXEC_RUN,
+        EXEC_MERGE,
+    ];
+}
+
 /// The flight-recorder channel registry: every trace-signal name the
 /// simulation records, as constants.
 ///
@@ -627,6 +704,79 @@ impl Metrics {
             }
         }
     }
+
+    /// Renders the registry as an OpenMetrics/Prometheus text snapshot.
+    ///
+    /// Dotted names become underscore names (`detector.alarms` →
+    /// `detector_alarms`); counters get the `_total` sample suffix,
+    /// histograms expand to `_bucket{le=…}`/`_sum`/`_count` series, and
+    /// the exposition ends with the mandatory `# EOF` terminator.
+    /// `BTreeMap` storage makes the snapshot deterministic.
+    pub fn to_openmetrics(&self) -> String {
+        fn sanitize(name: &str) -> String {
+            name.chars().map(|c| if c.is_ascii_alphanumeric() { c } else { '_' }).collect()
+        }
+        let mut out = String::new();
+        for (name, v) in &self.counters {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} counter\n{n}_total {v}\n"));
+        }
+        for (name, v) in &self.gauges {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} gauge\n{n} {v}\n"));
+        }
+        for (name, h) in &self.histograms {
+            let n = sanitize(name);
+            out.push_str(&format!("# TYPE {n} histogram\n"));
+            let mut cumulative = 0u64;
+            for (bound, count) in h.bounds.iter().zip(&h.counts) {
+                cumulative += count;
+                out.push_str(&format!("{n}_bucket{{le=\"{bound}\"}} {cumulative}\n"));
+            }
+            out.push_str(&format!("{n}_bucket{{le=\"+Inf\"}} {}\n", h.count));
+            out.push_str(&format!("{n}_sum {}\n", h.sum));
+            out.push_str(&format!("{n}_count {}\n", h.count));
+        }
+        out.push_str("# EOF\n");
+        out
+    }
+}
+
+/// A [`Metrics`] registry pre-populated with every exact name in
+/// [`names::ALL`] at zero, typed per the catalogue in
+/// `docs/OBSERVABILITY.md` (the two `<slug>` families are instantiated
+/// lazily at runtime and stay absent here).
+///
+/// `raven-sim metrics export` merges a run's registry over this template
+/// so the OpenMetrics snapshot covers every registered metric even when a
+/// run never touched some of them.
+pub fn registry_template() -> Metrics {
+    let mut m = Metrics::new();
+    for name in names::ALL {
+        match name {
+            names::DETECTOR_FIRST_ALARM_ASSESSMENT => m.set_gauge(name, 0.0),
+            names::DETECTOR_DETECTION_LATENCY_CYCLES => {
+                m.histograms.insert(name.to_string(), Histogram::new(&DEFAULT_BUCKETS));
+            }
+            _ => m.add(name, 0),
+        }
+    }
+    m
+}
+
+/// Nearest-rank percentile over an ascending-sorted sample window: the
+/// smallest sample with at least `q·N` of the window at or below it
+/// (`rank = ceil(q·N)`). Rounding the rank down instead would
+/// under-report on small windows. Returns 0 for an empty window.
+///
+/// The one percentile implementation in the workspace — the stage
+/// profiler and the span-path statistics both go through it.
+pub fn percentile_nearest_rank(sorted: &[u64], q: f64) -> u64 {
+    if sorted.is_empty() {
+        return 0;
+    }
+    let rank = (sorted.len() as f64 * q).ceil() as usize;
+    sorted[rank.clamp(1, sorted.len()) - 1]
 }
 
 /// Shared observer: the event ring and metric registry one simulation
@@ -779,15 +929,7 @@ impl StageProfiler {
             .map(|acc| {
                 let mut sorted = acc.samples.clone();
                 sorted.sort_unstable();
-                let p99 = if sorted.is_empty() {
-                    0.0
-                } else {
-                    // Nearest-rank: the smallest sample with at least 99%
-                    // of the window at or below it (rounding the rank
-                    // down instead would under-report on small windows).
-                    let rank = (sorted.len() as f64 * 0.99).ceil() as usize;
-                    sorted[rank.clamp(1, sorted.len()) - 1] as f64 / 1_000.0
-                };
+                let p99 = percentile_nearest_rank(&sorted, 0.99) as f64 / 1_000.0;
                 StageStats {
                     name: acc.name.clone(),
                     count: acc.count,
@@ -1065,6 +1207,64 @@ mod tests {
             small.record_ns("s", us * 1_000);
         }
         assert!((small.report()[0].p99_us - 100.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn percentile_helper_small_sample_regressions() {
+        // Empty window: defined as 0.
+        assert_eq!(percentile_nearest_rank(&[], 0.99), 0);
+        // Single sample is every percentile of itself.
+        assert_eq!(percentile_nearest_rank(&[5], 0.5), 5);
+        assert_eq!(percentile_nearest_rank(&[5], 0.99), 5);
+        // p50 of an even window is the lower-middle nearest rank.
+        assert_eq!(percentile_nearest_rank(&[1, 2, 3, 4], 0.5), 2);
+        // p50 of an odd window is the exact median.
+        assert_eq!(percentile_nearest_rank(&[1, 2, 3, 4, 5], 0.5), 3);
+        // 10-sample p99: rank ceil(9.9) = 10, the maximum.
+        assert_eq!(percentile_nearest_rank(&[1, 2, 3, 4, 5, 6, 7, 8, 9, 100], 0.99), 100);
+        // 67-sample p99: rank ceil(66.33) = 67 (the StageProfiler pin).
+        let window: Vec<u64> = (1..=67).collect();
+        assert_eq!(percentile_nearest_rank(&window, 0.99), 67);
+        // 200-sample p99 no longer degenerates to the max: rank 198.
+        let large: Vec<u64> = (1..=200).collect();
+        assert_eq!(percentile_nearest_rank(&large, 0.99), 198);
+    }
+
+    #[test]
+    fn registry_template_covers_every_registered_name() {
+        let m = registry_template();
+        for name in names::ALL {
+            let present = m.counters.contains_key(name)
+                || m.gauges.contains_key(name)
+                || m.histograms.contains_key(name);
+            assert!(present, "template missing {name}");
+        }
+        assert_eq!(m.counter(names::DETECTOR_ALARMS), 0);
+        assert_eq!(m.gauge(names::DETECTOR_FIRST_ALARM_ASSESSMENT), Some(0.0));
+        assert_eq!(m.histogram(names::DETECTOR_DETECTION_LATENCY_CYCLES).unwrap().count, 0);
+    }
+
+    #[test]
+    fn openmetrics_snapshot_shape() {
+        let mut m = Metrics::new();
+        m.add("detector.alarms", 3);
+        m.set_gauge("detector.first_alarm_assessment", 42.0);
+        m.observe_with("detector.detection_latency_cycles", &[1.0, 10.0], 0.5);
+        m.observe_with("detector.detection_latency_cycles", &[1.0, 10.0], 7.0);
+        let text = m.to_openmetrics();
+        assert!(text.contains("# TYPE detector_alarms counter\ndetector_alarms_total 3\n"));
+        assert!(text.contains(
+            "# TYPE detector_first_alarm_assessment gauge\ndetector_first_alarm_assessment 42\n"
+        ));
+        // Bucket counts are cumulative; +Inf equals the total count.
+        assert!(text.contains("detector_detection_latency_cycles_bucket{le=\"1\"} 1\n"));
+        assert!(text.contains("detector_detection_latency_cycles_bucket{le=\"10\"} 2\n"));
+        assert!(text.contains("detector_detection_latency_cycles_bucket{le=\"+Inf\"} 2\n"));
+        assert!(text.contains("detector_detection_latency_cycles_sum 7.5\n"));
+        assert!(text.contains("detector_detection_latency_cycles_count 2\n"));
+        assert!(text.ends_with("# EOF\n"));
+        // Deterministic: same registry, same snapshot.
+        assert_eq!(text, m.to_openmetrics());
     }
 
     #[test]
