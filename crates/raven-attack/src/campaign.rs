@@ -8,6 +8,7 @@
 //! them against the full simulation.
 
 use serde::{Deserialize, Serialize};
+use simbus::obs::streams;
 
 /// Which paper scenario a campaign runs.
 #[derive(Debug, Clone, Copy, PartialEq, Serialize, Deserialize)]
@@ -105,7 +106,7 @@ impl CampaignConfig {
                     spec_idx,
                     spec: *spec,
                     repetition,
-                    stream: format!("campaign-{spec_idx}-{repetition}"),
+                    stream: format!("{}{spec_idx}-{repetition}", streams::CAMPAIGN_PREFIX),
                 });
             }
         }

@@ -14,7 +14,7 @@
 //! enforce anyway.
 
 use serde::{Deserialize, Serialize};
-use simbus::obs::{Event, Metrics};
+use simbus::obs::{streams, Event, Metrics};
 use simbus::rng::derive_seed;
 
 use crate::scenario::AttackSetup;
@@ -107,7 +107,7 @@ impl DualArmSession {
             _ => Workload::Circle,
         };
         let green_config = SimConfig {
-            seed: derive_seed(config.seed, "green-arm"),
+            seed: derive_seed(config.seed, streams::GREEN_ARM),
             workload: green_workload,
             ..config.clone()
         };

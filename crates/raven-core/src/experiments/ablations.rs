@@ -13,6 +13,7 @@
 use raven_detect::{DetectorConfig, FusionRule, Mitigation};
 use raven_math::stats::ConfusionMatrix;
 use serde::{Deserialize, Serialize};
+use simbus::obs::streams;
 use simbus::rng::derive_seed;
 
 use crate::campaign::executor::{run_sweep, ExecutorConfig};
@@ -73,7 +74,7 @@ pub fn run_fusion_ablation_with(
             &format!("ablation-fusion-{label}"),
             runs_per_rule as usize,
             exec,
-            |i| derive_seed(seed, &format!("fusion-{label}-{i}")),
+            |i| derive_seed(seed, &format!("{}{label}-{i}", streams::FUSION_PREFIX)),
             |i, run_seed| {
                 let run = i as u32;
                 let clean = run.is_multiple_of(2);
@@ -189,7 +190,7 @@ pub fn run_mitigation_ablation_with(
             &format!("ablation-mitigation-{label}"),
             runs_per_policy as usize,
             exec,
-            |i| derive_seed(seed, &format!("mitigation-{i}")), // same per policy
+            |i| derive_seed(seed, &format!("{}{i}", streams::MITIGATION_PREFIX)), // same per policy
             |i, run_seed| {
                 let run = i as u32;
                 let mut sim = Simulation::new(SimConfig {
@@ -380,7 +381,7 @@ pub fn run_lookahead_ablation_with(
             &format!("ablation-lookahead-{horizon}"),
             runs_per_horizon as usize,
             exec,
-            |i| derive_seed(seed, &format!("lookahead-{i}")), // shared per horizon
+            |i| derive_seed(seed, &format!("{}{i}", streams::LOOKAHEAD_PREFIX)), // shared per horizon
             |i, run_seed| {
                 let run = i as u32;
                 let clean = run.is_multiple_of(3);
@@ -526,7 +527,7 @@ pub fn run_bitw_study_with(seed: u64, exec: &ExecutorConfig) -> BitwStudy {
         "bitw-study",
         configs.len(),
         exec,
-        |i| derive_seed(seed, &format!("bitw-recon-{}", configs[i].0)),
+        |i| derive_seed(seed, &format!("{}{}", streams::BITW_RECON_PREFIX, configs[i].0)),
         |i, _run_seed| {
             let (label, bitw) = configs[i];
             // Phase 1–2: eavesdrop + analyze.
@@ -534,7 +535,10 @@ pub fn run_bitw_study_with(seed: u64, exec: &ExecutorConfig) -> BitwStudy {
             let mut sim = Simulation::new(SimConfig {
                 session_ms: 3_000,
                 bitw,
-                ..SimConfig::standard(derive_seed(seed, &format!("bitw-recon-{label}")))
+                ..SimConfig::standard(derive_seed(
+                    seed,
+                    &format!("{}{label}", streams::BITW_RECON_PREFIX),
+                ))
             });
             sim.rig_mut()
                 .channel
@@ -556,7 +560,10 @@ pub fn run_bitw_study_with(seed: u64, exec: &ExecutorConfig) -> BitwStudy {
             let mut sim = Simulation::new(SimConfig {
                 session_ms: 3_000,
                 bitw,
-                ..SimConfig::standard(derive_seed(seed, &format!("bitw-attack-{label}")))
+                ..SimConfig::standard(derive_seed(
+                    seed,
+                    &format!("{}{label}", streams::BITW_ATTACK_PREFIX),
+                ))
             });
             if bitw == Some(raven_hw::BitwPlacement::Host) {
                 use raven_attack::{ActivationWindow, Corruption, InjectionWrapper};

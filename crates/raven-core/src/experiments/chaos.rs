@@ -14,7 +14,7 @@
 //! the run index, so the study is byte-identical for any worker count.
 
 use serde::{Deserialize, Serialize};
-use simbus::obs::{names, Metrics};
+use simbus::obs::{names, streams, Metrics};
 use simbus::rng::derive_seed;
 use simbus::ChaosConfig;
 
@@ -161,7 +161,10 @@ pub fn run_chaos_study_with(config: &ChaosStudyConfig, exec: &ExecutorConfig) ->
         exec,
         |i| {
             let (label, _) = &presets[i / runs];
-            derive_seed(config.seed, &format!("chaos-study.{label}.{}", i % runs))
+            derive_seed(
+                config.seed,
+                &format!("{}{label}.{}", streams::CHAOS_STUDY_PREFIX, i % runs),
+            )
         },
         |i, seed| {
             let (_, chaos) = &presets[i / runs];

@@ -17,6 +17,7 @@ use raven_dynamics::RtModel;
 use raven_math::angles::rad_to_deg;
 use raven_math::ode::Method;
 use serde::{Deserialize, Serialize};
+use simbus::obs::streams;
 use simbus::rng::derive_seed;
 
 use crate::sim::{SimConfig, Simulation, Workload};
@@ -132,7 +133,7 @@ pub fn run_fig8(seed: u64, runs: u32, session_ms: u64, model_perturbation: f64) 
     let mut overlay: Vec<OverlayPoint> = Vec::new();
 
     for run in 0..runs {
-        let run_seed = derive_seed(seed, &format!("fig8-{run}"));
+        let run_seed = derive_seed(seed, &format!("{}{run}", streams::FIG8_PREFIX));
         let workload = Workload::training_pair()[(run % 2) as usize];
         let mut sim = Simulation::new(SimConfig {
             workload,
@@ -233,7 +234,7 @@ fn sim_plant_params(
 ) -> raven_dynamics::PlantParams {
     let plant = *sim.rig_params();
     if perturbation > 0.0 {
-        plant.perturbed(derive_seed(run_seed, "fig8-model"), perturbation)
+        plant.perturbed(derive_seed(run_seed, streams::FIG8_MODEL), perturbation)
     } else {
         plant
     }

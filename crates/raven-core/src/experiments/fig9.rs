@@ -15,7 +15,7 @@ use raven_detect::{DetectionThresholds, DetectorConfig, Mitigation};
 use serde::{Deserialize, Serialize};
 use simbus::rng::derive_seed;
 
-use simbus::obs::Metrics;
+use simbus::obs::{streams, Metrics};
 
 use crate::campaign::executor::{run_sweep_observed, ExecutorConfig};
 use crate::scenario::AttackSetup;
@@ -161,7 +161,10 @@ pub fn run_fig9_with(config: &Fig9Config, exec: &ExecutorConfig) -> Fig9Result {
         |i| {
             let (value, duration_ms) = grid[i / reps];
             let rep = (i % reps) as u32;
-            derive_seed(config.seed, &format!("fig9-{value}-{duration_ms}-{rep}"))
+            derive_seed(
+                config.seed,
+                &format!("{}{value}-{duration_ms}-{rep}", streams::FIG9_PREFIX),
+            )
         },
         |i, seed, metrics| {
             let (value, duration_ms) = grid[i / reps];

@@ -15,6 +15,7 @@
 use raven_attack::variants::{catalog, ObservedImpact, VariantSpec};
 use raven_hw::RobotState;
 use serde::Serialize;
+use simbus::obs::streams;
 use simbus::rng::derive_seed;
 
 use crate::scenario::AttackSetup;
@@ -163,7 +164,7 @@ fn matches_paper(spec: &VariantSpec, observed: ObservedImpact) -> bool {
 pub fn run_table1(seed: u64) -> Table1Result {
     let mut rows = Vec::new();
     for spec in catalog() {
-        let run_seed = derive_seed(seed, &format!("table1-{}", spec.id));
+        let run_seed = derive_seed(seed, &format!("{}{}", streams::TABLE1_PREFIX, spec.id));
         let mut sim =
             Simulation::new(SimConfig { session_ms: 4_000, ..SimConfig::standard(run_seed) });
         sim.install_attack(&setup_for(&spec));

@@ -22,8 +22,8 @@ use raven_teleop::{
 };
 use serde::{Deserialize, Serialize};
 use simbus::obs::{
-    channels, names, shared_observer, spans, Event, EventKind, EventLog, Metrics, Severity,
-    SharedObserver,
+    channels, names, shared_observer, spans, streams, Event, EventKind, EventLog, Metrics,
+    Severity, SharedObserver,
 };
 use simbus::rng::derive_seed;
 use simbus::{
@@ -49,7 +49,7 @@ pub enum Workload {
 impl Workload {
     /// Builds the trajectory generator, with tremor when `tremor > 0`.
     pub fn build(self, tremor: f64, seed: u64) -> Box<dyn Trajectory> {
-        let seed = derive_seed(seed, "workload");
+        let seed = derive_seed(seed, streams::WORKLOAD);
         match (self, tremor > 0.0) {
             (Workload::Circle, true) => {
                 Box::new(WithTremor::new(Circle::new(0.012, 0.25), tremor, seed))
@@ -319,12 +319,14 @@ impl Simulation {
         rig.plant =
             raven_dynamics::RavenPlant::with_state(config.plant, config.plant.rest_state(stowed));
         if let Some(placement) = config.bitw {
-            rig.enable_bitw(placement, derive_seed(config.seed, "bitw-key"));
+            rig.enable_bitw(placement, derive_seed(config.seed, streams::BITW_KEY));
         }
 
         let detector = config.detector.as_ref().map(|setup| {
             let model_params = if setup.model_perturbation > 0.0 {
-                config.plant.perturbed(derive_seed(config.seed, "model"), setup.model_perturbation)
+                config
+                    .plant
+                    .perturbed(derive_seed(config.seed, streams::MODEL), setup.model_perturbation)
             } else {
                 config.plant
             };
@@ -358,7 +360,7 @@ impl Simulation {
         };
         let console =
             MasterConsole::new(config.workload.build(config.tremor, config.seed), schedule);
-        let itp_link = SimLink::new(config.link, derive_seed(config.seed, "itp-link"));
+        let itp_link = SimLink::new(config.link, derive_seed(config.seed, streams::ITP_LINK));
 
         let prev_state = controller.state_machine().state();
         Simulation {
@@ -529,8 +531,12 @@ impl Simulation {
     pub fn install_chaos(&mut self, chaos: &ChaosConfig) -> usize {
         let start = SimTime::ZERO + SimDuration::from_millis(Self::CHAOS_START_MS);
         let span = SimDuration::from_millis(self.config.session_ms);
-        let schedule =
-            ChaosSchedule::generate(derive_seed(self.config.seed, "chaos"), chaos, start, span);
+        let schedule = ChaosSchedule::generate(
+            derive_seed(self.config.seed, streams::CHAOS_ROOT),
+            chaos,
+            start,
+            span,
+        );
         let scheduled = schedule.scheduled();
         let mut link = std::collections::VecDeque::new();
         for fault in schedule.pending() {

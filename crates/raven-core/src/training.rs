@@ -5,6 +5,7 @@
 
 use raven_detect::{DetectionThresholds, DetectorConfig, Mitigation, ThresholdLearner};
 use serde::{Deserialize, Serialize};
+use simbus::obs::streams;
 use simbus::rng::derive_seed;
 
 use crate::campaign::executor::{run_sweep, ExecutorConfig};
@@ -83,7 +84,7 @@ pub fn train_thresholds_with(config: &TrainingConfig, exec: &ExecutorConfig) -> 
         "training",
         config.runs as usize,
         exec,
-        |run| derive_seed(config.seed, &format!("train-{run}")),
+        |run| derive_seed(config.seed, &format!("{}{run}", streams::TRAIN_PREFIX)),
         |run, seed| {
             let workload = Workload::training_pair()[run % 2];
             let sim_config = SimConfig {

@@ -57,6 +57,17 @@ pub struct ScopedDoc {
     pub prefix: String,
 }
 
+/// One `[[rules.artifact_schema.roots]]` entry: a golden artifact and the
+/// struct that serializes it. R11 checks every direct field of the struct
+/// appears as a key in the JSON (the keys→fields direction is global).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ArtifactRoot {
+    /// Workspace-relative JSON path.
+    pub json: String,
+    /// The `#[derive(Serialize)]` struct written to that file.
+    pub strukt: String,
+}
+
 /// Parsed `raven-lint.toml`.
 #[derive(Debug, Clone, Default)]
 pub struct Config {
@@ -70,10 +81,22 @@ pub struct Config {
     pub unordered_crates: Vec<String>,
     /// R2: forbidden unordered-collection tokens.
     pub unordered_tokens: Vec<String>,
-    /// R3: hot-path crates.
-    pub panic_crates: Vec<String>,
-    /// R3: forbidden panic tokens.
+    /// R3/R8: call-graph entry points (`Type::method` or free-fn names).
+    pub hot_path_entry_points: Vec<String>,
+    /// R3: forbidden panic tokens in the reachable set.
     pub panic_tokens: Vec<String>,
+    /// R8: forbidden allocation tokens in the reachable set.
+    pub alloc_tokens: Vec<String>,
+    /// R9: seed-deriving functions whose stream argument is audited.
+    pub stream_fns: Vec<String>,
+    /// R11: glob patterns (`dir/prefix*.json`) naming the golden
+    /// artifacts whose keys are checked against serialized-struct fields.
+    pub artifact_globs: Vec<String>,
+    /// R11: JSON keys exempt from the keys→fields direction (data-driven
+    /// map keys that are not struct fields).
+    pub artifact_ignore_keys: Vec<String>,
+    /// R11: artifact → root-struct pairs for the fields→keys direction.
+    pub artifact_roots: Vec<ArtifactRoot>,
     /// R4: enums whose matches must be exhaustive.
     pub watched_enums: Vec<WatchedEnum>,
     /// R5: the machine-readable registry source (`simbus::obs`).
@@ -127,6 +150,7 @@ impl Config {
             Allow,
             Enum,
             ScopedDoc,
+            ArtifactRoot,
         }
         let mut section = String::new();
         let mut open = Open::None;
@@ -159,6 +183,11 @@ impl Config {
                         cfg.scoped_docs
                             .push(ScopedDoc { doc: String::new(), prefix: String::new() });
                         Open::ScopedDoc
+                    }
+                    "rules.artifact_schema.roots" => {
+                        cfg.artifact_roots
+                            .push(ArtifactRoot { json: String::new(), strukt: String::new() });
+                        Open::ArtifactRoot
                     }
                     other => return Err(err(lineno, format!("unknown table array [[{other}]]"))),
                 };
@@ -195,11 +224,21 @@ impl Config {
                 (Open::None, "rules.no_unordered_iteration", "tokens") => {
                     cfg.unordered_tokens = value.arr(lineno)?
                 }
-                (Open::None, "rules.no_panic_in_hot_path", "crates") => {
-                    cfg.panic_crates = value.arr(lineno)?
+                (Open::None, "rules.hot_path", "entry_points") => {
+                    cfg.hot_path_entry_points = value.arr(lineno)?
                 }
                 (Open::None, "rules.no_panic_in_hot_path", "tokens") => {
                     cfg.panic_tokens = value.arr(lineno)?
+                }
+                (Open::None, "rules.no_alloc_in_hot_path", "tokens") => {
+                    cfg.alloc_tokens = value.arr(lineno)?
+                }
+                (Open::None, "rules.rng_stream", "fns") => cfg.stream_fns = value.arr(lineno)?,
+                (Open::None, "rules.artifact_schema", "globs") => {
+                    cfg.artifact_globs = value.arr(lineno)?
+                }
+                (Open::None, "rules.artifact_schema", "ignore_keys") => {
+                    cfg.artifact_ignore_keys = value.arr(lineno)?
                 }
                 (Open::None, "rules.doc_drift", "registry") => {
                     cfg.registry_path = value.str(lineno)?
@@ -222,6 +261,14 @@ impl Config {
                 }
                 (Open::ScopedDoc, _, "prefix") => {
                     cfg.scoped_docs.last_mut().expect("open scoped doc").prefix =
+                        value.str(lineno)?
+                }
+                (Open::ArtifactRoot, _, "json") => {
+                    cfg.artifact_roots.last_mut().expect("open artifact root").json =
+                        value.str(lineno)?
+                }
+                (Open::ArtifactRoot, _, "struct") => {
+                    cfg.artifact_roots.last_mut().expect("open artifact root").strukt =
                         value.str(lineno)?
                 }
                 (Open::Allow, _, "rule") => {
@@ -249,11 +296,12 @@ impl Config {
     }
 
     fn validate(&self) -> Result<(), ConfigError> {
-        const RULES: [&str; 7] = ["R1", "R2", "R3", "R4", "R5", "R6", "R7"];
+        const RULES: [&str; 11] =
+            ["R1", "R2", "R3", "R4", "R5", "R6", "R7", "R8", "R9", "R10", "R11"];
         for (i, a) in self.allows.iter().enumerate() {
             let at = |msg: String| err(0, format!("[[allow]] entry #{}: {msg}", i + 1));
             if !RULES.contains(&a.rule.as_str()) {
-                return Err(at(format!("rule must be one of R1..R7, got `{}`", a.rule)));
+                return Err(at(format!("rule must be one of R1..R11, got `{}`", a.rule)));
             }
             if a.path.is_empty() {
                 return Err(at("missing `path`".into()));
@@ -273,6 +321,11 @@ impl Config {
         for s in &self.scoped_docs {
             if s.doc.is_empty() || s.prefix.is_empty() {
                 return Err(err(0, "[[rules.doc_drift.scoped]] needs `doc` and `prefix`"));
+            }
+        }
+        for r in &self.artifact_roots {
+            if r.json.is_empty() || r.strukt.is_empty() {
+                return Err(err(0, "[[rules.artifact_schema.roots]] needs `json` and `struct`"));
             }
         }
         Ok(())
@@ -449,10 +502,47 @@ reason = "illegal events are ignored by design (paper Fig. 1c)"
 
     #[test]
     fn rejects_unknown_rule_and_keys() {
-        let bad = "[[allow]]\nrule = \"R9\"\npath = \"x.rs\"\nreason = \"y\"\n";
+        let bad = "[[allow]]\nrule = \"R12\"\npath = \"x.rs\"\nreason = \"y\"\n";
         assert!(Config::parse(bad).is_err());
         let bad2 = "[scan]\nbogus = \"x\"\n";
         assert!(Config::parse(bad2).is_err());
+    }
+
+    #[test]
+    fn parses_hot_path_and_artifact_schema_sections() {
+        let text = r#"
+[rules.hot_path]
+entry_points = ["Simulation::step", "Rig::step"]
+
+[rules.no_alloc_in_hot_path]
+tokens = ["Box::new(", "format!("]
+
+[rules.rng_stream]
+fns = ["stream_rng", "derive_seed"]
+
+[rules.artifact_schema]
+globs = ["results/*.json", "tests/fixtures/golden_*.json"]
+ignore_keys = ["traceEvents"]
+
+[[rules.artifact_schema.roots]]
+json = "results/table4_detection.json"
+struct = "Table4Artifact"
+"#;
+        let cfg = Config::parse(text).expect("parse");
+        assert_eq!(cfg.hot_path_entry_points, vec!["Simulation::step", "Rig::step"]);
+        assert_eq!(cfg.alloc_tokens, vec!["Box::new(", "format!("]);
+        assert_eq!(cfg.stream_fns, vec!["stream_rng", "derive_seed"]);
+        assert_eq!(cfg.artifact_globs.len(), 2);
+        assert_eq!(cfg.artifact_ignore_keys, vec!["traceEvents"]);
+        assert_eq!(
+            cfg.artifact_roots,
+            vec![ArtifactRoot {
+                json: "results/table4_detection.json".into(),
+                strukt: "Table4Artifact".into()
+            }]
+        );
+        let bad = "[[rules.artifact_schema.roots]]\njson = \"results/x.json\"\n";
+        assert!(Config::parse(bad).is_err());
     }
 
     #[test]

@@ -399,6 +399,56 @@ mod tests {
     }
 
     #[test]
+    fn scrub_raw_string_trailing_backslash_is_not_an_escape() {
+        // Raw strings have no escapes: the `"` after `\` closes the
+        // literal. An escape-aware scanner would swallow the rest of the
+        // line and miss the R1 token.
+        let src = r#"let s = r"a\"; let x = Instant::now();"#;
+        let s = scrub(src);
+        assert_eq!(s.len(), src.len());
+        assert!(s.contains("Instant::now"), "{s}");
+    }
+
+    #[test]
+    fn scrub_comment_openers_inside_literals_do_not_open_comments() {
+        let src = "let s = \"/*\"; let t = SystemTime; // */";
+        let s = scrub(src);
+        assert!(s.contains("SystemTime"), "{s}");
+        let src2 = "let r = r\"// not a comment\"; let z = Instant::now();";
+        let s2 = scrub(src2);
+        assert!(s2.contains("Instant::now"), "{s2}");
+    }
+
+    #[test]
+    fn scrub_deeply_nested_and_unterminated_block_comments() {
+        let src = "/* a /* b /* c */ */ still */ let y = Utc::now();";
+        let s = scrub(src);
+        assert!(s.contains("Utc::now"), "{s}");
+        assert!(!s.contains("still"), "{s}");
+        // Unterminated comment blanks to EOF without panicking.
+        let s2 = scrub("/* unterminated Instant::now");
+        assert!(!s2.contains("Instant"), "{s2}");
+    }
+
+    #[test]
+    fn scrub_empty_raw_string_and_byte_string_escapes() {
+        let src = "let e = r#\"\"#; let bs = b\"a\\\"b\"; let q = Instant::now();";
+        let s = scrub(src);
+        assert_eq!(s.len(), src.len());
+        assert!(s.contains("Instant::now"), "{s}");
+        assert!(!s.contains("a\\\"b"), "{s}");
+    }
+
+    #[test]
+    fn scrub_multibyte_char_literal_does_not_derail_the_scan() {
+        let src = "let c = 'é'; let v = \"tremor\"; let u = Instant::now();";
+        let s = scrub(src);
+        assert_eq!(s.as_bytes().len(), src.as_bytes().len());
+        assert!(!s.contains("tremor"), "{s}");
+        assert!(s.contains("Instant::now"), "{s}");
+    }
+
+    #[test]
     fn test_regions_cover_cfg_test_mod() {
         let src = "fn live() { x.unwrap(); }\n#[cfg(test)]\nmod tests {\n    fn t() { y.unwrap(); }\n}\nfn tail() {}\n";
         let f = SourceFile::parse("x.rs", src, false);

@@ -1,33 +1,83 @@
 //! `cargo run -p raven-lint` — audits the workspace against
 //! `raven-lint.toml` and exits nonzero on any unallowlisted finding.
 //!
-//! Flags: `--json` emits the findings as a JSON array; `--root <dir>`
-//! overrides workspace-root discovery (the nearest ancestor containing
-//! `raven-lint.toml`).
+//! Flags:
+//! * `--format text|json|sarif` — report format (`--json` is shorthand
+//!   for `--format json`; SARIF is the 2.1.0 document CI uploads).
+//! * `--rule <id>` — keep only this rule's findings (repeatable; an
+//!   unknown id is a hard error, not an empty filter).
+//! * `--baseline <file>` — suppress findings whose fingerprint the
+//!   baseline already records; only *new* findings fail the run.
+//! * `--update-baseline` — rewrite the `--baseline` file from the
+//!   current findings and exit 0.
+//! * `--list-rules` — print the rule catalog and exit.
+//! * `--root <dir>` — override workspace-root discovery (the nearest
+//!   ancestor containing `raven-lint.toml`).
 
 #![forbid(unsafe_code)]
 
-use raven_lint::{run, Config};
+use raven_lint::sarif::{self, Baseline};
+use raven_lint::{run, Config, Finding};
 use std::path::PathBuf;
 use std::process::ExitCode;
 
+enum Format {
+    Text,
+    Json,
+    Sarif,
+}
+
 fn main() -> ExitCode {
-    let mut json = false;
+    let mut format = Format::Text;
     let mut root_override: Option<PathBuf> = None;
+    let mut baseline_path: Option<PathBuf> = None;
+    let mut update_baseline = false;
+    let mut rule_filter: Vec<String> = Vec::new();
     let mut args = std::env::args().skip(1);
     while let Some(arg) = args.next() {
         match arg.as_str() {
-            "--json" => json = true,
+            "--json" => format = Format::Json,
+            "--format" => match args.next().as_deref() {
+                Some("text") => format = Format::Text,
+                Some("json") => format = Format::Json,
+                Some("sarif") => format = Format::Sarif,
+                Some(other) => {
+                    return usage(&format!(
+                        "unknown format `{other}` (expected text, json, or sarif)"
+                    ))
+                }
+                None => return usage("--format needs a value (text, json, or sarif)"),
+            },
+            "--rule" => match args.next() {
+                Some(id) => rule_filter.push(id),
+                None => return usage("--rule needs a rule id (e.g. R8)"),
+            },
+            "--baseline" => match args.next() {
+                Some(p) => baseline_path = Some(PathBuf::from(p)),
+                None => return usage("--baseline needs a file path"),
+            },
+            "--update-baseline" => update_baseline = true,
+            "--list-rules" => return list_rules(),
             "--root" => match args.next() {
                 Some(dir) => root_override = Some(PathBuf::from(dir)),
                 None => return usage("--root needs a directory"),
             },
             "--help" | "-h" => {
-                eprintln!("usage: raven-lint [--json] [--root <workspace-dir>]");
+                eprintln!("{USAGE}");
                 return ExitCode::SUCCESS;
             }
             other => return usage(&format!("unknown flag `{other}`")),
         }
+    }
+    for id in &rule_filter {
+        if sarif::rule_info(id).is_none() {
+            return usage(&format!(
+                "unknown rule `{id}`; run raven-lint --list-rules for the catalog"
+            ));
+        }
+    }
+    if update_baseline && baseline_path.is_none() {
+        return usage("--update-baseline needs --baseline <file>");
     }
 
     let root = match root_override.or_else(discover_root) {
@@ -58,37 +108,97 @@ fn main() -> ExitCode {
             return ExitCode::from(2);
         }
     };
+    let mut findings: Vec<Finding> = report.findings;
+    if !rule_filter.is_empty() {
+        findings.retain(|f| rule_filter.iter().any(|r| r == &f.rule));
+    }
 
-    if json {
-        match serde_json::to_string_pretty(&report.findings) {
+    if update_baseline {
+        let path = baseline_path.expect("checked above");
+        let base = Baseline::capture(&findings);
+        if let Err(e) = std::fs::write(&path, base.render()) {
+            eprintln!("raven-lint: cannot write baseline {}: {e}", path.display());
+            return ExitCode::from(2);
+        }
+        eprintln!(
+            "raven-lint: baseline {} updated with {} fingerprint(s)",
+            path.display(),
+            base.fingerprints.len()
+        );
+        return ExitCode::SUCCESS;
+    }
+
+    // With a baseline, only findings it does not record are failures.
+    let mut suppressed = 0usize;
+    if let Some(path) = &baseline_path {
+        let text = match std::fs::read_to_string(path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("raven-lint: cannot read baseline {}: {e}", path.display());
+                return ExitCode::from(2);
+            }
+        };
+        let base = match Baseline::parse(&text) {
+            Ok(b) => b,
+            Err(e) => {
+                eprintln!("raven-lint: {e}");
+                return ExitCode::from(2);
+            }
+        };
+        let (fresh, known) = base.partition(&findings);
+        suppressed = known;
+        findings = fresh.into_iter().cloned().collect();
+    }
+
+    match format {
+        Format::Json => match serde_json::to_string_pretty(&findings) {
             Ok(s) => println!("{s}"),
             Err(e) => {
                 eprintln!("raven-lint: serialization failed: {e}");
                 return ExitCode::from(2);
             }
+        },
+        Format::Sarif => print!("{}", sarif::to_sarif(&findings)),
+        Format::Text => {
+            for f in &findings {
+                println!("{}:{}: [{} {}] {}", f.path, f.line, f.rule, f.name, f.snippet);
+                println!("    hint: {}", f.hint);
+            }
         }
-    } else {
-        for f in &report.findings {
-            println!("{}:{}: [{} {}] {}", f.path, f.line, f.rule, f.name, f.snippet);
-            println!("    hint: {}", f.hint);
-        }
-        eprintln!(
-            "raven-lint: {} file(s) scanned, {} finding(s), {} allowlisted exception(s)",
-            report.files_scanned,
-            report.findings.len(),
-            report.allowed
-        );
     }
-    if report.findings.is_empty() {
+    eprintln!(
+        "raven-lint: {} file(s) scanned, {} finding(s), {} allowlisted exception(s){}",
+        report.files_scanned,
+        findings.len(),
+        report.allowed,
+        if baseline_path.is_some() {
+            format!(", {suppressed} baseline-suppressed")
+        } else {
+            String::new()
+        }
+    );
+    if findings.is_empty() {
         ExitCode::SUCCESS
     } else {
         ExitCode::FAILURE
     }
 }
 
+fn list_rules() -> ExitCode {
+    println!("{:<7} {:<24} {:<60} scope", "id", "name", "summary");
+    for r in sarif::catalog() {
+        println!("{:<7} {:<24} {:<60} {}", r.id, r.name, r.summary, r.scope);
+    }
+    ExitCode::SUCCESS
+}
+
+const USAGE: &str = "usage: raven-lint [--format text|json|sarif] [--json] [--rule <id>]... \
+                     [--baseline <file>] [--update-baseline] [--list-rules] \
+                     [--root <workspace-dir>]";
+
 fn usage(msg: &str) -> ExitCode {
     eprintln!("raven-lint: {msg}");
-    eprintln!("usage: raven-lint [--json] [--root <workspace-dir>]");
+    eprintln!("{USAGE}");
     ExitCode::from(2)
 }
 

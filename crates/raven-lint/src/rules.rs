@@ -1,9 +1,13 @@
-//! The seven audit rules. Each returns [`Finding`]s; the engine applies
-//! the allowlist afterwards so rules stay pure functions of the source.
+//! The audit rules. Each returns [`Finding`]s; the engine applies the
+//! allowlist afterwards so rules stay pure functions of the source (plus,
+//! for the call-graph rules, the workspace [`CallGraph`]).
 
+use crate::callgraph::{CallGraph, CallSite, Reachability, Receiver};
 use crate::config::{Config, ScopedDoc, WatchedEnum};
 use crate::lexer::{find_token, SourceFile};
+use crate::parse::{self, FnDecl};
 use serde::Serialize;
+use std::collections::{BTreeMap, BTreeSet};
 
 /// One rule violation, serializable for `--json` consumers.
 #[derive(Debug, Clone, Serialize, PartialEq, Eq, PartialOrd, Ord)]
@@ -240,6 +244,11 @@ pub struct Registry {
     pub channels: Vec<String>,
     /// Span names from the tracing registry.
     pub spans: Vec<String>,
+    /// `(const-name, label)` pairs of exact RNG stream labels from
+    /// `pub mod streams`.
+    pub streams: Vec<(String, String)>,
+    /// `(const-name, prefix)` pairs of RNG stream families (`*_PREFIX`).
+    pub stream_families: Vec<(String, String)>,
 }
 
 /// Parses the registry out of the ORIGINAL (unscrubbed) source — the
@@ -288,6 +297,13 @@ pub fn parse_registry(src: &str) -> Registry {
     }
     for (_, value) in module_str_consts(src, &scrubbed, "pub mod spans") {
         reg.spans.push(value);
+    }
+    for (cname, value) in module_str_consts(src, &scrubbed, "pub mod streams") {
+        if cname.ends_with("_PREFIX") {
+            reg.stream_families.push((cname, value));
+        } else {
+            reg.streams.push((cname, value));
+        }
     }
     reg
 }
@@ -341,6 +357,7 @@ pub struct DocNames {
     pub metrics: Vec<String>,
     pub channels: Vec<String>,
     pub spans: Vec<String>,
+    pub streams: Vec<String>,
 }
 
 /// Reads the first backticked name of each row of the `kind`, `metric`,
@@ -354,6 +371,7 @@ pub fn parse_doc(doc: &str) -> DocNames {
         Metrics,
         Channels,
         Spans,
+        Streams,
     }
     let mut mode = Mode::None;
     let mut out = DocNames::default();
@@ -384,6 +402,10 @@ pub fn parse_doc(doc: &str) -> DocNames {
                 mode = Mode::Spans;
                 continue;
             }
+            "stream" => {
+                mode = Mode::Streams;
+                continue;
+            }
             _ => {}
         }
         let Some(name) = first_cell.strip_prefix('`').and_then(|s| s.split('`').next()) else {
@@ -398,6 +420,7 @@ pub fn parse_doc(doc: &str) -> DocNames {
             Mode::Metrics => out.metrics.push(name),
             Mode::Channels => out.channels.push(name),
             Mode::Spans => out.spans.push(name),
+            Mode::Streams => out.streams.push(name),
             Mode::None => {}
         }
     }
@@ -759,24 +782,33 @@ fn string_literals(src: &str) -> Vec<(usize, String)> {
             b'"' => {
                 let start = i;
                 i += 1;
-                let mut content = String::new();
+                let mut content = Vec::new();
                 while i < b.len() {
                     match b[i] {
                         b'\\' => i += 2,
                         b'"' => break,
                         c => {
-                            content.push(c as char);
+                            content.push(c);
                             i += 1;
                         }
                     }
                 }
                 i += 1;
-                out.push((start, content));
+                out.push((start, String::from_utf8_lossy(&content).into_owned()));
             }
             b'\'' => {
-                // Char literal or lifetime; skip conservatively.
+                // Char literal or lifetime; skip conservatively. A
+                // multibyte scalar (`'é'`) spans several bytes before the
+                // closing tick — without this arm its closing tick would
+                // be re-read as an opener and could swallow real code.
                 if b.get(i + 1) == Some(&b'\\') {
                     i += 2;
+                    while i < b.len() && b[i] != b'\'' {
+                        i += 1;
+                    }
+                    i += 1;
+                } else if b.get(i + 1).is_some_and(|&c| c >= 0x80) {
+                    i += 1;
                     while i < b.len() && b[i] != b'\'' {
                         i += 1;
                     }
@@ -932,6 +964,539 @@ pub fn unsafe_audit(file: &SourceFile, unsafe_files: &[String]) -> Vec<Finding> 
     out
 }
 
+/// R3/R8 share a shape: a token list that must not appear in any function
+/// transitively reachable from the hot-path entry points. The hint carries
+/// the discovery chain so the report explains *why* a function is hot, not
+/// just that it is.
+pub fn hot_path_rule(
+    files: &[SourceFile],
+    graph: &CallGraph,
+    reach: &Reachability,
+    tokens: &[String],
+    rule: &str,
+    name: &str,
+    hint: &str,
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    // Nested fns produce overlapping body spans; dedup by source line.
+    let mut seen = BTreeSet::new();
+    for &idx in reach.parent.keys() {
+        let f = &graph.fns[idx];
+        let Some((open, close)) = f.body else { continue };
+        let file = &files[f.file];
+        let body = &file.scrubbed[open..=close];
+        for token in tokens {
+            for rel in find_token(body, token) {
+                let offset = open + rel;
+                let line = file.line_of(offset);
+                if file.is_test_line(line) {
+                    continue;
+                }
+                if !seen.insert((f.file, line, token.clone())) {
+                    continue;
+                }
+                out.push(Finding::at(
+                    file,
+                    offset,
+                    rule,
+                    name,
+                    format!("`{token}` {hint} (hot path: {})", graph.chain(reach, idx)),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// R9 (call sites): every `stream_rng`/`derive_seed` call names its stream
+/// via a `streams::` constant. A raw string label at the call site can
+/// collide with another stream silently — same label, same seed, two
+/// supposedly independent RNG streams in lockstep — and never shows up in
+/// the registry/doc cross-check.
+pub fn rng_stream_call_sites(file: &SourceFile, stream_fns: &[String]) -> Vec<Finding> {
+    let s = &file.scrubbed;
+    let b = s.as_bytes();
+    let mut out = Vec::new();
+    for fname in stream_fns {
+        for offset in find_token(s, fname) {
+            if file.is_test_line(file.line_of(offset)) {
+                continue;
+            }
+            let mut i = offset + fname.len();
+            while i < b.len() && b[i].is_ascii_whitespace() {
+                i += 1;
+            }
+            if b.get(i) != Some(&b'(') {
+                continue;
+            }
+            let Some(close) = parse::close_delim(s, i) else { continue };
+            let args = parse::split_commas(s, i + 1, close);
+            if args.len() < 2 {
+                continue;
+            }
+            let (a_start, a_end) = args[1];
+            // The ORIGINAL text: string literals are scrubbed to spaces,
+            // so the quote itself is the evidence of a raw label.
+            let arg = &file.original[a_start..a_end];
+            if arg.contains('"') && !arg.contains("streams::") {
+                out.push(Finding::at(
+                    file,
+                    a_start,
+                    "R9",
+                    "rng-stream-discipline",
+                    format!(
+                        "`{fname}` is called with a raw stream label; name it via a \
+                         `simbus::obs::streams` constant so every stream stays unique \
+                         workspace-wide and documented"
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// R9 (registry side): stream constants must be unique workspace-wide and
+/// agree with the doc's `stream` table, both directions. `*_PREFIX`
+/// constants are families; the doc normalizes `fig9-<idx>`-style rows to
+/// their prefix exactly like metric families.
+pub fn stream_registry_drift(cfg: &Config, registry_src: &str, doc_src: &str) -> Vec<Finding> {
+    let reg = parse_registry(registry_src);
+    let doc = parse_doc(doc_src);
+    let mut out = Vec::new();
+    let drift = |path: &str, snippet: &str, hint: String| Finding {
+        path: path.to_string(),
+        line: 1,
+        rule: "R9".to_string(),
+        name: "rng-stream-discipline".to_string(),
+        snippet: snippet.to_string(),
+        hint,
+    };
+    // Uniqueness: two constants with the same label would derive the same
+    // seed and correlate two supposedly independent streams.
+    let mut first_by_label: BTreeMap<&str, &str> = BTreeMap::new();
+    for (cname, value) in reg.streams.iter().chain(reg.stream_families.iter()) {
+        if let Some(prev) = first_by_label.insert(value.as_str(), cname.as_str()) {
+            out.push(drift(
+                &cfg.registry_path,
+                value,
+                format!(
+                    "stream label `{value}` is registered twice (`{prev}` and \
+                     `{cname}`); duplicate labels derive identical seeds, so the \
+                     two streams silently correlate"
+                ),
+            ));
+        }
+    }
+    for (cname, value) in reg.streams.iter().chain(reg.stream_families.iter()) {
+        if !doc.streams.iter().any(|d| d == value) {
+            out.push(drift(
+                &cfg.doc_path,
+                value,
+                format!(
+                    "stream `{value}` (streams::{cname}) is registered in `{}` but \
+                     missing from the stream table",
+                    cfg.registry_path
+                ),
+            ));
+        }
+    }
+    for name in &doc.streams {
+        let known = reg.streams.iter().any(|(_, v)| v == name)
+            || reg.stream_families.iter().any(|(_, v)| v == name);
+        if !known {
+            out.push(drift(
+                &cfg.registry_path,
+                name,
+                format!(
+                    "stream `{name}` is documented in `{}` but has no `streams` \
+                     constant",
+                    cfg.doc_path
+                ),
+            ));
+        }
+    }
+    out
+}
+
+/// R10: lock discipline, two shapes. (a) Inconsistent acquisition order —
+/// lock `A` taken while holding `B` somewhere and `B` while holding `A`
+/// elsewhere is the classic ABBA deadlock. (b) A guard held across a call
+/// into another function that itself takes a lock — including re-acquiring
+/// the same lock, which `std::sync::Mutex` turns into a deadlock, not an
+/// error. Locks are identified structurally: `self.field.lock()` where the
+/// field's wrapper-peeled type crosses `Mutex`/`RwLock` gets the identity
+/// `Type.field`; `param.lock()` gets the protected type's name. Guard
+/// lifetime is approximated: let-bound → to `drop(guard)` or the enclosing
+/// block's close; temporary → to the end of the statement.
+pub fn lock_discipline(files: &[SourceFile], graph: &CallGraph) -> Vec<Finding> {
+    let lock_ids: Vec<Vec<Option<String>>> = graph
+        .fns
+        .iter()
+        .enumerate()
+        .map(|(idx, f)| graph.sites[idx].iter().map(|s| lock_id(graph, f, s)).collect())
+        .collect();
+    let locking: BTreeSet<usize> =
+        (0..graph.fns.len()).filter(|&i| lock_ids[i].iter().any(Option::is_some)).collect();
+    // (held, acquired) -> where the nested acquisition happened.
+    let mut pairs: BTreeMap<(String, String), (String, usize, String)> = BTreeMap::new();
+    let mut out = Vec::new();
+    for (idx, f) in graph.fns.iter().enumerate() {
+        if f.is_test {
+            continue;
+        }
+        let Some((body_open, body_close)) = f.body else { continue };
+        let file = &files[f.file];
+        let s = &file.scrubbed;
+        for (si, site) in graph.sites[idx].iter().enumerate() {
+            let Some(id_a) = &lock_ids[idx][si] else { continue };
+            if file.is_test_line(file.line_of(site.offset)) {
+                continue;
+            }
+            let end = held_until(s, site.offset, body_open, body_close);
+            for (sj, other) in graph.sites[idx].iter().enumerate() {
+                if sj == si || other.offset <= site.offset || other.offset > end {
+                    continue;
+                }
+                if let Some(id_b) = &lock_ids[idx][sj] {
+                    if id_b == id_a {
+                        out.push(Finding::at(
+                            file,
+                            other.offset,
+                            "R10",
+                            "lock-discipline",
+                            format!(
+                                "re-acquires lock `{id_a}` while its guard from line \
+                                 {} is still alive; with std::sync that deadlocks \
+                                 rather than erroring — drop the first guard before \
+                                 taking the lock again",
+                                file.line_of(site.offset)
+                            ),
+                        ));
+                    } else {
+                        pairs.entry((id_a.clone(), id_b.clone())).or_insert_with(|| {
+                            let line = file.line_of(other.offset);
+                            (file.path.clone(), line, file.line_text(line).to_string())
+                        });
+                    }
+                } else if matches!(other.recv, Receiver::Chained) {
+                    // Chained receivers resolve by name only (low
+                    // confidence) and are usually methods on the guard
+                    // itself (`.lock().items.drain(..)`); not evidence of
+                    // a nested lock.
+                } else if let Some(&callee) = other.targets.iter().find(|t| locking.contains(t)) {
+                    out.push(Finding::at(
+                        file,
+                        other.offset,
+                        "R10",
+                        "lock-discipline",
+                        format!(
+                            "calls `{}` (which takes a lock) while holding `{id_a}` \
+                             (acquired line {}); drop the guard first so lock scopes \
+                             never nest across function boundaries",
+                            graph.fns[callee].qualified(),
+                            file.line_of(site.offset)
+                        ),
+                    ));
+                }
+            }
+        }
+    }
+    for ((a, b), (path, line, snippet)) in &pairs {
+        if a >= b {
+            continue;
+        }
+        if let Some((p2, l2, _)) = pairs.get(&(b.clone(), a.clone())) {
+            out.push(Finding {
+                path: path.clone(),
+                line: *line,
+                rule: "R10".to_string(),
+                name: "lock-discipline".to_string(),
+                snippet: snippet.clone(),
+                hint: format!(
+                    "inconsistent lock order: `{a}` is taken before `{b}` here, but \
+                     `{b}` before `{a}` at {p2}:{l2}; pick one global order for these \
+                     locks and stick to it"
+                ),
+            });
+        }
+    }
+    out
+}
+
+/// The identity of the lock a `lock()`/`read()`/`write()` call site takes,
+/// if its receiver resolves to a Mutex/RwLock. `None` for everything else
+/// (including io `read`/`write` on non-lock receivers).
+fn lock_id(graph: &CallGraph, f: &FnDecl, site: &CallSite) -> Option<String> {
+    if !matches!(site.name.as_str(), "lock" | "read" | "write") {
+        return None;
+    }
+    match &site.recv {
+        Receiver::SelfField(field) => {
+            let ty = f.self_type.as_deref()?;
+            let fd = graph.structs.get(ty)?.fields.iter().find(|fd| fd.name == *field)?;
+            let is_lock = fd.is_lock || graph.resolve_core(&fd.core_type).1;
+            is_lock.then(|| format!("{ty}.{field}"))
+        }
+        Receiver::Ident(name) => {
+            let (_, core, direct) = f.params.iter().find(|(p, _, _)| p == name)?;
+            let (resolved, aliased) = graph.resolve_core(core);
+            (*direct || aliased).then_some(resolved)
+        }
+        _ => None,
+    }
+}
+
+/// How long the guard produced at `site` stays alive (byte offset of the
+/// first point it is certainly gone).
+fn held_until(s: &str, site: usize, body_open: usize, body_close: usize) -> usize {
+    let Some(guard) = let_binding(s, site, body_open) else {
+        return stmt_end(s, site, body_close);
+    };
+    let close = enclosing_close(s, site, body_close);
+    let b = s.as_bytes();
+    for at in find_token(&s[site..close], "drop") {
+        let mut i = site + at + "drop".len();
+        while i < b.len() && b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        if b.get(i) != Some(&b'(') {
+            continue;
+        }
+        i += 1;
+        while i < b.len() && b[i].is_ascii_whitespace() {
+            i += 1;
+        }
+        let end = i + guard.len();
+        if s[i..].starts_with(guard.as_str()) && !b.get(end).copied().is_some_and(is_ident) {
+            return site + at;
+        }
+    }
+    close
+}
+
+/// The binding name if the statement containing `site` is
+/// `let [mut] guard [: Ty] = …`. Pattern bindings (`let Ok(g) = …`) return
+/// `None` and fall back to statement-scoped lifetime.
+fn let_binding(s: &str, site: usize, body_open: usize) -> Option<String> {
+    let b = s.as_bytes();
+    let mut i = site;
+    let mut depth = 0i32;
+    while i > body_open {
+        i -= 1;
+        match b[i] {
+            b')' | b']' => depth += 1,
+            b'(' | b'[' => {
+                if depth == 0 {
+                    break;
+                }
+                depth -= 1;
+            }
+            b';' | b'{' | b'}' if depth == 0 => break,
+            _ => {}
+        }
+    }
+    let stmt = &s[i + 1..site];
+    let at = find_token(stmt, "let").into_iter().next()?;
+    let rest = stmt[at + "let".len()..].trim_start();
+    let rest = rest.strip_prefix("mut ").map(str::trim_start).unwrap_or(rest);
+    let name: String =
+        rest.chars().take_while(|&c| c.is_ascii_alphanumeric() || c == '_').collect();
+    let after = rest[name.len()..].trim_start();
+    if name.is_empty() || !(after.starts_with('=') || after.starts_with(':')) {
+        return None;
+    }
+    // `let v = *guard_expr` copies out of the guard; the guard itself is a
+    // temporary that dies at the end of the statement.
+    if let Some(rhs) = after.split_once('=') {
+        if rhs.1.trim_start().starts_with('*') {
+            return None;
+        }
+    }
+    Some(name)
+}
+
+/// End of the statement containing `site`: the next `;` at depth 0, or the
+/// close of the surrounding block, whichever comes first.
+fn stmt_end(s: &str, site: usize, body_close: usize) -> usize {
+    let b = s.as_bytes();
+    let mut depth = 0i32;
+    let mut i = site;
+    while i < body_close {
+        match b[i] {
+            b'(' | b'[' | b'{' => depth += 1,
+            b')' | b']' | b'}' => {
+                depth -= 1;
+                if depth < 0 {
+                    return i;
+                }
+            }
+            b';' if depth == 0 => return i,
+            _ => {}
+        }
+        i += 1;
+    }
+    body_close
+}
+
+/// Close of the block enclosing `site` (first `}` that drops below the
+/// starting depth).
+fn enclosing_close(s: &str, site: usize, body_close: usize) -> usize {
+    let b = s.as_bytes();
+    let mut depth = 0i32;
+    let mut i = site;
+    while i < body_close {
+        match b[i] {
+            b'{' => depth += 1,
+            b'}' => {
+                depth -= 1;
+                if depth < 0 {
+                    return i;
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    body_close
+}
+
+/// R11: golden artifacts and the structs that serialize them must agree.
+/// Direction one: every snake_case key in an artifact must be a field of
+/// *some* `#[derive(Serialize)]` struct (minus `ignore_keys` — map keys
+/// that are data, not schema). Direction two: for each configured root
+/// struct, every field must appear as a key in its artifact — a renamed
+/// field whose old key lingers in `results/` is drift the other way.
+pub fn artifact_schema(
+    cfg: &Config,
+    files: &[SourceFile],
+    graph: &CallGraph,
+    artifacts: &[(String, String)],
+) -> Vec<Finding> {
+    let mut out = Vec::new();
+    let mut field_names: BTreeSet<&str> = BTreeSet::new();
+    for st in graph.structs.values() {
+        if st.serialize {
+            for fd in &st.fields {
+                field_names.insert(fd.name.as_str());
+            }
+        }
+    }
+    let finding = |path: &str, snippet: &str, hint: String| Finding {
+        path: path.to_string(),
+        line: 1,
+        rule: "R11".to_string(),
+        name: "artifact-schema-drift".to_string(),
+        snippet: snippet.to_string(),
+        hint,
+    };
+    let mut keys_by_file: BTreeMap<&str, BTreeSet<String>> = BTreeMap::new();
+    for (path, text) in artifacts {
+        match serde_json::value_from_str(text) {
+            Ok(v) => {
+                let mut keys = BTreeSet::new();
+                collect_keys(&v, &mut keys);
+                keys_by_file.insert(path, keys);
+            }
+            Err(e) => out.push(finding(
+                path,
+                path,
+                format!("golden artifact does not parse as JSON: {e:?}"),
+            )),
+        }
+    }
+    for (path, keys) in &keys_by_file {
+        for key in keys {
+            if !ident_like_key(key) || cfg.artifact_ignore_keys.iter().any(|k| k == key) {
+                continue;
+            }
+            if !field_names.contains(key.as_str()) {
+                out.push(finding(
+                    path,
+                    key,
+                    format!(
+                        "artifact key `{key}` matches no field of any \
+                         #[derive(Serialize)] struct; the code that wrote this file \
+                         has moved on — regenerate the artifact, or add the key to \
+                         `ignore_keys` if it is data rather than schema"
+                    ),
+                ));
+            }
+        }
+    }
+    for root in &cfg.artifact_roots {
+        let Some(st) = graph.structs.get(&root.strukt) else {
+            out.push(finding(
+                "raven-lint.toml",
+                &root.strukt,
+                format!(
+                    "[[rules.artifact_schema.roots]] names struct `{}` but no such \
+                     struct exists in the scanned workspace",
+                    root.strukt
+                ),
+            ));
+            continue;
+        };
+        let Some(keys) = keys_by_file.get(root.json.as_str()) else {
+            out.push(finding(
+                "raven-lint.toml",
+                &root.json,
+                format!(
+                    "[[rules.artifact_schema.roots]] expects `{}` but the \
+                     [rules.artifact_schema] globs did not match it (missing file or \
+                     glob misconfiguration)",
+                    root.json
+                ),
+            ));
+            continue;
+        };
+        let file = &files[st.file];
+        for fd in &st.fields {
+            if !keys.contains(&fd.name) {
+                out.push(Finding::at(
+                    file,
+                    st.name_offset,
+                    "R11",
+                    "artifact-schema-drift",
+                    format!(
+                        "field `{}` of `{}` never appears as a key in `{}`; \
+                         regenerate the artifact or prune the struct",
+                        fd.name, st.name, root.json
+                    ),
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Every object key in a JSON document, recursively.
+fn collect_keys(v: &serde_json::Value, keys: &mut BTreeSet<String>) {
+    match v {
+        serde_json::Value::Map(entries) => {
+            for (k, val) in entries {
+                keys.insert(k.clone());
+                collect_keys(val, keys);
+            }
+        }
+        serde_json::Value::Seq(items) => {
+            for item in items {
+                collect_keys(item, keys);
+            }
+        }
+        _ => {}
+    }
+}
+
+/// Keys that look like Rust field identifiers: snake_case ASCII. Dotted
+/// metric names, path-like keys, and camelCase foreign formats can never
+/// be struct fields and stay out of direction one.
+fn ident_like_key(k: &str) -> bool {
+    !k.is_empty()
+        && !k.as_bytes()[0].is_ascii_digit()
+        && k.bytes().all(|c| c.is_ascii_lowercase() || c.is_ascii_digit() || c == b'_')
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -1047,6 +1612,21 @@ mod tests {
         assert_eq!(hits.len(), 3, "{hits:?}");
         assert!(hits.iter().any(|h| h.hint.contains("ghost.kind")));
         assert!(hits.iter().any(|h| h.path == "emit.rs"));
+    }
+
+    #[test]
+    fn string_literals_survive_multibyte_chars_and_content() {
+        let lits = string_literals("let c = 'é'; let a = ('µ', 'x'); m.inc(\"detector.alarms\");");
+        assert_eq!(lits.len(), 1, "{lits:?}");
+        assert_eq!(lits[0].1, "detector.alarms");
+        // Non-ASCII string content round-trips instead of being mangled
+        // byte-by-byte.
+        let lits = string_literals("let s = \"détecteur\";");
+        assert_eq!(lits[0].1, "détecteur");
+        // Raw strings are fixture payloads, not names: skipped.
+        let lits = string_literals("let r = r#\"{\"detector.alarms\":1}\"#; f(\"x\");");
+        assert_eq!(lits.len(), 1, "{lits:?}");
+        assert_eq!(lits[0].1, "x");
     }
 
     #[test]
@@ -1222,5 +1802,234 @@ mod tests {
     fn forbid_attribute_is_not_an_unsafe_token() {
         let src = "#![forbid(unsafe_code)]\nfn f() {}";
         assert!(unsafe_audit(&file(src), &[]).is_empty());
+    }
+
+    fn graph_of(files: &[SourceFile]) -> CallGraph {
+        CallGraph::build(files)
+    }
+
+    #[test]
+    fn hot_path_rule_reports_with_chain_and_skips_unreachable() {
+        let src = "struct Sim { x: u8 }\n\
+                   impl Sim {\n\
+                       pub fn step(&mut self) { self.inner(); }\n\
+                       fn inner(&mut self) { let v = self.x.to_string(); }\n\
+                   }\n\
+                   fn cold() { let v = 1.to_string(); }\n";
+        let files = vec![file(src)];
+        let graph = graph_of(&files);
+        let reach = graph.reachable_from(&["Sim::step".to_string()]);
+        let hits = hot_path_rule(
+            &files,
+            &graph,
+            &reach,
+            &["to_string".to_string()],
+            "R8",
+            "no-alloc-in-hot-path",
+            "allocates",
+        );
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].line, 4);
+        assert!(hits[0].hint.contains("Sim::step → Sim::inner"), "{}", hits[0].hint);
+    }
+
+    #[test]
+    fn hot_path_rule_ignores_cfg_test_calls() {
+        let src = "pub fn step() { work(); }\n\
+                   fn work() {}\n\
+                   #[cfg(test)]\n\
+                   mod t {\n\
+                       fn helper() { let s = 1.to_string(); }\n\
+                   }\n";
+        let files = vec![file(src)];
+        let graph = graph_of(&files);
+        let reach = graph.reachable_from(&["step".to_string()]);
+        let hits = hot_path_rule(
+            &files,
+            &graph,
+            &reach,
+            &["to_string".to_string()],
+            "R8",
+            "no-alloc-in-hot-path",
+            "allocates",
+        );
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn rng_stream_call_sites_flag_raw_labels_only() {
+        let src = "fn f(bus: &Bus) {\n\
+                       let a = bus.stream_rng(7, \"raw-label\");\n\
+                       let b = bus.stream_rng(7, streams::TREMOR);\n\
+                       let c = bus.stream_rng(7, &format!(\"{}{}\", streams::FIG9_PREFIX, 3));\n\
+                       let d = derive_seed(root, label);\n\
+                   }\n\
+                   #[cfg(test)]\n\
+                   mod t { fn g(bus: &Bus) { bus.stream_rng(7, \"test-only\"); } }\n";
+        let hits = rng_stream_call_sites(
+            &file(src),
+            &["stream_rng".to_string(), "derive_seed".to_string()],
+        );
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert_eq!(hits[0].line, 2);
+        assert_eq!(hits[0].rule, "R9");
+    }
+
+    #[test]
+    fn stream_registry_parse_uniqueness_and_doc_drift() {
+        let cfg = Config {
+            registry_path: "obs.rs".into(),
+            doc_path: "doc.md".into(),
+            ..Config::default()
+        };
+        let reg_src = r#"
+            pub mod streams {
+                pub const TREMOR: &str = "tremor";
+                pub const WORKLOAD: &str = "workload";
+                pub const SHADOW: &str = "tremor";
+                pub const FIG9_PREFIX: &str = "fig9-";
+            }
+        "#;
+        let reg = parse_registry(reg_src);
+        assert_eq!(reg.streams.len(), 3);
+        assert_eq!(reg.stream_families, vec![("FIG9_PREFIX".to_string(), "fig9-".to_string())]);
+        // `workload` undocumented; `ghost` documented-but-unregistered;
+        // `tremor` registered twice; `fig9-<idx>` normalizes to its prefix.
+        let doc_src = "| stream | seeded by |\n|---|---|\n| `tremor` | a |\n\
+                       | `fig9-<idx>` | b |\n| `ghost` | c |\n";
+        let hits = stream_registry_drift(&cfg, reg_src, doc_src);
+        assert_eq!(hits.len(), 3, "{hits:?}");
+        assert!(hits.iter().any(|h| h.hint.contains("registered twice")));
+        assert!(hits.iter().any(|h| h.hint.contains("`workload`") && h.path == "doc.md"));
+        assert!(hits.iter().any(|h| h.hint.contains("`ghost`") && h.path == "obs.rs"));
+        assert!(hits.iter().all(|h| h.rule == "R9"));
+    }
+
+    #[test]
+    fn lock_discipline_flags_abba_inversion() {
+        let src = "use std::sync::Mutex;\n\
+                   struct S { a: Mutex<u8>, b: Mutex<u8> }\n\
+                   impl S {\n\
+                       fn fwd(&self) {\n\
+                           let ga = self.a.lock().unwrap();\n\
+                           let gb = self.b.lock().unwrap();\n\
+                       }\n\
+                       fn rev(&self) {\n\
+                           let gb = self.b.lock().unwrap();\n\
+                           let ga = self.a.lock().unwrap();\n\
+                       }\n\
+                   }\n";
+        let files = vec![file(src)];
+        let hits = lock_discipline(&files, &graph_of(&files));
+        assert_eq!(hits.len(), 1, "{hits:?}");
+        assert!(hits[0].hint.contains("inconsistent lock order"), "{}", hits[0].hint);
+    }
+
+    #[test]
+    fn lock_discipline_flags_held_across_locking_call_and_reacquire() {
+        let src = "use std::sync::Mutex;\n\
+                   struct S { a: Mutex<u8> }\n\
+                   impl S {\n\
+                       fn outer(&self) {\n\
+                           let g = self.a.lock().unwrap();\n\
+                           self.inner();\n\
+                       }\n\
+                       fn reenter(&self) {\n\
+                           let g = self.a.lock().unwrap();\n\
+                           let h = self.a.lock().unwrap();\n\
+                       }\n\
+                       fn inner(&self) { let g = self.a.lock().unwrap(); }\n\
+                   }\n";
+        let files = vec![file(src)];
+        let hits = lock_discipline(&files, &graph_of(&files));
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert!(hits.iter().any(|h| h.hint.contains("re-acquires lock `S.a`")), "{hits:?}");
+        assert!(hits.iter().any(|h| h.hint.contains("calls `S::inner`")), "{hits:?}");
+    }
+
+    #[test]
+    fn lock_discipline_respects_drop_and_statement_scope() {
+        let src = "use std::sync::Mutex;\n\
+                   struct S { a: Mutex<u8>, b: Mutex<u8> }\n\
+                   impl S {\n\
+                       fn dropped(&self) {\n\
+                           let ga = self.a.lock().unwrap();\n\
+                           drop(ga);\n\
+                           self.locker();\n\
+                       }\n\
+                       fn temporary(&self) {\n\
+                           let v = *self.a.lock().unwrap();\n\
+                           self.locker();\n\
+                       }\n\
+                       fn locker(&self) { let g = self.b.lock().unwrap(); }\n\
+                   }\n";
+        let files = vec![file(src)];
+        let hits = lock_discipline(&files, &graph_of(&files));
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn lock_discipline_ignores_io_read_on_non_lock_receivers() {
+        let src = "struct S { rng: SmallRng }\n\
+                   impl S {\n\
+                       fn f(&mut self, file: &mut File) {\n\
+                           let n = file.read(&mut self.buf);\n\
+                       }\n\
+                   }\n";
+        let files = vec![file(src)];
+        let hits = lock_discipline(&files, &graph_of(&files));
+        assert!(hits.is_empty(), "{hits:?}");
+    }
+
+    #[test]
+    fn artifact_schema_checks_both_directions() {
+        let cfg = Config {
+            artifact_ignore_keys: vec!["ignored_key".to_string()],
+            artifact_roots: vec![crate::config::ArtifactRoot {
+                json: "results/table4.json".to_string(),
+                strukt: "Table4".to_string(),
+            }],
+            ..Config::default()
+        };
+        let src = "#[derive(Serialize)]\n\
+                   pub struct Table4 { pub tpr: f64, pub missing_field: u8 }\n";
+        let files = vec![file(src)];
+        let graph = graph_of(&files);
+        let artifacts = vec![(
+            "results/table4.json".to_string(),
+            "{\"tpr\": 0.5, \"ghost_key\": 1, \"ignored_key\": 2, \
+             \"dotted.metric\": 3, \"camelCase\": 4}"
+                .to_string(),
+        )];
+        let hits = artifact_schema(&cfg, &files, &graph, &artifacts);
+        assert_eq!(hits.len(), 2, "{hits:?}");
+        assert!(hits.iter().any(|h| h.hint.contains("`ghost_key`")), "{hits:?}");
+        assert!(hits.iter().any(|h| h.hint.contains("`missing_field`")), "{hits:?}");
+        assert!(hits.iter().all(|h| h.rule == "R11"));
+    }
+
+    #[test]
+    fn artifact_schema_flags_unparseable_and_missing_targets() {
+        let cfg = Config {
+            artifact_roots: vec![
+                crate::config::ArtifactRoot {
+                    json: "results/absent.json".to_string(),
+                    strukt: "X".to_string(),
+                },
+                crate::config::ArtifactRoot {
+                    json: "results/bad.json".to_string(),
+                    strukt: "NoSuchStruct".to_string(),
+                },
+            ],
+            ..Config::default()
+        };
+        let files = vec![file("pub struct X { pub a: u8 }")];
+        let graph = graph_of(&files);
+        let artifacts = vec![("results/bad.json".to_string(), "{not json".to_string())];
+        let hits = artifact_schema(&cfg, &files, &graph, &artifacts);
+        assert_eq!(hits.len(), 3, "{hits:?}");
+        assert!(hits.iter().any(|h| h.hint.contains("does not parse")));
+        assert!(hits.iter().any(|h| h.hint.contains("`NoSuchStruct`")));
+        assert!(hits.iter().any(|h| h.hint.contains("globs did not match")));
     }
 }

@@ -2,8 +2,10 @@
 //! `tests/fixtures/cases/`. Every rule must fire on its `_bad` fixture and
 //! stay silent on its `_ok` counterpart.
 
-use raven_lint::config::WatchedEnum;
+use raven_lint::callgraph::CallGraph;
+use raven_lint::config::{ArtifactRoot, WatchedEnum};
 use raven_lint::rules;
+use raven_lint::Config;
 use raven_lint::SourceFile;
 use std::path::Path;
 
@@ -92,6 +94,84 @@ fn r7_float_cmp_positive_and_negative() {
     assert_eq!(bad.len(), 4, "{bad:?}");
     assert!(bad.iter().all(|f| f.rule == "R7" && f.name == "no-float-eq"));
     let ok = rules::float_cmp(&fixture("r7_float_cmp_ok.rs"));
+    assert!(ok.is_empty(), "{ok:?}");
+}
+
+/// Builds the call graph for one fixture and runs a hot-path token rule
+/// from `Sim::step`.
+fn hot_path(name: &str, tokens: &[&str], rule: &str) -> Vec<rules::Finding> {
+    let files = vec![fixture(name)];
+    let graph = CallGraph::build(&files);
+    let reach = graph.reachable_from(&["Sim::step".to_string()]);
+    let tokens: Vec<String> = tokens.iter().map(|s| s.to_string()).collect();
+    rules::hot_path_rule(&files, &graph, &reach, &tokens, rule, "n", "h")
+}
+
+#[test]
+fn r3_callgraph_positive_and_negative() {
+    let bad = hot_path("r3_callgraph_bad.rs", &[".unwrap(", "panic!("], "R3");
+    assert_eq!(bad.len(), 1, "{bad:?}");
+    assert!(bad[0].hint.contains("Sim::step → relay → sink"), "{bad:?}");
+    // cfg(test)-gated chain and an unreachable panic: both silent.
+    let ok = hot_path("r3_callgraph_ok.rs", &[".unwrap(", "panic!("], "R3");
+    assert!(ok.is_empty(), "{ok:?}");
+}
+
+#[test]
+fn r8_alloc_positive_and_negative() {
+    let tokens = &["Vec::new", "Vec::with_capacity", ".to_vec(", "vec!"];
+    let bad = hot_path("r8_alloc_bad.rs", tokens, "R8");
+    assert_eq!(bad.len(), 1, "{bad:?}");
+    assert!(bad[0].snippet.contains("to_vec"), "{bad:?}");
+    assert!(bad[0].hint.contains("Sim::step → relay → grow"), "{bad:?}");
+    // Constructor preallocation is off the hot path.
+    let ok = hot_path("r8_alloc_ok.rs", tokens, "R8");
+    assert!(ok.is_empty(), "{ok:?}");
+}
+
+#[test]
+fn r9_stream_call_sites_positive_and_negative() {
+    let fns = vec!["stream_rng".to_string()];
+    let bad = rules::rng_stream_call_sites(&fixture("r9_stream_bad.rs"), &fns);
+    assert_eq!(bad.len(), 1, "{bad:?}");
+    assert!(bad[0].snippet.contains("rogue-stream"), "{bad:?}");
+    let ok = rules::rng_stream_call_sites(&fixture("r9_stream_ok.rs"), &fns);
+    assert!(ok.is_empty(), "{ok:?}");
+}
+
+#[test]
+fn r10_lock_positive_and_negative() {
+    let bad_files = vec![fixture("r10_lock_bad.rs")];
+    let bad = rules::lock_discipline(&bad_files, &CallGraph::build(&bad_files));
+    assert_eq!(bad.len(), 2, "{bad:?}"); // one ABBA report + one held-across-call
+    assert!(bad.iter().any(|f| f.hint.contains("inconsistent lock order")), "{bad:?}");
+    assert!(bad.iter().any(|f| f.hint.contains("while holding")), "{bad:?}");
+    let ok_files = vec![fixture("r10_lock_ok.rs")];
+    let ok = rules::lock_discipline(&ok_files, &CallGraph::build(&ok_files));
+    assert!(ok.is_empty(), "{ok:?}");
+}
+
+#[test]
+fn r11_schema_positive_and_negative() {
+    let cfg = Config {
+        artifact_roots: vec![ArtifactRoot {
+            json: "golden_stats.json".into(),
+            strukt: "GoldenStats".into(),
+        }],
+        ..Config::default()
+    };
+    let bad_files = vec![fixture("r11_schema_bad.rs")];
+    let artifacts =
+        vec![("golden_stats.json".to_string(), r#"{"seed": 1, "rogue": 2}"#.to_string())];
+    let bad = rules::artifact_schema(&cfg, &bad_files, &CallGraph::build(&bad_files), &artifacts);
+    assert_eq!(bad.len(), 2, "{bad:?}");
+    assert!(bad.iter().any(|f| f.hint.contains("rogue")), "{bad:?}");
+    assert!(bad.iter().any(|f| f.hint.contains("never_written")), "{bad:?}");
+
+    let ok_files = vec![fixture("r11_schema_ok.rs")];
+    let artifacts =
+        vec![("golden_stats.json".to_string(), r#"{"seed": 1, "mean": 0.5}"#.to_string())];
+    let ok = rules::artifact_schema(&cfg, &ok_files, &CallGraph::build(&ok_files), &artifacts);
     assert!(ok.is_empty(), "{ok:?}");
 }
 

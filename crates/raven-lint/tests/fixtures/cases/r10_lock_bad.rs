@@ -1,0 +1,28 @@
+//! R10 positive: ABBA inversion between two mutexes, plus a lock held
+//! across a call into another locking function.
+
+use std::sync::Mutex;
+
+pub struct S {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl S {
+    pub fn fwd(&self) -> u32 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        *ga + *gb
+    }
+
+    pub fn rev(&self) -> u32 {
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+        *ga + *gb
+    }
+
+    pub fn held_across(&self) -> u32 {
+        let ga = self.a.lock().unwrap();
+        *ga + self.fwd() // calls a locking fn while holding S.a
+    }
+}

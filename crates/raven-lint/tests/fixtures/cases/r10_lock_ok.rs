@@ -1,0 +1,36 @@
+//! R10 negative: a consistent global order, guards dropped before calls
+//! into locking code, and deref-copies that end the guard at the
+//! statement.
+
+use std::sync::Mutex;
+
+pub struct S {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl S {
+    pub fn one(&self) -> u32 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        *ga + *gb
+    }
+
+    pub fn two(&self) -> u32 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        *gb - *ga
+    }
+
+    pub fn drop_then_call(&self) -> u32 {
+        let ga = self.a.lock().unwrap();
+        let v = *ga;
+        drop(ga);
+        v + self.one()
+    }
+
+    pub fn copy_out(&self) -> u32 {
+        let v = *self.a.lock().unwrap(); // guard dies at the statement
+        v + self.one()
+    }
+}

@@ -1,0 +1,8 @@
+//! R11 positive: the struct carries a field its golden artifact lacks;
+//! the artifact carries a key no struct declares (seeded in the test).
+
+#[derive(Serialize)]
+pub struct GoldenStats {
+    pub seed: u64,
+    pub never_written: u64,
+}

@@ -1,0 +1,7 @@
+//! R11 negative: fields and keys agree exactly (seeded in the test).
+
+#[derive(Serialize)]
+pub struct GoldenStats {
+    pub seed: u64,
+    pub mean: f64,
+}

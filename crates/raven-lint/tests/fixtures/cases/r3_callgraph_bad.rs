@@ -1,0 +1,21 @@
+//! R3 (call-graph) positive: the panic is two calls from the entry point
+//! and reachable only through the graph, never by token-scanning the
+//! entry fn itself.
+
+pub struct Sim {
+    buf: Vec<u8>,
+}
+
+impl Sim {
+    pub fn step(&mut self) -> u8 {
+        relay(&self.buf)
+    }
+}
+
+fn relay(buf: &[u8]) -> u8 {
+    sink(buf)
+}
+
+fn sink(buf: &[u8]) -> u8 {
+    *buf.first().unwrap() // two calls from Sim::step
+}

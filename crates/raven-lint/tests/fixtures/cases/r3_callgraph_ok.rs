@@ -1,0 +1,33 @@
+//! R3 (call-graph) negative: the same two-deep panic, but the only call
+//! chain into it is `#[cfg(test)]`-gated — and a second panic lives in a
+//! function nothing reaches. Neither may fire.
+
+pub struct Sim {
+    buf: Vec<u8>,
+}
+
+impl Sim {
+    pub fn step(&mut self) -> u8 {
+        self.buf.first().copied().unwrap_or(0)
+    }
+}
+
+fn relay(buf: &[u8]) -> u8 {
+    sink(buf)
+}
+
+fn sink(buf: &[u8]) -> u8 {
+    *buf.first().unwrap() // only reachable via the cfg(test) call below
+}
+
+pub fn never_called() -> u8 {
+    panic!("unreachable from Sim::step")
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn gated() {
+        super::relay(&[1]);
+    }
+}

@@ -1,0 +1,20 @@
+//! R8 positive: heap allocation two calls from the entry point.
+
+pub struct Sim {
+    buf: Vec<u8>,
+}
+
+impl Sim {
+    pub fn step(&mut self) -> usize {
+        relay(&self.buf)
+    }
+}
+
+fn relay(buf: &[u8]) -> usize {
+    grow(buf)
+}
+
+fn grow(buf: &[u8]) -> usize {
+    let copy = buf.to_vec(); // two calls from Sim::step
+    copy.len()
+}

@@ -1,0 +1,23 @@
+//! R8 negative: the constructor preallocates (constructors are not
+//! reachable from `step`), and the hot path only reuses the buffer.
+
+pub struct Sim {
+    scratch: Vec<u8>,
+}
+
+impl Sim {
+    pub fn new(cap: usize) -> Self {
+        Self { scratch: Vec::with_capacity(cap) } // not on the hot path
+    }
+
+    pub fn step(&mut self) -> usize {
+        fill(&mut self.scratch)
+    }
+}
+
+fn fill(scratch: &mut [u8]) -> usize {
+    for b in scratch.iter_mut() {
+        *b = 0;
+    }
+    scratch.len()
+}

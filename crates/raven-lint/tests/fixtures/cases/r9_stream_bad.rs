@@ -1,0 +1,9 @@
+//! R9 positive: a raw string label at a seed-deriving call site.
+
+pub fn seed(root: u64) -> u64 {
+    stream_rng(root, "rogue-stream")
+}
+
+fn stream_rng(root: u64, label: &str) -> u64 {
+    root ^ label.len() as u64
+}

@@ -1,0 +1,9 @@
+//! R11 fixture: `GoldenRun` serializes `golden/golden_run.json`, but the
+//! JSON carries `rogue_key` (no matching field) and lacks
+//! `missing_everywhere` (field never written) — drift both directions.
+
+#[derive(Serialize)]
+pub struct GoldenRun {
+    pub seed: u64,
+    pub missing_everywhere: u64,
+}

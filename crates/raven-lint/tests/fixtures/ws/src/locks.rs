@@ -1,0 +1,24 @@
+//! R10 fixture: `fwd` acquires a → b, `rev` acquires b → a — a classic
+//! ABBA inversion. Neither function is reachable from `HotLoop::step`, so
+//! their `.unwrap()`s also pin R3's confinement to the reachable set.
+
+use std::sync::Mutex;
+
+pub struct Pair {
+    a: Mutex<u32>,
+    b: Mutex<u32>,
+}
+
+impl Pair {
+    pub fn fwd(&self) -> u32 {
+        let ga = self.a.lock().unwrap();
+        let gb = self.b.lock().unwrap();
+        *ga + *gb
+    }
+
+    pub fn rev(&self) -> u32 {
+        let gb = self.b.lock().unwrap();
+        let ga = self.a.lock().unwrap();
+        *ga + *gb
+    }
+}

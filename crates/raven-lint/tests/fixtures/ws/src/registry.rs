@@ -25,3 +25,8 @@ pub mod channels {
     pub const EE_X_MM: &str = "ee_x_mm";
     pub const UNDOCUMENTED_CHAN: &str = "undocumented_chan";
 }
+
+pub mod streams {
+    pub const TREMOR: &str = "tremor";
+    pub const UNDOC_STREAM: &str = "undoc-stream";
+}

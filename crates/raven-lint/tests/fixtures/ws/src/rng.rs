@@ -1,0 +1,14 @@
+//! R9 fixture: one disciplined `stream_rng` call through a `streams::`
+//! constant (quiet) and one raw string label (flagged).
+
+use crate::registry::streams;
+
+pub fn seed_streams(root: u64) -> (u64, u64) {
+    let ok = stream_rng(root, streams::TREMOR);
+    let bad = stream_rng(root, "raw-label"); // R9: raw literal
+    (ok, bad)
+}
+
+fn stream_rng(root: u64, label: &str) -> u64 {
+    root ^ label.len() as u64
+}

@@ -15,7 +15,9 @@ pub fn r2(xs: &[u32]) -> usize {
 }
 
 pub fn r3(buf: &[u8]) -> u8 {
-    *buf.first().unwrap() // R3
+    // Negative case since R3 went call-graph: this fn is unreachable from
+    // the configured entry point, so the unwrap must NOT be reported.
+    *buf.first().unwrap()
 }
 
 pub fn r4(s: RobotState) -> bool {

@@ -12,6 +12,7 @@
 use rand::rngs::SmallRng;
 use rand::Rng;
 use raven_math::Vec3;
+use simbus::obs::streams;
 use simbus::rng::stream_rng;
 
 /// A motion profile sampled by the console at 1 kHz.
@@ -182,7 +183,7 @@ impl<T: Trajectory> WithTremor<T> {
     pub fn new(inner: T, amplitude: f64, seed: u64) -> Self {
         WithTremor {
             inner,
-            rng: stream_rng(seed, "tremor"),
+            rng: stream_rng(seed, streams::TREMOR),
             state: Vec3::ZERO,
             amplitude,
             last_t: 0.0,

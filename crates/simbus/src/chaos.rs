@@ -30,6 +30,7 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::obs::streams;
 use crate::rng::stream_rng;
 use crate::time::{SimDuration, SimTime};
 
@@ -279,14 +280,18 @@ impl ChaosSchedule {
                 }
             }
         };
-        push_class("chaos.reorder", config.reorder, Box::new(|_| ChaosFaultKind::ReorderNext));
         push_class(
-            "chaos.duplicate",
+            streams::CHAOS_REORDER,
+            config.reorder,
+            Box::new(|_| ChaosFaultKind::ReorderNext),
+        );
+        push_class(
+            streams::CHAOS_DUPLICATE,
             config.duplicate,
             Box::new(|_| ChaosFaultKind::DuplicateNext),
         );
         push_class(
-            "chaos.corrupt",
+            streams::CHAOS_CORRUPT,
             config.corrupt,
             Box::new(|rng| {
                 let byte = (rng.gen::<u64>() % 32) as u8;
@@ -295,12 +300,12 @@ impl ChaosSchedule {
             }),
         );
         push_class(
-            "chaos.burst_loss",
+            streams::CHAOS_BURST_LOSS,
             config.burst_loss,
             Box::new(|_| ChaosFaultKind::BurstLoss { ms: config.burst_loss_ms }),
         );
         push_class(
-            "chaos.stuck_encoder",
+            streams::CHAOS_STUCK_ENCODER,
             config.stuck_encoder,
             Box::new(|rng| {
                 let channel = (rng.gen::<u64>() % 3) as u8;
@@ -308,7 +313,7 @@ impl ChaosSchedule {
             }),
         );
         push_class(
-            "chaos.encoder_bitflip",
+            streams::CHAOS_ENCODER_BITFLIP,
             config.encoder_bitflip,
             Box::new(|rng| {
                 let channel = (rng.gen::<u64>() % 3) as u8;
@@ -319,12 +324,12 @@ impl ChaosSchedule {
             }),
         );
         push_class(
-            "chaos.usb_frame_drop",
+            streams::CHAOS_USB_FRAME_DROP,
             config.usb_frame_drop,
             Box::new(|_| ChaosFaultKind::DropUsbFrames { ms: config.frame_drop_ms }),
         );
         push_class(
-            "chaos.board_silence",
+            streams::CHAOS_BOARD_SILENCE,
             config.board_silence,
             Box::new(|_| ChaosFaultKind::BoardSilence { ms: config.silence_ms }),
         );

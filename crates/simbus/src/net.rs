@@ -14,6 +14,7 @@ use rand::rngs::SmallRng;
 use rand::Rng;
 use serde::{Deserialize, Serialize};
 
+use crate::obs::streams;
 use crate::rng::stream_rng;
 use crate::time::{SimDuration, SimTime};
 
@@ -121,7 +122,7 @@ impl<T> SimLink<T> {
         );
         SimLink {
             config,
-            rng: stream_rng(seed, "simlink"),
+            rng: stream_rng(seed, streams::SIMLINK),
             in_flight: BinaryHeap::new(),
             next_seq: 0,
             sent: 0,

@@ -382,6 +382,104 @@ pub mod channels {
     pub const ALL: [&str; 6] = [EE_X_MM, EE_Y_MM, EE_Z_MM, JPOS1, JPOS2, JPOS3];
 }
 
+/// The RNG-stream registry: every label passed to
+/// [`crate::rng::derive_seed`] / [`crate::rng::stream_rng`], as constants.
+///
+/// Stream labels are part of the determinism contract: two call sites
+/// using the same label draw *identical* sequences, so an accidental
+/// collision silently correlates components that the reproduction treats
+/// as independent. Like [`names`], [`channels`], and [`spans`], this
+/// module is machine-parsed by `raven-lint` (R9) and cross-checked
+/// against the stream table in `docs/OBSERVABILITY.md`: labels must be
+/// unique workspace-wide, and production call sites must go through
+/// these constants — `*_PREFIX` constants seed families of per-run
+/// streams (`fig6-<run>`, `campaign-<spec>-<rep>`, …).
+pub mod streams {
+    /// Operator-hand tremor noise on the console trajectory.
+    pub const TREMOR: &str = "tremor";
+    /// The ITP network link fault model (loss/delay/jitter draws).
+    pub const SIMLINK: &str = "simlink";
+    /// The dedicated green-arm link in the dual-arm configuration.
+    pub const GREEN_ARM: &str = "green-arm";
+    /// Workload selection and surgeme phase offsets.
+    pub const WORKLOAD: &str = "workload";
+    /// Key material for the bump-in-the-wire packet MAC.
+    pub const BITW_KEY: &str = "bitw-key";
+    /// Plant-model parameter perturbation (model-mismatch studies).
+    pub const MODEL: &str = "model";
+    /// The in-band teleoperation link instance owned by the simulation.
+    pub const ITP_LINK: &str = "itp-link";
+    /// Root of the chaos schedule (per-class streams derive from it).
+    pub const CHAOS_ROOT: &str = "chaos";
+    /// Chaos class: ITP packet reordering.
+    pub const CHAOS_REORDER: &str = "chaos.reorder";
+    /// Chaos class: ITP packet duplication.
+    pub const CHAOS_DUPLICATE: &str = "chaos.duplicate";
+    /// Chaos class: ITP packet corruption.
+    pub const CHAOS_CORRUPT: &str = "chaos.corrupt";
+    /// Chaos class: bursty packet loss.
+    pub const CHAOS_BURST_LOSS: &str = "chaos.burst_loss";
+    /// Chaos class: encoder stuck-at fault.
+    pub const CHAOS_STUCK_ENCODER: &str = "chaos.stuck_encoder";
+    /// Chaos class: encoder single-bit flip.
+    pub const CHAOS_ENCODER_BITFLIP: &str = "chaos.encoder_bitflip";
+    /// Chaos class: dropped USB frames.
+    pub const CHAOS_USB_FRAME_DROP: &str = "chaos.usb_frame_drop";
+    /// Chaos class: USB board silence window.
+    pub const CHAOS_BOARD_SILENCE: &str = "chaos.board_silence";
+    /// Plant perturbation inside the Fig. 8 robustness sweep.
+    pub const FIG8_MODEL: &str = "fig8-model";
+    /// Family: per-run seeds of a campaign plan (`campaign-<spec>-<rep>`).
+    pub const CAMPAIGN_PREFIX: &str = "campaign-";
+    /// Family: per-run seeds of the detector training sweep.
+    pub const TRAIN_PREFIX: &str = "train-";
+    /// Family: Table I scenario runs (`table1-<id>`).
+    pub const TABLE1_PREFIX: &str = "table1-";
+    /// Family: Table IV scenario draws (`t4-<scenario>-<run>`).
+    pub const T4_PICK_PREFIX: &str = "t4-";
+    /// Family: Table IV run seeds (`t4-run-<scenario>-<i>`).
+    pub const T4_RUN_PREFIX: &str = "t4-run-";
+    /// Family: Fig. 6 ROC repetition seeds (`fig6-<run>`).
+    pub const FIG6_PREFIX: &str = "fig6-";
+    /// Family: Fig. 8 robustness repetition seeds (`fig8-<run>`).
+    pub const FIG8_PREFIX: &str = "fig8-";
+    /// Family: Fig. 9 injection-sweep seeds (`fig9-<value>-<ms>-<rep>`).
+    pub const FIG9_PREFIX: &str = "fig9-";
+    /// Family: chaos-study repetition seeds (`chaos-study.<label>.<i>`).
+    pub const CHAOS_STUDY_PREFIX: &str = "chaos-study.";
+    /// Family: fusion-rule ablation seeds (`fusion-<label>-<i>`).
+    pub const FUSION_PREFIX: &str = "fusion-";
+    /// Family: mitigation-policy ablation seeds (`mitigation-<i>`).
+    pub const MITIGATION_PREFIX: &str = "mitigation-";
+    /// Family: detector look-ahead ablation seeds (`lookahead-<i>`).
+    pub const LOOKAHEAD_PREFIX: &str = "lookahead-";
+    /// Family: hardened-board reconnaissance seeds (`bitw-recon-<label>`).
+    pub const BITW_RECON_PREFIX: &str = "bitw-recon-";
+    /// Family: hardened-board attack seeds (`bitw-attack-<label>`).
+    pub const BITW_ATTACK_PREFIX: &str = "bitw-attack-";
+
+    /// Every registered exact stream label (families excluded).
+    pub const ALL: [&str; 17] = [
+        TREMOR,
+        SIMLINK,
+        GREEN_ARM,
+        WORKLOAD,
+        BITW_KEY,
+        MODEL,
+        ITP_LINK,
+        CHAOS_ROOT,
+        CHAOS_REORDER,
+        CHAOS_DUPLICATE,
+        CHAOS_CORRUPT,
+        CHAOS_BURST_LOSS,
+        CHAOS_STUCK_ENCODER,
+        CHAOS_ENCODER_BITFLIP,
+        CHAOS_USB_FRAME_DROP,
+        CHAOS_BOARD_SILENCE,
+        FIG8_MODEL,
+    ];
+}
+
 /// One structured event: something that happened at a virtual instant.
 ///
 /// `kind` is a stable dotted identifier (`state.transition`,
