@@ -259,6 +259,10 @@ pub struct Simulation {
     clock: SimClock,
     console: MasterConsole,
     itp_link: SimLink<Vec<u8>>,
+    /// Reusable drain buffer for `itp_link` polling — stage 2 takes it,
+    /// drains arrived datagrams through it, and puts it back, so the
+    /// steady-state cycle never allocates for link delivery.
+    itp_rx: Vec<Vec<u8>>,
     controller: RavenController,
     rig: HardwareRig,
     detector: Option<SharedDetector>,
@@ -368,6 +372,7 @@ impl Simulation {
             clock: SimClock::new(),
             console,
             itp_link,
+            itp_rx: Vec::new(),
             controller,
             rig,
             detector,
@@ -706,7 +711,9 @@ impl Simulation {
         let span_stage = self.spans.begin(spans::STAGE_LINK);
         let mut accumulated = Vec3::ZERO;
         let mut got_packet = false;
-        for raw in self.itp_link.poll(now) {
+        let mut rx = std::mem::take(&mut self.itp_rx);
+        self.itp_link.poll_into(now, &mut rx);
+        for raw in rx.drain(..) {
             if let Ok(decoded) = ItpPacket::decode_traced(&raw, &self.spans) {
                 accumulated += decoded.delta_pos;
                 got_packet = true;
@@ -718,6 +725,7 @@ impl Simulation {
                 self.last_packet_at = now;
             }
         }
+        self.itp_rx = rx;
         if let Some(input) = &mut self.last_input {
             input.delta_pos = accumulated;
             if !got_packet

@@ -1,0 +1,443 @@
+//! Fleet-scale detection: M detector sessions assessed per call over
+//! structure-of-arrays feature lanes.
+//!
+//! The paper's detection budget is per control cycle per robot; a
+//! teleoperation fleet multiplies it by the number of concurrent
+//! sessions. [`BatchDetector`] amortizes that product: one
+//! [`BatchModel`] steps every session's estimator lane together, and
+//! the per-axis instant features land in dim-major parallel arrays
+//! (`row[axis * lanes + lane]`) with the threshold checks swept across
+//! lanes.
+//!
+//! Per-session semantics are preserved exactly: each lane carries its
+//! own mode state (learning/armed thresholds), measurement tracker,
+//! and alarm counters, and every lane's assessment is bit-identical to
+//! an independent [`DynamicDetector`] over the same inputs — pinned by
+//! the proptest equivalence suite in `tests/batch_equiv.rs`. Two
+//! scalar-only concerns stay out of the batch: threshold *learning*
+//! (train scalar, arm lanes with the learned thresholds) and the
+//! mitigation actuation (a fleet supervisor reads the per-lane verdicts
+//! and drives each session's guard).
+//!
+//! [`DynamicDetector`]: crate::detector::DynamicDetector
+
+use raven_dynamics::batch::BatchModel;
+use raven_dynamics::RtModel;
+use raven_kinematics::{ArmConfig, MotorState, NUM_AXES};
+use raven_math::Vec3;
+
+use crate::detector::{measured_state, Assessment, DetectorConfig, FusionRule, Mitigation};
+use crate::detector::{DetectorMode, ModeState};
+use crate::features::InstantFeatures;
+use crate::thresholds::DetectionThresholds;
+
+/// Per-session state carried alongside the shared SoA storage.
+#[derive(Debug)]
+struct SessionLane {
+    arm: ArmConfig,
+    mode: ModeState,
+    tracked: Option<raven_dynamics::PlantState>,
+    last_mpos: Option<MotorState>,
+    last_jpos: Option<[f64; NUM_AXES]>,
+    assessments: u64,
+    alarms: u64,
+    first_alarm_assessment: Option<u64>,
+    estop_requested: bool,
+}
+
+/// Borrowed view of the batched feature lanes after an
+/// [`BatchDetector::assess_lanes`] call. The three per-axis rows are
+/// dim-major (`row[axis * lanes + lane]`); `ee_step` is one value per
+/// lane. Lanes that were skipped (no measurement synced) keep their
+/// previous values.
+#[derive(Debug, Clone, Copy)]
+pub struct SoaFeatures<'a> {
+    /// |Δ motor velocity| / dt rows (rad/s²).
+    pub motor_accel: &'a [f64],
+    /// |predicted motor velocity| rows (rad/s).
+    pub motor_vel: &'a [f64],
+    /// |predicted joint velocity| rows (rad/s, rad/s, m/s).
+    pub joint_vel: &'a [f64],
+    /// Predicted end-effector displacement per lane (meters).
+    pub ee_step: &'a [f64],
+}
+
+/// M detector sessions over one SoA estimator batch.
+///
+/// # Example
+///
+/// ```
+/// use raven_detect::{BatchDetector, DetectorConfig, DynamicDetector};
+/// use raven_dynamics::{PlantParams, RtModel};
+/// use raven_kinematics::{ArmConfig, JointState};
+///
+/// let params = PlantParams::raven_ii();
+/// let arm = ArmConfig::builder().coupling(params.coupling()).build();
+/// let model = RtModel::new(params.perturbed(1, 0.02));
+/// let config = DetectorConfig::default();
+///
+/// let mut batch =
+///     BatchDetector::from_models(&[arm.clone(), arm.clone()], &[model.clone(), model], config);
+/// let mpos = params.coupling().joints_to_motors(&JointState::new(0.0, 1.4, 0.25));
+/// batch.sync_lane(0, mpos);
+/// batch.sync_lane(1, mpos);
+/// let verdicts = batch.assess_lanes(&[[200, 0, 0], [150, 0, 0]]);
+/// assert!(verdicts.iter().all(|v| v.is_some()));
+/// ```
+#[derive(Debug)]
+pub struct BatchDetector {
+    config: DetectorConfig,
+    model: BatchModel,
+    lanes: Vec<SessionLane>,
+    /// SoA feature rows, dim-major (`NUM_AXES * lanes` each).
+    motor_accel: Vec<f64>,
+    motor_vel: Vec<f64>,
+    joint_vel: Vec<f64>,
+    /// End-effector step per lane.
+    ee_step: Vec<f64>,
+    /// Current end-effector position per lane, stashed by the one-step
+    /// pass so the lookahead pass reuses it (FK is pure, so sharing the
+    /// evaluation is bit-identical to recomputing it).
+    ee_now: Vec<Vec3>,
+    /// Reused per-call verdict storage, one slot per lane.
+    verdicts: Vec<Option<Assessment>>,
+}
+
+impl BatchDetector {
+    /// Builds one lane per (arm, model) pair, every lane in learning
+    /// mode. All models must share one integrator configuration (the
+    /// batch dispatches the step once for every lane).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the slices are empty or of different lengths, or if
+    /// the model configurations disagree.
+    pub fn from_models(arms: &[ArmConfig], models: &[RtModel], config: DetectorConfig) -> Self {
+        assert!(!models.is_empty(), "batch detector needs at least one session");
+        assert_eq!(arms.len(), models.len(), "one arm config per model");
+        let shared = models[0].config();
+        for m in models {
+            assert_eq!(m.config(), shared, "all lanes must share one integrator configuration");
+        }
+        let params: Vec<raven_dynamics::PlantParams> = models.iter().map(|m| *m.params()).collect();
+        let m = models.len();
+        BatchDetector {
+            config,
+            model: BatchModel::with_params(&params, shared),
+            lanes: arms
+                .iter()
+                .map(|arm| SessionLane {
+                    arm: arm.clone(),
+                    mode: ModeState::Learning,
+                    tracked: None,
+                    last_mpos: None,
+                    last_jpos: None,
+                    assessments: 0,
+                    alarms: 0,
+                    first_alarm_assessment: None,
+                    estop_requested: false,
+                })
+                .collect(),
+            motor_accel: vec![0.0; NUM_AXES * m],
+            motor_vel: vec![0.0; NUM_AXES * m],
+            joint_vel: vec![0.0; NUM_AXES * m],
+            ee_step: vec![0.0; m],
+            ee_now: vec![Vec3::default(); m],
+            verdicts: vec![None; m],
+        }
+    }
+
+    /// Number of sessions in the batch.
+    pub fn lanes(&self) -> usize {
+        self.lanes.len()
+    }
+
+    /// The shared detector configuration.
+    pub fn config(&self) -> DetectorConfig {
+        self.config
+    }
+
+    /// One lane's operating mode.
+    pub fn lane_mode(&self, lane: usize) -> DetectorMode {
+        match self.lanes[lane].mode {
+            ModeState::Learning => DetectorMode::Learning,
+            ModeState::Armed(_) => DetectorMode::Armed,
+        }
+    }
+
+    /// Arms one lane with learned thresholds (typically from a scalar
+    /// training campaign — the batch itself never learns).
+    pub fn arm_lane(&mut self, lane: usize, thresholds: DetectionThresholds) {
+        self.lanes[lane].mode = ModeState::Armed(thresholds);
+    }
+
+    /// Feeds one lane's measured motor positions for this cycle — the
+    /// same differencing/coupling reconstruction as
+    /// `DynamicDetector::sync_measurement`, via the shared helper.
+    pub fn sync_lane(&mut self, lane: usize, mpos: MotorState) {
+        let l = &mut self.lanes[lane];
+        l.tracked =
+            Some(measured_state(&l.arm, self.config.dt, &mut l.last_mpos, &mut l.last_jpos, mpos));
+    }
+
+    /// Clears one lane's per-session state (counters, tracked
+    /// measurement) while keeping its thresholds — the batched
+    /// equivalent of `DynamicDetector::reset_session`, scoped to a
+    /// single lane so the rest of the fleet is untouched.
+    pub fn reset_session(&mut self, lane: usize) {
+        let l = &mut self.lanes[lane];
+        l.tracked = None;
+        l.last_mpos = None;
+        l.last_jpos = None;
+        l.assessments = 0;
+        l.alarms = 0;
+        l.first_alarm_assessment = None;
+        l.estop_requested = false;
+    }
+
+    /// Assesses one candidate DAC command per lane, stepping every
+    /// session's estimator together. Returns one verdict slot per lane;
+    /// `None` where the lane has no synced measurement yet. Lanes in
+    /// learning mode return non-alarming assessments (observation
+    /// happens on the scalar trainer).
+    ///
+    /// Allocation-free after construction: the SoA rows, integrator
+    /// scratch, and verdict storage are all reused across calls.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dacs` does not supply exactly one command per lane.
+    pub fn assess_lanes(&mut self, dacs: &[[i16; NUM_AXES]]) -> &[Option<Assessment>] {
+        let m = self.lanes.len();
+        assert_eq!(dacs.len(), m, "one DAC command per lane");
+        for (l, lane) in self.lanes.iter().enumerate() {
+            if let Some(current) = lane.tracked {
+                self.model.load_state(l, &current);
+                self.model.set_dac(l, &dacs[l]);
+            }
+        }
+        self.model.step_lanes();
+        // One-step features per lane, scattered into the SoA rows. The
+        // per-lane math is the scalar helper, so each lane is
+        // bit-identical to an independent detector.
+        for (l, lane) in self.lanes.iter().enumerate() {
+            let Some(current) = lane.tracked else {
+                self.verdicts[l] = None;
+                continue;
+            };
+            let predicted = self.model.state(l);
+            let ee_now = lane.arm.forward(&current.joint_pos()).position;
+            self.ee_now[l] = ee_now;
+            let features = InstantFeatures::compute_with_current_ee(
+                &lane.arm,
+                &current,
+                &predicted,
+                self.config.dt,
+                ee_now,
+            );
+            for i in 0..NUM_AXES {
+                self.motor_accel[i * m + l] = features.motor_accel[i];
+                self.motor_vel[i * m + l] = features.motor_vel[i];
+                self.joint_vel[i * m + l] = features.joint_vel[i];
+            }
+            self.ee_step[l] = features.ee_step;
+            // Stash the partial verdict; ee_step may still grow below.
+            self.verdicts[l] =
+                Some(Assessment { features, threshold_alarm: false, ee_alarm: false });
+        }
+        // Lookahead rollout: the whole batch re-steps under the latched
+        // torques, then each lane checks its cumulative EE displacement.
+        if self.config.lookahead_steps > 1 {
+            for _ in 1..self.config.lookahead_steps {
+                self.model.step_lanes();
+            }
+            for (l, lane) in self.lanes.iter().enumerate() {
+                if lane.tracked.is_none() {
+                    continue;
+                }
+                let Some(assessment) = &mut self.verdicts[l] else { continue };
+                let ee_now = self.ee_now[l];
+                let rolled = self.model.state(l);
+                let end = lane.arm.forward(&rolled.joint_pos()).position;
+                assessment.features.ee_step = assessment.features.ee_step.max(ee_now.distance(end));
+                self.ee_step[l] = assessment.features.ee_step;
+            }
+        }
+        // Threshold sweep + per-lane alarm accounting.
+        for (l, lane) in self.lanes.iter_mut().enumerate() {
+            let Some(assessment) = &mut self.verdicts[l] else { continue };
+            let ModeState::Armed(thresholds) = lane.mode else { continue };
+            assessment.threshold_alarm = match self.config.fusion {
+                FusionRule::AllThree => thresholds.fused_alarm(&assessment.features),
+                FusionRule::AnyOne => thresholds.any_alarm(&assessment.features),
+            };
+            assessment.ee_alarm = assessment.features.ee_step > self.config.ee_step_limit;
+            lane.assessments += 1;
+            if assessment.threshold_alarm || assessment.ee_alarm {
+                lane.alarms += 1;
+                let first = lane.assessments;
+                lane.first_alarm_assessment.get_or_insert(first);
+                if self.config.mitigation == Mitigation::EStop {
+                    lane.estop_requested = true;
+                }
+            }
+        }
+        &self.verdicts
+    }
+
+    /// The batched feature lanes from the most recent assessment.
+    pub fn soa_features(&self) -> SoaFeatures<'_> {
+        SoaFeatures {
+            motor_accel: &self.motor_accel,
+            motor_vel: &self.motor_vel,
+            joint_vel: &self.joint_vel,
+            ee_step: &self.ee_step,
+        }
+    }
+
+    /// Commands assessed while armed, per lane.
+    pub fn lane_assessments(&self, lane: usize) -> u64 {
+        self.lanes[lane].assessments
+    }
+
+    /// Alarms raised while armed, per lane.
+    pub fn lane_alarms(&self, lane: usize) -> u64 {
+        self.lanes[lane].alarms
+    }
+
+    /// Assessment index (1-based) of the lane's first alarm, if any.
+    pub fn lane_first_alarm_assessment(&self, lane: usize) -> Option<u64> {
+        self.lanes[lane].first_alarm_assessment
+    }
+
+    /// `true` when the lane's E-STOP mitigation has been requested.
+    pub fn lane_estop_requested(&self, lane: usize) -> bool {
+        self.lanes[lane].estop_requested
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::detector::DynamicDetector;
+    use raven_dynamics::PlantParams;
+    use raven_kinematics::JointState;
+
+    fn session(seed: u64) -> (ArmConfig, RtModel, PlantParams) {
+        let params = PlantParams::raven_ii();
+        let arm = ArmConfig::builder().coupling(params.coupling()).build();
+        let model = RtModel::new(params.perturbed(seed, 0.02));
+        (arm, model, params)
+    }
+
+    fn trained_thresholds(
+        arm: &ArmConfig,
+        model: &RtModel,
+        params: &PlantParams,
+    ) -> DetectionThresholds {
+        let mut det = DynamicDetector::new(arm.clone(), model.clone(), DetectorConfig::default());
+        let coupling = params.coupling();
+        for k in 0..1500u64 {
+            let t = k as f64 * 1e-3;
+            let j = JointState::new(
+                0.1 * (2.0 * t).sin(),
+                1.4 + 0.08 * (1.5 * t).cos(),
+                0.25 + 0.01 * t.sin(),
+            );
+            det.sync_measurement(coupling.joints_to_motors(&j));
+            det.assess(&[200, 150, -100]);
+        }
+        det.end_learning_run();
+        det.arm().expect("fault-free samples observed");
+        *det.thresholds().expect("armed")
+    }
+
+    #[test]
+    fn batched_lanes_match_independent_scalar_detectors() {
+        let config = DetectorConfig::default();
+        let sessions: Vec<_> = (1..4).map(session).collect();
+        let thresholds: Vec<_> =
+            sessions.iter().map(|(a, m, p)| trained_thresholds(a, m, p)).collect();
+
+        let arms: Vec<_> = sessions.iter().map(|(a, _, _)| a.clone()).collect();
+        let models: Vec<_> = sessions.iter().map(|(_, m, _)| m.clone()).collect();
+        let mut batch = BatchDetector::from_models(&arms, &models, config);
+        let mut scalars: Vec<_> = sessions
+            .iter()
+            .map(|(a, m, _)| DynamicDetector::new(a.clone(), m.clone(), config))
+            .collect();
+        for (l, t) in thresholds.iter().enumerate() {
+            batch.arm_lane(l, *t);
+            scalars[l].arm_with(*t);
+            assert_eq!(batch.lane_mode(l), DetectorMode::Armed);
+        }
+
+        let coupling = sessions[0].2.coupling();
+        for k in 0..40u64 {
+            let t = k as f64 * 1e-3;
+            for (l, scalar) in scalars.iter_mut().enumerate() {
+                let j = JointState::new(
+                    0.1 * (2.0 * t).sin() + 0.01 * l as f64,
+                    1.4 + 0.05 * (3.0 * t).cos(),
+                    0.25,
+                );
+                let mpos = coupling.joints_to_motors(&j);
+                scalar.sync_measurement(mpos);
+                batch.sync_lane(l, mpos);
+            }
+            let dacs: Vec<[i16; NUM_AXES]> =
+                (0..scalars.len()).map(|l| [400 + 100 * l as i16, -200, 150]).collect();
+            let verdicts = batch.assess_lanes(&dacs).to_vec();
+            for (l, scalar) in scalars.iter_mut().enumerate() {
+                let expected = scalar.assess(&dacs[l]).expect("synced");
+                let got = verdicts[l].expect("synced lane");
+                assert_eq!(got, expected, "lane {l} diverged from scalar at cycle {k}");
+            }
+        }
+        for (l, scalar) in scalars.iter().enumerate() {
+            assert_eq!(batch.lane_assessments(l), scalar.assessments());
+            assert_eq!(batch.lane_alarms(l), scalar.alarms());
+        }
+    }
+
+    #[test]
+    fn unsynced_lane_yields_none_and_does_not_count() {
+        let (arm, model, params) = session(1);
+        let config = DetectorConfig::default();
+        let mut batch =
+            BatchDetector::from_models(&[arm.clone(), arm], &[model.clone(), model], config);
+        let mpos = params.coupling().joints_to_motors(&JointState::new(0.0, 1.4, 0.25));
+        batch.sync_lane(0, mpos);
+        let verdicts = batch.assess_lanes(&[[100, 0, 0], [100, 0, 0]]);
+        assert!(verdicts[0].is_some());
+        assert!(verdicts[1].is_none());
+        assert_eq!(batch.lane_assessments(1), 0);
+    }
+
+    #[test]
+    fn estop_flag_is_per_lane() {
+        let (arm, model, params) = session(2);
+        let thresholds = trained_thresholds(&arm, &model, &params);
+        let config = DetectorConfig::default();
+        let mut batch =
+            BatchDetector::from_models(&[arm.clone(), arm], &[model.clone(), model], config);
+        batch.arm_lane(0, thresholds);
+        batch.arm_lane(1, thresholds);
+        let coupling = params.coupling();
+        let calm = coupling.joints_to_motors(&JointState::new(0.0, 1.4, 0.25));
+        batch.sync_lane(0, calm);
+        batch.sync_lane(1, calm);
+        batch.assess_lanes(&[[150, 0, 0], [150, 0, 0]]);
+        // Lane 1 sees a runaway measurement + saturating command.
+        let mut hot = calm;
+        hot.angles[0] += 0.05;
+        batch.sync_lane(0, calm);
+        batch.sync_lane(1, hot);
+        let verdicts = batch.assess_lanes(&[[150, 0, 0], [32_000, 0, 0]]);
+        assert!(!verdicts[0].expect("lane 0").alarm());
+        assert!(verdicts[1].expect("lane 1").alarm());
+        assert!(!batch.lane_estop_requested(0));
+        assert!(batch.lane_estop_requested(1));
+        assert_eq!(batch.lane_first_alarm_assessment(1), Some(2));
+    }
+}

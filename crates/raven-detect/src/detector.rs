@@ -12,7 +12,7 @@
 use std::sync::Arc;
 
 use parking_lot::Mutex;
-use raven_dynamics::{PlantState, RtModel};
+use raven_dynamics::{BatchModel, PlantState, RtModel};
 use raven_hw::channel::{WriteAction, WriteContext, WriteInterceptor};
 use raven_hw::{RobotState, UsbCommandPacket};
 use raven_kinematics::{ArmConfig, MotorState, NUM_AXES};
@@ -141,11 +141,51 @@ impl std::error::Error for NoFaultFreeSamples {}
 
 /// Internal mode representation: armed *means* having thresholds, so the
 /// armed assessment path is infallible by construction (no `Option` to
-/// unwrap inside the control cycle — lint rule R3).
+/// unwrap inside the control cycle — lint rule R3). Shared with the
+/// batch detector, whose lanes carry the same per-session state.
 #[derive(Debug, Clone, Copy)]
-enum ModeState {
+pub(crate) enum ModeState {
     Learning,
     Armed(DetectionThresholds),
+}
+
+/// Reconstructs the tracked plant state from one encoder measurement:
+/// joint positions through the coupling, velocities by differencing
+/// against the previous sample. Shared by [`DynamicDetector`] and the
+/// batch detector so a batched lane tracks measurements bit-identically
+/// to a scalar session.
+pub(crate) fn measured_state(
+    arm: &ArmConfig,
+    dt: f64,
+    last_mpos: &mut Option<MotorState>,
+    last_jpos: &mut Option<[f64; NUM_AXES]>,
+    mpos: MotorState,
+) -> PlantState {
+    let jpos = arm.motors_to_joints(&mpos);
+    let ja = jpos.to_array();
+    let mvel = match *last_mpos {
+        Some(last) => {
+            let d = mpos.delta(last);
+            [d.angles[0] / dt, d.angles[1] / dt, d.angles[2] / dt]
+        }
+        None => [0.0; NUM_AXES],
+    };
+    let jvel = match *last_jpos {
+        Some(last) => [(ja[0] - last[0]) / dt, (ja[1] - last[1]) / dt, (ja[2] - last[2]) / dt],
+        None => [0.0; NUM_AXES],
+    };
+    *last_mpos = Some(mpos);
+    *last_jpos = Some(ja);
+    let mut state = PlantState::default();
+    state.set_motor_pos(mpos);
+    state.set_joint_pos(jpos);
+    state.x[3] = mvel[0];
+    state.x[4] = mvel[1];
+    state.x[5] = mvel[2];
+    state.x[9] = jvel[0];
+    state.x[10] = jvel[1];
+    state.x[11] = jvel[2];
+    state
 }
 
 /// The detector core: real-time model + measurement tracking + thresholds.
@@ -157,6 +197,12 @@ enum ModeState {
 pub struct DynamicDetector {
     arm: ArmConfig,
     model: RtModel,
+    /// One-lane SoA kernel the assessment stepping delegates to: the
+    /// M=1 lane of `raven_dynamics::batch` computes bit-identical
+    /// states to [`RtModel::predict`] (the batch module's equivalence
+    /// contract), converts DAC→torque once per command instead of once
+    /// per rollout step, and keeps its integrator scratch preallocated.
+    lane: BatchModel,
     config: DetectorConfig,
     mode: ModeState,
     learner: ThresholdLearner,
@@ -189,9 +235,11 @@ impl DynamicDetector {
     /// parameter set, reflecting that the paper's hand-tuned model does not
     /// match the robot exactly (Fig. 8).
     pub fn new(arm: ArmConfig, model: RtModel, config: DetectorConfig) -> Self {
+        let lane = BatchModel::with_params(std::slice::from_ref(model.params()), model.config());
         DynamicDetector {
             arm,
             model,
+            lane,
             config,
             mode: ModeState::Learning,
             learner: ThresholdLearner::new(),
@@ -263,6 +311,14 @@ impl DynamicDetector {
         &self.learner
     }
 
+    /// The real-time model the assessment path is configured from. The
+    /// actual stepping runs on a 1-lane batch kernel built from this
+    /// model's parameters; the two are bit-identical by the batch
+    /// module's equivalence contract.
+    pub fn model(&self) -> &RtModel {
+        &self.model
+    }
+
     /// Commands assessed while armed.
     pub fn assessments(&self) -> u64 {
         self.assessments
@@ -299,32 +355,13 @@ impl DynamicDetector {
     /// joint states through the coupling — the same information the real
     /// detector extracts from the USB read path.
     pub fn sync_measurement(&mut self, mpos: MotorState) {
-        let dt = self.config.dt;
-        let jpos = self.arm.motors_to_joints(&mpos);
-        let ja = jpos.to_array();
-        let mvel = match self.last_mpos {
-            Some(last) => {
-                let d = mpos.delta(last);
-                [d.angles[0] / dt, d.angles[1] / dt, d.angles[2] / dt]
-            }
-            None => [0.0; NUM_AXES],
-        };
-        let jvel = match self.last_jpos {
-            Some(last) => [(ja[0] - last[0]) / dt, (ja[1] - last[1]) / dt, (ja[2] - last[2]) / dt],
-            None => [0.0; NUM_AXES],
-        };
-        self.last_mpos = Some(mpos);
-        self.last_jpos = Some(ja);
-        let mut state = PlantState::default();
-        state.set_motor_pos(mpos);
-        state.set_joint_pos(jpos);
-        state.x[3] = mvel[0];
-        state.x[4] = mvel[1];
-        state.x[5] = mvel[2];
-        state.x[9] = jvel[0];
-        state.x[10] = jvel[1];
-        state.x[11] = jvel[2];
-        self.tracked = Some(state);
+        self.tracked = Some(measured_state(
+            &self.arm,
+            self.config.dt,
+            &mut self.last_mpos,
+            &mut self.last_jpos,
+            mpos,
+        ));
     }
 
     /// Assesses a candidate DAC command against the model's prediction.
@@ -337,17 +374,31 @@ impl DynamicDetector {
     pub fn assess(&mut self, dac: &[i16; NUM_AXES]) -> Option<Assessment> {
         let _verdict = self.spans.begin(spans::DETECTOR_VERDICT);
         let current = self.tracked?;
-        let predicted = self.model.predict(&current, dac);
-        let mut features =
-            InstantFeatures::compute(&self.arm, &current, &predicted, self.config.dt);
+        // Single-session stepping delegates to the M=1 lane of the SoA
+        // batch kernel: the DAC→torque conversion is latched once and the
+        // lookahead rollout re-steps the lane under it, bit-identical to
+        // re-predicting with the same command each step.
+        self.lane.load_state(0, &current);
+        self.lane.set_dac(0, dac);
+        self.lane.step_lanes();
+        let predicted = self.lane.state(0);
+        // FK of the current state is needed both for the one-step feature
+        // and as the lookahead start point — evaluate it once and share.
+        let ee_now = self.arm.forward(&current.joint_pos()).position;
+        let mut features = InstantFeatures::compute_with_current_ee(
+            &self.arm,
+            &current,
+            &predicted,
+            self.config.dt,
+            ee_now,
+        );
         if self.config.lookahead_steps > 1 {
-            let mut rolled = predicted;
             for _ in 1..self.config.lookahead_steps {
-                rolled = self.model.predict(&rolled, dac);
+                self.lane.step_lanes();
             }
-            let start = self.arm.forward(&current.joint_pos()).position;
+            let rolled = self.lane.state(0);
             let end = self.arm.forward(&rolled.joint_pos()).position;
-            features.ee_step = features.ee_step.max(start.distance(end));
+            features.ee_step = features.ee_step.max(ee_now.distance(end));
         }
         match self.mode {
             ModeState::Learning => {

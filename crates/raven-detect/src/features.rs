@@ -13,6 +13,7 @@
 
 use raven_dynamics::PlantState;
 use raven_kinematics::{ArmConfig, NUM_AXES};
+use raven_math::Vec3;
 use serde::{Deserialize, Serialize};
 
 /// Per-axis instant features for one candidate command.
@@ -36,6 +37,30 @@ impl InstantFeatures {
     ///
     /// Panics if `dt` is not positive and finite.
     pub fn compute(arm: &ArmConfig, current: &PlantState, predicted: &PlantState, dt: f64) -> Self {
+        let ee_now = arm.forward(&current.joint_pos()).position;
+        Self::compute_with_current_ee(arm, current, predicted, dt, ee_now)
+    }
+
+    /// [`InstantFeatures::compute`] with the current state's end-effector
+    /// position supplied by the caller.
+    ///
+    /// The detector's assessment needs FK of the *current* state twice —
+    /// once for the one-step `ee_step` feature and once as the start point
+    /// of the lookahead rollout. FK is pure, so hoisting it to the caller
+    /// and sharing the result is bit-identical to recomputing it (pinned
+    /// by a regression test in `tests/`), and saves one trig-heavy
+    /// evaluation per armed cycle.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dt` is not positive and finite.
+    pub fn compute_with_current_ee(
+        arm: &ArmConfig,
+        current: &PlantState,
+        predicted: &PlantState,
+        dt: f64,
+        ee_now: Vec3,
+    ) -> Self {
         assert!(dt.is_finite() && dt > 0.0, "invalid feature dt {dt}");
         let mv_now = current.motor_vel();
         let mv_next = predicted.motor_vel();
@@ -48,7 +73,6 @@ impl InstantFeatures {
             motor_vel[i] = mv_next[i].abs();
             joint_vel[i] = jv_next[i].abs();
         }
-        let ee_now = arm.forward(&current.joint_pos()).position;
         let ee_next = arm.forward(&predicted.joint_pos()).position;
         InstantFeatures { motor_accel, motor_vel, joint_vel, ee_step: ee_now.distance(ee_next) }
     }

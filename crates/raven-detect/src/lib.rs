@@ -22,12 +22,14 @@
 
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod detector;
 pub mod features;
 #[cfg(feature = "mutant-hooks")]
 pub mod mutants;
 pub mod thresholds;
 
+pub use batch::{BatchDetector, SoaFeatures};
 pub use detector::{
     shared, Assessment, DetectorConfig, DetectorMode, DynamicDetector, FusionRule,
     GuardInterceptor, Mitigation, NoFaultFreeSamples, SharedDetector,

@@ -36,6 +36,7 @@
 
 #![forbid(unsafe_code)]
 
+pub mod batch;
 pub mod cable;
 pub mod estimator;
 pub mod link;
@@ -44,8 +45,9 @@ pub mod params;
 pub mod plant;
 pub mod state;
 
+pub use batch::BatchModel;
 pub use cable::CableParams;
-pub use estimator::RtModel;
+pub use estimator::{RtModel, RtModelConfig};
 pub use link::LinkParams;
 pub use motor::MotorParams;
 pub use params::{DacScale, PlantParams};

@@ -58,36 +58,69 @@ impl BitwCodec {
     /// Encrypts and authenticates one packet:
     /// `[nonce u32 LE] [ciphertext] [tag u16 LE]`.
     pub fn seal(&mut self, plaintext: &[u8]) -> Vec<u8> {
+        let mut out = Vec::with_capacity(plaintext.len() + BITW_OVERHEAD);
+        self.seal_into(plaintext, &mut out);
+        out
+    }
+
+    /// [`BitwCodec::seal`] into a caller-held buffer, which is cleared and
+    /// resized to exactly `plaintext.len() + BITW_OVERHEAD` bytes.
+    ///
+    /// This is the per-cycle entry point: the rig keystream-seals every
+    /// command and feedback packet, so it keeps one persistent buffer per
+    /// direction and steady-state sealing never allocates (the buffer
+    /// reaches packet size once and is reused thereafter).
+    pub fn seal_into(&mut self, plaintext: &[u8], out: &mut Vec<u8>) {
         let nonce = self.nonce;
         self.nonce = self.nonce.wrapping_add(1);
-        let mut out = Vec::with_capacity(plaintext.len() + BITW_OVERHEAD);
-        out.extend_from_slice(&nonce.to_le_bytes());
+        out.clear();
+        out.resize(plaintext.len() + BITW_OVERHEAD, 0);
+        out[..4].copy_from_slice(&nonce.to_le_bytes());
         let mut stream = keystream(self.key, nonce);
-        for &b in plaintext {
-            out.push(b ^ stream.next_byte());
+        for (slot, &b) in out[4..].iter_mut().zip(plaintext) {
+            *slot = b ^ stream.next_byte();
         }
         let tag = authenticate(self.key, nonce, plaintext);
-        out.extend_from_slice(&tag.to_le_bytes());
-        out
+        let end = plaintext.len() + BITW_OVERHEAD;
+        out[end - 2..end].copy_from_slice(&tag.to_le_bytes());
     }
 
     /// Verifies and decrypts one packet. Returns `None` on any tampering
     /// (wrong length, failed authenticator).
     pub fn open(&mut self, sealed: &[u8]) -> Option<Vec<u8>> {
+        let mut out = Vec::with_capacity(sealed.len().saturating_sub(BITW_OVERHEAD));
+        if self.open_into(sealed, &mut out) {
+            Some(out)
+        } else {
+            None
+        }
+    }
+
+    /// [`BitwCodec::open`] into a caller-held buffer. Returns `true` and
+    /// leaves the plaintext in `out` on success; returns `false` and leaves
+    /// `out` empty on any tampering. Allocation-free once the buffer has
+    /// reached packet size — the counterpart of [`BitwCodec::seal_into`]
+    /// for the rig's receive paths.
+    pub fn open_into(&mut self, sealed: &[u8], out: &mut Vec<u8>) -> bool {
+        out.clear();
         if sealed.len() < BITW_OVERHEAD {
             self.rejects += 1;
-            return None;
+            return false;
         }
         let nonce = u32::from_le_bytes([sealed[0], sealed[1], sealed[2], sealed[3]]);
         let body = &sealed[4..sealed.len() - 2];
         let tag_wire = u16::from_le_bytes([sealed[sealed.len() - 2], sealed[sealed.len() - 1]]);
         let mut stream = keystream(self.key, nonce);
-        let plaintext: Vec<u8> = body.iter().map(|b| b ^ stream.next_byte()).collect();
-        if authenticate(self.key, nonce, &plaintext) != tag_wire {
-            self.rejects += 1;
-            return None;
+        out.resize(body.len(), 0);
+        for (slot, &b) in out.iter_mut().zip(body) {
+            *slot = b ^ stream.next_byte();
         }
-        Some(plaintext)
+        if authenticate(self.key, nonce, out) != tag_wire {
+            self.rejects += 1;
+            out.clear();
+            return false;
+        }
+        true
     }
 
     /// Packets rejected so far.
@@ -187,6 +220,33 @@ mod tests {
         let mut rx = BitwCodec::new(3);
         assert!(rx.open(&[1, 2, 3]).is_none());
         assert!(rx.open(&[]).is_none());
+    }
+
+    #[test]
+    fn seal_into_and_open_into_reuse_storage_and_match_owned_api() {
+        let mut tx = BitwCodec::new(0xfeed_beef);
+        let mut tx2 = BitwCodec::new(0xfeed_beef);
+        let mut rx = BitwCodec::new(0xfeed_beef);
+        let mut sealed = Vec::new();
+        let mut opened = Vec::new();
+        let mut cap = 0;
+        for i in 0..50u8 {
+            let msg = vec![i; 18];
+            tx.seal_into(&msg, &mut sealed);
+            assert_eq!(sealed, tx2.seal(&msg), "seal_into must match seal");
+            assert!(rx.open_into(&sealed, &mut opened));
+            assert_eq!(opened, msg);
+            if i == 0 {
+                cap = sealed.capacity();
+            } else {
+                assert_eq!(sealed.capacity(), cap, "steady-state seal reallocated");
+            }
+        }
+        // Tampering leaves the output empty and counts a reject.
+        sealed[5] ^= 0x40;
+        assert!(!rx.open_into(&sealed, &mut opened));
+        assert!(opened.is_empty());
+        assert_eq!(rx.rejects(), 1);
     }
 
     #[test]

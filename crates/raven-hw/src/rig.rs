@@ -62,6 +62,15 @@ pub struct HardwareRig {
     observer: Option<SharedObserver>,
     spans: SpanHandle,
     reported_estop: Option<EStopCause>,
+    /// Reusable frame for the read path: carries the encoded (or sealed)
+    /// feedback packet through the read interceptors, and reclaims the
+    /// channel's returned storage afterwards.
+    rx_frame: Vec<u8>,
+    /// Reusable plaintext buffer for BITW `open_into` on both paths.
+    open_scratch: Vec<u8>,
+    /// Reusable ciphertext buffer for the `Wire`-placement round trip on
+    /// the command path.
+    wire_scratch: Vec<u8>,
 }
 
 #[derive(Debug)]
@@ -90,6 +99,9 @@ impl HardwareRig {
             observer: None,
             spans: SpanHandle::default(),
             reported_estop,
+            rx_frame: Vec::default(),
+            open_scratch: Vec::default(),
+            wire_scratch: Vec::default(),
         }
     }
 
@@ -174,30 +186,53 @@ impl HardwareRig {
     /// upstream of `write`, so interceptors see only ciphertext and any
     /// mutation is rejected by the board-side authenticator.
     pub fn deliver_command(&mut self, pkt: &UsbCommandPacket, now: SimTime) -> WriteOutcome {
-        let plaintext = pkt.encode().to_vec();
-        let (to_chain, host_sealed) = match &mut self.bitw {
-            Some(b) if b.placement == BitwPlacement::Host => (b.host_tx.seal(&plaintext), true),
-            _ => (plaintext, false),
+        // The write chain takes ownership of its input and hands the
+        // delivered bytes to the caller inside the outcome, so this frame
+        // is a genuine transfer; everything downstream (seal, open, the
+        // wire round trip) reuses rig-held scratch buffers.
+        let encoded = pkt.encode();
+        let mut frame = Vec::with_capacity(encoded.len() + crate::bitw::BITW_OVERHEAD);
+        let host_sealed = match &mut self.bitw {
+            Some(b) if b.placement == BitwPlacement::Host => {
+                b.host_tx.seal_into(&encoded, &mut frame);
+                true
+            }
+            _ => {
+                frame.extend_from_slice(&encoded);
+                false
+            }
         };
-        let outcome = self.channel.write(to_chain, now);
+        let outcome = self.channel.write(frame, now);
         if let Some(bytes) = &outcome.delivered {
             // The wire segment between chain and board.
-            let at_board: Option<Vec<u8>> = match &mut self.bitw {
-                Some(b) if host_sealed => b.board_rx.open(bytes),
+            let mut open_buf = std::mem::take(&mut self.open_scratch);
+            let at_board: Option<&[u8]> = match &mut self.bitw {
+                Some(b) if host_sealed => {
+                    if b.board_rx.open_into(bytes, &mut open_buf) {
+                        Some(&open_buf)
+                    } else {
+                        None
+                    }
+                }
                 Some(b) if b.placement == BitwPlacement::Wire => {
                     // Encryptor and decryptor bracket an uncompromised
                     // cable: a lossless round trip (the malware already ran
                     // upstream, on plaintext — the paper's TOCTOU point).
-                    let sealed = b.host_tx.seal(bytes);
-                    b.board_rx.open(&sealed)
+                    b.host_tx.seal_into(bytes, &mut self.wire_scratch);
+                    if b.board_rx.open_into(&self.wire_scratch, &mut open_buf) {
+                        Some(&open_buf)
+                    } else {
+                        None
+                    }
                 }
-                _ => Some(bytes.clone()),
+                _ => Some(bytes),
             };
             if let Some(clear) = at_board {
-                if let Ok(decoded) = self.board.receive(&clear) {
+                if let Ok(decoded) = self.board.receive(clear) {
                     self.plc.observe(decoded.state, decoded.watchdog, now);
                 }
             }
+            self.open_scratch = open_buf;
         }
         self.note_estop_edges(now);
         outcome
@@ -254,24 +289,36 @@ impl HardwareRig {
         encoders[3..3 + WRIST_AXES].copy_from_slice(&reading.wrist_counts);
         let mut fb = self.board.make_feedback(encoders);
         fb.plc_fault = self.plc.estop().is_some();
-        let onto_chain = match &mut self.bitw {
-            Some(b) if b.placement == BitwPlacement::Host => b.board_tx.seal(&fb.encode()),
-            _ => fb.encode().to_vec(),
-        };
-        let bytes = self.channel.read(onto_chain, now);
-        let cleartext = match &mut self.bitw {
+        let encoded = fb.encode();
+        let mut frame = std::mem::take(&mut self.rx_frame);
+        frame.clear();
+        match &mut self.bitw {
+            Some(b) if b.placement == BitwPlacement::Host => {
+                b.board_tx.seal_into(&encoded, &mut frame);
+            }
+            _ => frame.extend_from_slice(&encoded),
+        }
+        // The read chain returns the same storage it was handed (possibly
+        // mutated in place), so the frame is reclaimed below.
+        let bytes = self.channel.read(frame, now);
+        // A mangled feedback packet falls back to the unmodified reading —
+        // the control software has no way to detect it either way, but the
+        // simulation must stay well-formed.
+        let pkt = match &mut self.bitw {
             Some(b) if b.placement == BitwPlacement::Host => {
                 // Tampered ciphertext fails authentication; the driver
                 // re-reads the register (same cycle) and gets the clean
                 // snapshot.
-                b.host_rx.open(&bytes).unwrap_or_else(|| fb.encode().to_vec())
+                if b.host_rx.open_into(&bytes, &mut self.open_scratch) {
+                    UsbFeedbackPacket::decode_unchecked(&self.open_scratch).unwrap_or(fb)
+                } else {
+                    fb
+                }
             }
-            _ => bytes,
+            _ => UsbFeedbackPacket::decode_unchecked(&bytes).unwrap_or(fb),
         };
-        // A mangled feedback packet falls back to the unmodified reading —
-        // the control software has no way to detect it either way, but the
-        // simulation must stay well-formed.
-        UsbFeedbackPacket::decode_unchecked(&cleartext).unwrap_or(fb)
+        self.rx_frame = bytes;
+        pkt
     }
 
     /// Reconstructs motor positions from a feedback packet (the control

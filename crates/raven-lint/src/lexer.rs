@@ -443,7 +443,7 @@ mod tests {
     fn scrub_multibyte_char_literal_does_not_derail_the_scan() {
         let src = "let c = 'é'; let v = \"tremor\"; let u = Instant::now();";
         let s = scrub(src);
-        assert_eq!(s.as_bytes().len(), src.as_bytes().len());
+        assert_eq!(s.len(), src.len());
         assert!(!s.contains("tremor"), "{s}");
         assert!(s.contains("Instant::now"), "{s}");
     }

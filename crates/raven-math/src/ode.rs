@@ -117,6 +117,93 @@ impl Method {
     }
 }
 
+/// Preallocated derivative/stage storage for [`Method::step_batch`].
+///
+/// All five slices must have the same length as the flattened state
+/// (`dims * lanes`). `k2`–`k4` and `stage` are only touched by RK4, but
+/// Euler callers still provide them so one scratch allocation serves
+/// either method without branching at the call site. The slices are
+/// borrowed, not owned, so hot paths can hand in storage allocated once
+/// at construction (heap for many lanes, stack arrays for a single
+/// lane) and the step itself never allocates.
+#[derive(Debug)]
+pub struct BatchScratch<'a> {
+    /// First derivative evaluation (the only one Euler uses).
+    pub k1: &'a mut [f64],
+    /// Second RK4 stage derivative.
+    pub k2: &'a mut [f64],
+    /// Third RK4 stage derivative.
+    pub k3: &'a mut [f64],
+    /// Fourth RK4 stage derivative.
+    pub k4: &'a mut [f64],
+    /// Stage-state buffer (`state + h·k`) fed back into `deriv`.
+    pub stage: &'a mut [f64],
+}
+
+impl Method {
+    /// Advances a flattened batch of states by one step.
+    ///
+    /// `state` and `out` hold `dims * lanes` elements; the derivative
+    /// callback receives the full flattened state and writes the full
+    /// flattened derivative. The per-element arithmetic is *exactly*
+    /// the scalar [`Method::step`] expressions (`x + dt·k₁` for Euler;
+    /// `x + h·kᵢ` stages and `x + dt/6·(k₁ + 2k₂ + 2k₃ + k₄)` for RK4),
+    /// so each lane of a batched step is bit-identical to an
+    /// independent scalar step of that lane — the contract the
+    /// dynamics-estimator SoA kernel and its equivalence suite pin.
+    pub fn step_batch<F>(
+        self,
+        state: &[f64],
+        t: f64,
+        dt: f64,
+        deriv: &mut F,
+        scratch: &mut BatchScratch<'_>,
+        out: &mut [f64],
+    ) where
+        F: FnMut(&[f64], f64, &mut [f64]),
+    {
+        let n = state.len();
+        assert_eq!(out.len(), n, "out length must match state length");
+        assert_eq!(scratch.k1.len(), n, "scratch k1 length must match state length");
+        match self {
+            Method::Euler => {
+                deriv(state, t, scratch.k1);
+                for i in 0..n {
+                    out[i] = state[i] + dt * scratch.k1[i];
+                }
+            }
+            Method::Rk4 => {
+                assert_eq!(scratch.k2.len(), n, "scratch k2 length must match state length");
+                assert_eq!(scratch.k3.len(), n, "scratch k3 length must match state length");
+                assert_eq!(scratch.k4.len(), n, "scratch k4 length must match state length");
+                assert_eq!(scratch.stage.len(), n, "scratch stage length must match state length");
+                let half = dt * 0.5;
+                deriv(state, t, scratch.k1);
+                for ((s, &x), &k) in scratch.stage.iter_mut().zip(state).zip(scratch.k1.iter()) {
+                    *s = x + half * k;
+                }
+                deriv(scratch.stage, t + half, scratch.k2);
+                for ((s, &x), &k) in scratch.stage.iter_mut().zip(state).zip(scratch.k2.iter()) {
+                    *s = x + half * k;
+                }
+                deriv(scratch.stage, t + half, scratch.k3);
+                for ((s, &x), &k) in scratch.stage.iter_mut().zip(state).zip(scratch.k3.iter()) {
+                    *s = x + dt * k;
+                }
+                deriv(scratch.stage, t + dt, scratch.k4);
+                for i in 0..n {
+                    out[i] = state[i]
+                        + dt / 6.0
+                            * (scratch.k1[i]
+                                + 2.0 * scratch.k2[i]
+                                + 2.0 * scratch.k3[i]
+                                + scratch.k4[i]);
+                }
+            }
+        }
+    }
+}
+
 impl std::fmt::Display for Method {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
@@ -206,6 +293,80 @@ mod tests {
         assert_eq!(Method::Rk4.step(&s, 0.0, 1e-3, &f), Rk4.step(&s, 0.0, 1e-3, &f));
         assert_eq!(Method::Euler.evals_per_step(), 1);
         assert_eq!(Method::Rk4.evals_per_step(), 4);
+    }
+
+    /// A two-dim damped oscillator flattened over `lanes` lanes in
+    /// dim-major layout (`x[d * lanes + lane]`), matching the layout the
+    /// dynamics batch kernel uses.
+    fn batch_oscillator(lanes: usize) -> impl FnMut(&[f64], f64, &mut [f64]) {
+        move |x: &[f64], _t: f64, dx: &mut [f64]| {
+            for l in 0..lanes {
+                dx[l] = x[lanes + l];
+                dx[lanes + l] = -x[l] - 0.1 * x[lanes + l];
+            }
+        }
+    }
+
+    #[test]
+    fn batch_step_single_lane_is_bit_identical_to_scalar_step() {
+        let scalar = |s: &[f64; 2], _t: f64| [s[1], -s[0] - 0.1 * s[1]];
+        for method in Method::all() {
+            let mut s = [0.7, -0.2];
+            let mut flat = s.to_vec();
+            let (mut k1, mut k2, mut k3, mut k4, mut stage) =
+                ([0.0; 2], [0.0; 2], [0.0; 2], [0.0; 2], [0.0; 2]);
+            let mut out = [0.0; 2];
+            for step in 0..500 {
+                s = method.step(&s, 0.0, 1e-2, &scalar);
+                let mut deriv = batch_oscillator(1);
+                let mut scratch = BatchScratch {
+                    k1: &mut k1,
+                    k2: &mut k2,
+                    k3: &mut k3,
+                    k4: &mut k4,
+                    stage: &mut stage,
+                };
+                method.step_batch(&flat, 0.0, 1e-2, &mut deriv, &mut scratch, &mut out);
+                flat.copy_from_slice(&out);
+                assert_eq!(flat.as_slice(), &s, "{method} diverged at step {step}");
+            }
+        }
+    }
+
+    #[test]
+    fn batch_lanes_are_bit_identical_to_independent_scalar_lanes() {
+        let scalar = |s: &[f64; 2], _t: f64| [s[1], -s[0] - 0.1 * s[1]];
+        let lanes = 5;
+        for method in Method::all() {
+            // Seed each lane differently; dim-major flatten.
+            let mut states: Vec<[f64; 2]> =
+                (0..lanes).map(|l| [0.3 + 0.1 * l as f64, -0.5 + 0.2 * l as f64]).collect();
+            let n = 2 * lanes;
+            let mut flat = vec![0.0; n];
+            for (l, s) in states.iter().enumerate() {
+                flat[l] = s[0];
+                flat[lanes + l] = s[1];
+            }
+            let mut scratch_store = vec![0.0; 5 * n];
+            let mut out = vec![0.0; n];
+            for _ in 0..200 {
+                for s in &mut states {
+                    *s = method.step(s, 0.0, 1e-2, &scalar);
+                }
+                let (k1, rest) = scratch_store.split_at_mut(n);
+                let (k2, rest) = rest.split_at_mut(n);
+                let (k3, rest) = rest.split_at_mut(n);
+                let (k4, stage) = rest.split_at_mut(n);
+                let mut scratch = BatchScratch { k1, k2, k3, k4, stage };
+                let mut deriv = batch_oscillator(lanes);
+                method.step_batch(&flat, 0.0, 1e-2, &mut deriv, &mut scratch, &mut out);
+                flat.copy_from_slice(&out);
+            }
+            for (l, s) in states.iter().enumerate() {
+                assert_eq!(flat[l], s[0], "{method} lane {l} position diverged");
+                assert_eq!(flat[lanes + l], s[1], "{method} lane {l} velocity diverged");
+            }
+        }
     }
 
     #[test]

@@ -174,6 +174,16 @@ impl<T> SimLink<T> {
     /// order (jitter may reorder relative to send order).
     pub fn poll(&mut self, now: SimTime) -> Vec<T> {
         let mut out = Vec::new();
+        self.poll_into(now, &mut out);
+        out
+    }
+
+    /// [`SimLink::poll`] draining into a caller-held buffer: arrived
+    /// packets are appended to `out` (which is *not* cleared — the caller
+    /// owns its lifecycle). Per-cycle pollers keep one reusable buffer and
+    /// `drain(..)` it after processing, so steady-state polling never
+    /// allocates.
+    pub fn poll_into(&mut self, now: SimTime, out: &mut Vec<T>) {
         while let Some(head) = self.in_flight.peek() {
             if head.arrival > now {
                 break;
@@ -182,7 +192,6 @@ impl<T> SimLink<T> {
             self.delivered += 1;
             out.push(pkt.payload);
         }
-        out
     }
 
     /// Packets handed to [`SimLink::send`] so far.
@@ -329,6 +338,21 @@ mod tests {
         assert_eq!(got.len(), in_flight_before);
         assert_eq!(link.delivered(), in_flight_before as u64);
         assert!(got.iter().all(|&p| p < 100), "only pre-switch packets arrive");
+    }
+
+    #[test]
+    fn poll_into_appends_without_clearing_and_matches_poll() {
+        let mut a: SimLink<u32> = SimLink::new(LinkConfig::lossy_wan(0.2), 7);
+        let mut b: SimLink<u32> = SimLink::new(LinkConfig::lossy_wan(0.2), 7);
+        let mut buf = vec![999];
+        for i in 0..100 {
+            a.send(at_ms(i as u64), i);
+            b.send(at_ms(i as u64), i);
+        }
+        a.poll_into(at_ms(10_000), &mut buf);
+        assert_eq!(buf[0], 999, "caller-held contents preserved");
+        assert_eq!(buf[1..], b.poll(at_ms(10_000)), "poll_into must match poll");
+        assert_eq!(a.delivered(), b.delivered());
     }
 
     #[test]
