@@ -664,17 +664,51 @@ impl Simulation {
     /// Runs the teleoperation session and returns the outcome.
     pub fn run_session(&mut self) -> SessionOutcome {
         let _session = self.spans.begin(spans::SESSION_RUN);
-        let target_ticks = self.config.session_ms;
+        let ran = self.run_session_burst(self.config.session_ms);
+        self.outcome(ran)
+    }
+
+    /// One bounded burst of the teleoperation session loop — the fleet
+    /// engine's unit of work. Steps until `cycles` have run or the rig
+    /// halts, returning the cycles actually stepped. [`run_session`] is
+    /// a single maximal burst, so a session advanced in several bursts
+    /// executes the *same* step sequence and is bit-identical to a
+    /// standalone run (pinned by `raven-fleet`'s equivalence suite).
+    ///
+    /// [`run_session`]: Simulation::run_session
+    pub fn run_session_burst(&mut self, cycles: u64) -> u64 {
         let mut ran = 0;
-        for _ in 0..target_ticks {
+        for _ in 0..cycles {
             self.step();
             ran += 1;
             // Stop early once halted: nothing further can happen.
-            if self.controller.state_machine().is_estop() && self.rig.estop().is_some() {
+            if self.halted() {
                 break;
             }
         }
-        self.outcome(ran)
+        ran
+    }
+
+    /// Whether the session has halted for good: the software state
+    /// machine is in E-STOP *and* the PLC latch is engaged.
+    pub fn halted(&self) -> bool {
+        self.controller.state_machine().is_estop() && self.rig.estop().is_some()
+    }
+
+    /// The configured teleoperation span (ms ≡ session cycles).
+    pub fn session_ms(&self) -> u64 {
+        self.config.session_ms
+    }
+
+    /// Summarizes a session that ran `session_ticks` cycles past boot —
+    /// what [`run_session`] returns, for callers that drive the bursts
+    /// themselves (`ticks` in the outcome counts session cycles only,
+    /// unlike [`run_session_outcome_only`] which counts every tick).
+    ///
+    /// [`run_session`]: Simulation::run_session
+    /// [`run_session_outcome_only`]: Simulation::run_session_outcome_only
+    pub fn session_outcome(&self, session_ticks: u64) -> SessionOutcome {
+        self.outcome(session_ticks)
     }
 
     /// One full 1 ms cycle of the whole system.
@@ -1080,6 +1114,43 @@ impl std::fmt::Debug for Simulation {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn simulation_is_send() {
+        // The fleet engine hands whole sessions to scoped worker threads;
+        // every trait object inside the rig must therefore be `Send`.
+        fn assert_send<T: Send>() {}
+        assert_send::<Simulation>();
+    }
+
+    #[test]
+    fn burst_stepping_matches_single_run_session() {
+        let cfg = SimConfig { session_ms: 3_000, ..SimConfig::standard(13) };
+        let attack = AttackSetup::ScenarioB {
+            dac_delta: 30_000,
+            channel: 0,
+            delay_packets: 400,
+            duration_packets: 256,
+        };
+        let mut solo = Simulation::new(cfg.clone());
+        solo.install_attack(&attack);
+        solo.boot();
+        let solo_out = solo.run_session();
+
+        let mut burst = Simulation::new(cfg);
+        burst.install_attack(&attack);
+        burst.boot();
+        let mut ran = 0;
+        while ran < burst.session_ms() && !burst.halted() {
+            ran += burst.run_session_burst(7);
+        }
+        let burst_out = burst.session_outcome(ran);
+        assert_eq!(
+            serde_json::to_string(&solo_out).unwrap(),
+            serde_json::to_string(&burst_out).unwrap()
+        );
+        assert_eq!(solo.events().len(), burst.events().len());
+    }
 
     #[test]
     fn clean_session_has_no_adverse_impact() {

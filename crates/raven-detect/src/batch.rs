@@ -101,6 +101,9 @@ pub struct BatchDetector {
     ee_now: Vec<Vec3>,
     /// Reused per-call verdict storage, one slot per lane.
     verdicts: Vec<Option<Assessment>>,
+    /// Reused per-call engagement mask: lanes with a command *and* a
+    /// synced measurement this cycle.
+    engaged: Vec<bool>,
 }
 
 impl BatchDetector {
@@ -144,6 +147,7 @@ impl BatchDetector {
             ee_step: vec![0.0; m],
             ee_now: vec![Vec3::default(); m],
             verdicts: vec![None; m],
+            engaged: vec![false; m],
         }
     }
 
@@ -195,6 +199,52 @@ impl BatchDetector {
         l.estop_requested = false;
     }
 
+    /// Recycles one lane for a newly admitted session: rebinds the
+    /// estimator lane to the session's model parameters, installs its
+    /// arm config, clears all per-session state, and arms it with the
+    /// session's thresholds (or leaves it learning when `None`). The
+    /// other lanes' SoA columns are untouched, so sibling trajectories
+    /// stay bitwise identical — the dynamic arrive/retire counterpart
+    /// of constructing a fresh batch.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the model's integrator configuration differs from the
+    /// batch's shared configuration.
+    pub fn admit_lane(
+        &mut self,
+        lane: usize,
+        arm: ArmConfig,
+        model: &RtModel,
+        thresholds: Option<DetectionThresholds>,
+    ) {
+        assert_eq!(
+            model.config(),
+            self.model.config(),
+            "admitted lanes must share the batch integrator configuration"
+        );
+        self.model.set_lane_params(lane, *model.params());
+        self.model.load_state(lane, &raven_dynamics::PlantState::default());
+        self.model.set_torque(lane, &[0.0; NUM_AXES]);
+        let l = &mut self.lanes[lane];
+        l.arm = arm;
+        l.mode = match thresholds {
+            Some(t) => ModeState::Armed(t),
+            None => ModeState::Learning,
+        };
+        self.reset_session(lane);
+    }
+
+    /// Retires one lane: clears its per-session state, disarms it, and
+    /// parks the estimator lane at the benign rest state with zero
+    /// torque, ready for [`admit_lane`](Self::admit_lane) to recycle.
+    pub fn retire_lane(&mut self, lane: usize) {
+        self.lanes[lane].mode = ModeState::Learning;
+        self.reset_session(lane);
+        self.model.load_state(lane, &raven_dynamics::PlantState::default());
+        self.model.set_torque(lane, &[0.0; NUM_AXES]);
+    }
+
     /// Assesses one candidate DAC command per lane, stepping every
     /// session's estimator together. Returns one verdict slot per lane;
     /// `None` where the lane has no synced measurement yet. Lanes in
@@ -210,17 +260,65 @@ impl BatchDetector {
     pub fn assess_lanes(&mut self, dacs: &[[i16; NUM_AXES]]) -> &[Option<Assessment>] {
         let m = self.lanes.len();
         assert_eq!(dacs.len(), m, "one DAC command per lane");
-        for (l, lane) in self.lanes.iter().enumerate() {
-            if let Some(current) = lane.tracked {
-                self.model.load_state(l, &current);
-                self.model.set_dac(l, &dacs[l]);
-            }
+        self.assess_impl(&|l| Some(dacs[l]))
+    }
+
+    /// [`assess_lanes`](Self::assess_lanes) with per-lane participation:
+    /// `None` slots are *parked* this cycle — no assessment, no counter
+    /// movement, verdict `None` — which is how the fleet multiplexer
+    /// runs a batch where only a subset of sessions is active. Parked
+    /// (and unsynced) lanes are still stepped with the batch, but are
+    /// re-loaded with the benign rest state and zero torque on every
+    /// call, so an idle lane can never drift toward non-finite values
+    /// over a long soak and never influences an engaged sibling (lanes
+    /// are arithmetically independent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `dacs` does not supply exactly one slot per lane.
+    pub fn assess_lanes_masked(
+        &mut self,
+        dacs: &[Option<[i16; NUM_AXES]>],
+    ) -> &[Option<Assessment>] {
+        let m = self.lanes.len();
+        assert_eq!(dacs.len(), m, "one DAC slot per lane");
+        self.assess_impl(&|l| dacs[l])
+    }
+
+    /// Shared body of the two assessment entry points. `dyn Fn` keeps a
+    /// single monomorphization, so the masked path runs the *same*
+    /// machine code as the plain path — engaged lanes are bit-identical
+    /// between the two by construction.
+    fn assess_impl(
+        &mut self,
+        dac_of: &dyn Fn(usize) -> Option<[i16; NUM_AXES]>,
+    ) -> &[Option<Assessment>] {
+        let m = self.lanes.len();
+        for l in 0..m {
+            self.engaged[l] = match (dac_of(l), self.lanes[l].tracked) {
+                (Some(dac), Some(current)) => {
+                    self.model.load_state(l, &current);
+                    self.model.set_dac(l, &dac);
+                    true
+                }
+                _ => {
+                    // Parked or unsynced: reload rest state + zero torque
+                    // each call so the still-stepped lane stays finite.
+                    self.model.load_state(l, &raven_dynamics::PlantState::default());
+                    self.model.set_torque(l, &[0.0; NUM_AXES]);
+                    false
+                }
+            };
         }
         self.model.step_lanes();
         // One-step features per lane, scattered into the SoA rows. The
         // per-lane math is the scalar helper, so each lane is
         // bit-identical to an independent detector.
         for (l, lane) in self.lanes.iter().enumerate() {
+            if !self.engaged[l] {
+                self.verdicts[l] = None;
+                continue;
+            }
             let Some(current) = lane.tracked else {
                 self.verdicts[l] = None;
                 continue;
@@ -252,7 +350,7 @@ impl BatchDetector {
                 self.model.step_lanes();
             }
             for (l, lane) in self.lanes.iter().enumerate() {
-                if lane.tracked.is_none() {
+                if !self.engaged[l] {
                     continue;
                 }
                 let Some(assessment) = &mut self.verdicts[l] else { continue };
@@ -412,6 +510,118 @@ mod tests {
         assert!(verdicts[0].is_some());
         assert!(verdicts[1].is_none());
         assert_eq!(batch.lane_assessments(1), 0);
+    }
+
+    #[test]
+    fn masked_assessment_parks_lanes_without_perturbing_siblings() {
+        // An engaged lane in a masked batch is bit-identical to the same
+        // lane in a fully-engaged batch, regardless of what its siblings
+        // do; parked lanes don't assess, don't count, and resume cleanly.
+        let (arm, model, params) = session(3);
+        let thresholds = trained_thresholds(&arm, &model, &params);
+        let config = DetectorConfig::default();
+        let mut masked = BatchDetector::from_models(
+            &[arm.clone(), arm.clone()],
+            &[model.clone(), model.clone()],
+            config,
+        );
+        let mut solo = BatchDetector::from_models(
+            std::slice::from_ref(&arm),
+            std::slice::from_ref(&model),
+            config,
+        );
+        masked.arm_lane(0, thresholds);
+        masked.arm_lane(1, thresholds);
+        solo.arm_lane(0, thresholds);
+
+        let coupling = params.coupling();
+        for k in 0..30u64 {
+            let t = k as f64 * 1e-3;
+            let j = JointState::new(0.1 * (2.0 * t).sin(), 1.4 + 0.05 * (3.0 * t).cos(), 0.25);
+            let mpos = coupling.joints_to_motors(&j);
+            masked.sync_lane(0, mpos);
+            solo.sync_lane(0, mpos);
+            let dac = [400, -200, 150];
+            // Lane 1 alternates active/parked; lane 0 never parks.
+            let lane1 = if k % 3 == 0 {
+                masked.sync_lane(1, mpos);
+                Some(dac)
+            } else {
+                None
+            };
+            let got = masked.assess_lanes_masked(&[Some(dac), lane1]).to_vec();
+            let expected = solo.assess_lanes(&[dac])[0];
+            assert_eq!(got[0], expected, "engaged lane diverged at cycle {k}");
+            assert_eq!(got[1].is_some(), lane1.is_some());
+        }
+        assert_eq!(masked.lane_assessments(0), solo.lane_assessments(0));
+        assert_eq!(masked.lane_assessments(1), 10);
+    }
+
+    #[test]
+    fn admit_retire_recycles_a_lane_onto_a_new_session() {
+        let (arm_a, model_a, params) = session(4);
+        let (arm_b, model_b, _) = session(5);
+        let thresholds = trained_thresholds(&arm_a, &model_a, &params);
+        let config = DetectorConfig::default();
+        let mut batch = BatchDetector::from_models(
+            &[arm_a.clone(), arm_a.clone()],
+            &[model_a.clone(), model_a.clone()],
+            config,
+        );
+        batch.arm_lane(0, thresholds);
+        batch.arm_lane(1, thresholds);
+        let mut fresh = BatchDetector::from_models(
+            std::slice::from_ref(&arm_b),
+            std::slice::from_ref(&model_b),
+            config,
+        );
+        fresh.arm_lane(0, thresholds);
+
+        let coupling = params.coupling();
+        let mpos = coupling.joints_to_motors(&JointState::new(0.0, 1.4, 0.25));
+        batch.sync_lane(0, mpos);
+        batch.sync_lane(1, mpos);
+        batch.assess_lanes(&[[300, 0, 0], [300, 0, 0]]);
+        assert_eq!(batch.lane_assessments(1), 1);
+
+        // Session on lane 1 leaves; a new session (different model) takes
+        // the lane. The recycled lane must match a from-scratch batch of
+        // the new session bit-for-bit.
+        batch.retire_lane(1);
+        assert_eq!(batch.lane_mode(1), DetectorMode::Learning);
+        assert_eq!(batch.lane_assessments(1), 0);
+        batch.admit_lane(1, arm_b, &model_b, Some(thresholds));
+        assert_eq!(batch.lane_mode(1), DetectorMode::Armed);
+
+        for k in 0..20u64 {
+            let t = k as f64 * 1e-3;
+            let j = JointState::new(0.08 * (2.5 * t).sin(), 1.42, 0.24);
+            let m = coupling.joints_to_motors(&j);
+            batch.sync_lane(0, mpos);
+            batch.sync_lane(1, m);
+            fresh.sync_lane(0, m);
+            let got = batch.assess_lanes(&[[200, 0, 0], [500, -100, 50]]).to_vec();
+            let expected = fresh.assess_lanes(&[[500, -100, 50]])[0];
+            assert_eq!(got[1], expected, "recycled lane diverged at cycle {k}");
+        }
+        assert_eq!(batch.lane_assessments(1), fresh.lane_assessments(0));
+    }
+
+    #[test]
+    #[should_panic(expected = "integrator configuration")]
+    fn admitting_a_mismatched_model_config_panics() {
+        let (arm, model, _) = session(6);
+        let mut batch = BatchDetector::from_models(
+            std::slice::from_ref(&arm),
+            std::slice::from_ref(&model),
+            DetectorConfig::default(),
+        );
+        let other = RtModel::with_config(
+            *model.params(),
+            raven_dynamics::RtModelConfig { step_size: 5e-4, ..model.config() },
+        );
+        batch.admit_lane(0, arm, &other, None);
     }
 
     #[test]

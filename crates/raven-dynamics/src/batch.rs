@@ -243,6 +243,32 @@ impl BatchModel {
         &self.params[lane]
     }
 
+    /// Rebinds one lane to a new parameter set — the lane-recycling
+    /// primitive the fleet engine uses when a retired session's lane is
+    /// re-admitted to a different rig. Updates the lane's SoA columns in
+    /// place; the other lanes' columns are untouched, so (per the
+    /// bit-identity contract) sibling trajectories are bitwise
+    /// unaffected. State and latched torque are *not* reset — callers
+    /// re-admitting a lane load fresh state explicitly.
+    pub fn set_lane_params(&mut self, lane: usize, params: PlantParams) {
+        let m = self.soa.lanes;
+        assert!(lane < m, "lane {lane} out of {m}");
+        self.params[lane] = params;
+        for i in 0..NUM_AXES {
+            self.soa.ratio[i * m + lane] = params.cables[i].ratio;
+            self.soa.stiffness[i * m + lane] = params.cables[i].stiffness;
+            self.soa.damping[i * m + lane] = params.cables[i].damping;
+            self.soa.viscous[i * m + lane] = params.motors[i].viscous_friction;
+            self.soa.coulomb[i * m + lane] = params.motors[i].coulomb_friction;
+            self.soa.rotor_inertia[i * m + lane] = params.motors[i].rotor_inertia;
+        }
+        let (k21, k31, k32) = params.routing;
+        self.soa.k21[lane] = k21;
+        self.soa.k31[lane] = k31;
+        self.soa.k32[lane] = k32;
+        self.soa.links[lane] = params.links;
+    }
+
     /// Scatters a session state into the lane's SoA columns.
     pub fn load_state(&mut self, lane: usize, state: &PlantState) {
         let m = self.soa.lanes;
@@ -396,6 +422,46 @@ mod tests {
         batch.step_lanes();
         assert_eq!(batch.state(1).wrist, s.wrist);
         assert_eq!(batch.state(0).wrist, [0.0; WRIST_AXES]);
+    }
+
+    #[test]
+    fn lane_param_swap_rebinds_one_lane_and_leaves_siblings_bitwise() {
+        // Recycling a lane onto new parameters mid-run: the recycled
+        // lane tracks a scalar model of the *new* parameters, and the
+        // sibling's trajectory is bitwise-identical to a run where the
+        // swap never happened.
+        let base = PlantParams::raven_ii();
+        let old = base.perturbed(3, 0.03);
+        let new = base.perturbed(9, 0.03);
+        let config = RtModelConfig::default();
+        let dac = [800, -300, 450];
+
+        let mut batch = BatchModel::with_params(&[base, old], config);
+        let mut solo = BatchModel::with_params(&[base], config);
+        let mut sib = rest(&base);
+        for step in 0..40 {
+            if step == 20 {
+                batch.set_lane_params(1, new);
+                batch.load_state(1, &rest(&new));
+            }
+            batch.load_state(0, &sib);
+            batch.set_dac(0, &dac);
+            batch.set_dac(1, &dac);
+            batch.step_lanes();
+            solo.load_state(0, &sib);
+            solo.set_dac(0, &dac);
+            solo.step_lanes();
+            sib = solo.state(0);
+            assert_eq!(batch.state(0), sib, "sibling perturbed at step {step}");
+        }
+        // And the recycled lane matches a scalar model of the new params
+        // stepped the same 20 post-swap cycles.
+        let scalar = RtModel::with_config(new, config);
+        let mut expect = rest(&new);
+        for _ in 20..40 {
+            expect = scalar.predict(&expect, &dac);
+        }
+        assert_eq!(batch.state(1), expect);
     }
 
     #[test]

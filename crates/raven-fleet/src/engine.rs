@@ -1,0 +1,295 @@
+//! The rig-plane fleet engine: N full sessions over a virtual-time
+//! wake queue, dispatched in shards through the campaign executor.
+//!
+//! # Determinism doctrine
+//!
+//! * Each scheduler round pops the earliest wake-queue frontier —
+//!   every session due at that virtual instant, ids ascending — and
+//!   chunks it into shard groups of [`FleetConfig::shard_width`].
+//! * Shards run as independent jobs on [`run_sweep`], whose run-order
+//!   merge slots results by shard index regardless of worker count or
+//!   scheduling.
+//! * A session burst touches only that session's `Simulation`, so its
+//!   artifact is a pure function of its [`SessionSpec`] — grouping
+//!   cannot perturb it. Fleet-level metrics count only quantities that
+//!   are themselves grouping-invariant (admissions, wakeups,
+//!   retirements).
+//!
+//! Together: the merged [`FleetReport`] is bit-identical for any shard
+//! width or worker count, and every session artifact is bit-identical
+//! to [`run_standalone`](crate::session::run_standalone) of its spec —
+//! the contract `tests/fleet_equiv.rs` pins.
+
+use std::collections::BTreeMap;
+
+use parking_lot::Mutex;
+use raven_core::{run_sweep, ExecutorConfig, Simulation};
+use simbus::obs::{names, spans, Event, EventKind, EventLog, Metrics, Severity};
+use simbus::span::SpanHandle;
+use simbus::{SimDuration, SimTime};
+
+use crate::queue::WakeQueue;
+use crate::session::{build_session, SessionArtifact, SessionSpec};
+
+/// How the fleet engine schedules and dispatches.
+#[derive(Debug, Clone)]
+pub struct FleetConfig {
+    /// Ready sessions per shard group (≥ 1). Output is bit-identical
+    /// for any value; wider shards amortize dispatch overhead.
+    pub shard_width: usize,
+    /// Worker threads for shard dispatch. `None` resolves like the
+    /// campaign executor (`$RAVEN_WORKERS`, else available
+    /// parallelism); output is bit-identical for any value.
+    pub workers: Option<usize>,
+    /// Teleoperation cycles a session advances per wake (≥ 1). Output
+    /// is bit-identical for any value: a session's step sequence is
+    /// the same whether run in one maximal burst or many small ones.
+    pub burst_ms: u64,
+}
+
+impl Default for FleetConfig {
+    fn default() -> Self {
+        FleetConfig { shard_width: 4, workers: Some(1), burst_ms: 256 }
+    }
+}
+
+/// One admitted session's slot between wakes.
+#[derive(Debug)]
+struct Slot {
+    spec: SessionSpec,
+    /// Built and booted lazily at the first wake.
+    sim: Option<Box<Simulation>>,
+    booted: bool,
+    /// Teleoperation cycles executed so far (the `ticks` the outcome
+    /// reports — boot cycles excluded, matching `run_session`).
+    ran: u64,
+}
+
+/// A shard's take-once cell: the dispatch closure moves the group out
+/// under the executor, which only hands each index to one worker.
+type ShardCell = Mutex<Option<Vec<(u64, Slot)>>>;
+
+/// The merged output of a fleet run.
+#[derive(Debug)]
+pub struct FleetReport {
+    /// One artifact per admitted session, in session-id order.
+    pub artifacts: Vec<SessionArtifact>,
+    /// Fleet-level scheduling events (`fleet.admitted`, `fleet.retired`).
+    pub events: Vec<Event>,
+    /// Fleet-level counters (`fleet.sessions`, `fleet.wakeups`,
+    /// `fleet.retirements`) — shard-invariant by construction.
+    pub metrics: Metrics,
+    /// Scheduler rounds executed.
+    pub rounds: u64,
+}
+
+/// The virtual-time session multiplexer. See the module doc for the
+/// determinism contract.
+///
+/// # Example
+///
+/// ```
+/// use raven_fleet::{FleetConfig, FleetEngine, SessionSpec};
+///
+/// let mut fleet = FleetEngine::new(FleetConfig::default());
+/// fleet.admit(SessionSpec::clean(11).with_session_ms(40));
+/// fleet.admit(SessionSpec::clean(12).with_session_ms(40));
+/// let report = fleet.run();
+/// assert_eq!(report.artifacts.len(), 2);
+/// assert!(report.artifacts.iter().all(|a| a.booted));
+/// ```
+#[derive(Debug)]
+pub struct FleetEngine {
+    config: FleetConfig,
+    queue: WakeQueue,
+    slots: BTreeMap<u64, Slot>,
+    next_id: u64,
+    events: EventLog,
+    metrics: Metrics,
+    spans: SpanHandle,
+}
+
+impl FleetEngine {
+    /// An empty fleet.
+    ///
+    /// # Panics
+    ///
+    /// Panics on a zero shard width or burst length.
+    pub fn new(config: FleetConfig) -> Self {
+        assert!(config.shard_width >= 1, "shard width must be at least 1");
+        assert!(config.burst_ms >= 1, "burst length must be at least 1 ms");
+        FleetEngine {
+            config,
+            queue: WakeQueue::new(),
+            slots: BTreeMap::new(),
+            next_id: 0,
+            events: EventLog::new(EventLog::DEFAULT_CAPACITY),
+            metrics: Metrics::new(),
+            spans: SpanHandle::disabled(),
+        }
+    }
+
+    /// Starts recording fleet scheduling spans (`span.fleet.round`,
+    /// `span.fleet.shard`) for Chrome-trace export.
+    pub fn enable_span_recorder(&mut self) {
+        self.spans = SpanHandle::recording();
+    }
+
+    /// The fleet's span handle (for trace export after a run).
+    pub fn spans(&self) -> &SpanHandle {
+        &self.spans
+    }
+
+    /// Admits a session; returns its fleet id (admission order). The
+    /// session first wakes at its spec's `start_ms`.
+    pub fn admit(&mut self, spec: SessionSpec) -> u64 {
+        let id = self.next_id;
+        self.next_id += 1;
+        let at = SimTime::ZERO + SimDuration::from_millis(spec.start_ms);
+        self.queue.schedule(at, id);
+        self.events.push(
+            Event::new(at, "fleet", Severity::Info, EventKind::FleetAdmitted)
+                .with("session", id)
+                .with("wake_ms", spec.start_ms),
+        );
+        self.metrics.inc(names::FLEET_SESSIONS);
+        self.slots.insert(id, Slot { spec, sim: None, booted: false, ran: 0 });
+        id
+    }
+
+    /// Sessions admitted and not yet retired.
+    pub fn pending(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Runs every admitted session to its horizon (or halt) and merges
+    /// the per-session artifacts in id order.
+    pub fn run(&mut self) -> FleetReport {
+        let mut artifacts: BTreeMap<u64, SessionArtifact> = BTreeMap::new();
+        let mut rounds = 0u64;
+        while let Some((now, ready)) = self.queue.pop_frontier() {
+            rounds += 1;
+            self.spans.set_time(now);
+            let _round = self.spans.begin(spans::FLEET_ROUND);
+            self.metrics.add(names::FLEET_WAKEUPS, ready.len() as u64);
+
+            // Move the ready sessions out of their slots, grouped into
+            // shards in frontier (ascending-id) order.
+            let mut groups: Vec<Vec<(u64, Slot)>> = Vec::new();
+            for ids in ready.chunks(self.config.shard_width) {
+                groups.push(
+                    ids.iter()
+                        .map(|&id| (id, self.slots.remove(&id).expect("ready session has a slot")))
+                        .collect(),
+                );
+            }
+            let shard_cells: Vec<ShardCell> =
+                groups.into_iter().map(|g| Mutex::new(Some(g))).collect();
+
+            // Dispatch shards through the campaign executor: results
+            // come back in shard order for any worker count.
+            let exec =
+                ExecutorConfig { workers: self.config.workers, progress: false, trace: None };
+            let burst_ms = self.config.burst_ms;
+            let sweep = run_sweep(
+                "fleet.round",
+                shard_cells.len(),
+                &exec,
+                |i| i as u64,
+                |i, _| {
+                    let group = shard_cells[i].lock().take().expect("shard dispatched once");
+                    group
+                        .into_iter()
+                        .map(|(id, slot)| advance_session(id, slot, burst_ms))
+                        .collect::<Vec<_>>()
+                },
+            );
+
+            // Run-order merge: shard index order, within-shard frontier
+            // order — i.e. exactly ascending-id order per round.
+            for group in sweep.expect_all("fleet round") {
+                let _shard = self.spans.begin(spans::FLEET_SHARD);
+                for (id, slot, artifact) in group {
+                    match artifact {
+                        Some(artifact) => {
+                            self.events.push(
+                                Event::new(now, "fleet", Severity::Info, EventKind::FleetRetired)
+                                    .with("session", id)
+                                    .with("ticks", slot.ran)
+                                    .with("halted", artifact.outcome.estop.is_some()),
+                            );
+                            self.metrics.inc(names::FLEET_RETIREMENTS);
+                            artifacts.insert(id, artifact);
+                        }
+                        None => {
+                            self.queue
+                                .schedule(now + SimDuration::from_millis(self.config.burst_ms), id);
+                            self.slots.insert(id, slot);
+                        }
+                    }
+                }
+            }
+        }
+        self.spans.finish();
+        FleetReport {
+            artifacts: artifacts.into_values().collect(),
+            events: self.events.snapshot(),
+            metrics: self.metrics.clone(),
+            rounds,
+        }
+    }
+}
+
+/// One session wake: boot lazily on the first wake, then advance one
+/// bounded burst. Returns the artifact once the session reaches its
+/// horizon or halts. Runs on a worker thread; touches nothing but this
+/// session's own state.
+fn advance_session(id: u64, mut slot: Slot, burst_ms: u64) -> (u64, Slot, Option<SessionArtifact>) {
+    if slot.sim.is_none() {
+        let mut sim = Box::new(build_session(&slot.spec));
+        slot.booted = sim.boot_expecting_failure();
+        slot.sim = Some(sim);
+    }
+    let sim = slot.sim.as_mut().expect("session built above");
+    let horizon = slot.spec.config.session_ms;
+    let cycles = burst_ms.min(horizon - slot.ran);
+    slot.ran += sim.run_session_burst(cycles);
+    let done = slot.ran >= horizon || sim.halted();
+    let artifact = done.then(|| {
+        let outcome = sim.session_outcome(slot.ran);
+        SessionArtifact::collect(id, &slot.spec, slot.booted, outcome, sim)
+    });
+    (id, slot, artifact)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::session::run_standalone;
+
+    #[test]
+    fn fleet_of_one_matches_standalone() {
+        let spec = SessionSpec::attacked(21).with_session_ms(600);
+        let mut fleet = FleetEngine::new(FleetConfig::default());
+        let id = fleet.admit(spec.clone());
+        let report = fleet.run();
+        assert_eq!(report.artifacts.len(), 1);
+        assert_eq!(report.artifacts[0].to_json(), run_standalone(&spec, id).to_json());
+        assert_eq!(report.metrics.counter(names::FLEET_SESSIONS), 1);
+        assert_eq!(report.metrics.counter(names::FLEET_RETIREMENTS), 1);
+        assert_eq!(report.events.len(), 2);
+    }
+
+    #[test]
+    fn staggered_admissions_round_count_follows_bursts() {
+        let mut fleet = FleetEngine::new(FleetConfig { burst_ms: 100, ..FleetConfig::default() });
+        fleet.admit(SessionSpec::clean(5).with_session_ms(250));
+        fleet.admit(SessionSpec::clean(6).with_session_ms(250).with_start_ms(50));
+        let report = fleet.run();
+        assert_eq!(report.artifacts.len(), 2);
+        // 250 ms at 100 ms bursts = 3 wakes per session, admissions
+        // offset so no round is shared: 6 rounds.
+        assert_eq!(report.rounds, 6);
+        assert_eq!(report.metrics.counter(names::FLEET_WAKEUPS), 6);
+    }
+}

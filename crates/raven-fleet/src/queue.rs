@@ -1,0 +1,139 @@
+//! The virtual-time wake queue: sessions schedule their next wake
+//! instead of being polled every tick.
+//!
+//! A `BinaryHeap` keyed by `(wake_time_ns, session_id)` (min-first via
+//! `Reverse`) makes the pop order a pure function of the scheduled
+//! set: ties on time break by ascending session id, so permuting the
+//! *admission* order of a fleet cannot permute its *execution* order —
+//! one of the scheduler properties pinned under proptest in
+//! `tests/scheduler_props.rs`.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use simbus::SimTime;
+
+/// Deterministic virtual-time wake queue.
+///
+/// # Example
+///
+/// ```
+/// use raven_fleet::WakeQueue;
+/// use simbus::SimTime;
+///
+/// let mut q = WakeQueue::new();
+/// q.schedule(SimTime::from_nanos(2_000_000), 7);
+/// q.schedule(SimTime::from_nanos(1_000_000), 9);
+/// q.schedule(SimTime::from_nanos(1_000_000), 3);
+/// // The 1 ms frontier pops first, ids ascending.
+/// assert_eq!(q.pop_frontier(), Some((SimTime::from_nanos(1_000_000), vec![3, 9])));
+/// assert_eq!(q.pop_frontier(), Some((SimTime::from_nanos(2_000_000), vec![7])));
+/// assert_eq!(q.pop_frontier(), None);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct WakeQueue {
+    heap: BinaryHeap<Reverse<(u64, u64)>>,
+    /// Latest popped frontier: virtual time may never move backwards.
+    frontier_ns: u64,
+}
+
+impl WakeQueue {
+    /// An empty queue at virtual time zero.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Schedules session `id` to wake at `at`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `at` is earlier than the last popped frontier — a
+    /// wake in the past would make virtual time run backwards.
+    pub fn schedule(&mut self, at: SimTime, id: u64) {
+        let ns = at.as_nanos();
+        assert!(
+            ns >= self.frontier_ns,
+            "wake at {ns} ns is before the current frontier ({} ns)",
+            self.frontier_ns
+        );
+        self.heap.push(Reverse((ns, id)));
+    }
+
+    /// Pops the earliest frontier: the minimum wake time together with
+    /// *every* session scheduled at exactly that time, ids ascending.
+    /// Advances the frontier; returns `None` when the queue is empty.
+    pub fn pop_frontier(&mut self) -> Option<(SimTime, Vec<u64>)> {
+        let Reverse((t, first)) = self.heap.pop()?;
+        self.frontier_ns = t;
+        let mut ids = vec![first];
+        while let Some(&Reverse((tn, id))) = self.heap.peek() {
+            if tn != t {
+                break;
+            }
+            self.heap.pop();
+            ids.push(id);
+        }
+        (SimTime::from_nanos(t), ids).into()
+    }
+
+    /// The next wake time, if any, without popping.
+    pub fn next_wake(&self) -> Option<SimTime> {
+        self.heap.peek().map(|&Reverse((t, _))| SimTime::from_nanos(t))
+    }
+
+    /// The latest popped frontier (virtual "now").
+    pub fn frontier(&self) -> SimTime {
+        SimTime::from_nanos(self.frontier_ns)
+    }
+
+    /// Scheduled wakes outstanding.
+    pub fn len(&self) -> usize {
+        self.heap.len()
+    }
+
+    /// `true` when nothing is scheduled.
+    pub fn is_empty(&self) -> bool {
+        self.heap.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn ms(v: u64) -> SimTime {
+        SimTime::from_nanos(v * 1_000_000)
+    }
+
+    #[test]
+    fn pops_by_time_then_id() {
+        let mut q = WakeQueue::new();
+        for &(t, id) in &[(5, 2u64), (1, 9), (5, 1), (1, 4), (3, 0)] {
+            q.schedule(ms(t), id);
+        }
+        assert_eq!(q.pop_frontier(), Some((ms(1), vec![4, 9])));
+        assert_eq!(q.pop_frontier(), Some((ms(3), vec![0])));
+        assert_eq!(q.pop_frontier(), Some((ms(5), vec![1, 2])));
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn rescheduling_at_the_frontier_is_allowed() {
+        let mut q = WakeQueue::new();
+        q.schedule(ms(2), 1);
+        let (t, _) = q.pop_frontier().unwrap();
+        // A session may re-arm at the very instant it woke (e.g. a
+        // deferred lane acquisition) — just never earlier.
+        q.schedule(t, 1);
+        assert_eq!(q.pop_frontier(), Some((ms(2), vec![1])));
+    }
+
+    #[test]
+    #[should_panic(expected = "before the current frontier")]
+    fn scheduling_in_the_past_panics() {
+        let mut q = WakeQueue::new();
+        q.schedule(ms(5), 1);
+        q.pop_frontier();
+        q.schedule(ms(4), 2);
+    }
+}

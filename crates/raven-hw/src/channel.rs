@@ -48,7 +48,10 @@ pub enum WriteAction {
 /// mitigation). Returning [`WriteAction::Drop`] stops the chain: later
 /// interceptors do not run, matching a wrapper that never calls the real
 /// `write`.
-pub trait WriteInterceptor: std::fmt::Debug {
+///
+/// `Send` so a whole rig (and any `Simulation` owning one) can migrate
+/// between fleet worker threads.
+pub trait WriteInterceptor: std::fmt::Debug + Send {
     /// Inspects and possibly mutates one outgoing buffer.
     fn on_write(&mut self, buf: &mut Vec<u8>, ctx: &WriteContext) -> WriteAction;
 
@@ -56,8 +59,9 @@ pub trait WriteInterceptor: std::fmt::Debug {
     fn name(&self) -> &str;
 }
 
-/// A hook on the USB read (feedback) path.
-pub trait ReadInterceptor: std::fmt::Debug {
+/// A hook on the USB read (feedback) path. `Send` for the same reason as
+/// [`WriteInterceptor`]: fleet workers move rigs across threads.
+pub trait ReadInterceptor: std::fmt::Debug + Send {
     /// Inspects and possibly mutates one incoming buffer.
     fn on_read(&mut self, buf: &mut Vec<u8>, ctx: &WriteContext);
 

@@ -39,5 +39,7 @@ pub mod probes;
 pub use harness::{
     run_chaos_session, run_mutated_chaos_session, suite_thresholds, ChaosRunReport, VerifySpec,
 };
-pub use oracles::{run_ledger, run_oracles, Expectations, OracleReport, OracleVerdict};
+pub use oracles::{
+    fleet_isolation, run_ledger, run_oracles, Expectations, OracleReport, OracleVerdict,
+};
 pub use probes::{all_probes, ProbeResult};

@@ -31,7 +31,11 @@
 //!   pair, truncated tail) is rejected with the correct first-bad
 //!   sequence diagnosis;
 //! * **replay-determinism** — two runs of the same spec serialize
-//!   byte-identically.
+//!   byte-identically;
+//! * **fleet-isolation** — a session's serialized fleet artifact is
+//!   byte-identical to the same spec run standalone: co-scheduling it
+//!   with other sessions (including chaos-faulted ones) changes
+//!   nothing.
 
 use raven_detect::Mitigation;
 use serde::Serialize;
@@ -543,6 +547,34 @@ pub fn replay_determinism(a: &ChaosRunReport, b: &ChaosRunReport) -> OracleVerdi
         OracleVerdict::fail(
             NAME,
             format!("replays diverge at byte {at} ({} vs {} bytes)", ja.len(), jb.len()),
+        )
+    }
+}
+
+/// **fleet-isolation**: a session's artifact from a fleet run must be
+/// byte-identical to the standalone run of the same spec — sharing the
+/// scheduler with arbitrary neighbors (attacked, chaos-faulted, or
+/// clean) is invisible to it. Judged on the serialized artifacts so the
+/// comparison covers the verdict sequence, alarm/E-STOP timing, event
+/// log, metrics, and incident report at once; reports the first
+/// divergent byte like [`replay_determinism`].
+pub fn fleet_isolation(standalone_json: &str, fleet_json: &str) -> OracleVerdict {
+    const NAME: &str = "fleet-isolation";
+    if standalone_json == fleet_json {
+        OracleVerdict::pass(NAME, format!("{} bytes, identical", standalone_json.len()))
+    } else {
+        let at = standalone_json
+            .bytes()
+            .zip(fleet_json.bytes())
+            .position(|(x, y)| x != y)
+            .unwrap_or_else(|| standalone_json.len().min(fleet_json.len()));
+        OracleVerdict::fail(
+            NAME,
+            format!(
+                "fleet artifact diverges from standalone at byte {at} ({} vs {} bytes)",
+                standalone_json.len(),
+                fleet_json.len()
+            ),
         )
     }
 }

@@ -8,6 +8,7 @@
 //! raven-sim table1|table2|fig5|fig6|fig8   regenerate an artifact (quick sizes)
 //! raven-sim table4|fig9|ablations  Monte-Carlo sweeps (parallel campaign engine)
 //! raven-sim chaos [seed]           accidental-fault study (guarded loop under chaos)
+//! raven-sim fleet [seed]           multiplex N mixed sessions over the wake queue
 //! ```
 //!
 //! Sweep commands accept `--workers N` (default: all cores, or
@@ -433,6 +434,7 @@ fn main() {
             print!("{}", run_lookahead_ablation_with(opts.seed, runs, &opts.exec).render());
             flush_sweep_trace(&opts);
         }
+        "fleet" => run_fleet_command(&args),
         "ledger" => run_ledger_command(&args),
         "metrics" => run_metrics_command(&args),
         "profile" => run_profile_command(&args),
@@ -447,12 +449,161 @@ fn main() {
                  fig5|fig6|fig8|fig9|ablations|chaos> [seed] [--workers N] [--paper]\n\
                  \x20      [--metrics-json <path>] [--trace-out <path>] [--profile-json <path>]\n\
                  \x20      [--incident-dir <dir>]   (RAVEN_LOG=<level>)\n\
+                 \x20      raven-sim fleet [seed] [--sessions N] [--shards W] [--duration MS]\n\
                  \x20      raven-sim metrics export [seed] [--out <path>]\n\
                  \x20      raven-sim profile <fig9|table4|chaos> [seed] [--workers N] [--paper]\n\
                  \x20      raven-sim ledger verify <ledger.jsonl> [--sealed]\n\
                  \x20      raven-sim ledger manifest [--root <dir>] [--update]"
             );
             std::process::exit(2);
+        }
+    }
+}
+
+/// `raven-sim fleet [seed] [--sessions N] [--shards W] [--duration MS]
+/// [--workers N] [--metrics-json <path>] [--trace-out <path>]
+/// [--incident-dir <dir>]`: run a mixed-scenario session fleet through
+/// the virtual-time multiplexer.
+///
+/// Admits N `standard_mix` sessions (clean / guarded / attacked /
+/// defended / block-and-hold, staggered seeds and admissions) into a
+/// `FleetEngine` and runs the wake queue dry. Output is bit-identical
+/// for any `--shards`/`--workers` value; `--duration` overrides every
+/// session's teleoperation horizon. `--metrics-json` dumps the fleet
+/// counters merged with every session's registry; `--trace-out` writes
+/// the scheduler's round/shard span timeline as a Chrome trace;
+/// `--incident-dir` appends each tripped flight recorder to the
+/// hash-chained incident ledger, in session-id order.
+fn run_fleet_command(args: &[String]) {
+    let mut seed = 42u64;
+    let mut sessions = 16usize;
+    let mut shards = 4usize;
+    let mut duration: Option<u64> = None;
+    let mut workers: Option<usize> = None;
+    let mut metrics_json: Option<PathBuf> = None;
+    let mut trace_out: Option<PathBuf> = None;
+    let mut incident_dir: Option<PathBuf> = None;
+    let mut rest = args[2..].iter();
+    while let Some(arg) = rest.next() {
+        match arg.as_str() {
+            "--sessions" => {
+                sessions = rest
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .or_else(|| die("--sessions needs a positive integer"))
+                    .unwrap_or(sessions);
+            }
+            "--shards" => {
+                shards = rest
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n| n > 0)
+                    .or_else(|| die("--shards needs a positive integer"))
+                    .unwrap_or(shards);
+            }
+            "--duration" => {
+                duration = rest
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .filter(|&n: &u64| n > 0)
+                    .or_else(|| die("--duration needs a positive ms count"));
+            }
+            "--workers" => {
+                workers = rest
+                    .next()
+                    .and_then(|v| v.parse().ok())
+                    .or_else(|| die("--workers needs a positive integer"));
+            }
+            "--metrics-json" => {
+                metrics_json =
+                    rest.next().map(PathBuf::from).or_else(|| die("--metrics-json needs a path"));
+            }
+            "--trace-out" => {
+                trace_out =
+                    rest.next().map(PathBuf::from).or_else(|| die("--trace-out needs a path"));
+            }
+            "--incident-dir" => {
+                incident_dir = rest
+                    .next()
+                    .map(PathBuf::from)
+                    .or_else(|| die("--incident-dir needs a directory"));
+            }
+            other => match other.parse() {
+                Ok(s) => seed = s,
+                Err(_) => {
+                    die::<u64>(&format!("unrecognized argument `{other}`"));
+                }
+            },
+        }
+    }
+
+    let mut fleet = raven_fleet::FleetEngine::new(raven_fleet::FleetConfig {
+        shard_width: shards,
+        workers,
+        burst_ms: 256,
+    });
+    for mut spec in raven_fleet::standard_mix(sessions, seed) {
+        if let Some(ms) = duration {
+            spec.config.session_ms = ms;
+        }
+        fleet.admit(spec);
+    }
+    if trace_out.is_some() {
+        fleet.enable_span_recorder();
+    }
+    let report = fleet.run();
+
+    let estops = report.artifacts.iter().filter(|a| a.outcome.estop.is_some()).count();
+    let detected = report.artifacts.iter().filter(|a| a.outcome.model_detected).count();
+    let adverse = report.artifacts.iter().filter(|a| a.outcome.adverse).count();
+    println!("fleet: {} sessions, shard width {}, {} rounds", sessions, shards, report.rounds);
+    println!("  model detected   : {detected}");
+    println!("  E-STOP latched   : {estops}");
+    println!("  adverse impact   : {adverse}");
+
+    if let Some(path) = &metrics_json {
+        // Fleet counters plus every session's registry, merged in
+        // session-id order — deterministic for any dispatch shape.
+        let mut merged = report.metrics.clone();
+        for artifact in &report.artifacts {
+            merged.merge(&artifact.metrics);
+        }
+        dump_metrics(Some(path), &merged);
+    }
+    if let Some(path) = &trace_out {
+        let mut trace = ChromeTraceBuilder::new();
+        trace.set_process_name(1, "fleet");
+        trace.set_thread_name(1, 1, "scheduler");
+        fleet.spans().chrome_events(1, 1, &mut trace);
+        write_json(path, &trace.build(), "trace written");
+    }
+    if let Some(dir) = &incident_dir {
+        let mut recorded = 0usize;
+        for artifact in &report.artifacts {
+            let Some(incident) = &artifact.incident else { continue };
+            let appended =
+                raven_core::IncidentSink::open(dir).and_then(|mut sink| sink.append(incident));
+            match appended {
+                Ok(receipt) => {
+                    recorded += 1;
+                    log::emit(
+                        Severity::Info,
+                        "raven-sim",
+                        &format!(
+                            "incident written: {} (ledger seq {})",
+                            receipt.path.display(),
+                            receipt.record.seq
+                        ),
+                    );
+                }
+                Err(e) => {
+                    die::<()>(&format!("cannot record incident in {}: {e}", dir.display()));
+                }
+            }
+        }
+        if recorded == 0 {
+            log::emit(Severity::Info, "raven-sim", "no incidents: no flight recorder tripped");
         }
     }
 }

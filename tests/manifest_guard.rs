@@ -9,7 +9,7 @@
 //!
 //! ```text
 //! RAVEN_UPDATE_GOLDEN=1 cargo test --test manifest_guard
-//! # or: cargo run -p raven-core --bin raven-sim -- ledger manifest --update
+//! # or: cargo run --bin raven-sim -- ledger manifest --update
 //! ```
 
 use raven_core::{manifest_candidates, MANIFEST_REL_PATH};
